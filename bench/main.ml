@@ -1,0 +1,521 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (Section IV), plus the ablations called out in DESIGN.md.
+
+   Output: one section per experiment id (FIG4A, FIG4B, FIG4C, FIG5A,
+   FIG5B, FIG5C, TABLE4 and the ABL ablations), each printing the same
+   rows/series the paper reports (system size vs time / memory), followed
+   by Bechamel micro-benchmarks (one Test.make per table/figure kernel).
+
+   Environment:
+     BENCH_QUICK=1   restrict to the 5/14/30-bus systems (fast CI run)
+     BENCH_SEEDS=n   scenarios per size (default 3, as in the paper)   *)
+
+module Q = Numeric.Rat
+module E = Topoguard.Evaluation
+module Enc = Attack.Encoder
+
+let quick = Sys.getenv_opt "BENCH_QUICK" <> None
+
+let seeds =
+  match Sys.getenv_opt "BENCH_SEEDS" with
+  | Some s -> (try List.init (max 1 (int_of_string s)) (fun i -> i + 1) with _ -> [ 1; 2; 3 ])
+  | None -> [ 1; 2; 3 ]
+
+let sizes = if quick then [ 5; 14; 30 ] else [ 5; 14; 30; 57; 118 ]
+
+let timeout_s =
+  match Sys.getenv_opt "BENCH_TIMEOUT" with
+  | Some s -> (try float_of_string s with _ -> 60.0)
+  | None -> 60.0
+
+(* run a computation in a forked child so a hard solver instance cannot
+   stall the whole harness; None on timeout or crash *)
+let fork_with_timeout (f : unit -> 'a) : 'a option =
+  (* flush before forking or the child re-flushes inherited buffers *)
+  flush stdout;
+  flush stderr;
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 -> (
+    Unix.close rd;
+    let oc = Unix.out_channel_of_descr wr in
+    match f () with
+    | v ->
+      Marshal.to_channel oc v [];
+      flush oc;
+      exit 0
+    | exception _ -> exit 3)
+  | pid ->
+    Unix.close wr;
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec wait () =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with _ -> ());
+          ignore (Unix.waitpid [] pid);
+          None
+        end
+        else begin
+          Unix.sleepf 0.05;
+          wait ()
+        end
+      | _, Unix.WEXITED 0 -> (
+        let ic = Unix.in_channel_of_descr rd in
+        match (Marshal.from_channel ic : 'a) with
+        | v -> Some v
+        | exception _ -> None)
+      | _ -> None
+    in
+    let r = wait () in
+    (try Unix.close rd with _ -> ());
+    r
+
+let with_timeout (f : unit -> E.measurement) ~fallback : E.measurement =
+  match fork_with_timeout f with
+  | Some m -> m
+  | None ->
+    {
+      fallback with
+      E.seconds = timeout_s;
+      result = Printf.sprintf "timeout(>%.0fs)" timeout_s;
+    }
+
+let fallback_measurement label size =
+  {
+    E.label;
+    system_size = size;
+    seconds = 0.0;
+    allocated_mb = 0.0;
+    result = "?";
+  }
+
+let header title detail =
+  Printf.printf "\n== %s ==\n%s\n%-6s %-6s %10s %12s  %s\n" title detail
+    "buses" "case" "time(s)" "alloc(MB)" "result"
+
+let row (m : E.measurement) case =
+  Printf.printf "%-6d %-6s %10.3f %12.1f  %s\n%!" m.E.system_size case
+    m.E.seconds m.E.allocated_mb m.E.result
+
+let avg_row size times =
+  if times <> [] then
+    Printf.printf "%-6d %-6s %10.3f %12s  (average of %d scenarios)\n%!" size
+      "avg"
+      (List.fold_left ( +. ) 0.0 times /. float_of_int (List.length times))
+      "-" (List.length times)
+
+(* ---- Fig. 4: impact-verification time vs system size ---- *)
+
+let fig4 ~title ~mode ~unsat =
+  header title
+    "paper Fig. 4: full impact verification, random scenarios per size";
+  List.iter
+    (fun n ->
+      let spec = Grid.Test_systems.ieee n in
+      let times =
+        List.map
+          (fun seed ->
+            let m =
+              with_timeout ~fallback:(fallback_measurement "impact" n)
+                (fun () ->
+                  if unsat then E.unsat_impact_run ~mode ~seed spec
+                  else E.impact_run ~mode ~seed spec)
+            in
+            row m (Printf.sprintf "s%d" seed);
+            m.E.seconds)
+          seeds
+      in
+      avg_row n times)
+    sizes
+
+(* ---- Fig. 5(a): the OPF model alone, by budget tightness ---- *)
+
+let fig5a () =
+  header "FIG5A: OPF model time vs cost-constraint tightness"
+    "paper Fig. 5(a): SMT bounded-cost feasibility; tighter budget = longer";
+  List.iter
+    (fun n ->
+      let spec = Grid.Test_systems.ieee n in
+      List.iter
+        (fun t ->
+          let m =
+            with_timeout ~fallback:(fallback_measurement "opf-model" n)
+              (fun () -> E.opf_model_run ~tightness:t spec)
+          in
+          row m
+            (match t with `Loose -> "loose" | `Medium -> "med" | `Tight -> "tight"))
+        [ `Loose; `Medium; `Tight ])
+    sizes
+
+(* ---- Fig. 5(b): the topology attack model alone ---- *)
+
+let fig5b () =
+  header "FIG5B: topology attack model time vs system size"
+    "paper Fig. 5(b): attack model alone, random scenarios per size";
+  List.iter
+    (fun n ->
+      let spec = Grid.Test_systems.ieee n in
+      let times =
+        List.map
+          (fun seed ->
+            let m =
+              with_timeout ~fallback:(fallback_measurement "attack-model" n)
+                (fun () -> E.attack_model_run ~mode:Enc.Topology_only ~seed spec)
+            in
+            row m (Printf.sprintf "s%d" seed);
+            m.E.seconds)
+          seeds
+      in
+      avg_row n times)
+    sizes
+
+(* ---- Fig. 5(c): unsatisfiable cases of the individual models ---- *)
+
+let fig5c () =
+  header "FIG5C: individual models, unsatisfiable cases"
+    "paper Fig. 5(c): attack model with a 1-substation budget; OPF below optimum";
+  List.iter
+    (fun n ->
+      let spec = Grid.Test_systems.ieee n in
+      let m =
+        with_timeout ~fallback:(fallback_measurement "unsat-attack" n)
+          (fun () -> E.unsat_attack_model_run ~mode:Enc.Topology_only ~seed:1 spec)
+      in
+      row m "atk";
+      let m2 =
+        with_timeout ~fallback:(fallback_measurement "unsat-opf" n)
+          (fun () -> E.unsat_opf_model_run spec)
+      in
+      row m2 "opf")
+    sizes
+
+(* ---- Table IV: memory ---- *)
+
+let table4 () =
+  Printf.printf
+    "\n== TABLE4: memory (MB allocated) by the solver per individual model ==\n";
+  Printf.printf "%-10s %-28s %-20s\n" "# of buses" "Topology attack model (MB)"
+    "OPF model (MB)";
+  List.iter
+    (fun n ->
+      let spec = Grid.Test_systems.ieee n in
+      match fork_with_timeout (fun () -> E.memory_table_row spec) with
+      | Some (Ok (attack_mb, opf_mb)) ->
+        Printf.printf "%-10d %-28.2f %-20.2f\n%!" n attack_mb opf_mb
+      | Some (Error e) -> Printf.printf "%-10d error: %s\n%!" n e
+      | None -> Printf.printf "%-10d timeout(>%.0fs)\n%!" n timeout_s)
+    sizes
+
+(* ---- case-study recap (Section III-G) ---- *)
+
+let case_studies () =
+  Printf.printf "\n== CS1/CS2: the paper's case studies (Section III-G) ==\n";
+  let run name scenario mode target =
+    let scenario =
+      { scenario with Grid.Spec.min_increase_pct = Q.of_int target }
+    in
+    match
+      Attack.Base_state.of_dispatch scenario.Grid.Spec.grid
+        ~gen:(Grid.Test_systems.case_study_base_dispatch ())
+    with
+    | Error e -> Printf.printf "%s: base error %s\n" name e
+    | Ok base -> (
+      let config = { Topoguard.Impact.default_config with Topoguard.Impact.mode } in
+      let t0 = Unix.gettimeofday () in
+      match Topoguard.Impact.analyze ~config ~scenario ~base () with
+      | Topoguard.Impact.Attack_found s ->
+        Printf.printf "%s (target %d%%): attack — excluded %s, %d meas in %d buses%s (%.3fs)\n%!"
+          name target
+          (String.concat ","
+             (List.map (fun i -> string_of_int (i + 1))
+                s.Topoguard.Impact.vector.Attack.Vector.excluded))
+          (List.length s.Topoguard.Impact.vector.Attack.Vector.altered)
+          (List.length s.Topoguard.Impact.vector.Attack.Vector.buses)
+          (match s.Topoguard.Impact.poisoned_cost with
+          | Some c ->
+            Printf.sprintf ", poisoned $%s vs T* $%s"
+              (Q.to_decimal_string ~digits:2 c)
+              (Q.to_decimal_string ~digits:2 s.Topoguard.Impact.base_cost)
+          | None -> "")
+          (Unix.gettimeofday () -. t0)
+      | Topoguard.Impact.No_attack { candidates } ->
+        Printf.printf "%s (target %d%%): no attack (%d candidates, %.3fs)\n%!"
+          name target candidates
+          (Unix.gettimeofday () -. t0)
+      | Topoguard.Impact.Base_infeasible e ->
+        Printf.printf "%s: base infeasible %s\n" name e)
+  in
+  run "CS1" (Grid.Test_systems.case_study_1 ()) Enc.Topology_only 3;
+  run "CS2" (Grid.Test_systems.case_study_2 ()) Enc.With_state_infection 6;
+  run "CS2" (Grid.Test_systems.case_study_2 ()) Enc.With_state_infection 9
+
+(* ---- ablations ---- *)
+
+let abl_precision () =
+  Printf.printf
+    "\n== ABL-PRECISION: blocking-clause discretisation (Section IV-A idea 1) ==\n\
+     CS2 at a 9%% target: coarser discretisation concludes faster but can\n\
+     block genuinely distinct vectors — at 3+ digits an attack above 9%%\n\
+     exists that the paper's 2-digit setting (and hence its 8%% bound) misses.\n";
+  Printf.printf "%-10s %-12s %-10s %s\n" "digits" "candidates" "time(s)" "result";
+  let scenario = Grid.Test_systems.case_study_2 () in
+  match
+    Attack.Base_state.of_dispatch scenario.Grid.Spec.grid
+      ~gen:(Grid.Test_systems.case_study_base_dispatch ())
+  with
+  | Error e -> Printf.printf "base error: %s\n" e
+  | Ok base ->
+    List.iter
+      (fun precision ->
+        let config =
+          {
+            Topoguard.Impact.default_config with
+            Topoguard.Impact.mode = Enc.With_state_infection;
+            precision;
+            max_candidates = 500;
+          }
+        in
+        let t0 = Unix.gettimeofday () in
+        let scenario9 =
+          { scenario with Grid.Spec.min_increase_pct = Q.of_int 9 }
+        in
+        match Topoguard.Impact.analyze ~config ~scenario:scenario9 ~base () with
+        | Topoguard.Impact.No_attack { candidates } ->
+          Printf.printf "%-10d %-12d %-10.3f %s\n%!" precision candidates
+            (Unix.gettimeofday () -. t0) "no attack within discretisation"
+        | Topoguard.Impact.Attack_found s ->
+          Printf.printf "%-10d %-12d %-10.3f %s\n%!" precision
+            s.Topoguard.Impact.candidates
+            (Unix.gettimeofday () -. t0)
+            (match s.Topoguard.Impact.poisoned_cost with
+            | Some c ->
+              Printf.sprintf "attack found (poisoned $%s)"
+                (Q.to_decimal_string ~digits:2 c)
+            | None -> "attack found")
+        | Topoguard.Impact.Base_infeasible e ->
+          Printf.printf "%-10d base infeasible: %s\n" precision e)
+      [ 1; 2; 3 ]
+
+let abl_factors () =
+  Printf.printf
+    "\n== ABL-FACTORS: angle-variable OPF vs shift-factor OPF (idea 2) ==\n";
+  Printf.printf "%-6s %-14s %-14s %-10s\n" "buses" "exact LP (s)"
+    "factors (s)" "cost match";
+  List.iter
+    (fun n ->
+      let grid = (Grid.Test_systems.ieee n).Grid.Spec.grid in
+      let topo = Grid.Topology.make grid in
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (Unix.gettimeofday () -. t0, r)
+      in
+      let t_fast, r_fast =
+        match
+          fork_with_timeout (fun () ->
+              let t, r = time (fun () -> Opf.Opf_auto.solve_factors topo) in
+              (t, r))
+        with
+        | Some v -> v
+        | None -> (timeout_s, Opf.Dc_opf.Infeasible)
+      in
+      if n <= 14 then begin
+        let t_exact, r_exact = time (fun () -> Opf.Dc_opf.solve topo) in
+        let same =
+          match (r_exact, r_fast) with
+          | Opf.Dc_opf.Dispatch a, Opf.Dc_opf.Dispatch b ->
+            Float.abs (Q.to_float a.Opf.Dc_opf.cost -. Q.to_float b.Opf.Dc_opf.cost)
+            < 0.01
+          | _ -> false
+        in
+        Printf.printf "%-6d %-14.3f %-14.3f %-10s\n%!" n t_exact t_fast
+          (if same then "within 1c" else "DIFFERS")
+      end
+      else Printf.printf "%-6d %-14s %-14.3f %-10s\n%!" n "(skipped)" t_fast "-")
+    sizes
+
+let abl_cardinality () =
+  Printf.printf
+    "\n== ABL-CARD: cardinality encoding (sequential counter vs LRA indicators) ==\n";
+  Printf.printf "%-6s %-22s %-22s\n" "buses" "seq. counter (s)" "indicators (s)";
+  List.iter
+    (fun n ->
+      let spec = Grid.Test_systems.ieee n in
+      let run () =
+        match
+          fork_with_timeout (fun () ->
+              (E.attack_model_run ~mode:Enc.Topology_only ~seed:1 spec).E.seconds)
+        with
+        | Some t -> t
+        | None -> Float.nan
+      in
+      let t_seq = run () in
+      Enc.encode_cardinality_with_indicators := true;
+      let t_ind = run () in
+      Enc.encode_cardinality_with_indicators := false;
+      Printf.printf "%-6d %-22.3f %-22.3f\n%!" n t_seq t_ind)
+    (if quick then [ 5; 14 ] else [ 5; 14; 30 ])
+
+(* ---- ABL-FASTPATH: SMT enumeration vs closed-form single-line path ---- *)
+
+let abl_fastpath () =
+  Printf.printf
+    "\n== ABL-FASTPATH: SMT candidate loop vs closed-form single-line path ==\n";
+  Printf.printf "%-6s %-14s %-16s %-10s\n" "buses" "SMT loop (s)"
+    "closed form (s)" "same verdict";
+  List.iter
+    (fun n ->
+      let spec0 = Grid.Test_systems.ieee n in
+      let spec = E.randomize_scenario ~seed:1 spec0 in
+      let spec = { spec with Grid.Spec.min_increase_pct = Q.of_ints 3 2 } in
+      match E.base_state_for spec with
+      | Error e -> Printf.printf "%-6d base error: %s\n" n e
+      | Ok base ->
+        let run use_closed_form =
+          fork_with_timeout (fun () ->
+              let config =
+                {
+                  Topoguard.Impact.default_config with
+                  Topoguard.Impact.mode = Enc.Topology_only;
+                  backend =
+                    (if n >= 30 then Topoguard.Impact.Fast_factors
+                     else Topoguard.Impact.Lp_exact);
+                  max_topology_changes = Some 1;
+                  use_closed_form;
+                }
+              in
+              let t0 = Unix.gettimeofday () in
+              let outcome =
+                Topoguard.Impact.analyze ~config ~scenario:spec ~base ()
+              in
+              let dt = Unix.gettimeofday () -. t0 in
+              let tag =
+                match outcome with
+                | Topoguard.Impact.Attack_found _ -> "attack"
+                | Topoguard.Impact.No_attack _ -> "no-attack"
+                | Topoguard.Impact.Base_infeasible _ -> "infeasible"
+              in
+              (dt, tag))
+        in
+        (match (run false, run true) with
+        | Some (t_smt, v1), Some (t_cf, v2) ->
+          Printf.printf "%-6d %-14.3f %-16.3f %-10s\n%!" n t_smt t_cf
+            (if v1 = v2 then "yes (" ^ v1 ^ ")" else "NO: " ^ v1 ^ "/" ^ v2)
+        | _ -> Printf.printf "%-6d timeout\n%!" n))
+    sizes
+
+(* ---- Bechamel micro-benchmarks: one Test.make per table/figure ---- *)
+
+let bechamel_section () =
+  let open Bechamel in
+  Printf.printf "\n== BECHAMEL: per-experiment kernels (5-bus, OLS ns/run) ==\n";
+  let cs1 = Grid.Test_systems.case_study_1 () in
+  let cs2 = Grid.Test_systems.case_study_2 () in
+  let base =
+    match
+      Attack.Base_state.of_dispatch cs1.Grid.Spec.grid
+        ~gen:(Grid.Test_systems.case_study_base_dispatch ())
+    with
+    | Ok b -> b
+    | Error e -> failwith e
+  in
+  let topo = Grid.Topology.make cs1.Grid.Spec.grid in
+  let tests =
+    [
+      Test.make ~name:"fig4a:impact-topo-5bus"
+        (Staged.stage (fun () ->
+             ignore (Topoguard.Impact.analyze ~scenario:cs1 ~base ())));
+      Test.make ~name:"fig4b:impact-state-5bus"
+        (Staged.stage (fun () ->
+             let config =
+               {
+                 Topoguard.Impact.default_config with
+                 Topoguard.Impact.mode = Enc.With_state_infection;
+               }
+             in
+             ignore (Topoguard.Impact.analyze ~config ~scenario:cs2 ~base ())));
+      Test.make ~name:"fig4c:impact-unsat-5bus"
+        (Staged.stage (fun () ->
+             let scenario =
+               { cs1 with Grid.Spec.min_increase_pct = Q.of_int 100000 }
+             in
+             ignore (Topoguard.Impact.analyze ~scenario ~base ())));
+      Test.make ~name:"fig5a:opf-model-5bus"
+        (Staged.stage (fun () ->
+             ignore (Opf.Smt_opf.feasible topo ~budget:(Q.of_int 1520))));
+      Test.make ~name:"fig5b:attack-model-5bus"
+        (Staged.stage (fun () ->
+             let solver = Smt.Solver.create () in
+             let _ =
+               Enc.encode solver ~mode:Enc.Topology_only ~scenario:cs1 ~base
+             in
+             ignore (Smt.Solver.check solver)));
+      Test.make ~name:"fig5c:opf-model-unsat-5bus"
+        (Staged.stage (fun () ->
+             ignore (Opf.Smt_opf.feasible topo ~budget:(Q.of_int 1200))));
+      Test.make ~name:"table4:attack-encode-5bus"
+        (Staged.stage (fun () ->
+             let solver = Smt.Solver.create () in
+             ignore
+               (Enc.encode solver ~mode:Enc.With_state_infection ~scenario:cs2
+                  ~base)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw =
+            Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt
+          in
+          let ols =
+            Analyze.one
+              (Analyze.ols ~r_square:true ~bootstrap:0
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock raw
+          in
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some [ e ] -> Printf.sprintf "%.0f ns/run" e
+            | _ -> "n/a"
+          in
+          Printf.printf "%-32s %s\n%!" (Test.Elt.name elt) estimate)
+        (Test.elements test))
+    tests
+
+let only_tail = Sys.getenv_opt "BENCH_TAIL_ONLY" <> None
+
+let () =
+  if only_tail then begin
+    (* resume mode: print just the sections after ABL-FACTORS *)
+    abl_factors ();
+    abl_cardinality ();
+    abl_fastpath ();
+    bechamel_section ();
+    Printf.printf "\ndone.\n";
+    exit 0
+  end;
+  Printf.printf "topoguard benchmark harness — regenerating the paper's evaluation\n";
+  Printf.printf "systems: %s; %d scenario(s) per size%s\n"
+    (String.concat ", " (List.map string_of_int sizes))
+    (List.length seeds)
+    (if quick then " (BENCH_QUICK)" else "");
+  case_studies ();
+  fig4 ~title:"FIG4A: impact verification, topology attacks w/o state infection"
+    ~mode:Enc.Topology_only ~unsat:false;
+  fig4 ~title:"FIG4B: impact verification, topology attacks + state infection"
+    ~mode:Enc.With_state_infection ~unsat:false;
+  fig4 ~title:"FIG4C: impact verification, unsatisfiable cases"
+    ~mode:Enc.Topology_only ~unsat:true;
+  fig5a ();
+  fig5b ();
+  fig5c ();
+  table4 ();
+  abl_precision ();
+  abl_factors ();
+  abl_cardinality ();
+  abl_fastpath ();
+  bechamel_section ();
+  Printf.printf "\ndone.\n"

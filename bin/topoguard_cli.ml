@@ -1,0 +1,354 @@
+(* topoguard: command-line front end over the paper's input-file format.
+
+   Sub-commands: opf, se, attack, impact, gen (write a bundled test system
+   to a file). *)
+
+module Q = Numeric.Rat
+module N = Grid.Network
+open Cmdliner
+
+let qs ?(d = 4) v = Q.to_decimal_string ~digits:d v
+
+let load_spec path =
+  match Grid.Spec.parse_file path with
+  | Ok spec -> spec
+  | Error e ->
+    Format.eprintf "error: %s@." e;
+    exit 2
+
+let base_state_of spec kind =
+  let grid = spec.Grid.Spec.grid in
+  let result =
+    match kind with
+    | `Opf -> Attack.Base_state.of_opf grid
+    | `Proportional -> Attack.Base_state.proportional grid
+    | `Case_study ->
+      if grid.N.n_buses = 5 then
+        Attack.Base_state.of_dispatch grid
+          ~gen:(Grid.Test_systems.case_study_base_dispatch ())
+      else Attack.Base_state.of_opf grid
+  in
+  match result with
+  | Ok b -> b
+  | Error e ->
+    Format.eprintf "base state error: %s@." e;
+    exit 2
+
+(* ---- shared arguments ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Input file in the paper's text format (Tables II/III).")
+
+let mode_arg =
+  let modes =
+    [
+      ("topo", Attack.Encoder.Topology_only);
+      ("state", Attack.Encoder.With_state_infection);
+      ("ufdi", Attack.Encoder.Ufdi_only);
+    ]
+  in
+  Arg.(value & opt (enum modes) Attack.Encoder.Topology_only
+       & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Attack mode: $(b,topo) (Section III-C), $(b,state) \
+                 (III-D), or $(b,ufdi) (states only).")
+
+let base_arg =
+  let kinds = [ ("opf", `Opf); ("proportional", `Proportional); ("case-study", `Case_study) ] in
+  Arg.(value & opt (enum kinds) `Case_study
+       & info [ "base" ] ~docv:"KIND"
+           ~doc:"Observed operating point: $(b,opf), $(b,proportional), or \
+                 $(b,case-study) (calibrated 5-bus dispatch).")
+
+(* ---- opf ---- *)
+
+let opf_cmd =
+  let run file fast =
+    let spec = load_spec file in
+    let topo = Grid.Topology.make spec.Grid.Spec.grid in
+    let solve = if fast then Opf.Fast_opf.solve else Opf.Dc_opf.solve in
+    match solve topo with
+    | Opf.Dc_opf.Dispatch d ->
+      Format.printf "optimal cost: $%s@." (qs ~d:2 d.Opf.Dc_opf.cost);
+      Array.iteri
+        (fun k p ->
+          Format.printf "gen at bus %d: %s pu@."
+            (spec.Grid.Spec.grid.N.gens.(k).N.gbus + 1)
+            (qs p))
+        d.Opf.Dc_opf.pg;
+      Array.iteri
+        (fun i f -> Format.printf "line %d flow: %s pu@." (i + 1) (qs f))
+        d.Opf.Dc_opf.flows
+    | Opf.Dc_opf.Infeasible ->
+      Format.printf "OPF infeasible@.";
+      exit 1
+    | Opf.Dc_opf.Unbounded ->
+      Format.printf "OPF unbounded@.";
+      exit 1
+  in
+  let fast =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Use the shift-factor OPF.")
+  in
+  Cmd.v (Cmd.info "opf" ~doc:"Solve the DC optimal power flow.")
+    Term.(const run $ file_arg $ fast)
+
+(* ---- se ---- *)
+
+let se_cmd =
+  let run file base =
+    let spec = load_spec file in
+    let b = base_state_of spec base in
+    let topo = b.Attack.Base_state.topo in
+    if not (Estimation.Estimator.is_observable topo) then begin
+      Format.printf "system unobservable with the taken measurements@.";
+      exit 1
+    end;
+    let sol =
+      {
+        Grid.Powerflow.theta = b.Attack.Base_state.theta;
+        flows =
+          Array.mapi
+            (fun i f ->
+              if topo.Grid.Topology.mapped.(i) then f else Q.zero)
+            b.Attack.Base_state.flows;
+        consumption =
+          Array.init spec.Grid.Spec.grid.N.n_buses (fun j ->
+              Q.sub b.Attack.Base_state.load.(j) b.Attack.Base_state.gen.(j));
+      }
+    in
+    let est = Estimation.Estimator.make topo in
+    let z = Estimation.Estimator.measurement_vector topo sol in
+    let r = Estimation.Estimator.estimate est ~z in
+    Format.printf "residual: %g@." r.Estimation.Estimator.residual;
+    Array.iteri
+      (fun j a -> Format.printf "theta %d: %.5f@." (j + 1) a)
+      r.Estimation.Estimator.angles
+  in
+  Cmd.v (Cmd.info "se" ~doc:"Run WLS state estimation at the base point.")
+    Term.(const run $ file_arg $ base_arg)
+
+(* ---- attack ---- *)
+
+let attack_cmd =
+  let run file mode base =
+    let spec = load_spec file in
+    let b = base_state_of spec base in
+    let solver = Smt.Solver.create () in
+    let vars = Attack.Encoder.encode solver ~mode ~scenario:spec ~base:b in
+    match Smt.Solver.check solver with
+    | `Unsat ->
+      Format.printf "no stealthy attack vector exists for this scenario@."
+    | `Sat ->
+      let v = Attack.Vector.of_model solver vars spec in
+      Format.printf "stealthy attack vector:@.%a" Attack.Vector.pp v
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Search for a stealthy topology-poisoning attack vector.")
+    Term.(const run $ file_arg $ mode_arg $ base_arg)
+
+(* ---- impact ---- *)
+
+let impact_cmd =
+  let run file mode base increase max_candidates =
+    let spec = load_spec file in
+    let spec =
+      match increase with
+      | None -> spec
+      | Some pct ->
+        { spec with Grid.Spec.min_increase_pct = Q.of_decimal_string pct }
+    in
+    let b = base_state_of spec base in
+    let config =
+      {
+        Topoguard.Impact.default_config with
+        Topoguard.Impact.mode;
+        max_candidates;
+      }
+    in
+    match Topoguard.Impact.analyze ~config ~scenario:spec ~base:b () with
+    | Topoguard.Impact.Attack_found s ->
+      Format.printf "attack found after %d candidate(s):@.%a"
+        s.Topoguard.Impact.candidates Attack.Vector.pp
+        s.Topoguard.Impact.vector;
+      Format.printf "T* = $%s, threshold = $%s@."
+        (qs ~d:2 s.Topoguard.Impact.base_cost)
+        (qs ~d:2 s.Topoguard.Impact.threshold);
+      (match s.Topoguard.Impact.poisoned_cost with
+      | Some c -> Format.printf "poisoned optimum = $%s@." (qs ~d:2 c)
+      | None -> ())
+    | Topoguard.Impact.No_attack { candidates } ->
+      Format.printf
+        "no stealthy attack achieves the target (%d candidates examined)@."
+        candidates
+    | Topoguard.Impact.Base_infeasible e ->
+      Format.printf "base case infeasible: %s@." e;
+      exit 1
+  in
+  let increase =
+    Arg.(value & opt (some string) None
+         & info [ "increase" ] ~docv:"PCT"
+             ~doc:"Override the target cost increase (percent).")
+  in
+  let max_candidates =
+    Arg.(value & opt int 200
+         & info [ "max-candidates" ] ~docv:"N"
+             ~doc:"Bound on candidate attack vectors to examine.")
+  in
+  Cmd.v
+    (Cmd.info "impact"
+       ~doc:"Full impact analysis (paper Fig. 2): can a stealthy attack \
+             raise the OPF cost by the target percentage?")
+    Term.(const run $ file_arg $ mode_arg $ base_arg $ increase $ max_candidates)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let run system out =
+    let spec =
+      match system with
+      | "cs1" -> Grid.Test_systems.case_study_1 ()
+      | "cs2" -> Grid.Test_systems.case_study_2 ()
+      | s -> (
+        match int_of_string_opt s with
+        | Some n -> Grid.Test_systems.ieee n
+        | None ->
+          Format.eprintf "unknown system %S (use cs1, cs2, 5, 14, 30, 57, 118)@." s;
+          exit 2)
+    in
+    Grid.Spec.write_file out spec;
+    Format.printf "wrote %s@." out
+  in
+  let system =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM"
+           ~doc:"cs1, cs2, or a bus count (5/14/30/57/118).")
+  in
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT"
+           ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Write a bundled test system in the input format.")
+    Term.(const run $ system $ out)
+
+(* ---- defend ---- *)
+
+let defend_cmd =
+  let run file mode base minimal =
+    let spec = load_spec file in
+    let b = base_state_of spec base in
+    let config = { Topoguard.Impact.default_config with Topoguard.Impact.mode } in
+    if minimal then begin
+      match Topoguard.Defense.synthesize_minimal ~config ~scenario:spec ~base:b () with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        exit 1
+      | Ok None -> Format.printf "no protection set of bounded size works@."
+      | Ok (Some plan) ->
+        Format.printf "minimal protection plan: %a@." Topoguard.Defense.pp_plan plan
+    end
+    else begin
+      match Topoguard.Defense.synthesize_greedy ~config ~scenario:spec ~base:b () with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        exit 1
+      | Ok plan ->
+        Format.printf "greedy protection plan: %a@." Topoguard.Defense.pp_plan plan
+    end
+  in
+  let minimal =
+    Arg.(value & flag & info [ "minimal" ]
+           ~doc:"Search for a smallest protection set (iterative deepening).")
+  in
+  Cmd.v
+    (Cmd.info "defend"
+       ~doc:"Synthesise integrity protections that block all stealthy              attacks achieving the target increase.")
+    Term.(const run $ file_arg $ mode_arg $ base_arg $ minimal)
+
+(* ---- contingency ---- *)
+
+let contingency_cmd =
+  let run file secure =
+    let spec = load_spec file in
+    let topo = Grid.Topology.make spec.Grid.Spec.grid in
+    let result =
+      if secure then Opf.Contingency.sc_opf topo
+      else Opf.Opf_auto.solve topo
+    in
+    match result with
+    | Opf.Dc_opf.Dispatch d ->
+      Format.printf "dispatch cost: $%s@." (qs ~d:2 d.Opf.Dc_opf.cost);
+      let base_flows = Array.map Q.to_float d.Opf.Dc_opf.flows in
+      let violations = Opf.Contingency.screen topo ~base_flows in
+      if violations = [] then Format.printf "N-1 secure (no post-outage overloads)@."
+      else
+        List.iter
+          (fun (v : Opf.Contingency.violation) ->
+            Format.printf
+              "outage of line %d overloads line %d: %.4f pu vs rating %.4f@."
+              (v.Opf.Contingency.outage + 1)
+              (v.Opf.Contingency.overloaded + 1)
+              v.Opf.Contingency.post_flow v.Opf.Contingency.rating)
+          violations
+    | Opf.Dc_opf.Infeasible ->
+      Format.printf "OPF infeasible@.";
+      exit 1
+    | Opf.Dc_opf.Unbounded ->
+      Format.printf "OPF unbounded@.";
+      exit 1
+  in
+  let secure =
+    Arg.(value & flag & info [ "secure" ]
+           ~doc:"Dispatch with the security-constrained OPF before screening.")
+  in
+  Cmd.v
+    (Cmd.info "contingency"
+       ~doc:"N-1 contingency screening of the (security-constrained) OPF              dispatch.")
+    Term.(const run $ file_arg $ secure)
+
+(* ---- acpf ---- *)
+
+let acpf_cmd =
+  let run file base =
+    let spec = load_spec file in
+    let b = base_state_of spec base in
+    let net = Acpf.Ac.of_dc ~gen:b.Attack.Base_state.gen spec.Grid.Spec.grid in
+    match Acpf.Ac.solve net with
+    | Error e ->
+      Format.eprintf "AC power flow failed: %s@." e;
+      exit 1
+    | Ok s ->
+      Format.printf "converged in %d iterations; losses %.4f pu@."
+        s.Acpf.Ac.iterations s.Acpf.Ac.losses;
+      Array.iteri
+        (fun j v ->
+          Format.printf "bus %d: V = %.4f pu, theta = %.4f rad@." (j + 1) v
+            s.Acpf.Ac.va.(j))
+        s.Acpf.Ac.vm
+  in
+  Cmd.v
+    (Cmd.info "acpf"
+       ~doc:"Full AC power flow (Newton-Raphson) at the base operating point.")
+    Term.(const run $ file_arg $ base_arg)
+
+(* ---- audit ---- *)
+
+let audit_cmd =
+  let run file =
+    let spec = load_spec file in
+    Estimation.Criticality.summary Format.std_formatter spec
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Security metrics: critical measurements, redundancy, attack              surface, per-bus exposure.")
+    Term.(const run $ file_arg)
+
+let () =
+  let doc = "impact analysis of topology poisoning attacks on OPF" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "topoguard" ~doc)
+          [
+            opf_cmd; se_cmd; attack_cmd; impact_cmd; gen_cmd; defend_cmd;
+            contingency_cmd; acpf_cmd; audit_cmd;
+          ]))

@@ -1,0 +1,77 @@
+(* Defense planning: use the impact framework as an operator would — find
+   a stealthy attack, protect (secure) one of the assets it relies on,
+   and repeat until no attack achieves the target.  This is the defensive
+   use the paper's conclusion motivates ("assist in developing suitable
+   defense strategies").
+
+   Greedy heuristic: secure the line status of an attacked line first;
+   otherwise secure the first altered measurement.
+
+   Run with: dune exec examples/defense_planning.exe *)
+
+module Q = Numeric.Rat
+module N = Grid.Network
+module I = Topoguard.Impact
+module Enc = Attack.Encoder
+
+let secure_line grid i =
+  let lines =
+    Array.mapi
+      (fun j ln -> if j = i then { ln with N.status_secured = true } else ln)
+      grid.N.lines
+  in
+  { grid with N.lines }
+
+let secure_measurement grid i =
+  let meas =
+    Array.mapi
+      (fun j m -> if j = i then { m with N.secured = true } else m)
+      grid.N.meas
+  in
+  { grid with N.meas }
+
+let () =
+  let scenario = ref (Grid.Test_systems.case_study_2 ()) in
+  let base =
+    match
+      Attack.Base_state.of_dispatch !scenario.Grid.Spec.grid
+        ~gen:(Grid.Test_systems.case_study_base_dispatch ())
+    with
+    | Ok b -> b
+    | Error e -> failwith e
+  in
+  let config = { I.default_config with I.mode = Enc.With_state_infection } in
+  let protections = ref [] in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < 20 do
+    incr rounds;
+    match I.analyze ~config ~scenario:!scenario ~base () with
+    | I.Attack_found s ->
+      let v = s.I.vector in
+      Format.printf "round %d: attack found — %a" !rounds Attack.Vector.pp v;
+      let grid = !scenario.Grid.Spec.grid in
+      (match (v.Attack.Vector.excluded @ v.Attack.Vector.included, v.Attack.Vector.altered) with
+      | line :: _, _ ->
+        Format.printf "  -> securing status of line %d@.@." (line + 1);
+        protections := Printf.sprintf "line %d status" (line + 1) :: !protections;
+        scenario := { !scenario with Grid.Spec.grid = secure_line grid line }
+      | [], m :: _ ->
+        Format.printf "  -> securing measurement %d@.@." (m + 1);
+        protections := Printf.sprintf "measurement %d" (m + 1) :: !protections;
+        scenario := { !scenario with Grid.Spec.grid = secure_measurement grid m }
+      | [], [] -> continue := false)
+    | I.No_attack { candidates } ->
+      Format.printf
+        "round %d: no stealthy attack achieves the target (%d candidates \
+         examined)@."
+        !rounds candidates;
+      continue := false
+    | I.Base_infeasible e ->
+      Format.printf "base infeasible: %s@." e;
+      continue := false
+  done;
+  Format.printf "@.protection set deployed: %s@."
+    (match List.rev !protections with
+    | [] -> "(none needed)"
+    | ps -> String.concat ", " ps)

@@ -1,0 +1,165 @@
+(* Closed-loop EMS simulation (paper Fig. 1): field telemetry -> topology
+   processor -> WLS state estimation -> bad-data detection -> OPF ->
+   generator set-points, stepped over time with drifting loads — and a
+   stealthy topology-poisoning attack injected midway.
+
+   Watch the residual column: the attack never trips the detector, yet the
+   dispatch cost jumps when the poisoned topology and shifted loads reach
+   the OPF.
+
+   Run with: dune exec examples/ems_closed_loop.exe *)
+
+module Q = Numeric.Rat
+module N = Grid.Network
+module T = Grid.Topology
+module PF = Grid.Powerflow
+module E = Estimation.Estimator
+
+let steps = 10
+let attack_step = 6
+let sigma = 0.002
+
+let () =
+  let grid0 = Grid.Test_systems.five_bus () in
+  (* meter everything so the estimator sees the full measurement set *)
+  let grid =
+    { grid0 with N.meas = Array.map (fun m -> { m with N.taken = true }) grid0.N.meas }
+  in
+  let rng = Estimation.Noise.rng ~seed:2014 in
+  let true_topo = T.make grid in
+  let est = E.make true_topo in
+  let df = List.length (T.taken_rows true_topo) - (grid.N.n_buses - 1) in
+  let tau =
+    sigma *. sqrt (Estimation.Noise.chi_square_threshold ~df ~confidence:0.99)
+  in
+  Format.printf
+    "EMS closed loop on the 5-bus system; bad-data threshold tau = %.4f@."
+    tau;
+  Format.printf "%-5s %-10s %-9s %-12s %-12s %-30s@." "step" "residual"
+    "alarm" "OPF cost" "true opt" "event";
+
+  (* operator's current dispatch (per bus); OPF re-runs only when the
+     estimated loads move beyond a deadband, as real control rooms do *)
+  let dispatch = ref (Grid.Test_systems.case_study_base_dispatch ()) in
+  (* the deadband is referenced to the nominal schedule: normal drift never
+     triggers a redispatch, a genuine load shift does *)
+  let nominal_loads =
+    Array.init grid.N.n_buses (fun j ->
+        match N.load_at grid j with Some ld -> ld.N.existing | None -> Q.zero)
+  in
+  let last_opf_loads = ref nominal_loads in
+  let deadband = Q.of_ints 3 100 in
+
+  for step = 1 to steps do
+    (* 1. the physical world: loads drift a little around their nominal *)
+    let load =
+      Array.init grid.N.n_buses (fun j ->
+          match N.load_at grid j with
+          | None -> Q.zero
+          | Some ld ->
+            let drift =
+              Estimation.Noise.gaussian rng ~mean:0.0 ~sigma:0.004
+            in
+            Q.add ld.N.existing (Q.round_to_digits 4 (Q.of_float drift)))
+    in
+    (* rebalance the dispatch to the drifted total (AGC's job) *)
+    let total_load = Array.fold_left Q.add Q.zero load in
+    let total_gen = Array.fold_left Q.add Q.zero !dispatch in
+    let scale = Q.div total_load total_gen in
+    let gen = Array.map (fun g -> Q.mul g scale) !dispatch in
+    let sol =
+      match PF.solve true_topo ~gen ~load with
+      | Ok s -> s
+      | Error e -> failwith e
+    in
+    (* 2. field telemetry with meter noise *)
+    let z =
+      Estimation.Noise.noisy_measurements rng ~sigma
+        (E.measurement_vector true_topo sol)
+    in
+
+    (* 3. the attacker: from [attack_step] on, line 6 is reported open and
+       the four covering measurements are falsified (case study 1) *)
+    let attacked = step >= attack_step in
+    let reported_topo, z =
+      if not attacked then (true_topo, z)
+      else begin
+        let mapped = N.true_topology grid in
+        mapped.(5) <- false;
+        let poisoned = T.make ~mapped grid in
+        (* the attacker intercepts the current line-6 flow reading and
+           derives the covering injections from it, so the falsified set
+           stays self-consistent cycle after cycle *)
+        let p6 = z.(5) in
+        (* zero the line-6 flow measurements, adjust the bus injections *)
+        let l = N.n_lines grid in
+        let adjust = Array.copy z in
+        adjust.(5) <- 0.0;
+        adjust.(l + 5) <- 0.0;
+        (* injection rows carry net injection (sum out - sum in): removing
+           line 6 (3->4) drops an outgoing flow at bus 3 and an incoming
+           one at bus 4 *)
+        adjust.((2 * l) + 2) <- z.((2 * l) + 2) -. p6;
+        adjust.((2 * l) + 3) <- z.((2 * l) + 3) +. p6;
+        (* the line-6 rows of the poisoned H are zero, and the falsified
+           meters read zero: their residual contribution vanishes *)
+        (poisoned, adjust)
+      end
+    in
+
+    (* 4. EMS: estimate, check residual, re-dispatch by OPF *)
+    let est_now = if attacked then E.make reported_topo else est in
+    let r = E.estimate est_now ~z in
+    let alarm = r.E.residual > tau in
+    (* estimated consumption is load minus generation; the operator knows
+       the commanded dispatch, so the load estimate adds it back *)
+    let est_loads =
+      Array.init grid.N.n_buses (fun j ->
+          Q.add
+            (Q.round_to_digits 4 (Q.of_float r.E.loads.(j)))
+            gen.(j))
+    in
+    let triggered =
+      Array.exists2
+        (fun a b -> Q.( > ) (Q.abs (Q.sub a b)) deadband)
+        est_loads !last_opf_loads
+    in
+    let cost_str, event =
+      if not triggered then
+        ( "(hold)",
+          if step = attack_step then "<- topology poisoning begins"
+          else if attacked then "(operating on poisoned model)"
+          else "" )
+      else
+        match Opf.Dc_opf.solve ~loads:est_loads reported_topo with
+        | Opf.Dc_opf.Dispatch d ->
+          (* the operator applies the new set-points *)
+          let new_dispatch = Array.make grid.N.n_buses Q.zero in
+          Array.iteri
+            (fun k (g : N.gen) -> new_dispatch.(g.N.gbus) <- d.Opf.Dc_opf.pg.(k))
+            grid.N.gens;
+          dispatch := new_dispatch;
+          last_opf_loads := est_loads;
+          ( Q.to_decimal_string ~digits:2 d.Opf.Dc_opf.cost,
+            if step = attack_step then "<- topology poisoning begins"
+            else if attacked then "redispatch on the poisoned model"
+            else "redispatch" )
+        | Opf.Dc_opf.Infeasible -> ("-", "OPF infeasible; keeping set-points")
+        | Opf.Dc_opf.Unbounded -> ("-", "OPF unbounded?")
+    in
+    (* what the optimum would be on the true model (for comparison) *)
+    let true_opt =
+      match Opf.Dc_opf.solve ~loads:load true_topo with
+      | Opf.Dc_opf.Dispatch d -> Q.to_decimal_string ~digits:2 d.Opf.Dc_opf.cost
+      | _ -> "-"
+    in
+    Format.printf "%-5d %-10.5f %-9s %-12s %-12s %-30s@." step r.E.residual
+      (if alarm then "ALARM" else "quiet")
+      cost_str true_opt event
+  done;
+  Format.printf
+    "@.The detector stayed quiet throughout: the falsified telemetry is \
+     consistent with the poisoned topology, so the residual never exceeds \
+     the chi-square threshold, while the dispatch cost after step %d runs \
+     several percent above the clean-model cost.@."
+    attack_step

@@ -1,0 +1,53 @@
+(** Full AC power flow by Newton-Raphson in polar coordinates.
+
+    The paper works in the DC approximation (Section II-A); this module
+    supplies the AC substrate the "future work" on power-system security
+    needs: complex bus admittances, PV/PQ/slack bus types, reactive flows
+    and losses.  [of_dc] lifts one of the repository's DC systems into an
+    AC case (series resistance and reactive loads derived by ratio), so
+    every bundled test system is usable here too. *)
+
+type line = {
+  from_bus : int;
+  to_bus : int;
+  resistance : float;  (** series R, pu *)
+  reactance : float;  (** series X, pu *)
+  charging : float;  (** total line charging susceptance B, pu *)
+}
+
+type bus_kind =
+  | Slack of { v : float }
+  | Pv of { p : float; v : float }  (** net injection P, voltage setpoint *)
+  | Pq of { p : float; q : float }  (** net injections (negative = load) *)
+
+type network = { n_buses : int; lines : line array; buses : bus_kind array }
+
+type solution = {
+  vm : float array;  (** voltage magnitudes *)
+  va : float array;  (** voltage angles, radians *)
+  p_injection : float array;  (** realised net P per bus *)
+  q_injection : float array;
+  p_from : float array;  (** sending-end real flow per line *)
+  p_to : float array;  (** receiving-end real flow (differs by the loss) *)
+  losses : float;  (** total real losses *)
+  iterations : int;
+}
+
+val of_dc :
+  ?r_ratio:float ->
+  ?q_ratio:float ->
+  gen:Numeric.Rat.t array ->
+  Grid.Network.t ->
+  network
+(** Lift a DC system at a dispatch: [reactance = 1/admittance],
+    [resistance = r_ratio * reactance] (default 0.1), loads get
+    [q = q_ratio * p] (default 0.25 lagging), generator buses become PV at
+    1.0 pu, bus 0 is the slack. *)
+
+val solve :
+  ?tolerance:float -> ?max_iterations:int -> network -> (solution, string) Result.t
+(** Newton-Raphson with a dense Jacobian; defaults: tolerance 1e-8 on the
+    power mismatches, 30 iterations. *)
+
+val ybus : network -> Linalg.Mat.t * Linalg.Mat.t
+(** The bus admittance matrix as (G, B) — shared with the AC estimator. *)

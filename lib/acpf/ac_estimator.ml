@@ -1,0 +1,159 @@
+module M = Linalg.Mat
+module Lu = Linalg.Lu
+
+type measurement =
+  | Vm of int
+  | Pflow of int
+  | Qflow of int
+  | Pinj of int
+  | Qinj of int
+
+type result = {
+  vm : float array;
+  va : float array;
+  residual : float;
+  iterations : int;
+  converged : bool;
+}
+
+(* value of one measurement under (vm, va) *)
+let eval_measurement (net : Ac.network) gmat bmat vm va m =
+  let inj i =
+    let p = ref 0.0 and q = ref 0.0 in
+    for k = 0 to net.Ac.n_buses - 1 do
+      let gik = M.get gmat i k and bik = M.get bmat i k in
+      if gik <> 0.0 || bik <> 0.0 then begin
+        let th = va.(i) -. va.(k) in
+        p := !p +. (vm.(i) *. vm.(k) *. ((gik *. cos th) +. (bik *. sin th)));
+        q := !q +. (vm.(i) *. vm.(k) *. ((gik *. sin th) -. (bik *. cos th)))
+      end
+    done;
+    (!p, !q)
+  in
+  let flow i =
+    let ln = net.Ac.lines.(i) in
+    let z2 = (ln.Ac.resistance ** 2.0) +. (ln.Ac.reactance ** 2.0) in
+    let gs = ln.Ac.resistance /. z2 and bs = -.ln.Ac.reactance /. z2 in
+    let f = ln.Ac.from_bus and t = ln.Ac.to_bus in
+    let th = va.(f) -. va.(t) in
+    let p =
+      (vm.(f) *. vm.(f) *. gs)
+      -. (vm.(f) *. vm.(t) *. ((gs *. cos th) +. (bs *. sin th)))
+    in
+    let q =
+      (-.vm.(f) *. vm.(f) *. (bs +. (ln.Ac.charging /. 2.0)))
+      -. (vm.(f) *. vm.(t) *. ((gs *. sin th) -. (bs *. cos th)))
+    in
+    (p, q)
+  in
+  match m with
+  | Vm i -> vm.(i)
+  | Pinj i -> fst (inj i)
+  | Qinj i -> snd (inj i)
+  | Pflow i -> fst (flow i)
+  | Qflow i -> snd (flow i)
+
+let ideal_measurements net (sol : Ac.solution) measurements =
+  let gmat, bmat = Ac.ybus net in
+  Array.of_list
+    (List.map
+       (eval_measurement net gmat bmat sol.Ac.vm sol.Ac.va)
+       measurements)
+
+let estimate ?(tolerance = 1e-8) ?(max_iterations = 25) ?(sigma = 0.01) net
+    ~measurements ~z =
+  let n = net.Ac.n_buses in
+  let ms = Array.of_list measurements in
+  let mcount = Array.length ms in
+  if Array.length z <> mcount then
+    invalid_arg "Ac_estimator.estimate: z length mismatch";
+  let gmat, bmat = Ac.ybus net in
+  (* state: angles of buses 1..n-1, magnitudes of all buses; flat start *)
+  let dim = n - 1 + n in
+  let vm = Array.make n 1.0 and va = Array.make n 0.0 in
+  let unpack x =
+    for j = 1 to n - 1 do
+      va.(j) <- x.(j - 1)
+    done;
+    for j = 0 to n - 1 do
+      vm.(j) <- x.(n - 1 + j)
+    done
+  in
+  let x = Array.make dim 0.0 in
+  for j = 0 to n - 1 do
+    x.(n - 1 + j) <- 1.0
+  done;
+  let h_of x =
+    unpack x;
+    Array.map (eval_measurement net gmat bmat vm va) ms
+  in
+  let w = 1.0 /. (sigma *. sigma) in
+  let rec iterate it =
+    if it > max_iterations then Error "AC estimation did not converge"
+    else begin
+      let h = h_of x in
+      let r = Array.init mcount (fun i -> z.(i) -. h.(i)) in
+      (* Jacobian by forward differences *)
+      let jac = M.create mcount dim in
+      for c = 0 to dim - 1 do
+        let step = 1e-7 in
+        let saved = x.(c) in
+        x.(c) <- saved +. step;
+        let h2 = h_of x in
+        x.(c) <- saved;
+        for rrow = 0 to mcount - 1 do
+          M.set jac rrow c ((h2.(rrow) -. h.(rrow)) /. step)
+        done
+      done;
+      (* normal equations: (J^T W J) dx = J^T W r *)
+      let gain = M.create dim dim in
+      for a = 0 to dim - 1 do
+        for b = 0 to dim - 1 do
+          let acc = ref 0.0 in
+          for i = 0 to mcount - 1 do
+            acc := !acc +. (M.get jac i a *. w *. M.get jac i b)
+          done;
+          M.set gain a b !acc
+        done
+      done;
+      let rhs =
+        Array.init dim (fun a ->
+            let acc = ref 0.0 in
+            for i = 0 to mcount - 1 do
+              acc := !acc +. (M.get jac i a *. w *. r.(i))
+            done;
+            !acc)
+      in
+      match Lu.solve_vec gain rhs with
+      | exception Lu.Singular -> Error "unobservable (singular gain matrix)"
+      | dx ->
+        let worst = ref 0.0 in
+        Array.iteri
+          (fun c d ->
+            x.(c) <- x.(c) +. d;
+            worst := Float.max !worst (Float.abs d))
+          dx;
+        if Float.is_nan !worst || !worst > 1e3 then
+          Error "AC estimation diverged"
+        else if !worst < tolerance then begin
+          let h = h_of x in
+          let residual =
+            sqrt
+              (Array.fold_left ( +. ) 0.0
+                 (Array.init mcount (fun i -> w *. ((z.(i) -. h.(i)) ** 2.0))))
+            *. sigma
+          in
+          unpack x;
+          Ok
+            {
+              vm = Array.copy vm;
+              va = Array.copy va;
+              residual;
+              iterations = it;
+              converged = true;
+            }
+        end
+        else iterate (it + 1)
+    end
+  in
+  iterate 1

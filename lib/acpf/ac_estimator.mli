@@ -1,0 +1,42 @@
+(** AC state estimation: weighted least squares by Gauss-Newton over the
+    polar AC measurement model (voltage magnitudes, real/reactive flows
+    and injections).
+
+    The reproduction's main pipeline follows the paper's DC model; this
+    module supplies the AC counterpart so the repository can demonstrate
+    the classic caveat the paper's future work gestures at: measurement
+    falsifications crafted to be stealthy under the linear DC model are
+    generally *detectable* by an AC estimator, because the injected values
+    no longer satisfy the nonlinear measurement equations
+    (see [test/test_acpf.ml]). *)
+
+type measurement =
+  | Vm of int  (** voltage magnitude at a bus *)
+  | Pflow of int  (** sending-end real flow of a line *)
+  | Qflow of int  (** sending-end reactive flow of a line *)
+  | Pinj of int  (** net real injection at a bus *)
+  | Qinj of int  (** net reactive injection at a bus *)
+
+type result = {
+  vm : float array;
+  va : float array;
+  residual : float;  (** weighted l2 norm of the measurement residual *)
+  iterations : int;
+  converged : bool;
+}
+
+val ideal_measurements :
+  Ac.network -> Ac.solution -> measurement list -> float array
+(** Values of the given measurements at an AC power-flow solution. *)
+
+val estimate :
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  ?sigma:float ->
+  Ac.network ->
+  measurements:measurement list ->
+  z:float array ->
+  (result, string) Result.t
+(** Gauss-Newton WLS from a flat start.  [sigma] (default 0.01) sets the
+    uniform weighting.  Fails when the gain matrix is singular
+    (unobservable) or the iteration diverges. *)

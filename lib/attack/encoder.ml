@@ -1,0 +1,213 @@
+module Q = Numeric.Rat
+module L = Smt.Linexp
+module F = Smt.Form
+module Solver = Smt.Solver
+module N = Grid.Network
+
+type mode = Topology_only | With_state_infection | Ufdi_only
+
+type vars = {
+  mode : mode;
+  p : int array;
+  q : int array;
+  k : int array;
+  a : int array;
+  hb : int array;
+  c : int array;
+  dtheta : int array;
+  dflow_total : int array;
+  dbus : int array;
+  est_load : int array;
+}
+
+let encode_cardinality_with_indicators = ref false
+
+(* f <-> (e = 0), i.e. f -> e = 0 and (e < 0 or e > 0) -> f is false... we
+   need the converse: not f -> e <> 0 is wrong; what the model needs is
+   f <-> (e <> 0):  f -> (e < 0 \/ e > 0)  and  not f -> e = 0 *)
+let iff_nonzero solver f e =
+  Solver.assert_form solver
+    (F.implies f (F.or_ [ F.lt e L.zero; F.gt e L.zero ]));
+  Solver.assert_form solver (F.implies (F.not_ f) (F.eq e L.zero))
+
+let encode ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
+    ~(base : Base_state.t) =
+  let grid = scenario.Grid.Spec.grid in
+  let l = N.n_lines grid in
+  let b = grid.N.n_buses in
+  let m = N.n_meas grid in
+  let fresh_bools n = Array.init n (fun _ -> Solver.fresh_bool solver) in
+  let fresh_reals n = Array.init n (fun _ -> Solver.fresh_real solver) in
+  let p = fresh_bools l and q = fresh_bools l and k = fresh_bools l in
+  let a = fresh_bools m and hb = fresh_bools b in
+  let with_states = mode <> Topology_only in
+  let c = if with_states then fresh_bools b else [||] in
+  let dtheta = if with_states then fresh_reals b else [||] in
+  (* topology-change flow deltas are always present *)
+  let dflow_topo = fresh_reals l in
+  let dflow_state = if with_states then fresh_reals l else [||] in
+  let dflow_total = if with_states then fresh_reals l else dflow_topo in
+  let dbus = fresh_reals b in
+  let est_load = fresh_reals b in
+  let bp i = F.bvar p.(i)
+  and bq i = F.bvar q.(i)
+  and bk i = F.bvar k.(i) in
+  (* per-line structural constraints *)
+  Array.iteri
+    (fun i (ln : N.line) ->
+      let u = ln.N.in_true_topology in
+      let excludable =
+        u && (not ln.N.fixed) && (not ln.N.status_secured) && ln.N.status_alterable
+      in
+      let includable =
+        (not u) && (not ln.N.status_secured) && ln.N.status_alterable
+      in
+      (* Eqs. 11/12 with the attacker-capability conjunct; with constant
+         line attributes they reduce to forcing impossible attacks false *)
+      if not excludable then Solver.assert_form solver (F.not_ (bp i));
+      if not includable then Solver.assert_form solver (F.not_ (bq i));
+      (* a line cannot be both excluded and included *)
+      Solver.assert_form solver (F.or_ [ F.not_ (bp i); F.not_ (bq i) ]);
+      (* Eq. 10 as a definition of k_i *)
+      if u then Solver.assert_form solver (F.iff (bk i) (F.not_ (bp i)))
+      else Solver.assert_form solver (F.iff (bk i) (bq i));
+      (* Eqs. 13/14/15: topology-change component of the flow delta *)
+      let dfl = L.var dflow_topo.(i) in
+      let base_flow = L.const base.Base_state.flows.(i) in
+      Solver.assert_form solver
+        (F.implies (bp i) (F.eq dfl (L.neg base_flow)));
+      Solver.assert_form solver (F.implies (bq i) (F.eq dfl base_flow));
+      Solver.assert_form solver
+        (F.implies
+           (F.and_ [ F.not_ (bp i); F.not_ (bq i) ])
+           (F.eq dfl L.zero)))
+    grid.N.lines;
+  (* state-infection constraints (Section III-D) *)
+  if with_states then begin
+    (* the slack/reference state cannot shift *)
+    Solver.bound_real solver ~lo:Q.zero ~hi:Q.zero
+      dtheta.(base.Base_state.topo.Grid.Topology.slack);
+    (* modest sanity range helps the simplex without constraining attacks:
+       load bounds below are the real limiter *)
+    Array.iter
+      (fun v -> Solver.bound_real solver ~lo:(Q.of_int (-10)) ~hi:(Q.of_int 10) v)
+      dtheta;
+    Array.iteri
+      (fun i (ln : N.line) ->
+        let dbar = L.var dflow_state.(i) in
+        let angle_delta =
+          L.scale ln.N.admittance
+            (L.sub (L.var dtheta.(ln.N.from_bus)) (L.var dtheta.(ln.N.to_bus)))
+        in
+        (* Eq. 24 / Eq. 25 *)
+        Solver.assert_form solver (F.implies (bk i) (F.eq dbar angle_delta));
+        Solver.assert_form solver
+          (F.implies (F.not_ (bk i)) (F.eq dbar L.zero));
+        (* Eq. 27 *)
+        Solver.assert_form solver
+          (F.eq (L.var dflow_total.(i)) (L.add (L.var dflow_topo.(i)) dbar)))
+      grid.N.lines;
+    (* Eq. 26 (as a definition, so c counts infected states exactly) *)
+    Array.iteri
+      (fun j cj ->
+        if j = base.Base_state.topo.Grid.Topology.slack then
+          Solver.assert_form solver (F.not_ (F.bvar cj))
+        else iff_nonzero solver (F.bvar cj) (L.var dtheta.(j)))
+      c
+  end;
+  (* Eqs. 16/28: bus-consumption deltas from line-flow deltas *)
+  for j = 0 to b - 1 do
+    let inflow =
+      L.sum (List.map (fun i -> L.var dflow_total.(i)) (N.lines_in grid j))
+    in
+    let outflow =
+      L.sum (List.map (fun i -> L.var dflow_total.(i)) (N.lines_out grid j))
+    in
+    Solver.assert_form solver
+      (F.eq (L.var dbus.(j)) (L.sub inflow outflow))
+  done;
+  (* Eqs. 17/18 (29 with states): a_i <-> taken and the quantity changed *)
+  for i = 0 to l - 1 do
+    let delta = L.var dflow_total.(i) in
+    let handle meas_idx =
+      if grid.N.meas.(meas_idx).N.taken then
+        iff_nonzero solver (F.bvar a.(meas_idx)) delta
+      else Solver.assert_form solver (F.not_ (F.bvar a.(meas_idx)))
+    in
+    handle (N.meas_fwd grid i);
+    handle (N.meas_bwd grid i);
+    (* Eq. 19: unknown admittance blocks computing the required injection *)
+    let ln = grid.N.lines.(i) in
+    let fwd_taken = grid.N.meas.(N.meas_fwd grid i).N.taken in
+    let bwd_taken = grid.N.meas.(N.meas_bwd grid i).N.taken in
+    if (not ln.N.known) && (fwd_taken || bwd_taken) then
+      Solver.assert_form solver (F.eq delta L.zero)
+  done;
+  for j = 0 to b - 1 do
+    let mi = N.meas_inj grid j in
+    if grid.N.meas.(mi).N.taken then
+      iff_nonzero solver (F.bvar a.(mi)) (L.var dbus.(j))
+    else Solver.assert_form solver (F.not_ (F.bvar a.(mi)))
+  done;
+  (* Eq. 20: accessibility and security of measurements *)
+  Array.iteri
+    (fun i (ms : N.meas) ->
+      if not (ms.N.accessible && not ms.N.secured) then
+        Solver.assert_form solver (F.not_ (F.bvar a.(i))))
+    grid.N.meas;
+  (* Eq. 21: altered measurements mark their bus as compromised *)
+  for i = 0 to m - 1 do
+    Solver.assert_form solver
+      (F.implies (F.bvar a.(i)) (F.bvar hb.(N.meas_bus grid i)))
+  done;
+  (* Eq. 22 + measurement budget *)
+  let card k fs =
+    if !encode_cardinality_with_indicators then
+      Solver.assert_at_most_indicator solver k fs
+    else Solver.assert_at_most solver k fs
+  in
+  if scenario.Grid.Spec.max_buses < b then
+    card scenario.Grid.Spec.max_buses
+      (Array.to_list (Array.map F.bvar hb));
+  if scenario.Grid.Spec.max_meas < m then
+    card scenario.Grid.Spec.max_meas (Array.to_list (Array.map F.bvar a));
+  (* load consistency: the operator's estimated load moves with the bus
+     consumption delta (Section III-E) and stays within plausible bounds
+     (Eq. 36); buses without a load must not appear to gain one *)
+  for j = 0 to b - 1 do
+    Solver.assert_form solver
+      (F.eq (L.var est_load.(j))
+         (L.add (L.const base.Base_state.load.(j)) (L.var dbus.(j))));
+    match N.load_at grid j with
+    | Some ld ->
+      Solver.bound_real solver ~lo:ld.N.lmin ~hi:ld.N.lmax est_load.(j)
+    | None -> Solver.bound_real solver ~lo:Q.zero ~hi:Q.zero est_load.(j)
+  done;
+  (* optional restriction to few simultaneous topology changes (the
+     paper's evaluation uses single-line attacks on the larger systems) *)
+  let topo_attack = Array.to_list (Array.map F.bvar p) @ Array.to_list (Array.map F.bvar q) in
+  (match max_topology_changes with
+  | Some n when n < 2 * l -> card n topo_attack
+  | _ -> ());
+  (match mode with
+  | Topology_only -> Solver.assert_form solver (F.or_ topo_attack)
+  | With_state_infection ->
+    Solver.assert_form solver
+      (F.or_ (topo_attack @ Array.to_list (Array.map F.bvar c)))
+  | Ufdi_only ->
+    Array.iter (fun v -> Solver.assert_form solver (F.not_ (F.bvar v))) p;
+    Array.iter (fun v -> Solver.assert_form solver (F.not_ (F.bvar v))) q;
+    Solver.assert_form solver (F.or_ (Array.to_list (Array.map F.bvar c))));
+  {
+    mode;
+    p;
+    q;
+    k;
+    a;
+    hb;
+    c;
+    dtheta;
+    dflow_total;
+    dbus;
+    est_load;
+  }

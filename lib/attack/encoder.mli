@@ -1,0 +1,45 @@
+(** SMT encoding of stealthy topology-poisoning attacks
+    (paper Section III-B/C/D, Eqs. 10-29, plus the load-consistency and
+    load-bound constraints feeding the OPF side, Eq. 36).
+
+    Modes:
+    - [Topology_only]: Section III-C — exclusion/inclusion attacks with
+      unchanged states;
+    - [With_state_infection]: Section III-D — topology attacks strengthened
+      by UFDI state shifts;
+    - [Ufdi_only]: states may shift but the topology must stay intact (the
+      comparison discussed at the end of Case Study 2). *)
+
+type mode = Topology_only | With_state_infection | Ufdi_only
+
+type vars = {
+  mode : mode;
+  p : int array;  (** bool var per line: exclusion attack *)
+  q : int array;  (** bool var per line: inclusion attack *)
+  k : int array;  (** bool var per line: mapped in poisoned topology *)
+  a : int array;  (** bool var per measurement: altered *)
+  hb : int array;  (** bool var per bus: some measurement there altered *)
+  c : int array;  (** bool var per bus: state infected (empty if topo-only) *)
+  dtheta : int array;  (** real var per bus (empty if topo-only) *)
+  dflow_total : int array;  (** real var per line: total flow change *)
+  dbus : int array;  (** real var per bus: total consumption change *)
+  est_load : int array;  (** real var per bus: the load the operator sees *)
+}
+
+val encode :
+  ?max_topology_changes:int ->
+  Smt.Solver.t ->
+  mode:mode ->
+  scenario:Grid.Spec.t ->
+  base:Base_state.t ->
+  vars
+(** Assert the whole attack model.  The "some attack happens" disjunction
+    is included, as are the resource limits (Eq. 22 and the measurement
+    budget) via the sequential-counter cardinality encoding.
+    [max_topology_changes] restricts how many lines may be excluded or
+    included simultaneously; the paper's evaluation sets this to 1 on the
+    57- and 118-bus systems (Section IV-A). *)
+
+val encode_cardinality_with_indicators : bool ref
+(** Ablation switch: encode Eq. 22 with LRA indicator sums instead of the
+    Boolean sequential counter (see DESIGN.md). *)

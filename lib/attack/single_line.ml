@@ -1,0 +1,139 @@
+module Q = Numeric.Rat
+module N = Grid.Network
+
+type reason =
+  | Line_fixed
+  | Status_protected
+  | Not_in_topology
+  | Already_in_topology
+  | Admittance_unknown
+  | Measurement_blocked of int
+  | Budget_measurements of int
+  | Budget_buses of int
+  | Load_bounds of int
+
+type outcome = Feasible of Vector.t | Blocked of reason list
+
+(* the measurements the attack must alter and the per-bus consumption
+   deltas, for a single change on [line] whose flow delta is [dflow] *)
+let required_changes (grid : N.t) ~line ~(dflow : Q.t) =
+  let ln = grid.N.lines.(line) in
+  let altered = ref [] in
+  let need idx = if grid.N.meas.(idx).N.taken then altered := idx :: !altered in
+  (* Eq. 16: consumption change is -dflow at the from bus, +dflow at the
+     to bus (an outgoing flow subtracts from consumption); measurements
+     need altering only when the underlying quantity actually changes
+     (Eqs. 17/18) *)
+  let dbus = Array.make grid.N.n_buses Q.zero in
+  dbus.(ln.N.from_bus) <- Q.neg dflow;
+  dbus.(ln.N.to_bus) <- dflow;
+  if not (Q.is_zero dflow) then begin
+    need (N.meas_fwd grid line);
+    need (N.meas_bwd grid line);
+    need (N.meas_inj grid ln.N.from_bus);
+    need (N.meas_inj grid ln.N.to_bus)
+  end;
+  (List.rev !altered, dbus)
+
+let analyze ~(scenario : Grid.Spec.t) ~(base : Base_state.t) ~kind line =
+  let grid = scenario.Grid.Spec.grid in
+  let ln = grid.N.lines.(line) in
+  let reasons = ref [] in
+  let fail r = reasons := r :: !reasons in
+  (* Eqs. 11/12 + attacker capability on the status feed *)
+  (match kind with
+  | `Exclude ->
+    if not ln.N.in_true_topology then fail Not_in_topology;
+    if ln.N.fixed then fail Line_fixed
+  | `Include -> if ln.N.in_true_topology then fail Already_in_topology);
+  if ln.N.status_secured || not ln.N.status_alterable then fail Status_protected;
+  (* the flow delta the topology change demands (Eqs. 13/14) *)
+  let dflow =
+    match kind with
+    | `Exclude -> Q.neg base.Base_state.flows.(line)
+    | `Include -> base.Base_state.flows.(line)
+  in
+  (* Eq. 19 *)
+  let fwd_taken = grid.N.meas.(N.meas_fwd grid line).N.taken in
+  let bwd_taken = grid.N.meas.(N.meas_bwd grid line).N.taken in
+  if (not ln.N.known) && (fwd_taken || bwd_taken) && not (Q.is_zero dflow) then
+    fail Admittance_unknown;
+  let altered, dbus = required_changes grid ~line ~dflow in
+  (* Eq. 20 per touched measurement *)
+  List.iter
+    (fun i ->
+      let m = grid.N.meas.(i) in
+      if not (m.N.accessible && not m.N.secured) then fail (Measurement_blocked i))
+    altered;
+  (* budgets (Eqs. 21/22) *)
+  let buses =
+    List.sort_uniq compare (List.map (fun i -> N.meas_bus grid i) altered)
+  in
+  if List.length altered > scenario.Grid.Spec.max_meas then
+    fail (Budget_measurements (List.length altered));
+  if List.length buses > scenario.Grid.Spec.max_buses then
+    fail (Budget_buses (List.length buses));
+  (* Eq. 36: apparent loads must stay plausible *)
+  let est_loads =
+    Array.init grid.N.n_buses (fun j ->
+        Q.add base.Base_state.load.(j) dbus.(j))
+  in
+  Array.iteri
+    (fun j load ->
+      match N.load_at grid j with
+      | Some ld ->
+        if Q.( < ) load ld.N.lmin || Q.( > ) load ld.N.lmax then
+          fail (Load_bounds j)
+      | None -> if not (Q.is_zero load) then fail (Load_bounds j))
+    est_loads;
+  match !reasons with
+  | [] ->
+    let mapped = Array.copy base.Base_state.topo.Grid.Topology.mapped in
+    (match kind with
+    | `Exclude -> mapped.(line) <- false
+    | `Include -> mapped.(line) <- true);
+    Feasible
+      {
+        Vector.excluded = (match kind with `Exclude -> [ line ] | `Include -> []);
+        included = (match kind with `Include -> [ line ] | `Exclude -> []);
+        altered;
+        buses;
+        infected = [];
+        mapped;
+        est_loads;
+      }
+  | rs -> Blocked (List.rev rs)
+
+let exclusion ~scenario ~base line = analyze ~scenario ~base ~kind:`Exclude line
+let inclusion ~scenario ~base line = analyze ~scenario ~base ~kind:`Include line
+
+let all_feasible ~scenario ~base =
+  let grid = scenario.Grid.Spec.grid in
+  List.concat_map
+    (fun line ->
+      let results =
+        [
+          (`Exclude, exclusion ~scenario ~base line);
+          (`Include, inclusion ~scenario ~base line);
+        ]
+      in
+      List.filter_map
+        (function
+          | kind, Feasible v -> Some (line, kind, v)
+          | _, Blocked _ -> None)
+        results)
+    (List.init (N.n_lines grid) Fun.id)
+
+let pp_reason fmt = function
+  | Line_fixed -> Format.pp_print_string fmt "line is fixed in the core topology"
+  | Status_protected -> Format.pp_print_string fmt "status feed is protected"
+  | Not_in_topology -> Format.pp_print_string fmt "line is not in service"
+  | Already_in_topology -> Format.pp_print_string fmt "line is already in service"
+  | Admittance_unknown -> Format.pp_print_string fmt "admittance unknown to the attacker"
+  | Measurement_blocked i ->
+    Format.fprintf fmt "required measurement %d cannot be altered" (i + 1)
+  | Budget_measurements n ->
+    Format.fprintf fmt "needs %d measurement alterations (over budget)" n
+  | Budget_buses n -> Format.fprintf fmt "spans %d buses (over budget)" n
+  | Load_bounds j ->
+    Format.fprintf fmt "apparent load at bus %d leaves its plausible range" (j + 1)

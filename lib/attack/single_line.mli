@@ -1,0 +1,34 @@
+(** Closed-form analysis of single-line topology attacks.
+
+    For a single exclusion or inclusion the whole attack vector is
+    determined by the base state (paper Eqs. 13-16): the line's flow
+    measurements must be zeroed/forged and the two end buses' injection
+    measurements adjusted by the base flow.  Feasibility then reduces to
+    checking the line's status attributes (Eqs. 11/12), the alterability
+    of the touched measurements (Eqs. 17-20), the resource budgets
+    (Eqs. 21/22) and the load plausibility bounds (Eq. 36) — no SMT solver
+    needed.  This is the deterministic fast path behind the paper's
+    single-line evaluation of the 57/118-bus systems, and the oracle the
+    test suite cross-checks the SMT encoder against. *)
+
+type reason =
+  | Line_fixed  (** in the never-opened core (Eq. 11) *)
+  | Status_protected  (** secured or not alterable *)
+  | Not_in_topology  (** cannot exclude an open line *)
+  | Already_in_topology  (** cannot include a closed line *)
+  | Admittance_unknown  (** Eq. 19 *)
+  | Measurement_blocked of int  (** a required alteration is impossible (Eq. 20) *)
+  | Budget_measurements of int  (** required alterations exceed the budget *)
+  | Budget_buses of int
+  | Load_bounds of int  (** a bus's apparent load leaves [lmin, lmax] *)
+
+type outcome = Feasible of Vector.t | Blocked of reason list
+
+val exclusion : scenario:Grid.Spec.t -> base:Base_state.t -> int -> outcome
+val inclusion : scenario:Grid.Spec.t -> base:Base_state.t -> int -> outcome
+
+val all_feasible :
+  scenario:Grid.Spec.t -> base:Base_state.t -> (int * [ `Exclude | `Include ] * Vector.t) list
+(** Every feasible single-line attack vector. *)
+
+val pp_reason : Format.formatter -> reason -> unit

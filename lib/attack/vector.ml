@@ -1,0 +1,99 @@
+module Q = Numeric.Rat
+module L = Smt.Linexp
+module F = Smt.Form
+module Solver = Smt.Solver
+
+type t = {
+  excluded : int list;
+  included : int list;
+  altered : int list;
+  buses : int list;
+  infected : (int * Q.t) list;
+  mapped : bool array;
+  est_loads : Q.t array;
+}
+
+let of_model solver (v : Encoder.vars) (scenario : Grid.Spec.t) =
+  let grid = scenario.Grid.Spec.grid in
+  let l = Grid.Network.n_lines grid in
+  let b = grid.Grid.Network.n_buses in
+  let bools arr = Array.map (Solver.model_bool solver) arr in
+  let pv = bools v.Encoder.p and qv = bools v.Encoder.q and kv = bools v.Encoder.k in
+  let av = bools v.Encoder.a and hv = bools v.Encoder.hb in
+  let filter_idx arr = List.filter (fun i -> arr.(i)) (List.init (Array.length arr) Fun.id) in
+  let infected =
+    if v.Encoder.mode = Encoder.Topology_only then []
+    else
+      List.filter_map
+        (fun j ->
+          if Solver.model_bool solver v.Encoder.c.(j) then
+            Some (j, Solver.model_real solver v.Encoder.dtheta.(j))
+          else None)
+        (List.init b Fun.id)
+  in
+  {
+    excluded = filter_idx pv;
+    included = filter_idx qv;
+    altered = filter_idx av;
+    buses = filter_idx hv;
+    infected;
+    mapped = Array.init l (fun i -> kv.(i));
+    est_loads =
+      Array.init b (fun j -> Solver.model_real solver v.Encoder.est_load.(j));
+  }
+
+let blocking_clause ~precision (vars : Encoder.vars) t =
+  (* the blocked region: same exclusion/inclusion pattern, same infection
+     pattern, and each infected delta within half a discretisation step of
+     the model value.  The clause is the negation of that conjunction. *)
+  let step = Q.inv (Q.of_int (int_of_float (10. ** float_of_int precision))) in
+  let half = Q.div step (Q.of_int 2) in
+  let differs = ref [] in
+  Array.iteri
+    (fun i pv ->
+      let lit = F.bvar pv in
+      differs := (if List.mem i t.excluded then F.not_ lit else lit) :: !differs)
+    vars.Encoder.p;
+  Array.iteri
+    (fun i qv ->
+      let lit = F.bvar qv in
+      differs := (if List.mem i t.included then F.not_ lit else lit) :: !differs)
+    vars.Encoder.q;
+  if vars.Encoder.mode <> Encoder.Topology_only then begin
+    Array.iteri
+      (fun j cv ->
+        let lit = F.bvar cv in
+        let is_infected = List.mem_assoc j t.infected in
+        differs := (if is_infected then F.not_ lit else lit) :: !differs)
+      vars.Encoder.c;
+    List.iter
+      (fun (j, value) ->
+        let rounded = Q.round_to_digits precision value in
+        let dv = L.var vars.Encoder.dtheta.(j) in
+        differs :=
+          F.lt dv (L.const (Q.sub rounded half))
+          :: F.gt dv (L.const (Q.add rounded half))
+          :: !differs)
+      t.infected
+  end;
+  F.or_ !differs
+
+let pp fmt t =
+  let pl fmt l =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      (fun fmt i -> Format.fprintf fmt "%d" (i + 1))
+      fmt l
+  in
+  Format.fprintf fmt "excluded lines: [%a]; included lines: [%a]@." pl
+    t.excluded pl t.included;
+  Format.fprintf fmt "altered measurements: [%a] in buses [%a]@." pl t.altered
+    pl t.buses;
+  if t.infected <> [] then
+    Format.fprintf fmt "infected states: %a@."
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (fun fmt (j, d) ->
+           Format.fprintf fmt "bus %d (dtheta=%s)" (j + 1)
+             (Q.to_decimal_string ~digits:4 d)))
+      t.infected

@@ -1,0 +1,24 @@
+(** Decoded attack vectors: what the adversary must actually do, read off a
+    satisfying model of the encoder's constraints. *)
+
+type t = {
+  excluded : int list;  (** line indices excluded from the topology *)
+  included : int list;  (** line indices included into the topology *)
+  altered : int list;  (** measurement indices requiring false data *)
+  buses : int list;  (** substations the attacker must compromise *)
+  infected : (int * Numeric.Rat.t) list;  (** (bus, delta-theta) per infected state *)
+  mapped : bool array;  (** the poisoned topology the operator will see *)
+  est_loads : Numeric.Rat.t array;  (** per-bus loads the operator will see *)
+}
+
+val of_model : Smt.Solver.t -> Encoder.vars -> Grid.Spec.t -> t
+(** Read the current model.  Must be called right after a [`Sat] check. *)
+
+val blocking_clause :
+  precision:int -> Encoder.vars -> t -> Smt.Form.t
+(** A formula excluding this attack vector and (per the paper's
+    scalability idea 1) every vector whose infected-state deltas fall
+    within the same [10^-precision] discretisation cell under the same
+    topology/infection pattern. *)
+
+val pp : Format.formatter -> t -> unit

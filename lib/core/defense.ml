@@ -1,0 +1,116 @@
+module N = Grid.Network
+
+type asset = Secure_line_status of int | Secure_measurement of int
+
+type plan = { assets : asset list; rounds : int; residual_attack : bool }
+
+let apply grid = function
+  | Secure_line_status i ->
+    let lines =
+      Array.mapi
+        (fun j ln -> if j = i then { ln with N.status_secured = true } else ln)
+        grid.N.lines
+    in
+    { grid with N.lines }
+  | Secure_measurement i ->
+    let meas =
+      Array.mapi
+        (fun j m -> if j = i then { m with N.secured = true } else m)
+        grid.N.meas
+    in
+    { grid with N.meas }
+
+let apply_all grid assets = List.fold_left apply grid assets
+
+let with_protections (scenario : Grid.Spec.t) assets =
+  { scenario with Grid.Spec.grid = apply_all scenario.Grid.Spec.grid assets }
+
+(* the asset to protect against a given attack vector: a used line status
+   if the vector poisons the topology, otherwise its first altered
+   measurement *)
+let pick_asset (v : Attack.Vector.t) =
+  match v.Attack.Vector.excluded @ v.Attack.Vector.included with
+  | line :: _ -> Some (Secure_line_status line)
+  | [] -> (
+    match v.Attack.Vector.altered with
+    | m :: _ -> Some (Secure_measurement m)
+    | [] -> None)
+
+let synthesize_greedy ?(config = Impact.default_config) ?(max_rounds = 32)
+    ~(scenario : Grid.Spec.t) ~base () =
+  let rec loop scenario assets rounds =
+    if rounds >= max_rounds then
+      Ok { assets = List.rev assets; rounds; residual_attack = true }
+    else
+      match Impact.analyze ~config ~scenario ~base () with
+      | Impact.No_attack _ ->
+        Ok { assets = List.rev assets; rounds = rounds + 1; residual_attack = false }
+      | Impact.Base_infeasible e -> Error e
+      | Impact.Attack_found s -> (
+        match pick_asset s.Impact.vector with
+        | None -> Error "attack vector uses no protectable asset"
+        | Some asset ->
+          loop (with_protections scenario [ asset ]) (asset :: assets)
+            (rounds + 1))
+  in
+  loop scenario [] 0
+
+let verify ?(config = Impact.default_config) ~(scenario : Grid.Spec.t) ~base
+    (plan : plan) =
+  let scenario = with_protections scenario plan.assets in
+  match Impact.analyze ~config ~scenario ~base () with
+  | Impact.No_attack _ -> true
+  | Impact.Attack_found _ | Impact.Base_infeasible _ -> false
+
+(* all size-k subsets of a list, in lexicographic order *)
+let rec subsets k = function
+  | _ when k = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+    List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+
+let synthesize_minimal ?(config = Impact.default_config) ?(max_size = 3)
+    ~(scenario : Grid.Spec.t) ~base () =
+  (* asset universe: everything the greedy pass ever needed to protect *)
+  match synthesize_greedy ~config ~max_rounds:64 ~scenario ~base () with
+  | Error e -> Error e
+  | Ok greedy ->
+    if greedy.residual_attack then Ok None
+    else if greedy.assets = [] then
+      Ok (Some { assets = []; rounds = greedy.rounds; residual_attack = false })
+    else begin
+      let universe = greedy.assets in
+      let rounds = ref greedy.rounds in
+      let found = ref None in
+      (try
+         for k = 1 to min max_size (List.length universe) do
+           List.iter
+             (fun assets ->
+               incr rounds;
+               let candidate =
+                 { assets; rounds = !rounds; residual_attack = false }
+               in
+               if verify ~config ~scenario ~base candidate then begin
+                 found := Some candidate;
+                 raise Exit
+               end)
+             (subsets k universe)
+         done
+       with Exit -> ());
+      Ok !found
+    end
+
+let pp_asset fmt = function
+  | Secure_line_status i ->
+    Format.fprintf fmt "secure status of line %d" (i + 1)
+  | Secure_measurement i -> Format.fprintf fmt "secure measurement %d" (i + 1)
+
+let pp_plan fmt plan =
+  if plan.assets = [] then Format.fprintf fmt "no protection needed"
+  else
+    Format.fprintf fmt "%a (%d analysis rounds%s)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         pp_asset)
+      plan.assets plan.rounds
+      (if plan.residual_attack then "; residual attack remains" else "")

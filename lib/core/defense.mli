@@ -1,0 +1,56 @@
+(** Countermeasure synthesis: choose which assets to integrity-protect so
+    that no stealthy attack can achieve the target impact.
+
+    This is the defensive application the paper's conclusion motivates
+    ("assist in developing suitable defense strategies") and its companion
+    work (Rahman et al., DSN 2014) develops: the impact-analysis framework
+    is run in a loop, and each discovered attack vector guides the
+    selection of a protection — securing a line's breaker-status feed
+    ([w_i] := true) or a measurement's integrity ([s_i] := true). *)
+
+type asset =
+  | Secure_line_status of int  (** line index: protect its breaker feed *)
+  | Secure_measurement of int  (** measurement index: protect its data *)
+
+type plan = {
+  assets : asset list;  (** protections, in the order they were chosen *)
+  rounds : int;  (** attack-analysis rounds performed *)
+  residual_attack : bool;  (** true when synthesis hit its round budget *)
+}
+
+val apply : Grid.Network.t -> asset -> Grid.Network.t
+(** The grid with one more protected asset. *)
+
+val apply_all : Grid.Network.t -> asset list -> Grid.Network.t
+
+val synthesize_greedy :
+  ?config:Impact.config ->
+  ?max_rounds:int ->
+  scenario:Grid.Spec.t ->
+  base:Attack.Base_state.t ->
+  unit ->
+  (plan, string) Result.t
+(** Repeatedly find an attack and protect one asset it relies on (a line
+    status when the vector uses a topology change, else its first altered
+    measurement), until no stealthy attack achieves the scenario's target
+    increase.  Greedy, hence not minimal in general. *)
+
+val synthesize_minimal :
+  ?config:Impact.config ->
+  ?max_size:int ->
+  scenario:Grid.Spec.t ->
+  base:Attack.Base_state.t ->
+  unit ->
+  (plan option, string) Result.t
+(** Smallest protection set (up to [max_size], default 3) drawn from the
+    assets that appear in any greedy-round attack vector, found by
+    iterative deepening.  [None] when no set within the size bound works.
+    Exponential in [max_size]; intended for small systems. *)
+
+val verify : ?config:Impact.config ->
+  scenario:Grid.Spec.t -> base:Attack.Base_state.t -> plan -> bool
+(** Re-run the analysis under the plan's protections: true when no attack
+    achieves the target. *)
+
+val pp_asset : Format.formatter -> asset -> unit
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,192 @@
+module Q = Numeric.Rat
+module L = Smt.Linexp
+module F = Smt.Form
+module Solver = Smt.Solver
+module N = Grid.Network
+
+type opf_backend = Lp_exact | Smt_bounded | Fast_factors
+
+type config = {
+  mode : Attack.Encoder.mode;
+  precision : int;
+  max_candidates : int;
+  backend : opf_backend;
+  max_topology_changes : int option;
+  use_closed_form : bool;
+      (* enumerate single-line vectors with Attack.Single_line instead of
+         the SMT model; only applies to Topology_only with
+         max_topology_changes = Some 1 *)
+}
+
+let default_config =
+  {
+    mode = Attack.Encoder.Topology_only;
+    precision = 2;
+    max_candidates = 200;
+    backend = Lp_exact;
+    max_topology_changes = None;
+    use_closed_form = false;
+  }
+
+type success = {
+  vector : Attack.Vector.t;
+  base_cost : Q.t;
+  threshold : Q.t;
+  poisoned_cost : Q.t option;
+  candidates : int;
+}
+
+type outcome =
+  | Attack_found of success
+  | No_attack of { candidates : int }
+  | Base_infeasible of string
+
+(* the operator runs OPF on the poisoned topology and the shifted loads;
+   the attack achieves the impact iff no dispatch beats the threshold
+   (Eq. 37) while the OPF still converges (Eq. 38) *)
+let verify_impact backend grid (vec : Attack.Vector.t) ~threshold =
+  let topo = Grid.Topology.make ~mapped:vec.Attack.Vector.mapped grid in
+  let loads = vec.Attack.Vector.est_loads in
+  match backend with
+  | Lp_exact -> (
+    match Opf.Dc_opf.solve ~loads topo with
+    | Opf.Dc_opf.Dispatch d ->
+      if Q.( >= ) d.Opf.Dc_opf.cost threshold then `Success (Some d.Opf.Dc_opf.cost)
+      else `Cheaper_dispatch_exists
+    | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> `No_convergence)
+  | Fast_factors -> (
+    match Opf.Opf_auto.solve_factors ~loads topo with
+    | Opf.Dc_opf.Dispatch d ->
+      if Q.( >= ) d.Opf.Dc_opf.cost threshold then `Success (Some d.Opf.Dc_opf.cost)
+      else `Cheaper_dispatch_exists
+    | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> `No_convergence)
+  | Smt_bounded -> (
+    (* Eq. 37: unsat below the threshold; Eq. 38: sat with a loose budget *)
+    match Opf.Smt_opf.feasible ~loads topo ~budget:threshold with
+    | `Sat -> `Cheaper_dispatch_exists
+    | `Unsat -> (
+      let loose = Q.mul threshold (Q.of_int 1000) in
+      match Opf.Smt_opf.feasible ~loads topo ~budget:loose with
+      | `Sat -> `Success None
+      | `Unsat -> `No_convergence))
+
+(* the attack-free OPF through the configured backend: the exact angle
+   formulation for the LP/SMT backends, shift factors for Fast_factors *)
+let base_opf backend grid =
+  match backend with
+  | Fast_factors -> Opf.Opf_auto.solve_factors (Grid.Topology.make grid)
+  | Lp_exact | Smt_bounded -> Opf.Dc_opf.base_case grid
+
+(* closed-form enumeration of single-line attacks (the paper's LODF-era
+   fast path): no SMT involved *)
+let analyze_closed_form config ~(scenario : Grid.Spec.t) ~base ~base_cost
+    ~threshold =
+  let grid = scenario.Grid.Spec.grid in
+  ignore base_cost;
+  let candidates = Attack.Single_line.all_feasible ~scenario ~base in
+  let rec loop tried = function
+    | [] -> No_attack { candidates = tried }
+    | (_, _, vec) :: rest -> (
+      match verify_impact config.backend grid vec ~threshold with
+      | `Success poisoned_cost ->
+        Attack_found
+          {
+            vector = vec;
+            base_cost;
+            threshold;
+            poisoned_cost;
+            candidates = tried + 1;
+          }
+      | `Cheaper_dispatch_exists | `No_convergence -> loop (tried + 1) rest)
+  in
+  loop 0 candidates
+
+let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
+    ~(base : Attack.Base_state.t) () =
+  let grid = scenario.Grid.Spec.grid in
+  match base_opf config.backend grid with
+  | Opf.Dc_opf.Infeasible -> Base_infeasible "attack-free OPF infeasible"
+  | Opf.Dc_opf.Unbounded -> Base_infeasible "attack-free OPF unbounded"
+  | Opf.Dc_opf.Dispatch base_dispatch ->
+    let base_cost = base_dispatch.Opf.Dc_opf.cost in
+    let threshold =
+      Q.mul base_cost
+        (Q.add Q.one (Q.div scenario.Grid.Spec.min_increase_pct (Q.of_int 100)))
+    in
+    if
+      config.use_closed_form
+      && config.mode = Attack.Encoder.Topology_only
+      && config.max_topology_changes = Some 1
+    then analyze_closed_form config ~scenario ~base ~base_cost ~threshold
+    else begin
+    let solver = Solver.create () in
+    let vars =
+      Attack.Encoder.encode ?max_topology_changes:config.max_topology_changes
+        solver ~mode:config.mode ~scenario ~base
+    in
+    let rec loop candidates =
+      if candidates >= config.max_candidates then No_attack { candidates }
+      else
+        match Solver.check solver with
+        | `Unsat -> No_attack { candidates }
+        | `Sat -> (
+          let vec = Attack.Vector.of_model solver vars scenario in
+          match verify_impact config.backend grid vec ~threshold with
+          | `Success poisoned_cost ->
+            Attack_found
+              {
+                vector = vec;
+                base_cost;
+                threshold;
+                poisoned_cost;
+                candidates = candidates + 1;
+              }
+          | `Cheaper_dispatch_exists | `No_convergence ->
+            Solver.assert_form solver
+              (Attack.Vector.blocking_clause ~precision:config.precision vars vec);
+            loop (candidates + 1))
+    in
+    loop 0
+    end
+
+let max_achievable_increase ?(config = default_config)
+    ~(scenario : Grid.Spec.t) ~(base : Attack.Base_state.t) () =
+  let grid = scenario.Grid.Spec.grid in
+  match base_opf config.backend grid with
+  | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> None
+  | Opf.Dc_opf.Dispatch base_dispatch ->
+    let base_cost = base_dispatch.Opf.Dc_opf.cost in
+    let solver = Solver.create () in
+    let vars =
+      Attack.Encoder.encode ?max_topology_changes:config.max_topology_changes
+        solver ~mode:config.mode ~scenario ~base
+    in
+    let best = ref None in
+    let continue = ref true in
+    let candidates = ref 0 in
+    while !continue && !candidates < config.max_candidates do
+      incr candidates;
+      match Solver.check solver with
+      | `Unsat -> continue := false
+      | `Sat -> (
+        let vec = Attack.Vector.of_model solver vars scenario in
+        let topo = Grid.Topology.make ~mapped:vec.Attack.Vector.mapped grid in
+        let solve =
+          match config.backend with
+          | Fast_factors -> Opf.Opf_auto.solve_factors
+          | Lp_exact | Smt_bounded -> Opf.Dc_opf.solve
+        in
+        (match solve ~loads:vec.Attack.Vector.est_loads topo with
+        | Opf.Dc_opf.Dispatch d ->
+          let cost = d.Opf.Dc_opf.cost in
+          (match !best with
+          | Some b when Q.( >= ) b cost -> ()
+          | _ -> best := Some cost)
+        | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> ());
+        Solver.assert_form solver
+          (Attack.Vector.blocking_clause ~precision:config.precision vars vec))
+    done;
+    Option.map
+      (fun c ->
+        Q.mul (Q.of_int 100) (Q.div (Q.sub c base_cost) base_cost))
+      !best

@@ -1,0 +1,64 @@
+(** The impact-analysis framework of paper Fig. 2 / Section III-A.
+
+    Pipeline: compute the attack-free OPF optimum [T*]; set the threshold
+    [T_OPF = T* (1 + I/100)]; repeatedly ask the attack model for a stealthy
+    candidate vector; apply it (poisoned topology + shifted loads); verify
+    the impact on the operator's OPF — the attack succeeds when no dispatch
+    cheaper than the threshold exists (Eq. 37) while the OPF still
+    converges for unconstrained budgets (Eq. 38).  Rejected candidates are
+    blocked at a 2-decimal-digit discretisation (Section IV-A idea 1) and
+    the search continues. *)
+
+type opf_backend =
+  | Lp_exact  (** exact LP optimum of the poisoned system (reference) *)
+  | Smt_bounded  (** the paper's bounded-cost SMT feasibility query *)
+  | Fast_factors  (** shift-factor OPF (Section IV-A idea 2) *)
+
+type config = {
+  mode : Attack.Encoder.mode;
+  precision : int;  (** blocking-clause discretisation digits *)
+  max_candidates : int;
+  backend : opf_backend;
+  max_topology_changes : int option;
+      (** cap on simultaneous line exclusions/inclusions; the paper uses 1
+          for the 57/118-bus evaluation (Section IV-A) *)
+  use_closed_form : bool;
+      (** enumerate single-line candidates with {!Attack.Single_line}
+          instead of the SMT model (requires [Topology_only] and
+          [max_topology_changes = Some 1]); the deterministic counterpart
+          of the paper's LODF shortcut *)
+}
+
+val default_config : config
+
+type success = {
+  vector : Attack.Vector.t;
+  base_cost : Numeric.Rat.t;  (** attack-free OPF optimum [T*] *)
+  threshold : Numeric.Rat.t;  (** [T_OPF] *)
+  poisoned_cost : Numeric.Rat.t option;
+      (** exact poisoned optimum (present with the LP backends) *)
+  candidates : int;  (** attack vectors examined *)
+}
+
+type outcome =
+  | Attack_found of success
+  | No_attack of { candidates : int }
+  | Base_infeasible of string
+
+val analyze :
+  ?config:config ->
+  scenario:Grid.Spec.t ->
+  base:Attack.Base_state.t ->
+  unit ->
+  outcome
+
+val max_achievable_increase :
+  ?config:config ->
+  scenario:Grid.Spec.t ->
+  base:Attack.Base_state.t ->
+  unit ->
+  Numeric.Rat.t option
+(** Largest percentage increase any stealthy attack can force (the "cannot
+    increase the cost more than 8%" bound of Case Study 2): max over
+    candidate vectors of the poisoned optimum, expressed as percent above
+    [T*].  [None] when no stealthy attack converges. *)

@@ -1,0 +1,63 @@
+module V = Linalg.Vec
+
+type verdict = {
+  suspects : int list;
+  final_residual : float;
+  iterations : int;
+}
+
+let normalized_of est ~z =
+  let r = Estimator.estimate est ~z in
+  let raw = V.sub z r.Estimator.estimated_z in
+  let omega = Estimator.gain_inverse_diag_of_residual_covariance est in
+  Array.mapi
+    (fun i ri ->
+      let o = omega.(i) in
+      (* a non-positive diagonal means the measurement is critical (its
+         residual is structurally zero); it can never be identified *)
+      if o <= 1e-12 then 0.0 else Float.abs ri /. sqrt o)
+    raw
+
+let uniform_weights topo ~sigma =
+  let n = List.length (Grid.Topology.taken_rows topo) in
+  Array.make n (1.0 /. (sigma *. sigma))
+
+let normalized_residuals ?(sigma = 0.01) topo ~z =
+  let est = Estimator.make ~weights:(uniform_weights topo ~sigma) topo in
+  normalized_of est ~z
+
+let drop_measurement grid idx =
+  let meas =
+    Array.mapi
+      (fun j (m : Grid.Network.meas) ->
+        if j = idx then { m with Grid.Network.taken = false } else m)
+      grid.Grid.Network.meas
+  in
+  { grid with Grid.Network.meas }
+
+let identify ?(max_removals = 5) ?(threshold = 3.0) ?(sigma = 0.01) topo ~z =
+  let grid0 = topo.Grid.Topology.grid in
+  let rec loop grid z suspects iterations =
+    let topo =
+      Grid.Topology.make ~slack:topo.Grid.Topology.slack
+        ~mapped:topo.Grid.Topology.mapped grid
+    in
+    let est = Estimator.make ~weights:(uniform_weights topo ~sigma) topo in
+    let norm = normalized_of est ~z in
+    let worst = V.max_abs_index norm in
+    let res = (Estimator.estimate est ~z).Estimator.residual in
+    if norm.(worst) <= threshold || iterations >= max_removals then
+      { suspects = List.rev suspects; final_residual = res; iterations }
+    else begin
+      (* remove the worst measurement and its value, re-estimate *)
+      let rows = Estimator.taken est in
+      let global_idx = List.nth rows worst in
+      let z' =
+        Array.of_list
+          (List.filteri (fun i _ -> i <> worst) (Array.to_list z))
+      in
+      loop (drop_measurement grid global_idx) z' (global_idx :: suspects)
+        (iterations + 1)
+    end
+  in
+  loop grid0 z [] 0

@@ -1,0 +1,37 @@
+(** Bad-data identification by the largest-normalized-residual (LNR) test
+    (Abur & Exposito ch. 5; the paper's Section II-B detection machinery,
+    taken one step further from detection to identification).
+
+    Detection asks whether the residual exceeds a threshold; identification
+    asks *which* measurement is wrong: the one with the largest residual
+    normalised by the residual-covariance diagonal, removed iteratively
+    until the remaining set is consistent.
+
+    A single gross error is identified reliably; a coordinated UFDI attack
+    (a = Hc) leaves all residuals unchanged, so identification finds
+    nothing — the property that makes the paper's stealthy attacks work. *)
+
+type verdict = {
+  suspects : int list;
+      (** measurement indices identified as bad, in removal order *)
+  final_residual : float;  (** weighted residual after removals *)
+  iterations : int;
+}
+
+val identify :
+  ?max_removals:int ->
+  ?threshold:float ->
+  ?sigma:float ->
+  Grid.Topology.t ->
+  z:float array ->
+  verdict
+(** [identify topo ~z] runs the LNR loop over the taken measurements.
+    [threshold] bounds the *normalized* residual (default 3.0, the usual
+    3-sigma rule); [sigma] is the assumed per-unit meter standard
+    deviation (default 0.01, i.e. 1 MW on a 100 MVA base);
+    [max_removals] defaults to 5.
+    @raise Failure if the system becomes unobservable during removal. *)
+
+val normalized_residuals :
+  ?sigma:float -> Grid.Topology.t -> z:float array -> float array
+(** One-shot normalized residuals over the taken measurements. *)

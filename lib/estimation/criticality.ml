@@ -1,0 +1,70 @@
+module N = Grid.Network
+
+let without_measurement grid idx =
+  let meas =
+    Array.mapi
+      (fun j (m : N.meas) -> if j = idx then { m with N.taken = false } else m)
+      grid.N.meas
+  in
+  { grid with N.meas }
+
+let critical_measurements (topo : Grid.Topology.t) =
+  let grid = topo.Grid.Topology.grid in
+  Grid.Topology.taken_rows topo
+  |> List.filter (fun i ->
+         let reduced =
+           Grid.Topology.make ~slack:topo.Grid.Topology.slack
+             ~mapped:topo.Grid.Topology.mapped (without_measurement grid i)
+         in
+         not (Estimator.is_observable reduced))
+
+let redundancy (topo : Grid.Topology.t) =
+  let b = topo.Grid.Topology.grid.N.n_buses in
+  float_of_int (List.length (Grid.Topology.taken_rows topo))
+  /. float_of_int (b - 1)
+
+let bus_exposure (grid : N.t) =
+  let exposure = Array.make grid.N.n_buses 0 in
+  Array.iteri
+    (fun i (m : N.meas) ->
+      if m.N.taken && m.N.accessible && not m.N.secured then begin
+        let j = N.meas_bus grid i in
+        exposure.(j) <- exposure.(j) + 1
+      end)
+    grid.N.meas;
+  exposure
+
+type line_status = Excludable | Includable | Protected
+
+let attack_surface (grid : N.t) =
+  Array.map
+    (fun (ln : N.line) ->
+      if ln.N.status_secured || not ln.N.status_alterable then Protected
+      else if ln.N.in_true_topology then
+        if ln.N.fixed then Protected else Excludable
+      else Includable)
+    grid.N.lines
+
+let summary fmt (spec : Grid.Spec.t) =
+  let grid = spec.Grid.Spec.grid in
+  let topo = Grid.Topology.make grid in
+  Format.fprintf fmt "security summary: %d buses, %d lines, %d measurements@."
+    grid.N.n_buses (N.n_lines grid) (N.n_meas grid);
+  Format.fprintf fmt "measurement redundancy: %.2f@." (redundancy topo);
+  (match critical_measurements topo with
+  | [] -> Format.fprintf fmt "no critical measurements@."
+  | cs ->
+    Format.fprintf fmt "critical measurements (protect first): %s@."
+      (String.concat ", " (List.map (fun i -> string_of_int (i + 1)) cs)));
+  let surface = attack_surface grid in
+  let count s = Array.fold_left (fun n x -> if x = s then n + 1 else n) 0 surface in
+  Format.fprintf fmt
+    "topology attack surface: %d excludable, %d includable, %d protected@."
+    (count Excludable) (count Includable) (count Protected);
+  let exposure = bus_exposure grid in
+  Array.iteri
+    (fun j e ->
+      if e > 0 then Format.fprintf fmt "bus %d exposes %d measurement(s)@." (j + 1) e)
+    exposure;
+  Format.fprintf fmt "attacker budget: %d measurements across %d buses@."
+    spec.Grid.Spec.max_meas spec.Grid.Spec.max_buses

@@ -1,0 +1,31 @@
+(** Security metrics over the measurement and topology configuration, in
+    the spirit of Vukovic et al. (the paper's reference [13]): which
+    assets matter most when hardening the grid against stealthy attacks.
+
+    - a *critical measurement* is one whose loss makes the system
+      unobservable: its residual is structurally zero, so bad data on it
+      is undetectable — the classic reason to protect it first;
+    - *redundancy* measures how far the taken set exceeds the minimum;
+    - the *attack surface* summarises which lines the topology-poisoning
+      attacker of Section III can actually use. *)
+
+val critical_measurements : Grid.Topology.t -> int list
+(** Taken measurements whose individual removal breaks observability. *)
+
+val redundancy : Grid.Topology.t -> float
+(** Ratio of taken measurements to the [b - 1] states; below 1.0 the
+    system is unobservable outright. *)
+
+val bus_exposure : Grid.Network.t -> int array
+(** Per bus: how many accessible, unsecured, taken measurements reside
+    there (Eq. 21's residence rule) — the attacker's entry points. *)
+
+type line_status =
+  | Excludable  (** in service and its status can be falsified *)
+  | Includable  (** out of service and its status can be falsified *)
+  | Protected  (** fixed in the core or integrity-protected *)
+
+val attack_surface : Grid.Network.t -> line_status array
+
+val summary : Format.formatter -> Grid.Spec.t -> unit
+(** Human-readable security report for a scenario. *)

@@ -1,0 +1,127 @@
+module M = Linalg.Mat
+module V = Linalg.Vec
+module Lu = Linalg.Lu
+module Q = Numeric.Rat
+
+type t = {
+  topo : Grid.Topology.t;
+  rows : int list; (* taken measurement indices *)
+  h : M.t; (* reduced H over taken rows *)
+  w : float array; (* per taken measurement *)
+  gain : Lu.t; (* factorisation of H^T W H *)
+}
+
+type result = {
+  angles : float array;
+  estimated_z : float array;
+  residual : float;
+  loads : float array;
+}
+
+let gain_matrix h w =
+  let n = M.cols h in
+  let g = M.create n n in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for i = 0 to M.rows h - 1 do
+        acc := !acc +. (M.get h i a *. w.(i) *. M.get h i b)
+      done;
+      M.set g a b !acc
+    done
+  done;
+  g
+
+let make ?weights topo =
+  let rows = Grid.Topology.taken_rows topo in
+  let h = Grid.Topology.h_reduced topo ~rows in
+  let w =
+    match weights with
+    | Some w ->
+      if Array.length w <> List.length rows then
+        invalid_arg "Estimator.make: weights length mismatch";
+      w
+    | None -> Array.make (List.length rows) 1.0
+  in
+  let gain =
+    try Lu.decompose (gain_matrix h w)
+    with Lu.Singular -> failwith "Estimator.make: system unobservable"
+  in
+  { topo; rows; h; w; gain }
+
+let is_observable topo =
+  let rows = Grid.Topology.taken_rows topo in
+  let h = Grid.Topology.h_reduced topo ~rows in
+  let w = Array.make (List.length rows) 1.0 in
+  match Lu.decompose (gain_matrix h w) with
+  | exception Lu.Singular -> false
+  | _ -> true
+
+let estimate t ~z =
+  if Array.length z <> List.length t.rows then
+    invalid_arg "Estimator.estimate: z length mismatch";
+  (* right-hand side H^T W z *)
+  let n = M.cols t.h in
+  let rhs =
+    Array.init n (fun a ->
+        let acc = ref 0.0 in
+        for i = 0 to M.rows t.h - 1 do
+          acc := !acc +. (M.get t.h i a *. t.w.(i) *. z.(i))
+        done;
+        !acc)
+  in
+  let x = Lu.solve t.gain rhs in
+  (* re-insert the slack angle *)
+  let slack = t.topo.Grid.Topology.slack in
+  let b = t.topo.Grid.Topology.grid.Grid.Network.n_buses in
+  let angles =
+    Array.init b (fun j ->
+        if j = slack then 0.0 else if j < slack then x.(j) else x.(j - 1))
+  in
+  let estimated_z = M.mul_vec t.h x in
+  let residual = V.norm2 (V.sub z estimated_z) in
+  (* estimated bus consumption P_j^B from the estimated angles (Eq. 8) *)
+  let grid = t.topo.Grid.Topology.grid in
+  let loads = Array.make b 0.0 in
+  Array.iteri
+    (fun i (ln : Grid.Network.line) ->
+      if t.topo.Grid.Topology.mapped.(i) then begin
+        let flow =
+          Q.to_float ln.Grid.Network.admittance
+          *. (angles.(ln.Grid.Network.from_bus) -. angles.(ln.Grid.Network.to_bus))
+        in
+        loads.(ln.Grid.Network.to_bus) <- loads.(ln.Grid.Network.to_bus) +. flow;
+        loads.(ln.Grid.Network.from_bus) <- loads.(ln.Grid.Network.from_bus) -. flow
+      end)
+    grid.Grid.Network.lines;
+  { angles; estimated_z; residual; loads }
+
+let design_matrix t = t.h
+let weights t = t.w
+let taken t = t.rows
+
+let gain_inverse_diag_of_residual_covariance t =
+  (* Omega = R - H G^-1 H^T; we need its diagonal.  Column j of G^-1 H^T is
+     solve(G, row_j(H)), so Omega_jj = 1/w_j - H_j . solve(G, H_j). *)
+  let mrows = M.rows t.h in
+  Array.init mrows (fun i ->
+      let hrow = M.row t.h i in
+      let x = Lu.solve t.gain hrow in
+      let hgh = V.dot hrow x in
+      (1.0 /. t.w.(i)) -. hgh)
+
+let detects_bad_data t ~z ~tau =
+  let r = estimate t ~z in
+  r.residual > tau
+
+let measurement_vector topo (sol : Grid.Powerflow.solution) =
+  let grid = topo.Grid.Topology.grid in
+  let l = Grid.Network.n_lines grid in
+  let value m =
+    if m < l then Q.to_float sol.Grid.Powerflow.flows.(m)
+    else if m < 2 * l then -.Q.to_float sol.Grid.Powerflow.flows.(m - l)
+    else
+      (* H's bus block is A^T D A = net injection = -P_j^B *)
+      -.Q.to_float sol.Grid.Powerflow.consumption.(m - (2 * l))
+  in
+  Array.of_list (List.map value (Grid.Topology.taken_rows topo))

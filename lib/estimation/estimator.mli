@@ -1,0 +1,51 @@
+(** Weighted least-squares DC state estimation with residual-based bad-data
+    detection (paper Section II-B).
+
+    Estimates the bus voltage phase angles from the taken measurements via
+    [x = (H^T W H)^-1 H^T W z] (Eq. 1), computes the measurement residual
+    [||z - H x||], and flags bad data when the residual exceeds a
+    threshold.  Works in floats, as a real EMS estimator does. *)
+
+type t
+
+type result = {
+  angles : float array;  (** per-bus estimate; slack = 0 *)
+  estimated_z : float array;  (** [H x] over the taken measurements *)
+  residual : float;  (** l2 norm of [z - H x] *)
+  loads : float array;
+      (** per-bus estimated consumption [P_j^B], from the estimated state *)
+}
+
+val make : ?weights:float array -> Grid.Topology.t -> t
+(** Build the estimator for a topology (measurement rows are those with
+    [t_i] set).  [weights] defaults to 1 for every taken measurement.
+    @raise Failure if the system is unobservable with those measurements. *)
+
+val estimate : t -> z:float array -> result
+(** [z] lists values of the taken measurements, in measurement-index order
+    (forward flows, backward flows, bus consumptions). *)
+
+val is_observable : Grid.Topology.t -> bool
+
+val detects_bad_data : t -> z:float array -> tau:float -> bool
+(** Residual test: true when [||z - H x|| > tau]. *)
+
+val design_matrix : t -> Linalg.Mat.t
+(** The reduced H over the taken measurements (slack column dropped). *)
+
+val weights : t -> float array
+(** Per taken measurement. *)
+
+val taken : t -> int list
+(** The taken measurement indices, in row order of {!design_matrix}. *)
+
+val gain_inverse_diag_of_residual_covariance : t -> float array
+(** Diagonal of the residual covariance [Omega = R - H G^-1 H^T] with
+    [R = W^-1] — the normalisation used by largest-normalized-residual
+    bad-data identification. *)
+
+val measurement_vector :
+  Grid.Topology.t -> Grid.Powerflow.solution -> float array
+(** Ideal (noise-free) values of the taken measurements from a power-flow
+    solution, with the sign conventions of the H matrix.  Bus rows carry
+    [-P_j^B] (the H bus block of Eq. 2 measures net injection). *)

@@ -1,0 +1,63 @@
+type rng = { mutable state : int64 }
+
+let rng ~seed =
+  { state = Int64.of_int ((seed * 2654435761) lor 1) }
+
+let next_int64 r =
+  (* xorshift64* *)
+  let x = r.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  r.state <- x;
+  Int64.mul x 2685821657736338717L
+
+let uniform r =
+  let bits = Int64.shift_right_logical (next_int64 r) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let gaussian r ~mean ~sigma =
+  (* Box-Muller; avoid log 0 *)
+  let u1 = Float.max (uniform r) 1e-300 in
+  let u2 = uniform r in
+  mean +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let noisy_measurements r ~sigma z =
+  Array.map (fun v -> v +. gaussian r ~mean:0.0 ~sigma) z
+
+(* Acklam's inverse normal CDF approximation *)
+let inverse_normal_cdf p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "inverse_normal_cdf: p in (0,1)";
+  let a = [| -39.69683028665376; 220.9460984245205; -275.9285104469687;
+             138.3577518672690; -30.66479806614716; 2.506628277459239 |] in
+  let b = [| -54.47609879822406; 161.5858368580409; -155.6989798598866;
+             66.80131188771972; -13.28068155288572 |] in
+  let c = [| -0.007784894002430293; -0.3223964580411365; -2.400758277161838;
+             -2.549732539343734; 4.374664141464968; 2.938163982698783 |] in
+  let d = [| 0.007784695709041462; 0.3224671290700398; 2.445134137142996;
+             3.754408661907416 |] in
+  let p_low = 0.02425 in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5)
+    |> fun num -> num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5)) *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+
+let chi_square_threshold ~df ~confidence =
+  if df <= 0 then invalid_arg "chi_square_threshold: df > 0 required";
+  let z = inverse_normal_cdf confidence in
+  let k = float_of_int df in
+  (* Wilson-Hilferty: X ~ k (1 - 2/(9k) + z sqrt(2/(9k)))^3 *)
+  let t = 1.0 -. (2.0 /. (9.0 *. k)) +. (z *. sqrt (2.0 /. (9.0 *. k))) in
+  k *. t *. t *. t

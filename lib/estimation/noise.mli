@@ -1,0 +1,27 @@
+(** Deterministic measurement-noise model and detection thresholds.
+
+    Real meters report Gaussian-noised values; the bad-data detector
+    compares the weighted residual sum of squares against a chi-square
+    threshold at a confidence level (Abur & Exposito, ch. 5).  Everything
+    here is reproducible from a seed — no global [Random] state. *)
+
+type rng
+
+val rng : seed:int -> rng
+
+val uniform : rng -> float
+(** In [0, 1). *)
+
+val gaussian : rng -> mean:float -> sigma:float -> float
+(** Box-Muller. *)
+
+val noisy_measurements : rng -> sigma:float -> float array -> float array
+(** Add iid zero-mean Gaussian noise to ideal measurement values. *)
+
+val inverse_normal_cdf : float -> float
+(** Acklam's rational approximation; accurate to ~1e-9 over (0, 1). *)
+
+val chi_square_threshold : df:int -> confidence:float -> float
+(** Wilson-Hilferty approximation of the chi-square quantile: the
+    detection threshold for the weighted residual sum of squares with
+    [df = m - n] degrees of freedom. *)

@@ -1,0 +1,26 @@
+module M = Linalg.Mat
+
+let attack_vector_full topo ~c =
+  let grid = topo.Grid.Topology.grid in
+  let b = grid.Grid.Network.n_buses in
+  if Array.length c <> b - 1 then
+    invalid_arg "Ufdi.attack_vector_full: c must have length b-1";
+  let h = Grid.Topology.h_matrix topo in
+  let h = M.drop_col h topo.Grid.Topology.slack in
+  M.mul_vec h c
+
+let attack_vector topo ~c =
+  let full = attack_vector_full topo ~c in
+  Array.of_list (List.map (fun i -> full.(i)) (Grid.Topology.taken_rows topo))
+
+let touched_measurements ?(eps = 1e-9) topo ~c =
+  let full = attack_vector_full topo ~c in
+  Grid.Topology.taken_rows topo
+  |> List.filter (fun i -> Float.abs full.(i) > eps)
+
+let feasible ?(eps = 1e-9) topo ~c =
+  let grid = topo.Grid.Topology.grid in
+  touched_measurements ~eps topo ~c
+  |> List.for_all (fun i ->
+         let m = grid.Grid.Network.meas.(i) in
+         m.Grid.Network.accessible && not m.Grid.Network.secured)

@@ -1,0 +1,22 @@
+(** Undetected false-data injection attacks on state estimation (Liu,
+    Ning, Reiter — the construction the paper builds on, Section II-B).
+
+    An attack vector [a = H c] added to the measurements shifts the state
+    estimate by [c] while leaving the residual unchanged, evading bad-data
+    detection. *)
+
+val attack_vector : Grid.Topology.t -> c:float array -> float array
+(** [attack_vector topo ~c] is [a = H c] restricted to the taken
+    measurements; [c] is the per-non-slack-bus state shift (length b-1). *)
+
+val attack_vector_full : Grid.Topology.t -> c:float array -> float array
+(** Same over all [2l+b] potential measurements. *)
+
+val touched_measurements :
+  ?eps:float -> Grid.Topology.t -> c:float array -> int list
+(** Taken measurement indices whose value the attack must alter. *)
+
+val feasible :
+  ?eps:float -> Grid.Topology.t -> c:float array -> bool
+(** Whether every touched measurement is accessible and unsecured (the
+    attacker can actually inject the required data, Eq. 20). *)

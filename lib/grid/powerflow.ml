@@ -1,0 +1,102 @@
+module Q = Numeric.Rat
+module Qmat = Linalg.Qmat
+
+type solution = {
+  theta : Q.t array;
+  flows : Q.t array;
+  consumption : Q.t array;
+}
+
+let flow_of_angles (t : Topology.t) theta =
+  Array.mapi
+    (fun i (ln : Network.line) ->
+      if t.Topology.mapped.(i) then
+        Q.mul ln.Network.admittance
+          (Q.sub theta.(ln.Network.from_bus) theta.(ln.Network.to_bus))
+      else Q.zero)
+    t.Topology.grid.Network.lines
+
+let consumption_of_flows (t : Topology.t) flows =
+  let b = t.Topology.grid.Network.n_buses in
+  let cons = Array.make b Q.zero in
+  Array.iteri
+    (fun i (ln : Network.line) ->
+      cons.(ln.Network.to_bus) <- Q.add cons.(ln.Network.to_bus) flows.(i);
+      cons.(ln.Network.from_bus) <- Q.sub cons.(ln.Network.from_bus) flows.(i))
+    t.Topology.grid.Network.lines;
+  cons
+
+let solve_float (t : Topology.t) ~gen ~load =
+  let b = t.Topology.grid.Network.n_buses in
+  if Array.length gen <> b || Array.length load <> b then
+    invalid_arg "Powerflow.solve_float: per-bus vectors required";
+  let slack = t.Topology.slack in
+  let reduced = Topology.b_reduced t in
+  let idx = Array.of_list (List.filter (fun j -> j <> slack) (List.init b Fun.id)) in
+  let rhs = Array.map (fun j -> gen.(j) -. load.(j)) idx in
+  match Linalg.Lu.solve_vec reduced rhs with
+  | exception Linalg.Lu.Singular ->
+    Error "singular susceptance matrix (islanded?)"
+  | x ->
+    let theta = Array.make b 0.0 in
+    Array.iteri (fun r j -> theta.(j) <- x.(r)) idx;
+    let flows =
+      Array.mapi
+        (fun i (ln : Network.line) ->
+          if t.Topology.mapped.(i) then
+            Q.to_float ln.Network.admittance
+            *. (theta.(ln.Network.from_bus) -. theta.(ln.Network.to_bus))
+          else 0.0)
+        t.Topology.grid.Network.lines
+    in
+    Ok (theta, flows)
+
+let solve (t : Topology.t) ~gen ~load =
+  let b = t.Topology.grid.Network.n_buses in
+  if Array.length gen <> b || Array.length load <> b then
+    invalid_arg "Powerflow.solve: per-bus vectors required";
+  let net j = Q.sub gen.(j) load.(j) in
+  let imbalance =
+    List.fold_left (fun acc j -> Q.add acc (net j)) Q.zero (List.init b Fun.id)
+  in
+  if not (Q.is_zero imbalance) then
+    Error
+      (Format.asprintf "generation/load imbalance: %a" Q.pp imbalance)
+  else begin
+    (* reduced susceptance system: exclude the slack bus *)
+    let slack = t.Topology.slack in
+    let idx = Array.of_list (List.filter (fun j -> j <> slack) (List.init b Fun.id)) in
+    let n = b - 1 in
+    let bm = Qmat.create n n in
+    Array.iteri
+      (fun i (ln : Network.line) ->
+        if t.Topology.mapped.(i) then begin
+          let d = ln.Network.admittance in
+          let f = ln.Network.from_bus and e = ln.Network.to_bus in
+          let find j =
+            if j = slack then None
+            else Some (if j < slack then j else j - 1)
+          in
+          (match find f with
+          | Some rf -> Qmat.set bm rf rf (Q.add (Qmat.get bm rf rf) d)
+          | None -> ());
+          (match find e with
+          | Some re -> Qmat.set bm re re (Q.add (Qmat.get bm re re) d)
+          | None -> ());
+          match (find f, find e) with
+          | Some rf, Some re ->
+            Qmat.set bm rf re (Q.sub (Qmat.get bm rf re) d);
+            Qmat.set bm re rf (Q.sub (Qmat.get bm re rf) d)
+          | _ -> ()
+        end)
+      t.Topology.grid.Network.lines;
+    let rhs = Array.map (fun j -> net j) idx in
+    match Qmat.solve bm rhs with
+    | exception Qmat.Singular -> Error "singular susceptance matrix (islanded?)"
+    | reduced ->
+      let theta = Array.make b Q.zero in
+      Array.iteri (fun r j -> theta.(j) <- reduced.(r)) idx;
+      let flows = flow_of_angles t theta in
+      let consumption = consumption_of_flows t flows in
+      Ok { theta; flows; consumption }
+  end

@@ -1,0 +1,34 @@
+(** Exact DC power flow (paper Section II-A): solve [B theta = P] with the
+    slack angle fixed at zero, in exact rational arithmetic.
+
+    Exactness matters because the base-case flows are constants inside the
+    SMT stealth constraints (Eqs. 13/14); float flows would make those
+    equalities unsatisfiable by rounding noise. *)
+
+type solution = {
+  theta : Numeric.Rat.t array;  (** voltage phase angle per bus; slack = 0 *)
+  flows : Numeric.Rat.t array;
+      (** [P_i^L = d_i (theta_f - theta_e)] per line; 0 for unmapped lines *)
+  consumption : Numeric.Rat.t array;
+      (** [P_j^B = sum(in) - sum(out)] per bus (Eq. 8) *)
+}
+
+val solve :
+  Topology.t ->
+  gen:Numeric.Rat.t array ->
+  load:Numeric.Rat.t array ->
+  (solution, string) Result.t
+(** [gen] and [load] are per-bus vectors (zero where absent).  Fails when
+    generation and load are unbalanced or the mapped topology leaves the
+    reduced susceptance matrix singular (islanding). *)
+
+val flow_of_angles : Topology.t -> Numeric.Rat.t array -> Numeric.Rat.t array
+(** Line flows induced by a given angle vector (unmapped lines get 0). *)
+
+val solve_float :
+  Topology.t ->
+  gen:float array ->
+  load:float array ->
+  (float array * float array, string) Result.t
+(** Fast float variant returning (angles, flows); used where exactness is
+    not required (capacity calibration, estimator inputs, factors). *)

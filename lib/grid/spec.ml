@@ -1,0 +1,212 @@
+module Q = Numeric.Rat
+
+type t = {
+  grid : Network.t;
+  max_meas : int;
+  max_buses : int;
+  cost_reference : Q.t;
+  min_increase_pct : Q.t;
+}
+
+type section =
+  | Sec_topology
+  | Sec_measurement
+  | Sec_resource
+  | Sec_bus_types
+  | Sec_generator
+  | Sec_load
+  | Sec_cost
+  | Sec_none
+
+let section_of_header h =
+  let h = String.lowercase_ascii h in
+  let contains sub =
+    let n = String.length sub and m = String.length h in
+    let rec loop i = i + n <= m && (String.sub h i n = sub || loop (i + 1)) in
+    loop 0
+  in
+  (* "resource" first: that header also mentions measurements *)
+  if contains "resource" then Sec_resource
+  else if contains "topology" then Sec_topology
+  else if contains "measurement" then Sec_measurement
+  else if contains "bus type" then Sec_bus_types
+  else if contains "generator" then Sec_generator
+  else if contains "load" then Sec_load
+  else if contains "cost" then Sec_cost
+  else Sec_none
+
+let parse content =
+  let lines = String.split_on_char '\n' content in
+  let section = ref Sec_none in
+  let topo = ref [] and meas = ref [] and bus_types = ref [] in
+  let gens = ref [] and loads = ref [] in
+  let resource = ref None and cost = ref None in
+  let error = ref None in
+  let fail fmt = Format.kasprintf (fun s -> if !error = None then error := Some s) fmt in
+  let fields line =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  List.iteri
+    (fun lineno raw ->
+      let line = String.trim raw in
+      if line = "" then ()
+      else if line.[0] = '#' then begin
+        match section_of_header line with
+        | Sec_none -> () (* continuation comment, e.g. column legend *)
+        | s -> section := s
+      end
+      else begin
+        let fs = fields line in
+        let int_field s =
+          match int_of_string_opt s with
+          | Some v -> v
+          | None ->
+            fail "line %d: expected integer, got %S" (lineno + 1) s;
+            0
+        in
+        let rat_field s =
+          match Q.of_decimal_string s with
+          | v -> v
+          | exception _ ->
+            fail "line %d: expected number, got %S" (lineno + 1) s;
+            Q.zero
+        in
+        let bool_field s = int_field s <> 0 in
+        match (!section, fs) with
+        | Sec_topology, [ _no; f; e; d; cap; kn; ut; core; sec; alt ] ->
+          topo :=
+            {
+              Network.from_bus = int_field f - 1;
+              to_bus = int_field e - 1;
+              admittance = rat_field d;
+              capacity = rat_field cap;
+              known = bool_field kn;
+              in_true_topology = bool_field ut;
+              fixed = bool_field core;
+              status_secured = bool_field sec;
+              status_alterable = bool_field alt;
+            }
+            :: !topo
+        | Sec_measurement, [ _no; taken; sec; acc ] ->
+          meas :=
+            {
+              Network.taken = bool_field taken;
+              secured = bool_field sec;
+              accessible = bool_field acc;
+            }
+            :: !meas
+        | Sec_resource, [ m; b ] -> resource := Some (int_field m, int_field b)
+        | Sec_bus_types, [ no; isg; isl ] ->
+          bus_types := (int_field no - 1, bool_field isg, bool_field isl) :: !bus_types
+        | Sec_generator, [ no; pmax; pmin; alpha; beta ] ->
+          gens :=
+            {
+              Network.gbus = int_field no - 1;
+              pmax = rat_field pmax;
+              pmin = rat_field pmin;
+              alpha = rat_field alpha;
+              beta = rat_field beta;
+            }
+            :: !gens
+        | Sec_load, [ no; existing; lmax; lmin ] ->
+          loads :=
+            {
+              Network.lbus = int_field no - 1;
+              existing = rat_field existing;
+              lmax = rat_field lmax;
+              lmin = rat_field lmin;
+            }
+            :: !loads
+        | Sec_cost, [ c; pct ] -> cost := Some (rat_field c, rat_field pct)
+        | Sec_none, _ -> fail "line %d: data outside any section" (lineno + 1)
+        | _, _ -> fail "line %d: wrong field count for section" (lineno + 1)
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+    let bus_types = List.rev !bus_types in
+    let n_buses =
+      List.fold_left (fun acc (j, _, _) -> max acc (j + 1)) 0 bus_types
+    in
+    let grid =
+      {
+        Network.n_buses;
+        lines = Array.of_list (List.rev !topo);
+        gens = Array.of_list (List.rev !gens);
+        loads = Array.of_list (List.rev !loads);
+        meas = Array.of_list (List.rev !meas);
+      }
+    in
+    match Network.validate grid with
+    | Error e -> Error e
+    | Ok () ->
+      let max_meas, max_buses =
+        match !resource with Some (m, b) -> (m, b) | None -> (max_int, max_int)
+      in
+      let cost_reference, min_increase_pct =
+        match !cost with Some (c, p) -> (c, p) | None -> (Q.zero, Q.one)
+      in
+      Ok { grid; max_meas; max_buses; cost_reference; min_increase_pct })
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse content
+
+let print t =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let b01 b = if b then 1 else 0 in
+  let q v = Q.to_decimal_string ~digits:4 v in
+  pr "# Topology (Line) Information\n";
+  pr
+    "# (line no, from bus, to bus, admittance, line capacity, knowledge?, in \
+     true topology?, in core?, secured?, can alter?)\n";
+  Array.iteri
+    (fun i (ln : Network.line) ->
+      pr "%d %d %d %s %s %d %d %d %d %d\n" (i + 1) (ln.Network.from_bus + 1)
+        (ln.Network.to_bus + 1) (q ln.Network.admittance) (q ln.Network.capacity)
+        (b01 ln.Network.known) (b01 ln.Network.in_true_topology)
+        (b01 ln.Network.fixed) (b01 ln.Network.status_secured)
+        (b01 ln.Network.status_alterable))
+    t.grid.Network.lines;
+  pr "# Measurement Information\n";
+  pr "# (measurement no, measurement taken?, secured?, can attacker alter?)\n";
+  Array.iteri
+    (fun i (m : Network.meas) ->
+      pr "%d %d %d %d\n" (i + 1) (b01 m.Network.taken) (b01 m.Network.secured)
+        (b01 m.Network.accessible))
+    t.grid.Network.meas;
+  pr "# Attacker's Resource Limitation (measurements, buses)\n";
+  pr "%d %d\n" t.max_meas t.max_buses;
+  pr "# Bus Types (bus no, is generator?, is load?)\n";
+  for j = 0 to t.grid.Network.n_buses - 1 do
+    pr "%d %d %d\n" (j + 1)
+      (b01 (Network.gen_at t.grid j <> None))
+      (b01 (Network.load_at t.grid j <> None))
+  done;
+  pr "# Generator Information (bus no, max generation, min generation, cost coefficient)\n";
+  Array.iter
+    (fun (g : Network.gen) ->
+      pr "%d %s %s %s %s\n" (g.Network.gbus + 1) (q g.Network.pmax)
+        (q g.Network.pmin) (q g.Network.alpha) (q g.Network.beta))
+    t.grid.Network.gens;
+  pr "# Load Information (bus no, existing load, max load, min load)\n";
+  Array.iter
+    (fun (l : Network.load) ->
+      pr "%d %s %s %s\n" (l.Network.lbus + 1) (q l.Network.existing)
+        (q l.Network.lmax) (q l.Network.lmin))
+    t.grid.Network.loads;
+  pr "# Cost Constraint, Minimum Cost Increase by Attack (in percentage)\n";
+  pr "%s %s\n" (q t.cost_reference) (q t.min_increase_pct);
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (print t);
+  close_out oc

@@ -1,0 +1,19 @@
+(** The paper's text input-file format (Tables II and III): topology,
+    measurement, attacker-resource, bus-type, generator, load and
+    cost-constraint sections.  Bus and line numbers are 1-based in files
+    and 0-based in {!Network.t}. *)
+
+type t = {
+  grid : Network.t;
+  max_meas : int;  (** attacker's measurement-alteration budget *)
+  max_buses : int;  (** [T_B] of Eq. 22 *)
+  cost_reference : Numeric.Rat.t;  (** the file's base cost constraint *)
+  min_increase_pct : Numeric.Rat.t;  (** target increase [I] in percent *)
+}
+
+val parse : string -> (t, string) Result.t
+(** Parse the contents of an input file. *)
+
+val parse_file : string -> (t, string) Result.t
+val print : t -> string
+val write_file : string -> t -> unit

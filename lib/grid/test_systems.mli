@@ -1,0 +1,37 @@
+(** Embedded test systems.
+
+    - [case_study_1] / [case_study_2]: the paper's 5-bus system with the
+      exact attack scenarios of Tables II and III.
+    - [ieee14]: the true IEEE 14-bus topology (20 branches, 5 generators)
+      with standard approximate reactances.
+    - [ieee 30 | 57 | 118]: deterministic synthetic meshed systems matching
+      the IEEE bus/line/generator counts (see DESIGN.md substitutions);
+      line capacities are calibrated from a base power flow so congestion
+      is realistic.
+
+    All systems return a {!Spec.t} carrying a default attack scenario that
+    the evaluation harness then perturbs. *)
+
+val case_study_1 : unit -> Spec.t
+val case_study_2 : unit -> Spec.t
+
+val five_bus : unit -> Network.t
+(** The bare 5-bus system of Fig. 3 / Table II. *)
+
+val five_bus_open_line : unit -> Network.t
+(** The 5-bus system with line 5 out of service but attackable — the
+    substrate for inclusion attacks (paper Eqs. 12/14). *)
+
+val case_study_base_dispatch : unit -> Numeric.Rat.t array
+(** The calibrated base operating point (per-bus generation) under which
+    the published case-study outcomes reproduce; the paper leaves the base
+    state unspecified (see DESIGN.md). *)
+
+val ieee14 : unit -> Spec.t
+
+val ieee : int -> Spec.t
+(** [ieee n] for n in {5, 14, 30, 57, 118}.
+    @raise Invalid_argument otherwise. *)
+
+val sizes : int list
+(** The bus counts evaluated in the paper: [5; 14; 30; 57; 118]. *)

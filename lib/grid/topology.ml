@@ -1,0 +1,96 @@
+module Q = Numeric.Rat
+module M = Linalg.Mat
+
+type t = { grid : Network.t; mapped : bool array; slack : int }
+
+let make ?(slack = 0) ?mapped grid =
+  let mapped =
+    match mapped with Some m -> m | None -> Network.true_topology grid
+  in
+  if Array.length mapped <> Network.n_lines grid then
+    invalid_arg "Topology.make: mapped length mismatch";
+  if slack < 0 || slack >= grid.Network.n_buses then
+    invalid_arg "Topology.make: slack out of range";
+  { grid; mapped; slack }
+
+let connectivity t =
+  let l = Network.n_lines t.grid in
+  let b = t.grid.Network.n_buses in
+  let a = M.create l b in
+  Array.iteri
+    (fun i (ln : Network.line) ->
+      if t.mapped.(i) then begin
+        M.set a i ln.Network.from_bus 1.0;
+        M.set a i ln.Network.to_bus (-1.0)
+      end)
+    t.grid.Network.lines;
+  a
+
+let branch_admittance t =
+  let l = Network.n_lines t.grid in
+  let d = M.create l l in
+  Array.iteri
+    (fun i (ln : Network.line) ->
+      M.set d i i (Q.to_float ln.Network.admittance))
+    t.grid.Network.lines;
+  d
+
+let h_matrix t =
+  let a = connectivity t in
+  let d = branch_admittance t in
+  let da = M.mul d a in
+  let l = M.rows da and b = M.cols da in
+  let bt = M.mul (M.transpose a) da in
+  M.init
+    ((2 * l) + b)
+    b
+    (fun i j ->
+      if i < l then M.get da i j
+      else if i < 2 * l then -.M.get da (i - l) j
+      else M.get bt (i - (2 * l)) j)
+
+let h_reduced t ~rows =
+  let h = h_matrix t in
+  let hr =
+    M.init (List.length rows) (M.cols h)
+      (fun i j -> M.get h (List.nth rows i) j)
+  in
+  M.drop_col hr t.slack
+
+let b_matrix t =
+  let a = connectivity t in
+  M.mul (M.transpose a) (M.mul (branch_admittance t) a)
+
+let b_reduced t =
+  let bm = b_matrix t in
+  let without_col = M.drop_col bm t.slack in
+  M.init
+    (M.rows bm - 1)
+    (M.cols without_col)
+    (fun i j -> M.get without_col (if i < t.slack then i else i + 1) j)
+
+let taken_rows t =
+  let m = Network.n_meas t.grid in
+  List.filter
+    (fun i -> t.grid.Network.meas.(i).Network.taken)
+    (List.init m Fun.id)
+
+let is_connected t =
+  let b = t.grid.Network.n_buses in
+  let adj = Array.make b [] in
+  Array.iteri
+    (fun i (ln : Network.line) ->
+      if t.mapped.(i) then begin
+        adj.(ln.Network.from_bus) <- ln.Network.to_bus :: adj.(ln.Network.from_bus);
+        adj.(ln.Network.to_bus) <- ln.Network.from_bus :: adj.(ln.Network.to_bus)
+      end)
+    t.grid.Network.lines;
+  let visited = Array.make b false in
+  let rec dfs j =
+    if not visited.(j) then begin
+      visited.(j) <- true;
+      List.iter dfs adj.(j)
+    end
+  in
+  dfs 0;
+  Array.for_all Fun.id visited

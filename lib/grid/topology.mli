@@ -1,0 +1,41 @@
+(** The topology processor (paper Section II-C).
+
+    Maps breaker/switch statuses — here a per-line inclusion flag [k_i] —
+    to the connectivity matrix [A], branch admittance matrix [D] and the
+    measurement matrix [H = [DA; -DA; A^T D A]] of Eq. 2, plus the reduced
+    [B = A^T D A] bus-susceptance system used by state estimation, power
+    flow and OPF. *)
+
+type t = {
+  grid : Network.t;
+  mapped : bool array;  (** [k_i]: line mapped into the topology *)
+  slack : int;  (** reference bus with angle 0 *)
+}
+
+val make : ?slack:int -> ?mapped:bool array -> Network.t -> t
+(** Defaults: [slack = 0], [mapped = true topology] ([u_i]). *)
+
+val connectivity : t -> Linalg.Mat.t
+(** [A] ([l] x [b]): +1 at the from-bus, -1 at the to-bus of each mapped
+    line; zero rows for unmapped lines. *)
+
+val branch_admittance : t -> Linalg.Mat.t
+(** [D] ([l] x [l] diagonal). *)
+
+val h_matrix : t -> Linalg.Mat.t
+(** Full [H] ([2l+b] x [b]) per Eq. 2. *)
+
+val h_reduced : t -> rows:int list -> Linalg.Mat.t
+(** Rows of [H] for the given measurement indices, slack column dropped. *)
+
+val b_matrix : t -> Linalg.Mat.t
+(** [B = A^T D A] ([b] x [b]). *)
+
+val b_reduced : t -> Linalg.Mat.t
+(** [B] with the slack row/column removed ([b-1] x [b-1]). *)
+
+val taken_rows : t -> int list
+(** Indices of measurements with [t_i] true. *)
+
+val is_connected : t -> bool
+(** Whether all buses are reachable through mapped lines. *)

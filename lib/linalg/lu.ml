@@ -1,0 +1,88 @@
+exception Singular
+
+(* Doolittle LU with partial pivoting stored in place; [perm] maps factor
+   row -> original row, [parity] tracks the permutation sign for [det]. *)
+type t = { lu : Mat.t; perm : int array; parity : float }
+
+let epsilon = 1e-12
+
+let decompose a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.decompose: not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let parity = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* pivot selection *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !pivot k) then pivot := i
+    done;
+    if Float.abs (Mat.get lu !pivot k) < epsilon then raise Singular;
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let t = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !pivot j);
+        Mat.set lu !pivot j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- t;
+      parity := -. !parity
+    end;
+    let pkk = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let f = Mat.get lu i k /. pkk in
+      Mat.set lu i k f;
+      for j = k + 1 to n - 1 do
+        Mat.set lu i j (Mat.get lu i j -. (f *. Mat.get lu k j))
+      done
+    done
+  done;
+  { lu; perm; parity = !parity }
+
+let solve f b =
+  let n = Mat.rows f.lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let acc = ref b.(f.perm.(i)) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get f.lu i j *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get f.lu i j *. y.(j))
+    done;
+    y.(i) <- !acc /. Mat.get f.lu i i
+  done;
+  y
+
+let solve_vec a b = solve (decompose a) b
+
+let solve_mat a b =
+  let f = decompose a in
+  let n = Mat.rows b and m = Mat.cols b in
+  ignore n;
+  let out = Mat.create (Mat.rows a) m in
+  for j = 0 to m - 1 do
+    let x = solve f (Mat.col b j) in
+    Array.iteri (fun i v -> Mat.set out i j v) x
+  done;
+  out
+
+let inverse a = solve_mat a (Mat.identity (Mat.rows a))
+
+let det a =
+  match decompose a with
+  | exception Singular -> 0.0
+  | f ->
+    let n = Mat.rows a in
+    let d = ref f.parity in
+    for i = 0 to n - 1 do
+      d := !d *. Mat.get f.lu i i
+    done;
+    !d

@@ -1,0 +1,22 @@
+(** LU factorisation with partial pivoting, and solvers built on it. *)
+
+exception Singular
+
+type t
+(** Factorisation of a square matrix. *)
+
+val decompose : Mat.t -> t
+(** @raise Singular when the matrix is (numerically) singular.
+    @raise Invalid_argument when not square. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** Solve [A x = b]. *)
+
+val solve_mat : Mat.t -> Mat.t -> Mat.t
+(** Solve [A X = B] column by column. *)
+
+val solve_vec : Mat.t -> Vec.t -> Vec.t
+(** One-shot [decompose + solve]. *)
+
+val inverse : Mat.t -> Mat.t
+val det : Mat.t -> float

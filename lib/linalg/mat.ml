@@ -1,0 +1,72 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then create 0 0
+  else begin
+    let cols = Array.length a.(0) in
+    Array.iter
+      (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_arrays: ragged")
+      a;
+    init rows cols (fun i j -> a.(i).(j))
+  end
+
+let rows m = m.rows
+let cols m = m.cols
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (get m i))
+let copy m = { m with data = Array.copy m.data }
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  let r = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          set r i j (get r i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  r
+
+let mul_vec m v =
+  if m.cols <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat: dimension mismatch";
+  { a with data = Array.init (Array.length a.data) (fun k -> f a.data.(k) b.data.(k)) }
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let scale k m = { m with data = Array.map (fun x -> k *. x) m.data }
+let row m i = Array.init m.cols (get m i)
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let drop_col m j0 =
+  init m.rows (m.cols - 1) (fun i j -> if j < j0 then get m i j else get m i (j + 1))
+
+let pp fmt m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "|";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf fmt " %8.4f" (get m i j)
+    done;
+    Format.fprintf fmt " |@."
+  done

@@ -1,0 +1,29 @@
+(** Dense row-major float matrices. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val identity : int -> t
+val of_arrays : float array array -> t
+val to_arrays : t -> float array array
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vec.t -> Vec.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+
+val drop_col : t -> int -> t
+(** Remove one column — used to eliminate the slack-bus column of H/A. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+module Q = Numeric.Rat
+
+exception Singular
+
+type t = { r : int; c : int; data : Q.t array }
+
+let create r c = { r; c; data = Array.make (r * c) Q.zero }
+
+let init r c f =
+  { r; c; data = Array.init (r * c) (fun k -> f (k / c) (k mod c)) }
+
+let rows m = m.r
+let cols m = m.c
+let get m i j = m.data.((i * m.c) + j)
+let set m i j v = m.data.((i * m.c) + j) <- v
+
+let mul_vec m v =
+  if m.c <> Array.length v then invalid_arg "Qmat.mul_vec: dimension mismatch";
+  Array.init m.r (fun i ->
+      let acc = ref Q.zero in
+      for j = 0 to m.c - 1 do
+        acc := Q.add !acc (Q.mul (get m i j) v.(j))
+      done;
+      !acc)
+
+(* Gaussian elimination with partial (first nonzero) pivoting *)
+let solve m b =
+  if m.r <> m.c then invalid_arg "Qmat.solve: not square";
+  let n = m.r in
+  if Array.length b <> n then invalid_arg "Qmat.solve: dimension mismatch";
+  let a = init n n (get m) in
+  let x = Array.copy b in
+  for k = 0 to n - 1 do
+    (* find pivot *)
+    let pivot = ref (-1) in
+    (try
+       for i = k to n - 1 do
+         if not (Q.is_zero (get a i k)) then begin
+           pivot := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pivot < 0 then raise Singular;
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let t = get a k j in
+        set a k j (get a !pivot j);
+        set a !pivot j t
+      done;
+      let t = x.(k) in
+      x.(k) <- x.(!pivot);
+      x.(!pivot) <- t
+    end;
+    let pkk = get a k k in
+    for i = k + 1 to n - 1 do
+      let f = Q.div (get a i k) pkk in
+      if not (Q.is_zero f) then begin
+        set a i k Q.zero;
+        for j = k + 1 to n - 1 do
+          set a i j (Q.sub (get a i j) (Q.mul f (get a k j)))
+        done;
+        x.(i) <- Q.sub x.(i) (Q.mul f x.(k))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := Q.sub !acc (Q.mul (get a i j) x.(j))
+    done;
+    x.(i) <- Q.div !acc (get a i i)
+  done;
+  x

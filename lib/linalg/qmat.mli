@@ -1,0 +1,21 @@
+(** Dense matrices over exact rationals with Gaussian elimination.
+
+    Used for the base-case DC power flow feeding the SMT attack model: the
+    stealth equalities (paper Eqs. 13/14) relate attack deltas to true line
+    flows, so those flows must be exact rationals, not floats. *)
+
+exception Singular
+
+type t
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> Numeric.Rat.t) -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Numeric.Rat.t
+val set : t -> int -> int -> Numeric.Rat.t -> unit
+
+val solve : t -> Numeric.Rat.t array -> Numeric.Rat.t array
+(** Solve [A x = b] exactly; @raise Singular on singular systems. *)
+
+val mul_vec : t -> Numeric.Rat.t array -> Numeric.Rat.t array

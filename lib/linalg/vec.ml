@@ -1,0 +1,45 @@
+type t = float array
+
+let make = Array.make
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let check_same_dim a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec: dimension mismatch"
+
+let add a b =
+  check_same_dim a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_same_dim a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let scale k a = Array.map (fun x -> k *. x) a
+
+let dot a b =
+  check_same_dim a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 a
+
+let max_abs_index a =
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if Float.abs a.(i) > Float.abs a.(!best) then best := i
+  done;
+  !best
+
+let pp fmt a =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun i x -> Format.fprintf fmt "%s%g" (if i > 0 then "; " else "") x)
+    a;
+  Format.fprintf fmt "]"

@@ -1,0 +1,18 @@
+(** Dense float vectors. *)
+
+type t = float array
+
+val make : int -> float -> t
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Euclidean (l2) norm — the measurement-residual norm of paper §II-B. *)
+
+val norm_inf : t -> float
+val max_abs_index : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,314 @@
+(* Float bounded-variable simplex.  Mirrors Lp's structure: slack per
+   constraint row, phase-I bound repair, phase-II objective descent, both
+   under Bland's rule, with epsilon comparisons. *)
+
+module Imap = Map.Make (Int)
+
+let eps = 1e-9
+
+type result =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | Unbounded
+
+type t = {
+  mutable nvars : int;
+  mutable lo : float array; (* neg_infinity = free below *)
+  mutable hi : float array; (* infinity = free above *)
+  mutable beta : float array;
+  mutable rows : float Imap.t Imap.t;
+  mutable pivots : int;
+  mutable user_vars : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    lo = Array.make 16 neg_infinity;
+    hi = Array.make 16 infinity;
+    beta = Array.make 16 0.0;
+    rows = Imap.empty;
+    pivots = 0;
+    user_vars = 0;
+  }
+
+let n_pivots t = t.pivots
+
+let grow t =
+  let cap = Array.length t.beta in
+  if t.nvars > cap then begin
+    let ncap = max (2 * cap) t.nvars in
+    let extend a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    t.lo <- extend t.lo neg_infinity;
+    t.hi <- extend t.hi infinity;
+    t.beta <- extend t.beta 0.0
+  end
+
+let new_var ?(lo = neg_infinity) ?(hi = infinity) t =
+  let v = t.nvars in
+  t.nvars <- t.nvars + 1;
+  grow t;
+  t.lo.(v) <- lo;
+  t.hi.(v) <- hi;
+  t.beta.(v) <- (if lo > 0.0 then lo else if hi < 0.0 then hi else 0.0);
+  v
+
+let add_var ?lo ?hi t =
+  let v = new_var ?lo ?hi t in
+  t.user_vars <- t.user_vars + 1;
+  v
+
+(* warm start: set a variable's initial value (clamped to its bounds);
+   must be called before any constraint referencing it is added, so slack
+   initial values are computed from it *)
+let set_initial t v x =
+  t.beta.(v) <- Float.min t.hi.(v) (Float.max t.lo.(v) x)
+
+let normalize_terms t terms =
+  List.fold_left
+    (fun acc (v, c) ->
+      let merge w cw acc =
+        Imap.update w
+          (function
+            | None -> if Float.abs cw < eps then None else Some cw
+            | Some c0 ->
+              let s = c0 +. cw in
+              if Float.abs s < eps then None else Some s)
+          acc
+      in
+      match Imap.find_opt v t.rows with
+      | None -> merge v c acc
+      | Some row -> Imap.fold (fun w cw acc -> merge w (c *. cw) acc) row acc)
+    Imap.empty terms
+
+let row_value t row =
+  Imap.fold (fun v c acc -> acc +. (c *. t.beta.(v))) row 0.0
+
+let add_slack t ?(lo = neg_infinity) ?(hi = infinity) terms =
+  let row = normalize_terms t terms in
+  let s = new_var t in
+  t.lo.(s) <- lo;
+  t.hi.(s) <- hi;
+  t.rows <- Imap.add s row t.rows;
+  t.beta.(s) <- row_value t row;
+  s
+
+let add_le t terms b = ignore (add_slack t ~hi:b terms)
+let add_ge t terms b = ignore (add_slack t ~lo:b terms)
+let add_eq t terms b = ignore (add_slack t ~lo:b ~hi:b terms)
+
+let below_lo t x = t.beta.(x) < t.lo.(x) -. eps
+let above_hi t x = t.beta.(x) > t.hi.(x) +. eps
+let can_increase t x = t.beta.(x) < t.hi.(x) -. eps
+let can_decrease t x = t.beta.(x) > t.lo.(x) +. eps
+
+let pivot t xi xj =
+  t.pivots <- t.pivots + 1;
+  let row_i = Imap.find xi t.rows in
+  let a = Imap.find xj row_i in
+  let inv_a = 1.0 /. a in
+  let row_j =
+    Imap.fold
+      (fun v c acc -> if v = xj then acc else Imap.add v (-.c *. inv_a) acc)
+      row_i
+      (Imap.singleton xi inv_a)
+  in
+  let rows = Imap.remove xi t.rows in
+  let rows =
+    Imap.map
+      (fun row ->
+        match Imap.find_opt xj row with
+        | None -> row
+        | Some c ->
+          let row = Imap.remove xj row in
+          Imap.fold
+            (fun v cv acc ->
+              Imap.update v
+                (function
+                  | None -> Some (c *. cv)
+                  | Some c0 ->
+                    let s = c0 +. (c *. cv) in
+                    if Float.abs s < eps then None else Some s)
+                acc)
+            row_j row)
+      rows
+  in
+  t.rows <- Imap.add xj row_j rows
+
+let pivot_and_update t xi xj v =
+  let row_i = Imap.find xi t.rows in
+  let a = Imap.find xj row_i in
+  let theta = (v -. t.beta.(xi)) /. a in
+  t.beta.(xi) <- v;
+  t.beta.(xj) <- t.beta.(xj) +. theta;
+  Imap.iter
+    (fun b row ->
+      if b <> xi then
+        match Imap.find_opt xj row with
+        | None -> ()
+        | Some c -> t.beta.(b) <- t.beta.(b) +. (c *. theta))
+    t.rows;
+  pivot t xi xj
+
+(* Phase I.  Entering-variable choice: largest eligible coefficient
+   (Dantzig-like) while progress is made, falling back to Bland's
+   smallest-index rule after a stall to guarantee termination. *)
+let feasibility t =
+  let steps = ref 0 in
+  let bland = ref false in
+  let rec loop () =
+    incr steps;
+    if !steps > 200000 then false
+    else begin
+      if !steps > 5000 then bland := true;
+      let violated =
+        Imap.fold
+          (fun b _ acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> if below_lo t b || above_hi t b then Some b else None)
+          t.rows None
+      in
+      match violated with
+      | None -> true
+      | Some xi -> (
+        let row = Imap.find xi t.rows in
+        let too_low = below_lo t xi in
+        let eligible v c =
+          if too_low = (c > 0.0) then can_increase t v else can_decrease t v
+        in
+        let xj =
+          if !bland then
+            Imap.fold
+              (fun v c acc ->
+                match acc with
+                | Some _ -> acc
+                | None -> if eligible v c then Some v else None)
+              row None
+          else
+            Imap.fold
+              (fun v c acc ->
+                if eligible v c then
+                  match acc with
+                  | Some (_, best) when Float.abs best >= Float.abs c -> acc
+                  | _ -> Some (v, c)
+                else acc)
+              row None
+            |> Option.map fst
+        in
+        match xj with
+        | None -> false
+        | Some xj ->
+          let target = if too_low then t.lo.(xi) else t.hi.(xi) in
+          pivot_and_update t xi xj target;
+          loop ())
+    end
+  in
+  loop ()
+
+let shift_nonbasic t xj step =
+  if Float.abs step > 0.0 then begin
+    Imap.iter
+      (fun b row ->
+        match Imap.find_opt xj row with
+        | None -> ()
+        | Some c -> t.beta.(b) <- t.beta.(b) +. (c *. step))
+      t.rows;
+    t.beta.(xj) <- t.beta.(xj) +. step
+  end
+
+let optimize t z =
+  let steps = ref 0 in
+  let bland = ref false in
+  let rec loop () =
+    incr steps;
+    if !steps > 200000 then `Optimal (* numeric stall: accept current point *)
+    else begin
+      if !steps > 5000 then bland := true;
+      let row_z = Imap.find z t.rows in
+      let entering =
+        if !bland then
+          Imap.fold
+            (fun v c acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if Float.abs c < eps then None
+                else if c < 0.0 && can_increase t v then Some (v, 1.0)
+                else if c > 0.0 && can_decrease t v then Some (v, -1.0)
+                else None)
+            row_z None
+        else
+          (* Dantzig: most-improving reduced cost *)
+          Imap.fold
+            (fun v c acc ->
+              let candidate =
+                if Float.abs c < eps then None
+                else if c < 0.0 && can_increase t v then Some (v, 1.0, -.c)
+                else if c > 0.0 && can_decrease t v then Some (v, -1.0, c)
+                else None
+              in
+              match (candidate, acc) with
+              | None, acc -> acc
+              | Some _, None -> candidate
+              | Some (_, _, score), Some (_, _, best) ->
+                if score > best then candidate else acc)
+            row_z None
+          |> Option.map (fun (v, d, _) -> (v, d))
+      in
+      match entering with
+      | None -> `Optimal
+      | Some (xj, dir) -> (
+        let best = ref None in
+        (let own =
+           if dir > 0.0 then t.hi.(xj) -. t.beta.(xj)
+           else t.beta.(xj) -. t.lo.(xj)
+         in
+         if own < infinity then best := Some (own, `Own));
+        Imap.iter
+          (fun xi row ->
+            if xi <> z then
+              match Imap.find_opt xj row with
+              | None -> ()
+              | Some c ->
+                let rate = c *. dir in
+                let limit =
+                  if rate > eps then (t.hi.(xi) -. t.beta.(xi)) /. rate
+                  else if rate < -.eps then (t.lo.(xi) -. t.beta.(xi)) /. rate
+                  else infinity
+                in
+                if limit < infinity then
+                  match !best with
+                  | Some (b, _) when b <= limit -> ()
+                  | _ -> best := Some (limit, `Basic xi))
+          t.rows;
+        match !best with
+        | None -> `Unbounded
+        | Some (step, `Own) ->
+          shift_nonbasic t xj (dir *. step);
+          loop ()
+        | Some (_, `Basic xi) ->
+          let rate = Imap.find xj (Imap.find xi t.rows) *. dir in
+          let blocked = if rate > 0.0 then t.hi.(xi) else t.lo.(xi) in
+          pivot_and_update t xi xj blocked;
+          loop ())
+    end
+  in
+  loop ()
+
+let minimize t obj ~constant =
+  let z = add_slack t obj in
+  if not (feasibility t) then Infeasible
+  else
+    match optimize t z with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      Optimal
+        {
+          objective = t.beta.(z) +. constant;
+          values = Array.init t.user_vars (fun v -> t.beta.(v));
+        }

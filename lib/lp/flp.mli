@@ -1,0 +1,30 @@
+(** Float bounded-variable simplex — same algorithm as {!Lp} but in
+    IEEE-754 doubles with epsilon tolerances.
+
+    This is what production OPF engines use.  It exists here for the
+    largest test systems, where exact rational minors grow into hundreds of
+    digits, and as the numeric baseline the exact solver is compared
+    against (ablation ABL-FLOAT-LP).  Results carry a ~1e-7 tolerance and
+    no exactness guarantee. *)
+
+type t
+
+type result =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | Unbounded
+
+val create : unit -> t
+val add_var : ?lo:float -> ?hi:float -> t -> int
+
+val set_initial : t -> int -> float -> unit
+(** Warm start: initial value for a variable (clamped to bounds).  Call
+    before adding constraints that mention it. *)
+
+val add_le : t -> (int * float) list -> float -> unit
+(** [(var, coeff)] terms; constant right-hand side. *)
+
+val add_ge : t -> (int * float) list -> float -> unit
+val add_eq : t -> (int * float) list -> float -> unit
+val minimize : t -> (int * float) list -> constant:float -> result
+val n_pivots : t -> int

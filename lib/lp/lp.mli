@@ -1,0 +1,36 @@
+(** Exact rational linear programming.
+
+    Bounded-variable simplex: phase I restores feasibility of the bound
+    system (Dutertre–de Moura style pivoting), phase II minimises a linear
+    objective with Bland's anti-cycling rule.  All arithmetic is exact, so
+    optima are exact rationals — this is the reference optimiser the OPF
+    module uses, and the ground truth the SMT bounded-cost OPF model is
+    validated against. *)
+
+type t
+
+type result =
+  | Optimal of { objective : Numeric.Rat.t; values : Numeric.Rat.t array }
+      (** [values] is indexed by variable id. *)
+  | Infeasible
+  | Unbounded
+
+val create : unit -> t
+
+val add_var :
+  ?lo:Numeric.Rat.t -> ?hi:Numeric.Rat.t -> ?name:string -> t -> int
+(** A new variable; absent bounds mean free in that direction. *)
+
+val set_initial : t -> int -> Numeric.Rat.t -> unit
+(** Warm start: initial value for a variable (clamped to bounds).  Call
+    before adding constraints that mention it. *)
+
+val add_le : t -> Smt.Linexp.t -> Numeric.Rat.t -> unit
+val add_ge : t -> Smt.Linexp.t -> Numeric.Rat.t -> unit
+val add_eq : t -> Smt.Linexp.t -> Numeric.Rat.t -> unit
+
+val minimize : t -> Smt.Linexp.t -> result
+val maximize : t -> Smt.Linexp.t -> result
+
+val n_pivots : t -> int
+(** Total pivots performed so far (for benches). *)

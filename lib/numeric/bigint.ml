@@ -1,0 +1,372 @@
+(* Sign-magnitude representation: [mag] is little-endian, base 2^30, with no
+   trailing zero limb; [mag] is empty iff [sign] is 0. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let is_zero x = x.sign = 0
+let sign x = x.sign
+
+(* ---- magnitude helpers (arrays of limbs, unsigned) ---- *)
+
+let mag_trim a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_of_abs_int n =
+  (* n >= 0 *)
+  if n = 0 then [||]
+  else if n < base then [| n |]
+  else if n < base * base then [| n land mask; n lsr base_bits |]
+  else [| n land mask; (n lsr base_bits) land mask; n lsr (2 * base_bits) |]
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec loop i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else loop (i - 1)
+    in
+    loop (la - 1)
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  assert (!carry = 0);
+  mag_trim r
+
+(* requires a >= b *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  mag_trim r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let v = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- v land mask;
+        carry := v lsr base_bits
+      done;
+      (* propagate remaining carry *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = r.(!k) + !carry in
+        r.(!k) <- v land mask;
+        carry := v lsr base_bits;
+        incr k
+      done
+    done;
+    mag_trim r
+  end
+
+let mag_mul_small a m =
+  (* 0 <= m < base *)
+  if m = 0 || Array.length a = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) * m) + !carry in
+      r.(i) <- v land mask;
+      carry := v lsr base_bits
+    done;
+    r.(la) <- !carry;
+    mag_trim r
+  end
+
+(* divide magnitude by a single limb 0 < d < base; returns (quotient, rem) *)
+let mag_divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_trim q, !r)
+
+let mag_shift_left_bits a s =
+  (* 0 <= s < base_bits *)
+  if s = 0 || Array.length a = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl s) lor !carry in
+      r.(i) <- v land mask;
+      carry := v lsr base_bits
+    done;
+    r.(la) <- !carry;
+    mag_trim r
+  end
+
+let mag_shift_right_bits a s =
+  if s = 0 || Array.length a = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    let carry = ref 0 in
+    for i = la - 1 downto 0 do
+      let v = a.(i) in
+      r.(i) <- (v lsr s) lor (!carry lsl (base_bits - s));
+      carry := v land ((1 lsl s) - 1)
+    done;
+    mag_trim r
+  end
+
+let bit_length_limb v =
+  let rec loop n v = if v = 0 then n else loop (n + 1) (v lsr 1) in
+  loop 0 v
+
+(* Knuth algorithm D.  Requires length b >= 2 and |a| >= |b|. *)
+let mag_divmod_knuth a b =
+  let s = base_bits - bit_length_limb b.(Array.length b - 1) in
+  let u = mag_shift_left_bits a s in
+  let v = mag_shift_left_bits b s in
+  let n = Array.length v in
+  let m = Array.length u - n in
+  (* u padded with one extra high limb *)
+  let u = Array.append u [| 0 |] in
+  let q = Array.make (max (m + 1) 1) 0 in
+  let v1 = v.(n - 1) and v2 = v.(n - 2) in
+  for j = m downto 0 do
+    (* estimate qhat from top two/three limbs *)
+    let top = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+    let qhat = ref (top / v1) and rhat = ref (top mod v1) in
+    if !qhat >= base then begin
+      qhat := base - 1;
+      rhat := top - (!qhat * v1)
+    end;
+    let continue = ref true in
+    while
+      !continue && !rhat < base
+      && !qhat * v2 > (!rhat lsl base_bits) lor u.(j + n - 2)
+    do
+      decr qhat;
+      rhat := !rhat + v1;
+      if !rhat >= base then continue := false
+    done;
+    (* multiply and subtract: u[j .. j+n] -= qhat * v *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr base_bits;
+      let d = u.(i + j) - (p land mask) - !borrow in
+      if d < 0 then begin
+        u.(i + j) <- d + base;
+        borrow := 1
+      end else begin
+        u.(i + j) <- d;
+        borrow := 0
+      end
+    done;
+    let d = u.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* qhat was one too large: add back *)
+      u.(j + n) <- d + base;
+      decr qhat;
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        let sum = u.(i + j) + v.(i) + !c in
+        u.(i + j) <- sum land mask;
+        c := sum lsr base_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !c) land mask
+    end else u.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = mag_shift_right_bits (mag_trim (Array.sub u 0 n)) s in
+  (mag_trim q, r)
+
+let mag_divmod a b =
+  match Array.length b with
+  | 0 -> raise Division_by_zero
+  | _ when mag_compare a b < 0 -> ([||], Array.copy a)
+  | 1 ->
+    let q, r = mag_divmod_small a b.(0) in
+    (q, mag_of_abs_int r)
+  | _ -> mag_divmod_knuth a b
+
+(* ---- signed operations ---- *)
+
+let make sign mag =
+  let mag = mag_trim mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then { sign = 1; mag = mag_of_abs_int n }
+  else if n = min_int then
+    (* -|min_int| overflows; build from string of magnitude *)
+    { sign = -1; mag = mag_of_abs_int max_int |> fun m -> mag_add m [| 1 |] }
+  else { sign = -1; mag = mag_of_abs_int (-n) }
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let to_int x =
+  match Array.length x.mag with
+  | 0 -> Some 0
+  | 1 -> Some (x.sign * x.mag.(0))
+  | 2 -> Some (x.sign * ((x.mag.(1) lsl base_bits) lor x.mag.(0)))
+  | 3 when x.mag.(2) < 1 lsl (62 - (2 * base_bits)) ->
+    Some
+      (x.sign
+      * ((x.mag.(2) lsl (2 * base_bits))
+        lor (x.mag.(1) lsl base_bits)
+        lor x.mag.(0)))
+  | _ -> None
+
+let to_small x =
+  match Array.length x.mag with
+  | 0 -> Some 0
+  | 1 -> Some (x.sign * x.mag.(0))
+  | _ -> None
+
+let to_float x =
+  let acc = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    acc := (!acc *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  float_of_int x.sign *. !acc
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_compare a.mag b.mag
+  else mag_compare b.mag a.mag
+
+let equal a b = compare a b = 0
+let neg x = if x.sign = 0 then zero else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else
+    let c = mag_compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
+    else make b.sign (mag_sub b.mag a.mag)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = mag_divmod a.mag b.mag in
+  let q = make (a.sign * b.sign) qm in
+  let r = make a.sign rm in
+  (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd_mag a b =
+  (* a, b are nonnegative t values *)
+  if is_zero b then a else gcd_mag b (rem a b)
+
+let gcd a b = gcd_mag (abs a) (abs b)
+
+let mul_int a n =
+  if n = 0 || a.sign = 0 then zero
+  else
+    let s = if n > 0 then 1 else -1 in
+    let n = Stdlib.abs n in
+    if n < base then make (a.sign * s) (mag_mul_small a.mag n)
+    else mul a (of_int (s * n))
+
+let ten_pow9 = 1_000_000_000
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec chunks mag acc =
+      if Array.length mag = 0 then acc
+      else
+        let q, r = mag_divmod_small mag ten_pow9 in
+        chunks q (r :: acc)
+    in
+    (match chunks x.mag [] with
+    | [] -> assert false
+    | first :: rest ->
+      if x.sign < 0 then Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let chunk = ref 0 and chunk_len = ref 0 in
+  for i = start to len - 1 do
+    match s.[i] with
+    | '0' .. '9' as c ->
+      chunk := (!chunk * 10) + (Char.code c - Char.code '0');
+      incr chunk_len;
+      if !chunk_len = 9 then begin
+        acc := add (mul_int !acc ten_pow9) (of_int !chunk);
+        chunk := 0;
+        chunk_len := 0
+      end
+    | _ -> invalid_arg "Bigint.of_string: invalid character"
+  done;
+  if !chunk_len > 0 then begin
+    let p = int_of_float (10. ** float_of_int !chunk_len) in
+    acc := add (mul_int !acc p) (of_int !chunk)
+  end;
+  if negative then neg !acc else !acc
+
+let pow10 n =
+  let rec loop acc n = if n = 0 then acc else loop (mul_int acc 10) (n - 1) in
+  loop one n
+
+let hash x = Hashtbl.hash (x.sign, x.mag)
+let pp fmt x = Format.pp_print_string fmt (to_string x)

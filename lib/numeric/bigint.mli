@@ -1,0 +1,57 @@
+(** Arbitrary-precision signed integers.
+
+    Substrate for the exact rational arithmetic used by the SMT and LP
+    solvers (the container has no [zarith]).  Limbs are stored little-endian
+    in base 2{^30}, so limb products fit comfortably in OCaml's native 63-bit
+    integers. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int option
+(** [to_int x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_small : t -> int option
+(** [Some n] when the magnitude fits in a single 30-bit limb — the cheap
+    fast-path test used by {!Rat}'s native-arithmetic shortcuts. *)
+
+val to_float : t -> float
+(** Nearest float; may lose precision or be infinite for huge values. *)
+
+val of_string : string -> t
+(** Decimal, with optional leading [-].  @raise Invalid_argument on junk. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [q] truncated toward zero
+    and [sign r = sign a] (or zero).  @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Greatest common divisor of absolute values; [gcd 0 0 = 0]. *)
+
+val mul_int : t -> int -> t
+val pow10 : int -> t
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

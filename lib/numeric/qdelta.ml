@@ -1,0 +1,27 @@
+type t = { real : Rat.t; delta : Rat.t }
+
+let zero = { real = Rat.zero; delta = Rat.zero }
+let of_rat r = { real = r; delta = Rat.zero }
+let make real delta = { real; delta }
+let add a b = { real = Rat.add a.real b.real; delta = Rat.add a.delta b.delta }
+let sub a b = { real = Rat.sub a.real b.real; delta = Rat.sub a.delta b.delta }
+let neg a = { real = Rat.neg a.real; delta = Rat.neg a.delta }
+let scale k a = { real = Rat.mul k a.real; delta = Rat.mul k a.delta }
+
+let compare a b =
+  let c = Rat.compare a.real b.real in
+  if c <> 0 then c else Rat.compare a.delta b.delta
+
+let equal a b = compare a b = 0
+let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
+let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let concretize ~epsilon a = Rat.add a.real (Rat.mul a.delta epsilon)
+
+let pp fmt a =
+  if Rat.is_zero a.delta then Rat.pp fmt a.real
+  else
+    Format.fprintf fmt "%a%s%ad" Rat.pp a.real
+      (if Stdlib.( >= ) (Rat.sign a.delta) 0 then "+" else "")
+      Rat.pp a.delta

@@ -1,0 +1,28 @@
+(** Delta-rationals [a + b·ε] with ε an infinitesimal.
+
+    Used by the LRA simplex to represent strict bounds exactly
+    (Dutertre–de Moura): [x < c] becomes [x <= c - ε]. *)
+
+type t = { real : Rat.t; delta : Rat.t }
+
+val zero : t
+val of_rat : Rat.t -> t
+val make : Rat.t -> Rat.t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val concretize : epsilon:Rat.t -> t -> Rat.t
+(** Substitute a concrete positive value for ε. *)
+
+val pp : Format.formatter -> t -> unit

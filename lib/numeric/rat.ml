@@ -1,0 +1,151 @@
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let zero = { num = B.zero; den = B.one }
+let one = { num = B.one; den = B.one }
+let minus_one = { num = B.minus_one; den = B.one }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then zero
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.equal g B.one then { num; den }
+    else { num = B.div num g; den = B.div den g }
+  end
+
+(* ---- native fast paths ----
+   The SMT simplex hammers rational arithmetic; when numerator and
+   denominator fit in one limb (30 bits) all operations stay in native
+   integers (products bounded by 2^60 < max_int). *)
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+(* construct n/d for native ints with |n|,|d| possibly up to ~2^61 *)
+let make_ints n d =
+  if d = 0 then raise Division_by_zero;
+  if n = 0 then zero
+  else begin
+    let n, d = if d < 0 then (-n, -d) else (n, d) in
+    let g = gcd_int (abs n) d in
+    { num = B.of_int (n / g); den = B.of_int (d / g) }
+  end
+
+let small x =
+  match B.to_small x.num with
+  | None -> None
+  | Some n -> (
+    match B.to_small x.den with None -> None | Some d -> Some (n, d))
+
+let of_int n = { num = B.of_int n; den = B.one }
+let of_ints n d = make (B.of_int n) (B.of_int d)
+
+let of_decimal_string s =
+  let s = String.trim s in
+  match String.index_opt s '.' with
+  | None -> { num = B.of_string s; den = B.one }
+  | Some i ->
+    let whole = String.sub s 0 i in
+    let frac = String.sub s (i + 1) (String.length s - i - 1) in
+    let digits = String.length frac in
+    let sign_neg = String.length whole > 0 && whole.[0] = '-' in
+    let whole_b = if whole = "" || whole = "-" || whole = "+" then B.zero else B.of_string whole in
+    let frac_b = if frac = "" then B.zero else B.of_string frac in
+    let scale = B.pow10 digits in
+    let mag = B.add (B.mul (B.abs whole_b) scale) frac_b in
+    let num = if sign_neg || B.sign whole_b < 0 then B.neg mag else mag in
+    make num scale
+
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Rat.of_float: not finite";
+  if f = 0.0 then zero
+  else begin
+    let m, e = Float.frexp f in
+    (* m in (-1,-0.5] or [0.5,1); m * 2^53 is an exact integer *)
+    let mant = Int64.of_float (Float.ldexp m 53) in
+    let e = e - 53 in
+    let num = B.of_string (Int64.to_string mant) in
+    let rec pow2 acc k = if k = 0 then acc else pow2 (B.mul_int acc 2) (k - 1) in
+    if e >= 0 then make (B.mul num (pow2 B.one e)) B.one
+    else make num (pow2 B.one (-e))
+  end
+
+let to_float x = B.to_float x.num /. B.to_float x.den
+
+let compare a b =
+  match (small a, small b) with
+  | Some (an, ad), Some (bn, bd) -> Stdlib.compare (an * bd) (bn * ad)
+  | _ -> B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let sign x = B.sign x.num
+let is_zero x = B.is_zero x.num
+let neg x = { num = B.neg x.num; den = x.den }
+let abs x = if sign x < 0 then neg x else x
+
+let add a b =
+  match (small a, small b) with
+  | Some (an, ad), Some (bn, bd) -> make_ints ((an * bd) + (bn * ad)) (ad * bd)
+  | _ ->
+    make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (small a, small b) with
+  | Some (an, ad), Some (bn, bd) -> make_ints (an * bn) (ad * bd)
+  | _ -> make (B.mul a.num b.num) (B.mul a.den b.den)
+
+let div a b =
+  match (small a, small b) with
+  | Some (an, ad), Some (bn, bd) -> make_ints (an * bd) (ad * bn)
+  | _ -> make (B.mul a.num b.den) (B.mul a.den b.num)
+
+let inv x = make x.den x.num
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+
+let to_string x =
+  if B.equal x.den B.one then B.to_string x.num
+  else B.to_string x.num ^ "/" ^ B.to_string x.den
+
+let round_to_digits d x =
+  let scale = B.pow10 d in
+  (* round(num * scale / den) half away from zero *)
+  let n = B.mul x.num scale in
+  let q, r = B.divmod n x.den in
+  let twice_r = B.mul_int (B.abs r) 2 in
+  let q =
+    if Stdlib.( >= ) (B.compare twice_r x.den) 0 then
+      B.add q (B.of_int (B.sign x.num))
+    else q
+  in
+  make q scale
+
+let to_decimal_string ?(digits = 6) x =
+  let open Stdlib in
+  (* round |num|*10^digits / den half away from zero, then re-insert the dot *)
+  let n = B.mul (B.abs x.num) (B.pow10 digits) in
+  let q, r = B.divmod n x.den in
+  let q = if B.compare (B.mul_int r 2) x.den >= 0 then B.add q B.one else q in
+  let s = B.to_string q in
+  let s = if String.length s <= digits then String.make (digits + 1 - String.length s) '0' ^ s else s in
+  let cut = String.length s - digits in
+  let sign_str = if B.sign x.num < 0 && not (B.is_zero q) then "-" else "" in
+  if digits = 0 then sign_str ^ s
+  else sign_str ^ String.sub s 0 cut ^ "." ^ String.sub s cut digits
+
+let hash x = Stdlib.( + ) (B.hash x.num) (Stdlib.( * ) 31 (B.hash x.den))
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,61 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Invariant: denominator > 0 and gcd(|num|, den) = 1; zero is 0/1.  These
+    are the numerals used throughout the SMT and LP solvers, mirroring the
+    exact arithmetic Z3 applies to [Real] terms in the paper's models. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] normalises; @raise Division_by_zero when [den] is 0. *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+
+val of_decimal_string : string -> t
+(** Parse e.g. ["16.90"], ["-0.05"], ["3"] exactly. *)
+
+val of_float : float -> t
+(** Exact binary expansion of a finite float.  @raise Invalid_argument on
+    nan/infinite input. *)
+
+val to_float : t -> float
+val to_string : t -> string
+val to_decimal_string : ?digits:int -> t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val inv : t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val round_to_digits : int -> t -> t
+(** [round_to_digits d x] rounds half-away-from-zero to [d] decimal digits —
+    the discretisation the paper uses to merge nearby attack vectors. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** DC optimal power flow (paper Section II-D, Eqs. 3-6) solved exactly as
+    a linear program over voltage angles and generator set-points.
+
+    Cost model: piecewise-linear single-segment [C_k(P) = alpha_k +
+    beta_k P] (Section III-E).  Line limits are enforced in both
+    directions; the slack angle is fixed at zero. *)
+
+type dispatch = {
+  cost : Numeric.Rat.t;  (** total generation cost, alphas included *)
+  pg : Numeric.Rat.t array;  (** per generator (index into [grid.gens]) *)
+  theta : Numeric.Rat.t array;  (** per bus *)
+  flows : Numeric.Rat.t array;  (** per line (0 when unmapped) *)
+}
+
+type outcome = Dispatch of dispatch | Infeasible | Unbounded
+
+val solve : ?loads:Numeric.Rat.t array -> Grid.Topology.t -> outcome
+(** [loads] is a per-bus vector; defaults to the grid's existing loads.
+    The topology's [mapped] set decides which lines carry power — this is
+    how the operator's OPF consumes the (possibly poisoned) topology. *)
+
+val base_case : Grid.Network.t -> outcome
+(** Attack-free OPF: true topology, existing loads. *)

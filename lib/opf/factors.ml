@@ -1,0 +1,93 @@
+module M = Linalg.Mat
+module Lu = Linalg.Lu
+module Q = Numeric.Rat
+module N = Grid.Network
+
+type t = {
+  topo : Grid.Topology.t;
+  xmat : M.t; (* inverse of reduced susceptance matrix *)
+}
+
+let make topo =
+  let reduced = Grid.Topology.b_reduced topo in
+  match Lu.inverse reduced with
+  | exception Lu.Singular -> failwith "Factors.make: islanded topology"
+  | xmat -> { topo; xmat }
+
+(* entry of the full (slack-padded) inverse *)
+let x t i j =
+  let slack = t.topo.Grid.Topology.slack in
+  if i = slack || j = slack then 0.0
+  else
+    let r = if i < slack then i else i - 1 in
+    let c = if j < slack then j else j - 1 in
+    M.get t.xmat r c
+
+let ptdf t ~line ~bus =
+  if not t.topo.Grid.Topology.mapped.(line) then 0.0
+  else begin
+    let ln = t.topo.Grid.Topology.grid.N.lines.(line) in
+    let d = Q.to_float ln.N.admittance in
+    d *. (x t ln.N.from_bus bus -. x t ln.N.to_bus bus)
+  end
+
+let ptdf_pair t ~line ~from_bus ~to_bus =
+  ptdf t ~line ~bus:from_bus -. ptdf t ~line ~bus:to_bus
+
+let flows_from_injections t injections =
+  let grid = t.topo.Grid.Topology.grid in
+  Array.init (N.n_lines grid) (fun i ->
+      if not t.topo.Grid.Topology.mapped.(i) then 0.0
+      else begin
+        let acc = ref 0.0 in
+        for j = 0 to grid.N.n_buses - 1 do
+          if injections.(j) <> 0.0 then
+            acc := !acc +. (ptdf t ~line:i ~bus:j *. injections.(j))
+        done;
+        !acc
+      end)
+
+let lodf t ~outage i =
+  let grid = t.topo.Grid.Topology.grid in
+  let lo = grid.N.lines.(outage) in
+  let self =
+    ptdf_pair t ~line:outage ~from_bus:lo.N.from_bus ~to_bus:lo.N.to_bus
+  in
+  if i = outage then -1.0
+  else begin
+    let denom = 1.0 -. self in
+    if Float.abs denom < 1e-9 then
+      (* radial line: outage islands the system; no meaningful factor *)
+      Float.nan
+    else
+      ptdf_pair t ~line:i ~from_bus:lo.N.from_bus ~to_bus:lo.N.to_bus /. denom
+  end
+
+let flows_after_outage t ~base_flows ~outage =
+  Array.mapi
+    (fun i f ->
+      if i = outage then 0.0
+      else f +. (lodf t ~outage i *. base_flows.(outage)))
+    base_flows
+
+(* Thevenin reactance between the end buses of a line *)
+let thevenin t f e = x t f f -. (2.0 *. x t f e) +. (x t e e)
+
+let closure_flow t ~theta ~line =
+  let ln = t.topo.Grid.Topology.grid.N.lines.(line) in
+  let d = Q.to_float ln.N.admittance in
+  let dtheta = theta.(ln.N.from_bus) -. theta.(ln.N.to_bus) in
+  let xth = thevenin t ln.N.from_bus ln.N.to_bus in
+  d *. dtheta /. (1.0 +. (d *. xth))
+
+let flows_after_closure t ~theta ~base_flows ~line =
+  let ln = t.topo.Grid.Topology.grid.N.lines.(line) in
+  let p_new = closure_flow t ~theta ~line in
+  Array.mapi
+    (fun i f ->
+      if i = line then p_new
+      else
+        f
+        -. (ptdf_pair t ~line:i ~from_bus:ln.N.from_bus ~to_bus:ln.N.to_bus
+           *. p_new))
+    base_flows

@@ -1,0 +1,40 @@
+(** Linear distribution factors (paper Section IV-A, scalability idea 2).
+
+    - PTDF (generation-to-load shift factors): sensitivity of each mapped
+      line's flow to a unit injection at a bus, withdrawn at the slack.
+    - LODF (line outage distribution factors): post-outage flow correction
+      for the exclusion attacks.
+    - LCDF (line closure distribution factors): flow of a newly closed
+      line and its effect on the rest, for the inclusion attacks.
+
+    All factors are floats, as in production contingency analysis. *)
+
+type t
+
+val make : Grid.Topology.t -> t
+(** Factorises the reduced susceptance matrix of the mapped topology.
+    @raise Failure when it is singular (islanded topology). *)
+
+val ptdf : t -> line:int -> bus:int -> float
+(** Zero for the slack bus and for unmapped lines. *)
+
+val ptdf_pair : t -> line:int -> from_bus:int -> to_bus:int -> float
+(** [ptdf line f - ptdf line e]: sensitivity to a transfer f -> e. *)
+
+val flows_from_injections : t -> float array -> float array
+(** Line flows given per-bus net injections (generation minus load). *)
+
+val lodf : t -> outage:int -> int -> float
+(** [lodf t ~outage i]: fraction of the outaged line's pre-outage flow
+    that shifts onto line [i]. *)
+
+val flows_after_outage : t -> base_flows:float array -> outage:int -> float array
+(** Post-exclusion flows; the outaged line's entry becomes 0. *)
+
+val closure_flow : t -> theta:float array -> line:int -> float
+(** Flow the (currently unmapped) line would carry once closed, given the
+    pre-closure angles. *)
+
+val flows_after_closure :
+  t -> theta:float array -> base_flows:float array -> line:int -> float array
+(** Post-inclusion flows; the closed line's entry carries its new flow. *)

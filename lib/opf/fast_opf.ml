@@ -1,0 +1,122 @@
+module Q = Numeric.Rat
+module L = Smt.Linexp
+module N = Grid.Network
+
+(* round a factor to 6 decimal digits as a small rational; factors are
+   bounded (|PTDF| <= ~2, angles well under 10^3), so the scaled value
+   fits a native int comfortably *)
+let q_of_factor f = Q.of_ints (int_of_float (Float.round (f *. 1e5))) 100_000
+
+let solve ?loads (topo : Grid.Topology.t) =
+  let grid = topo.Grid.Topology.grid in
+  let b = grid.N.n_buses in
+  let loads =
+    match loads with
+    | Some v -> v
+    | None ->
+      let v = Array.make b Q.zero in
+      Array.iter (fun (l : N.load) -> v.(l.N.lbus) <- l.N.existing) grid.N.loads;
+      v
+  in
+  match Factors.make topo with
+  | exception Failure _ -> Dc_opf.Infeasible
+  | factors ->
+    let lp = Lp.create () in
+    let pg =
+      Array.map (fun (g : N.gen) -> Lp.add_var ~lo:g.N.pmin ~hi:g.N.pmax lp)
+        grid.N.gens
+    in
+    let total_load = Array.fold_left Q.add Q.zero loads in
+    (* warm start at the balanced proportional dispatch *)
+    let cap_total =
+      Array.fold_left (fun acc (g : N.gen) -> Q.add acc g.N.pmax) Q.zero
+        grid.N.gens
+    in
+    if Q.sign cap_total > 0 then
+      Array.iteri
+        (fun k (g : N.gen) ->
+          Lp.set_initial lp pg.(k)
+            (Q.div (Q.mul total_load g.N.pmax) cap_total))
+        grid.N.gens;
+    (* energy balance *)
+    Lp.add_eq lp (L.sum (Array.to_list (Array.map L.var pg))) total_load;
+    (* flow_i = sum_j ptdf(i,j) * (Pg_j - Pd_j); generation contributes via
+       its bus, loads contribute a constant offset *)
+    Array.iteri
+      (fun i (ln : N.line) ->
+        if topo.Grid.Topology.mapped.(i) then begin
+          let gen_part =
+            L.sum
+              (Array.to_list
+                 (Array.mapi
+                    (fun k (g : N.gen) ->
+                      let f =
+                        q_of_factor (Factors.ptdf factors ~line:i ~bus:g.N.gbus)
+                      in
+                      L.monomial f pg.(k))
+                    grid.N.gens))
+          in
+          let load_part =
+            Array.to_list
+              (Array.init b (fun j ->
+                   Q.mul
+                     (q_of_factor (Factors.ptdf factors ~line:i ~bus:j))
+                     loads.(j)))
+            |> List.fold_left Q.add Q.zero
+          in
+          (* constraint screening: keep only lines that can bind within
+             the generation box (standard OPF preprocessing) *)
+          let lo_flow = ref (Q.neg load_part) and hi_flow = ref (Q.neg load_part) in
+          Array.iter
+            (fun (g : N.gen) ->
+              let f = q_of_factor (Factors.ptdf factors ~line:i ~bus:g.N.gbus) in
+              let a = Q.mul f g.N.pmin and bb = Q.mul f g.N.pmax in
+              lo_flow := Q.add !lo_flow (Q.min a bb);
+              hi_flow := Q.add !hi_flow (Q.max a bb))
+            grid.N.gens;
+          if Q.( > ) !hi_flow ln.N.capacity || Q.( < ) !lo_flow (Q.neg ln.N.capacity)
+          then begin
+            let flow = L.sub gen_part (L.const load_part) in
+            Lp.add_le lp flow ln.N.capacity;
+            Lp.add_ge lp flow (Q.neg ln.N.capacity)
+          end
+        end)
+      grid.N.lines;
+    let objective =
+      L.sum
+        (Array.to_list
+           (Array.mapi
+              (fun k (g : N.gen) ->
+                L.add (L.monomial g.N.beta pg.(k)) (L.const g.N.alpha))
+              grid.N.gens))
+    in
+    (match Lp.minimize lp objective with
+    | Lp.Infeasible -> Dc_opf.Infeasible
+    | Lp.Unbounded -> Dc_opf.Unbounded
+    | Lp.Optimal { objective = cost; values } ->
+      let pg_v = Array.map (fun v -> values.(v)) pg in
+      (* recover angles/flows from a float power flow at the optimum (the
+         factor formulation itself is float-rounded, so an exact solve
+         would add cost without adding accuracy) *)
+      let gen_bus = Array.make b 0.0 in
+      Array.iteri
+        (fun k (g : N.gen) -> gen_bus.(g.N.gbus) <- Q.to_float pg_v.(k))
+        grid.N.gens;
+      let load_f = Array.map Q.to_float loads in
+      (match Grid.Powerflow.solve_float topo ~gen:gen_bus ~load:load_f with
+      | Ok (theta_f, flows_f) ->
+        Dc_opf.Dispatch
+          {
+            cost;
+            pg = pg_v;
+            theta = Array.map q_of_factor theta_f;
+            flows = Array.map q_of_factor flows_f;
+          }
+      | Error _ ->
+        Dc_opf.Dispatch
+          {
+            cost;
+            pg = pg_v;
+            theta = Array.make b Q.zero;
+            flows = Array.make (N.n_lines grid) Q.zero;
+          }))

@@ -1,0 +1,13 @@
+(** Shift-factor DC-OPF (paper Section IV-A): replaces the angle variables
+    with PTDF-based flow expressions, shrinking the LP to the generator
+    set-points only.  This is the formulation the paper switches to for
+    the 57- and 118-bus systems.
+
+    PTDF coefficients are computed in floats and rounded to 5 decimal
+    digits before entering the exact LP, so the optimisation itself stays
+    exact with respect to the rounded factors. *)
+
+val solve :
+  ?loads:Numeric.Rat.t array -> Grid.Topology.t -> Dc_opf.outcome
+(** Same interface and semantics as {!Dc_opf.solve}; results agree with it
+    up to factor rounding. *)

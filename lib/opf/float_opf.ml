@@ -1,0 +1,112 @@
+module Q = Numeric.Rat
+module N = Grid.Network
+
+let solve ?loads (topo : Grid.Topology.t) =
+  let grid = topo.Grid.Topology.grid in
+  let b = grid.N.n_buses in
+  let loads =
+    match loads with
+    | Some v -> v
+    | None ->
+      let v = Array.make b Q.zero in
+      Array.iter (fun (l : N.load) -> v.(l.N.lbus) <- l.N.existing) grid.N.loads;
+      v
+  in
+  match Factors.make topo with
+  | exception Failure _ -> Dc_opf.Infeasible
+  | factors ->
+    let loads_f = Array.map Q.to_float loads in
+    let lp = Flp.create () in
+    let pg =
+      Array.map
+        (fun (g : N.gen) ->
+          Flp.add_var ~lo:(Q.to_float g.N.pmin) ~hi:(Q.to_float g.N.pmax) lp)
+        grid.N.gens
+    in
+    let total_load = Array.fold_left ( +. ) 0.0 loads_f in
+    (* warm start at the balanced proportional dispatch: phase I then only
+       repairs the few lines the optimum actually stresses *)
+    let cap_total =
+      Array.fold_left (fun acc (g : N.gen) -> acc +. Q.to_float g.N.pmax) 0.0
+        grid.N.gens
+    in
+    if cap_total > 0.0 then
+      Array.iteri
+        (fun k (g : N.gen) ->
+          Flp.set_initial lp pg.(k)
+            (total_load *. Q.to_float g.N.pmax /. cap_total))
+        grid.N.gens;
+    Flp.add_eq lp
+      (Array.to_list (Array.map (fun v -> (v, 1.0)) pg))
+      total_load;
+    Array.iteri
+      (fun i (ln : N.line) ->
+        if topo.Grid.Topology.mapped.(i) then begin
+          let gen_terms =
+            Array.to_list
+              (Array.mapi
+                 (fun k (g : N.gen) ->
+                   (pg.(k), Factors.ptdf factors ~line:i ~bus:g.N.gbus))
+                 grid.N.gens)
+          in
+          let load_part = ref 0.0 in
+          for j = 0 to b - 1 do
+            if loads_f.(j) <> 0.0 then
+              load_part :=
+                !load_part +. (Factors.ptdf factors ~line:i ~bus:j *. loads_f.(j))
+          done;
+          let cap = Q.to_float ln.N.capacity in
+          (* constraint screening: skip lines that cannot bind anywhere in
+             the generation box (standard OPF preprocessing) *)
+          let lo_flow = ref (-. !load_part) and hi_flow = ref (-. !load_part) in
+          List.iteri
+            (fun k (_, c) ->
+              let g = grid.N.gens.(k) in
+              let a = c *. Q.to_float g.N.pmin
+              and bb = c *. Q.to_float g.N.pmax in
+              lo_flow := !lo_flow +. Float.min a bb;
+              hi_flow := !hi_flow +. Float.max a bb)
+            gen_terms;
+          (* per-side screening: only add the directions that can bind *)
+          if !hi_flow > cap +. 1e-9 then
+            Flp.add_le lp gen_terms (cap +. !load_part);
+          if !lo_flow < -.cap -. 1e-9 then
+            Flp.add_ge lp gen_terms (-.cap +. !load_part)
+        end)
+      grid.N.lines;
+    let obj =
+      Array.to_list
+        (Array.mapi (fun k (g : N.gen) -> (pg.(k), Q.to_float g.N.beta))
+           grid.N.gens)
+    in
+    let constant =
+      Array.fold_left (fun acc (g : N.gen) -> acc +. Q.to_float g.N.alpha) 0.0
+        grid.N.gens
+    in
+    (match Flp.minimize lp obj ~constant with
+    | Flp.Infeasible -> Dc_opf.Infeasible
+    | Flp.Unbounded -> Dc_opf.Unbounded
+    | Flp.Optimal { objective; values } ->
+      let q4 f = Q.of_ints (int_of_float (Float.round (f *. 1e4))) 10_000 in
+      let pg_v = Array.map (fun v -> q4 values.(v)) pg in
+      let gen_bus = Array.make b 0.0 in
+      Array.iteri
+        (fun k (g : N.gen) -> gen_bus.(g.N.gbus) <- values.(pg.(k)))
+        grid.N.gens;
+      (match Grid.Powerflow.solve_float topo ~gen:gen_bus ~load:loads_f with
+      | Ok (theta_f, flows_f) ->
+        Dc_opf.Dispatch
+          {
+            cost = q4 objective;
+            pg = pg_v;
+            theta = Array.map q4 theta_f;
+            flows = Array.map q4 flows_f;
+          }
+      | Error _ ->
+        Dc_opf.Dispatch
+          {
+            cost = q4 objective;
+            pg = pg_v;
+            theta = Array.make b Q.zero;
+            flows = Array.make (N.n_lines grid) Q.zero;
+          }))

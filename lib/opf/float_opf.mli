@@ -1,0 +1,8 @@
+(** Shift-factor DC-OPF in pure floating point ({!Lp.Flp} backend).
+
+    The production-style numeric path used for the largest systems, where
+    the exact rational LP's coefficient growth becomes the bottleneck.
+    Costs carry float tolerance (~1e-6 relative); the returned rationals
+    are rounded to 4 decimal digits. *)
+
+val solve : ?loads:Numeric.Rat.t array -> Grid.Topology.t -> Dc_opf.outcome

@@ -1,0 +1,9 @@
+let solve_factors ?loads (topo : Grid.Topology.t) =
+  if topo.Grid.Topology.grid.Grid.Network.n_buses <= 60 then
+    Fast_opf.solve ?loads topo
+  else Float_opf.solve ?loads topo
+
+let solve ?loads (topo : Grid.Topology.t) =
+  if topo.Grid.Topology.grid.Grid.Network.n_buses <= 20 then
+    Dc_opf.solve ?loads topo
+  else solve_factors ?loads topo

@@ -1,0 +1,39 @@
+(** The paper's OPF model as an SMT feasibility query (Section III-E,
+    Eqs. 30-36): "is there a dispatch whose total cost is at most
+    [budget]?".  Impact verification (Eq. 37) asks this with
+    [budget = T* . I / 100] and succeeds when the answer is unsat.
+
+    [encode] exposes the constraint set so the combined attack+OPF model
+    of Section III-A can embed it in a larger formula. *)
+
+type encoded = {
+  pg_vars : int array;  (** solver real vars, per generator *)
+  theta_vars : int array;  (** per bus *)
+  cost_var : int;  (** named total-cost variable *)
+}
+
+val encode :
+  Smt.Solver.t ->
+  ?loads:Numeric.Rat.t array ->
+  Grid.Topology.t ->
+  encoded
+(** Assert Eqs. 30-34 and generator bounds for the given (possibly
+    poisoned) topology and loads; no cost bound is asserted. *)
+
+val feasible :
+  ?loads:Numeric.Rat.t array ->
+  Grid.Topology.t ->
+  budget:Numeric.Rat.t ->
+  [ `Sat | `Unsat ]
+(** One-shot bounded-cost feasibility (fresh solver). *)
+
+val minimum_cost :
+  ?loads:Numeric.Rat.t array ->
+  ?tolerance:Numeric.Rat.t ->
+  Grid.Topology.t ->
+  Numeric.Rat.t option
+(** The OPF optimum found purely through the SMT model, by binary search
+    on the cost budget (each probe is a fresh bounded-cost query) — how
+    the paper's framework would localise the optimum without an LP
+    solver.  [tolerance] defaults to 1/100 ($0.01).  [None] when even the
+    loosest budget is infeasible. *)

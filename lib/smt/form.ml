@@ -1,0 +1,67 @@
+module Q = Numeric.Rat
+
+type op = Le | Lt
+
+type t =
+  | True
+  | False
+  | Bvar of int
+  | Atom of op * Linexp.t
+  | Not of t
+  | And of t list
+  | Or of t list
+
+let tru = True
+let fls = False
+let bvar v = Bvar v
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let and_ fs =
+  let fs = List.filter (fun f -> f <> True) fs in
+  if List.exists (fun f -> f = False) fs then False
+  else match fs with [] -> True | [ f ] -> f | fs -> And fs
+
+let or_ fs =
+  let fs = List.filter (fun f -> f <> False) fs in
+  if List.exists (fun f -> f = True) fs then True
+  else match fs with [] -> False | [ f ] -> f | fs -> Or fs
+
+let implies a b = or_ [ not_ a; b ]
+let iff a b = and_ [ implies a b; implies b a ]
+let ite c a b = and_ [ implies c a; implies (not_ c) b ]
+
+let mk_atom op e =
+  if Linexp.is_const e then
+    let c = Q.compare (Linexp.const_part e) Q.zero in
+    match op with
+    | Le -> if c <= 0 then True else False
+    | Lt -> if c < 0 then True else False
+  else Atom (op, e)
+
+let le a b = mk_atom Le (Linexp.sub a b)
+let lt a b = mk_atom Lt (Linexp.sub a b)
+let ge a b = le b a
+let gt a b = lt b a
+let eq a b = and_ [ le a b; ge a b ]
+let neq a b = or_ [ lt a b; gt a b ]
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Bvar v -> Format.fprintf fmt "b%d" v
+  | Atom (Le, e) -> Format.fprintf fmt "(%a <= 0)" Linexp.pp e
+  | Atom (Lt, e) -> Format.fprintf fmt "(%a < 0)" Linexp.pp e
+  | Not f -> Format.fprintf fmt "(not %a)" pp f
+  | And fs ->
+    Format.fprintf fmt "(and";
+    List.iter (fun f -> Format.fprintf fmt " %a" pp f) fs;
+    Format.fprintf fmt ")"
+  | Or fs ->
+    Format.fprintf fmt "(or";
+    List.iter (fun f -> Format.fprintf fmt " %a" pp f) fs;
+    Format.fprintf fmt ")"

@@ -1,0 +1,35 @@
+(** Quantifier-free formulas over Boolean variables and linear rational
+    arithmetic atoms.  Variables are solver-issued integers (see
+    {!Solver.fresh_bool} and {!Solver.fresh_real}). *)
+
+type op = Le | Lt  (** atom [e op 0] *)
+
+type t =
+  | True
+  | False
+  | Bvar of int
+  | Atom of op * Linexp.t
+  | Not of t
+  | And of t list
+  | Or of t list
+
+val tru : t
+val fls : t
+val bvar : int -> t
+val not_ : t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val ite : t -> t -> t -> t
+
+(** Comparisons between linear expressions. *)
+
+val le : Linexp.t -> Linexp.t -> t
+val lt : Linexp.t -> Linexp.t -> t
+val ge : Linexp.t -> Linexp.t -> t
+val gt : Linexp.t -> Linexp.t -> t
+val eq : Linexp.t -> Linexp.t -> t
+val neq : Linexp.t -> Linexp.t -> t
+
+val pp : Format.formatter -> t -> unit

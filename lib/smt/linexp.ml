@@ -1,0 +1,63 @@
+module Q = Numeric.Rat
+
+module Imap = Map.Make (Int)
+
+type t = { coeffs : Q.t Imap.t; const : Q.t }
+
+let zero = { coeffs = Imap.empty; const = Q.zero }
+let const c = { coeffs = Imap.empty; const = c }
+
+let monomial c v =
+  if Q.is_zero c then zero else { coeffs = Imap.singleton v c; const = Q.zero }
+
+let var v = monomial Q.one v
+
+let add_coeff v c m =
+  Imap.update v
+    (function
+      | None -> if Q.is_zero c then None else Some c
+      | Some c0 ->
+        let c' = Q.add c0 c in
+        if Q.is_zero c' then None else Some c')
+    m
+
+let add a b =
+  {
+    coeffs = Imap.fold add_coeff b.coeffs a.coeffs;
+    const = Q.add a.const b.const;
+  }
+
+let scale k e =
+  if Q.is_zero k then zero
+  else { coeffs = Imap.map (Q.mul k) e.coeffs; const = Q.mul k e.const }
+
+let neg e = scale Q.minus_one e
+let sub a b = add a (neg b)
+let sum es = List.fold_left add zero es
+let terms e = Imap.bindings e.coeffs
+let const_part e = e.const
+let is_const e = Imap.is_empty e.coeffs
+
+let eval assignment e =
+  Imap.fold (fun v c acc -> Q.add acc (Q.mul c (assignment v))) e.coeffs e.const
+
+let key e =
+  let buf = Buffer.create 32 in
+  Imap.iter
+    (fun v c ->
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Q.to_string c);
+      Buffer.add_char buf ';')
+    e.coeffs;
+  Buffer.contents buf
+
+let pp fmt e =
+  let first = ref true in
+  Imap.iter
+    (fun v c ->
+      Format.fprintf fmt "%s%a*x%d" (if !first then "" else " + ") Q.pp c v;
+      first := false)
+    e.coeffs;
+  if not (Q.is_zero e.const) || !first then
+    Format.fprintf fmt "%s%a" (if !first then "" else " + ") Q.pp e.const

@@ -1,0 +1,25 @@
+(** Linear expressions [sum_i c_i * x_i + const] over integer-indexed real
+    variables with exact rational coefficients. *)
+
+type t
+
+val zero : t
+val const : Numeric.Rat.t -> t
+val var : int -> t
+val monomial : Numeric.Rat.t -> int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Numeric.Rat.t -> t -> t
+val sum : t list -> t
+
+val terms : t -> (int * Numeric.Rat.t) list
+(** Sorted by variable index; no zero coefficients. *)
+
+val const_part : t -> Numeric.Rat.t
+val is_const : t -> bool
+val eval : (int -> Numeric.Rat.t) -> t -> Numeric.Rat.t
+val key : t -> string
+(** Canonical key of the terms (ignores the constant part). *)
+
+val pp : Format.formatter -> t -> unit

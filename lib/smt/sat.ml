@@ -1,0 +1,437 @@
+type lit = int
+
+let lit_of_var v pos = (2 * v) + if pos then 0 else 1
+let var_of_lit l = l lsr 1
+let lit_is_pos l = l land 1 = 0
+let lit_neg l = l lxor 1
+
+type theory = {
+  t_assert : lit -> lit array option;
+  t_new_level : unit -> unit;
+  t_backtrack : int -> unit;
+  t_check : final:bool -> lit array option;
+}
+
+let no_theory =
+  {
+    t_assert = (fun _ -> None);
+    t_new_level = (fun () -> ());
+    t_backtrack = (fun _ -> ());
+    t_check = (fun ~final:_ -> None);
+  }
+
+(* growable arrays (OCaml 5.1 has no Dynarray) *)
+module Grow = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+  let push g x =
+    if g.len = Array.length g.data then begin
+      let d = Array.make (2 * g.len) g.dummy in
+      Array.blit g.data 0 d 0 g.len;
+      g.data <- d
+    end;
+    g.data.(g.len) <- x;
+    g.len <- g.len + 1
+
+  let get g i = g.data.(i)
+  let len g = g.len
+  let shrink g n = g.len <- n
+end
+
+type value = Undef | True | False
+
+let neg_value = function Undef -> Undef | True -> False | False -> True
+
+type t = {
+  theory : theory;
+  mutable nvars : int;
+  mutable assign : value array; (* per var *)
+  mutable level : int array; (* per var *)
+  mutable reason : int array; (* per var: clause id or -1 *)
+  mutable activity : float array; (* per var *)
+  mutable phase : bool array; (* per var: saved phase *)
+  mutable seen : bool array; (* per var: conflict-analysis scratch *)
+  mutable watches : int list array; (* per lit: clause ids watching lit *)
+  clauses : int array Grow.t;
+  trail : int Grow.t; (* lits in assignment order *)
+  trail_lim : int Grow.t; (* decision-level boundaries *)
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable ok : bool; (* false once root-level conflict found *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let create ?(theory = no_theory) () =
+  {
+    theory;
+    nvars = 0;
+    assign = Array.make 16 Undef;
+    level = Array.make 16 0;
+    reason = Array.make 16 (-1);
+    activity = Array.make 16 0.0;
+    phase = Array.make 16 false;
+    seen = Array.make 16 false;
+    watches = Array.make 32 [];
+    clauses = Grow.create [||];
+    trail = Grow.create 0;
+    trail_lim = Grow.create 0;
+    qhead = 0;
+    var_inc = 1.0;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let nvars s = s.nvars
+let n_conflicts s = s.conflicts
+let n_decisions s = s.decisions
+let n_propagations s = s.propagations
+
+let grow_arrays s =
+  let cap = Array.length s.assign in
+  if s.nvars > cap then begin
+    let ncap = max (2 * cap) s.nvars in
+    let extend a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    s.assign <- extend s.assign Undef;
+    s.level <- extend s.level 0;
+    s.reason <- extend s.reason (-1);
+    s.activity <- extend s.activity 0.0;
+    s.phase <- extend s.phase false;
+    s.seen <- extend s.seen false;
+    let w = Array.make (2 * ncap) [] in
+    Array.blit s.watches 0 w 0 (Array.length s.watches);
+    s.watches <- w
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- s.nvars + 1;
+  grow_arrays s;
+  v
+
+let value_of_lit s l =
+  let v = s.assign.(var_of_lit l) in
+  if lit_is_pos l then v else neg_value v
+
+let current_level s = Grow.len s.trail_lim
+
+(* enqueue a literal implied with the given reason clause (-1 = decision) *)
+let enqueue s l reason =
+  let v = var_of_lit l in
+  assert (s.assign.(v) = Undef);
+  s.assign.(v) <- (if lit_is_pos l then True else False);
+  s.level.(v) <- current_level s;
+  s.reason.(v) <- reason;
+  s.phase.(v) <- lit_is_pos l;
+  Grow.push s.trail l
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay_activities s = s.var_inc <- s.var_inc /. 0.95
+
+(* conflict being processed: either a stored clause id or an ad-hoc lits
+   array coming from the theory solver *)
+type conflict = Cls of int | Ad_hoc of lit array
+
+let conflict_lits s = function
+  | Cls id -> Grow.get s.clauses id
+  | Ad_hoc a -> a
+
+exception Found_conflict of conflict
+
+(* Boolean constraint propagation + theory assertion, in trail order. *)
+let propagate s =
+  try
+    while s.qhead < Grow.len s.trail do
+      let l = Grow.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.propagations <- s.propagations + 1;
+      (* process clauses watching ¬l *)
+      let nl = lit_neg l in
+      let ws = s.watches.(nl) in
+      s.watches.(nl) <- [];
+      let rec process = function
+        | [] -> ()
+        | cid :: rest -> (
+          let c = Grow.get s.clauses cid in
+          (* ensure c.(1) is the false watch nl *)
+          if c.(0) = nl then begin
+            c.(0) <- c.(1);
+            c.(1) <- nl
+          end;
+          if value_of_lit s c.(0) = True then begin
+            (* clause satisfied; keep watching nl *)
+            s.watches.(nl) <- cid :: s.watches.(nl);
+            process rest
+          end
+          else begin
+            (* look for a new watch *)
+            let n = Array.length c in
+            let rec find i =
+              if i >= n then None
+              else if value_of_lit s c.(i) <> False then Some i
+              else find (i + 1)
+            in
+            match find 2 with
+            | Some i ->
+              c.(1) <- c.(i);
+              c.(i) <- nl;
+              s.watches.(c.(1)) <- cid :: s.watches.(c.(1));
+              process rest
+            | None ->
+              (* unit or conflicting *)
+              s.watches.(nl) <- cid :: s.watches.(nl);
+              if value_of_lit s c.(0) = False then begin
+                (* conflict: restore remaining watches and abort *)
+                s.watches.(nl) <- List.rev_append rest s.watches.(nl);
+                s.qhead <- Grow.len s.trail;
+                raise (Found_conflict (Cls cid))
+              end
+              else begin
+                enqueue s c.(0) cid;
+                process rest
+              end
+          end)
+      in
+      process ws;
+      (* notify the theory of the assignment *)
+      match s.theory.t_assert l with
+      | None -> ()
+      | Some cl -> raise (Found_conflict (Ad_hoc cl))
+    done;
+    None
+  with Found_conflict c -> Some c
+
+(* backtrack to [lvl], undoing assignments *)
+let backtrack_to s lvl =
+  if current_level s > lvl then begin
+    let bound = Grow.get s.trail_lim lvl in
+    for i = Grow.len s.trail - 1 downto bound do
+      let v = var_of_lit (Grow.get s.trail i) in
+      s.assign.(v) <- Undef;
+      s.reason.(v) <- -1
+    done;
+    Grow.shrink s.trail bound;
+    Grow.shrink s.trail_lim lvl;
+    s.qhead <- bound;
+    s.theory.t_backtrack lvl
+  end
+
+(* First-UIP conflict analysis.  Returns (learnt clause, backtrack level);
+   learnt.(0) is the asserting literal. *)
+let analyze s confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Grow.len s.trail - 1) in
+  let confl = ref confl in
+  let continue = ref true in
+  let cleanup = ref [] in
+  while !continue do
+    let lits = conflict_lits s !confl in
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = var_of_lit q in
+          if (not s.seen.(v)) && s.level.(v) > 0 then begin
+            s.seen.(v) <- true;
+            cleanup := v :: !cleanup;
+            bump_var s v;
+            if s.level.(v) >= current_level s then incr counter
+            else learnt := q :: !learnt
+          end
+        end)
+      lits;
+    (* pick the next literal on the trail to resolve on *)
+    let rec next_seen i =
+      let v = var_of_lit (Grow.get s.trail i) in
+      if s.seen.(v) then i else next_seen (i - 1)
+    in
+    index := next_seen !index;
+    let pl = Grow.get s.trail !index in
+    decr index;
+    let v = var_of_lit pl in
+    s.seen.(v) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      p := lit_neg pl;
+      continue := false
+    end
+    else begin
+      p := pl;
+      assert (s.reason.(v) >= 0);
+      confl := Cls s.reason.(v)
+    end
+  done;
+  List.iter (fun v -> s.seen.(v) <- false) !cleanup;
+  let learnt = Array.of_list (!p :: !learnt) in
+  (* backtrack level: second-highest level in learnt *)
+  let blevel =
+    if Array.length learnt = 1 then 0
+    else begin
+      (* move the highest-level non-asserting literal to position 1 *)
+      let max_i = ref 1 in
+      for i = 2 to Array.length learnt - 1 do
+        if s.level.(var_of_lit learnt.(i)) > s.level.(var_of_lit learnt.(!max_i))
+        then max_i := i
+      done;
+      let t = learnt.(1) in
+      learnt.(1) <- learnt.(!max_i);
+      learnt.(!max_i) <- t;
+      s.level.(var_of_lit learnt.(1))
+    end
+  in
+  (learnt, blevel)
+
+let attach_clause s c =
+  Grow.push s.clauses c;
+  let cid = Grow.len s.clauses - 1 in
+  s.watches.(c.(0)) <- cid :: s.watches.(c.(0));
+  s.watches.(c.(1)) <- cid :: s.watches.(c.(1));
+  cid
+
+let add_clause s lits =
+  if s.ok then begin
+    backtrack_to s 0;
+    (* simplify at root level *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (lit_neg l) lits) lits
+      || List.exists (fun l -> value_of_lit s l = True) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> value_of_lit s l <> False) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] -> (
+        enqueue s l (-1);
+        match propagate s with None -> () | Some _ -> s.ok <- false)
+      | l0 :: l1 :: _ ->
+        ignore l0;
+        ignore l1;
+        ignore (attach_clause s (Array.of_list lits))
+    end
+  end
+
+(* Handle a conflict: learn, backtrack, assert.  Returns false if the
+   conflict is at root level (unsat). *)
+let handle_conflict s confl =
+  s.conflicts <- s.conflicts + 1;
+  if current_level s = 0 then false
+  else begin
+    (* if the conflict clause has no literal at the current level (possible
+       for theory conflicts), backtrack to the highest level in it first *)
+    let lits = conflict_lits s confl in
+    if Array.length lits = 0 then false
+    else begin
+      let max_level =
+        Array.fold_left (fun m l -> max m (s.level.(var_of_lit l))) 0 lits
+      in
+      if max_level = 0 then false
+      else begin
+        let confl =
+          if max_level < current_level s then begin
+            backtrack_to s max_level;
+            (* re-express as ad-hoc (clause ids survive backtracking) *)
+            confl
+          end
+          else confl
+        in
+        let learnt, blevel = analyze s confl in
+        backtrack_to s blevel;
+        (if Array.length learnt = 1 then begin
+           enqueue s learnt.(0) (-1)
+         end
+         else begin
+           let cid = attach_clause s learnt in
+           enqueue s learnt.(0) cid
+         end);
+        decay_activities s;
+        true
+      end
+    end
+  end
+
+let pick_branch_var s =
+  let best = ref (-1) in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) = Undef then
+      if !best = -1 || s.activity.(v) > s.activity.(!best) then best := v
+  done;
+  !best
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let solve s =
+  if not s.ok then `Unsat
+  else begin
+    backtrack_to s 0;
+    (match propagate s with Some _ -> s.ok <- false | None -> ());
+    if not s.ok then `Unsat
+    else begin
+      let result = ref None in
+      let restart_count = ref 0 in
+      let conflict_budget = ref (100 * luby 1) in
+      while !result = None do
+        match propagate s with
+        | Some confl ->
+          if not (handle_conflict s confl) then result := Some `Unsat
+          else begin
+            decr conflict_budget;
+            if !conflict_budget <= 0 then begin
+              incr restart_count;
+              conflict_budget := 100 * luby (!restart_count + 1);
+              backtrack_to s 0
+            end
+          end
+        | None -> (
+          let all_assigned = Grow.len s.trail = s.nvars in
+          match s.theory.t_check ~final:all_assigned with
+          | Some confl ->
+            if Array.length confl = 0 then result := Some `Unsat
+            else if not (handle_conflict s (Ad_hoc confl)) then
+              result := Some `Unsat
+          | None ->
+            if all_assigned then result := Some `Sat
+            else begin
+              let v = pick_branch_var s in
+              s.decisions <- s.decisions + 1;
+              Grow.push s.trail_lim (Grow.len s.trail);
+              s.theory.t_new_level ();
+              enqueue s (lit_of_var v s.phase.(v)) (-1)
+            end)
+      done;
+      match !result with Some r -> r | None -> assert false
+    end
+  end
+
+let value s v = s.assign.(v) = True

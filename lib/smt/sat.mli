@@ -1,0 +1,49 @@
+(** CDCL SAT solver with a theory hook (DPLL(T) backbone).
+
+    Features: two-watched-literal propagation, VSIDS-style activities with
+    phase saving, first-UIP conflict analysis, non-chronological
+    backtracking, Luby restarts, incremental clause addition between
+    [solve] calls.
+
+    The theory plugin is notified of every literal assignment and asked for
+    consistency at each propagation fixpoint; it reports conflicts as
+    clauses over existing literals (it never propagates literals itself, so
+    all propagation reasons stay inside the SAT core). *)
+
+type t
+
+type lit = int
+(** [2*var] for the positive literal, [2*var+1] for the negative one. *)
+
+val lit_of_var : int -> bool -> lit
+val var_of_lit : lit -> int
+val lit_is_pos : lit -> bool
+val lit_neg : lit -> lit
+
+type theory = {
+  t_assert : lit -> lit array option;
+      (** Called for each assigned literal, in trail order.  May return a
+          conflict clause (all of whose literals are currently false). *)
+  t_new_level : unit -> unit;
+  t_backtrack : int -> unit;  (** Backtrack to the given decision level. *)
+  t_check : final:bool -> lit array option;
+      (** Consistency check at a propagation fixpoint; [final] when the
+          Boolean assignment is total. *)
+}
+
+val no_theory : theory
+
+val create : ?theory:theory -> unit -> t
+val new_var : t -> int
+val nvars : t -> int
+
+val add_clause : t -> lit list -> unit
+(** Add a clause (backtracks to level 0 first). *)
+
+val solve : t -> [ `Sat | `Unsat ]
+val value : t -> int -> bool
+(** Model value of a variable after [`Sat]. *)
+
+val n_conflicts : t -> int
+val n_decisions : t -> int
+val n_propagations : t -> int

@@ -1,0 +1,487 @@
+module Q = Numeric.Rat
+module QD = Numeric.Qdelta
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+let prof_pivots_internal = ref 0
+let prof_pops_internal = ref 0
+
+type side = Upper | Lower
+
+type bound = { value : QD.t; lit : Sat.lit (* -1 when structural *) }
+
+type atom = { tvar : int; side : side; abound : QD.t }
+
+type undo = Set_lower of int * bound option | Set_upper of int * bound option
+
+type t = {
+  mutable lower : bound option array;
+  mutable upper : bound option array;
+  mutable beta : QD.t array;
+  mutable nvars : int;
+  mutable rows : Q.t Imap.t Imap.t;
+      (* basic var -> row over nonbasic vars; invariant: each row's
+         variables are all nonbasic *)
+  cols : (int, int list ref) Hashtbl.t;
+      (* column index: var -> basic vars whose row may contain it; kept as
+         an overapproximation (stale entries filtered lazily) so pivots
+         stay cheap *)
+  slacks : (string, int) Hashtbl.t; (* canonical linexp key -> slack var *)
+  atoms : (int, atom) Hashtbl.t; (* sat var -> atom *)
+  mutable trail : undo list;
+  mutable level_marks : int list; (* trail lengths at decision levels *)
+  mutable trail_len : int;
+  mutable last_epsilon : Q.t;
+  mutable violated : Iset.t;
+      (* superset of the basic variables whose assignment may violate a
+         bound; lets [check] work from a worklist instead of scanning the
+         whole tableau *)
+}
+
+let create () =
+  {
+    lower = Array.make 16 None;
+    upper = Array.make 16 None;
+    beta = Array.make 16 QD.zero;
+    nvars = 0;
+    rows = Imap.empty;
+    cols = Hashtbl.create 256;
+    slacks = Hashtbl.create 64;
+    atoms = Hashtbl.create 64;
+    trail = [];
+    level_marks = [];
+    trail_len = 0;
+    last_epsilon = Q.one;
+    violated = Iset.empty;
+  }
+
+let col_add t v basic =
+  match Hashtbl.find_opt t.cols v with
+  | Some l -> l := basic :: !l
+  | None -> Hashtbl.add t.cols v (ref [ basic ])
+
+(* basic vars whose row really contains [v]; compacts the index in place *)
+let occurrences t v =
+  match Hashtbl.find_opt t.cols v with
+  | None -> []
+  | Some l ->
+    let live =
+      List.sort_uniq compare !l
+      |> List.filter (fun b ->
+             match Imap.find_opt b t.rows with
+             | Some row -> Imap.mem v row
+             | None -> false)
+    in
+    l := live;
+    live
+
+let grow t =
+  let cap = Array.length t.beta in
+  if t.nvars > cap then begin
+    let ncap = max (2 * cap) t.nvars in
+    let extend a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    t.lower <- extend t.lower None;
+    t.upper <- extend t.upper None;
+    t.beta <- extend t.beta QD.zero
+  end
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- t.nvars + 1;
+  grow t;
+  v
+
+let is_basic t v = Imap.mem v t.rows
+
+let below_lower t x =
+  match t.lower.(x) with Some b -> QD.( < ) t.beta.(x) b.value | None -> false
+
+let above_upper t x =
+  match t.upper.(x) with Some b -> QD.( < ) b.value t.beta.(x) | None -> false
+
+(* record that basic variable [x] may now violate a bound *)
+let note_violation t x =
+  if below_lower t x || above_upper t x then
+    t.violated <- Iset.add x t.violated
+
+(* value of a row under the current assignment *)
+let row_value t row =
+  Imap.fold (fun v c acc -> QD.add acc (QD.scale c t.beta.(v))) row QD.zero
+
+(* substitute basic variables out of a term map *)
+let normalize_terms t terms =
+  Imap.fold
+    (fun v c acc ->
+      match Imap.find_opt v t.rows with
+      | None ->
+        Imap.update v
+          (function
+            | None -> Some c
+            | Some c0 ->
+              let s = Q.add c0 c in
+              if Q.is_zero s then None else Some s)
+          acc
+      | Some row ->
+        Imap.fold
+          (fun w cw acc ->
+            Imap.update w
+              (function
+                | None -> Some (Q.mul c cw)
+                | Some c0 ->
+                  let s = Q.add c0 (Q.mul c cw) in
+                  if Q.is_zero s then None else Some s)
+              acc)
+          row acc)
+    terms Imap.empty
+
+let define_slack t e =
+  assert (Q.is_zero (Linexp.const_part e));
+  let k = Linexp.key e in
+  match Hashtbl.find_opt t.slacks k with
+  | Some v -> v
+  | None ->
+    let s = new_var t in
+    let terms =
+      List.fold_left
+        (fun m (v, c) -> Imap.add v c m)
+        Imap.empty (Linexp.terms e)
+    in
+    let row = normalize_terms t terms in
+    t.rows <- Imap.add s row t.rows;
+    Imap.iter (fun v _ -> col_add t v s) row;
+    t.beta.(s) <- row_value t row;
+    Hashtbl.add t.slacks k s;
+    s
+
+let register_atom t ~sat_var ~tvar ~side ~bound =
+  Hashtbl.replace t.atoms sat_var { tvar; side; abound = bound }
+
+let push_undo t u =
+  t.trail <- u :: t.trail;
+  t.trail_len <- t.trail_len + 1
+
+(* adjust the assignment of nonbasic variable x to v, updating basics *)
+let update_nonbasic t x v =
+  let delta = QD.sub v t.beta.(x) in
+  if not (QD.equal delta QD.zero) then begin
+    List.iter
+      (fun b ->
+        match Imap.find_opt x (Imap.find b t.rows) with
+        | None -> ()
+        | Some c ->
+          t.beta.(b) <- QD.add t.beta.(b) (QD.scale c delta);
+          note_violation t b)
+      (occurrences t x);
+    t.beta.(x) <- v
+  end
+
+let neg_lit_of_bound b = if b.lit >= 0 then Some (Sat.lit_neg b.lit) else None
+
+(* returns a conflict clause if the new bound clashes with the opposite one *)
+let assert_bound t x side (value : QD.t) lit =
+  match side with
+  | Upper -> (
+    let current = t.upper.(x) in
+    let redundant =
+      match current with Some b -> QD.( <= ) b.value value | None -> false
+    in
+    if redundant then None
+    else
+      match t.lower.(x) with
+      | Some lb when QD.( < ) value lb.value ->
+        let cl =
+          List.filter_map Fun.id
+            [
+              (if lit >= 0 then Some (Sat.lit_neg lit) else None);
+              neg_lit_of_bound lb;
+            ]
+        in
+        Some (Array.of_list cl)
+      | _ ->
+        push_undo t (Set_upper (x, current));
+        t.upper.(x) <- Some { value; lit };
+        if not (is_basic t x) then begin
+          if QD.( < ) value t.beta.(x) then update_nonbasic t x value
+        end
+        else note_violation t x;
+        None)
+  | Lower -> (
+    let current = t.lower.(x) in
+    let redundant =
+      match current with Some b -> QD.( <= ) value b.value | None -> false
+    in
+    if redundant then None
+    else
+      match t.upper.(x) with
+      | Some ub when QD.( < ) ub.value value ->
+        let cl =
+          List.filter_map Fun.id
+            [
+              (if lit >= 0 then Some (Sat.lit_neg lit) else None);
+              neg_lit_of_bound ub;
+            ]
+        in
+        Some (Array.of_list cl)
+      | _ ->
+        push_undo t (Set_lower (x, current));
+        t.lower.(x) <- Some { value; lit };
+        if not (is_basic t x) then begin
+          if QD.( < ) t.beta.(x) value then update_nonbasic t x value
+        end
+        else note_violation t x;
+        None)
+
+let assert_permanent t ~tvar ~side ~bound =
+  match assert_bound t tvar side bound (-1) with
+  | None -> true
+  | Some _ -> false
+
+(* effective (side, bound) asserted by a literal over its atom *)
+let effective_bound atom pos =
+  if pos then (atom.side, atom.abound)
+  else
+    match atom.side with
+    | Upper ->
+      (* not (x <= b) is x >= b + eps *)
+      (Lower, QD.make atom.abound.QD.real (Q.add atom.abound.QD.delta Q.one))
+    | Lower -> (Upper, QD.make atom.abound.QD.real (Q.sub atom.abound.QD.delta Q.one))
+
+let t_assert t lit =
+  match Hashtbl.find_opt t.atoms (Sat.var_of_lit lit) with
+  | None -> None
+  | Some atom ->
+    let side, bound = effective_bound atom (Sat.lit_is_pos lit) in
+    assert_bound t atom.tvar side bound lit
+
+(* pivot basic xi with nonbasic xj (xj in row of xi) *)
+let pivot t xi xj =
+  incr prof_pivots_internal;
+  let row_i = Imap.find xi t.rows in
+  let a = Imap.find xj row_i in
+  let inv_a = Q.inv a in
+  (* xj = (1/a) xi - sum_{v != xj} (c_v / a) v *)
+  let row_j =
+    Imap.fold
+      (fun v c acc ->
+        if v = xj then acc else Imap.add v (Q.neg (Q.mul c inv_a)) acc)
+      row_i
+      (Imap.singleton xi inv_a)
+  in
+  let touched = occurrences t xj in
+  let rows = Imap.remove xi t.rows in
+  (* substitute xj in the rows that contain it *)
+  let rows =
+    List.fold_left
+      (fun rows k ->
+        if k = xi then rows
+        else
+          match Imap.find_opt k rows with
+          | None -> rows
+          | Some row -> (
+            match Imap.find_opt xj row with
+            | None -> rows
+            | Some c ->
+              let row = Imap.remove xj row in
+              let row' =
+                Imap.fold
+                  (fun v cv acc ->
+                    Imap.update v
+                      (function
+                        | None -> Some (Q.mul c cv)
+                        | Some c0 ->
+                          let s = Q.add c0 (Q.mul c cv) in
+                          if Q.is_zero s then None else Some s)
+                      acc)
+                  row_j row
+              in
+              Imap.iter (fun v _ -> col_add t v k) row_j;
+              Imap.add k row' rows))
+      rows touched
+  in
+  t.rows <- Imap.add xj row_j rows;
+  Imap.iter (fun v _ -> col_add t v xj) row_j
+
+let pivot_and_update t xi xj v =
+  let row_i = Imap.find xi t.rows in
+  let a = Imap.find xj row_i in
+  let theta = QD.scale (Q.inv a) (QD.sub v t.beta.(xi)) in
+  t.beta.(xi) <- v;
+  t.beta.(xj) <- QD.add t.beta.(xj) theta;
+  List.iter
+    (fun b ->
+      if b <> xi then
+        match Imap.find_opt xj (Imap.find b t.rows) with
+        | None -> ()
+        | Some c ->
+          t.beta.(b) <- QD.add t.beta.(b) (QD.scale c theta);
+          note_violation t b)
+    (occurrences t xj);
+  pivot t xi xj;
+  note_violation t xj
+
+let can_increase t x =
+  match t.upper.(x) with Some b -> QD.( < ) t.beta.(x) b.value | None -> true
+
+let can_decrease t x =
+  match t.lower.(x) with Some b -> QD.( < ) b.value t.beta.(x) | None -> true
+
+exception Conflict of Sat.lit array
+
+let conflict_from_row t xi ~too_low =
+  let row = Imap.find xi t.rows in
+  let lits = ref [] in
+  let add_opt = function Some l -> lits := l :: !lits | None -> () in
+  (if too_low then
+     add_opt (neg_lit_of_bound (Option.get t.lower.(xi)))
+   else add_opt (neg_lit_of_bound (Option.get t.upper.(xi))));
+  Imap.iter
+    (fun xj c ->
+      let positive = Q.sign c > 0 in
+      (* when xi is below its lower bound, increasing xi needs increasing
+         positive-coefficient vars (blocked by their upper bounds) and
+         decreasing negative-coefficient ones (blocked by lower bounds) *)
+      let blocking =
+        if too_low = positive then t.upper.(xj) else t.lower.(xj)
+      in
+      match blocking with
+      | Some b -> add_opt (neg_lit_of_bound b)
+      | None -> assert false)
+    row;
+  Array.of_list !lits
+
+(* Bland's-rule repair loop over the violated-basics worklist; the
+   worklist is a superset of the truly violated basics, so popping its
+   minimum and re-verifying implements Bland's smallest-index rule *)
+let check_full t =
+  try
+    let continue = ref true in
+    while !continue do
+      match Iset.min_elt_opt t.violated with
+      | None -> continue := false
+      | Some xi ->
+        incr prof_pops_internal;
+        t.violated <- Iset.remove xi t.violated;
+        if is_basic t xi then begin
+          let row = Imap.find xi t.rows in
+          if below_lower t xi then begin
+            (* need to increase xi *)
+            let xj =
+              Imap.fold
+                (fun v c acc ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                    let ok =
+                      if Q.sign c > 0 then can_increase t v else can_decrease t v
+                    in
+                    if ok then Some v else None)
+                row None
+            in
+            match xj with
+            | None ->
+              t.violated <- Iset.add xi t.violated;
+              raise (Conflict (conflict_from_row t xi ~too_low:true))
+            | Some xj ->
+              pivot_and_update t xi xj (Option.get t.lower.(xi)).value
+          end
+          else if above_upper t xi then begin
+            (* need to decrease xi *)
+            let xj =
+              Imap.fold
+                (fun v c acc ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                    let ok =
+                      if Q.sign c > 0 then can_decrease t v else can_increase t v
+                    in
+                    if ok then Some v else None)
+                row None
+            in
+            match xj with
+            | None ->
+              t.violated <- Iset.add xi t.violated;
+              raise (Conflict (conflict_from_row t xi ~too_low:false))
+            | Some xj ->
+              pivot_and_update t xi xj (Option.get t.upper.(xi)).value
+          end
+        end
+    done;
+    None
+  with Conflict c -> Some c
+
+let check t = if Iset.is_empty t.violated then None else check_full t
+let check_now = check_full
+
+let t_new_level t = t.level_marks <- t.trail_len :: t.level_marks
+
+let t_backtrack t target_level =
+  let depth = List.length t.level_marks in
+  let rec drop_marks marks depth n =
+    if depth <= target_level then (marks, n)
+    else
+      match marks with
+      | m :: rest -> drop_marks rest (depth - 1) m
+      | [] -> (marks, n)
+  in
+  let marks, keep = drop_marks t.level_marks depth t.trail_len in
+  t.level_marks <- marks;
+  while t.trail_len > keep do
+    (match t.trail with
+    | [] -> assert false
+    | u :: rest ->
+      (match u with
+      | Set_lower (x, old) -> t.lower.(x) <- old
+      | Set_upper (x, old) -> t.upper.(x) <- old);
+      t.trail <- rest);
+    t.trail_len <- t.trail_len - 1
+  done
+
+let prof_pivots = prof_pivots_internal
+let prof_pops = prof_pops_internal
+
+let theory_hooks t =
+  {
+    Sat.t_assert = (fun lit -> t_assert t lit);
+    t_new_level = (fun () -> t_new_level t);
+    t_backtrack = (fun lvl -> t_backtrack t lvl);
+    t_check =
+      (fun ~final ->
+        ignore final;
+        check t);
+  }
+
+(* choose a concrete epsilon small enough that all bounds remain satisfied
+   when beta's delta components are scaled by it (Dutertre-de Moura 3.3) *)
+let compute_epsilon t =
+  let eps = ref Q.one in
+  let consider (c : QD.t) (b : QD.t) =
+    (* requirement: c.real + eps * c.delta >= b.real + eps * b.delta given
+       c >= b lexicographically; binding when c.real > b.real but
+       c.delta < b.delta *)
+    if Q.( > ) c.QD.real b.QD.real && Q.( < ) c.QD.delta b.QD.delta then begin
+      let candidate =
+        Q.div (Q.sub c.QD.real b.QD.real) (Q.sub b.QD.delta c.QD.delta)
+      in
+      if Q.( < ) candidate !eps then eps := candidate
+    end
+  in
+  for x = 0 to t.nvars - 1 do
+    (match t.lower.(x) with Some b -> consider t.beta.(x) b.value | None -> ());
+    match t.upper.(x) with Some b -> consider b.value t.beta.(x) | None -> ()
+  done;
+  (* stay strictly inside the binding region *)
+  Q.div !eps (Q.of_int 2)
+
+let model_value t v =
+  t.last_epsilon <- compute_epsilon t;
+  QD.concretize ~epsilon:t.last_epsilon t.beta.(v)
+
+let model_all t =
+  let epsilon = compute_epsilon t in
+  t.last_epsilon <- epsilon;
+  Array.init t.nvars (fun v -> QD.concretize ~epsilon t.beta.(v))

@@ -1,0 +1,58 @@
+(** Theory solver for quantifier-free linear rational arithmetic, after
+    Dutertre & de Moura, "A Fast Linear-Arithmetic Solver for DPLL(T)".
+
+    Variables carry delta-rational assignments and optional lower/upper
+    bounds; linear constraints are turned into bounds on slack variables
+    whose defining rows live in a simplex tableau.  Strict inequalities are
+    represented with the infinitesimal component of {!Numeric.Qdelta}.
+
+    The solver plugs into {!Sat} through {!theory_hooks}: SAT literals are
+    registered as atoms [x <= c] / [x >= c]; asserting a literal tightens a
+    bound (detecting immediate bound clashes), and [check] runs simplex
+    pivoting with Bland's rule, producing minimal conflict clauses from the
+    bounds of an infeasible row. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Fresh theory variable (initially unbounded, nonbasic, value 0). *)
+
+val define_slack : t -> Linexp.t -> int
+(** [define_slack t e] returns a variable constrained to equal [e] (which
+    must have no constant part).  Equal expressions share one slack. *)
+
+type side = Upper | Lower
+
+val register_atom :
+  t -> sat_var:int -> tvar:int -> side:side -> bound:Numeric.Qdelta.t -> unit
+(** Declare that SAT variable [sat_var] means [tvar <= bound] ([Upper]) or
+    [tvar >= bound] ([Lower]); the negated literal asserts the complement
+    with the delta component adjusted. *)
+
+val assert_permanent : t -> tvar:int -> side:side -> bound:Numeric.Qdelta.t -> bool
+(** Root-level bound with no associated literal (e.g. structural variable
+    ranges).  Returns [false] when it is immediately inconsistent. *)
+
+val theory_hooks : t -> Sat.theory
+
+val model_value : t -> int -> Numeric.Rat.t
+(** Value of a variable in the last satisfying assignment, with a concrete
+    epsilon substituted for the infinitesimal. *)
+
+val model_all : t -> Numeric.Rat.t array
+(** All variable values, computing the epsilon once. *)
+
+val check_now : t -> Sat.lit array option
+(** Run a consistency check directly (used by tests). *)
+
+(**/**)
+
+val prof_pivots : int ref
+(** Cumulative pivot count (solver statistics, used by benches). *)
+
+val prof_pops : int ref
+(** Cumulative worklist pops. *)
+
+(**/**)

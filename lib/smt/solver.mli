@@ -1,0 +1,41 @@
+(** SMT solver facade: Boolean + linear rational arithmetic (QF_LRA).
+
+    This is the replacement for the Z3 solver the paper drives through its
+    .NET API: formulas are asserted, [check] returns sat/unsat, and models
+    assign Booleans and exact rationals.  Clauses may be added after a
+    [`Sat] answer (e.g. blocking clauses in the impact-analysis loop) and
+    [check] called again, retaining learned clauses. *)
+
+type t
+
+val create : unit -> t
+
+val fresh_bool : ?name:string -> t -> int
+val fresh_real : ?name:string -> t -> int
+
+val real_expr_var : t -> Linexp.t -> int
+(** A variable constrained to equal the given expression (constant part
+    allowed); useful for naming sums such as total generation cost. *)
+
+val assert_form : t -> Form.t -> unit
+
+val assert_at_most : t -> int -> Form.t list -> unit
+(** Cardinality [sum(f_i) <= k] via the Sinz sequential-counter encoding. *)
+
+val assert_at_most_indicator : t -> int -> Form.t list -> unit
+(** Same constraint encoded with 0/1 indicator reals summed in LRA —
+    kept as an ablation of the encoding choice (see DESIGN.md). *)
+
+val bound_real :
+  t -> ?lo:Numeric.Rat.t -> ?hi:Numeric.Rat.t -> int -> unit
+(** Permanent structural bounds on a real variable. *)
+
+val check : t -> [ `Sat | `Unsat ]
+
+val model_bool : t -> int -> bool
+(** @raise Failure if the last [check] was not [`Sat]. *)
+
+val model_real : t -> int -> Numeric.Rat.t
+
+val stats : t -> int * int * int
+(** (conflicts, decisions, propagations) of the SAT core. *)

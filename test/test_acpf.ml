@@ -1,0 +1,232 @@
+(* Tests for the Newton-Raphson AC power flow. *)
+
+module Q = Numeric.Rat
+module TS = Grid.Test_systems
+
+let solve_exn net =
+  match Acpf.Ac.solve net with Ok s -> s | Error e -> Alcotest.fail e
+
+let five_ac ?r_ratio () =
+  Acpf.Ac.of_dc ?r_ratio ~gen:(TS.case_study_base_dispatch ()) (TS.five_bus ())
+
+let tests =
+  [
+    Alcotest.test_case "flat case: no injections, flat profile" `Quick
+      (fun () ->
+        let net =
+          {
+            Acpf.Ac.n_buses = 3;
+            lines =
+              [|
+                { Acpf.Ac.from_bus = 0; to_bus = 1; resistance = 0.01;
+                  reactance = 0.1; charging = 0.0 };
+                { Acpf.Ac.from_bus = 1; to_bus = 2; resistance = 0.01;
+                  reactance = 0.1; charging = 0.0 };
+              |];
+            buses =
+              [|
+                Acpf.Ac.Slack { v = 1.0 };
+                Acpf.Ac.Pq { p = 0.0; q = 0.0 };
+                Acpf.Ac.Pq { p = 0.0; q = 0.0 };
+              |];
+          }
+        in
+        let s = solve_exn net in
+        Array.iter
+          (fun v -> Alcotest.(check bool) "V = 1" true (Float.abs (v -. 1.0) < 1e-9))
+          s.Acpf.Ac.vm;
+        Array.iter
+          (fun a -> Alcotest.(check bool) "theta = 0" true (Float.abs a < 1e-9))
+          s.Acpf.Ac.va;
+        Alcotest.(check bool) "no losses" true (Float.abs s.Acpf.Ac.losses < 1e-9));
+    Alcotest.test_case "two-bus radial case against hand calculation" `Quick
+      (fun () ->
+        (* slack -- (r=0, x=0.1) -- load 0.5 pu: P = V1 V2 sin(d)/x *)
+        let net =
+          {
+            Acpf.Ac.n_buses = 2;
+            lines =
+              [|
+                { Acpf.Ac.from_bus = 0; to_bus = 1; resistance = 0.0;
+                  reactance = 0.1; charging = 0.0 };
+              |];
+            buses =
+              [| Acpf.Ac.Slack { v = 1.0 }; Acpf.Ac.Pq { p = -0.5; q = 0.0 } |];
+          }
+        in
+        let s = solve_exn net in
+        (* with q = 0 the receiving voltage dips and the angle opens *)
+        let p_received = -.s.Acpf.Ac.p_to.(0) in
+        Alcotest.(check bool) "delivers 0.5" true
+          (Float.abs (p_received -. 0.5) < 1e-6);
+        Alcotest.(check bool) "angle negative" true (s.Acpf.Ac.va.(1) < 0.0));
+    Alcotest.test_case "5-bus system converges quickly" `Quick (fun () ->
+        let s = solve_exn (five_ac ()) in
+        Alcotest.(check bool) "few iterations" true (s.Acpf.Ac.iterations <= 8);
+        Array.iter
+          (fun v ->
+            Alcotest.(check bool) "plausible voltage" true (v > 0.85 && v < 1.1))
+          s.Acpf.Ac.vm);
+    Alcotest.test_case "losses are positive with resistance" `Quick (fun () ->
+        let s = solve_exn (five_ac ()) in
+        Alcotest.(check bool) "losses > 0" true (s.Acpf.Ac.losses > 0.0);
+        (* and small: a few percent of the 0.83 pu served *)
+        Alcotest.(check bool) "losses small" true (s.Acpf.Ac.losses < 0.05));
+    Alcotest.test_case "slack covers load plus losses" `Quick (fun () ->
+        let s = solve_exn (five_ac ()) in
+        let total_p = Array.fold_left ( +. ) 0.0 s.Acpf.Ac.p_injection in
+        Alcotest.(check bool) "sum(P) = losses" true
+          (Float.abs (total_p -. s.Acpf.Ac.losses) < 1e-6));
+    Alcotest.test_case "lossless AC flows approximate the DC solution" `Quick
+      (fun () ->
+        let grid = TS.five_bus () in
+        let gen = TS.case_study_base_dispatch () in
+        let load = Array.make 5 Q.zero in
+        Array.iter
+          (fun (l : Grid.Network.load) -> load.(l.Grid.Network.lbus) <- l.Grid.Network.existing)
+          grid.Grid.Network.loads;
+        let dc =
+          match Grid.Powerflow.solve (Grid.Topology.make grid) ~gen ~load with
+          | Ok sol -> sol
+          | Error e -> Alcotest.fail e
+        in
+        let ac = solve_exn (Acpf.Ac.of_dc ~r_ratio:0.0 ~q_ratio:0.0 ~gen grid) in
+        Array.iteri
+          (fun i dc_flow ->
+            Alcotest.(check bool)
+              (Printf.sprintf "line %d" (i + 1))
+              true
+              (Float.abs (Q.to_float dc_flow -. ac.Acpf.Ac.p_from.(i)) < 0.01))
+          dc.Grid.Powerflow.flows);
+    Alcotest.test_case "ieee14 AC case converges" `Quick (fun () ->
+        let grid = (TS.ieee 14).Grid.Spec.grid in
+        match Attack.Base_state.of_opf grid with
+        | Error e -> Alcotest.fail e
+        | Ok base ->
+          let net = Acpf.Ac.of_dc ~gen:base.Attack.Base_state.gen grid in
+          let s = solve_exn net in
+          Alcotest.(check bool) "iterations" true (s.Acpf.Ac.iterations <= 12));
+    Alcotest.test_case "infeasible transfer fails to converge" `Quick
+      (fun () ->
+        (* 10 pu over x=1: far beyond the static stability limit *)
+        let net =
+          {
+            Acpf.Ac.n_buses = 2;
+            lines =
+              [|
+                { Acpf.Ac.from_bus = 0; to_bus = 1; resistance = 0.0;
+                  reactance = 1.0; charging = 0.0 };
+              |];
+            buses =
+              [| Acpf.Ac.Slack { v = 1.0 }; Acpf.Ac.Pq { p = -10.0; q = 0.0 } |];
+          }
+        in
+        Alcotest.(check bool) "diverges" true
+          (Result.is_error (Acpf.Ac.solve net)));
+  ]
+
+(* ---- AC state estimation ---- *)
+
+let full_ac_measurements net =
+  let l = Array.length net.Acpf.Ac.lines and b = net.Acpf.Ac.n_buses in
+  List.concat
+    [
+      List.init b (fun j -> Acpf.Ac_estimator.Vm j);
+      List.init l (fun i -> Acpf.Ac_estimator.Pflow i);
+      List.init l (fun i -> Acpf.Ac_estimator.Qflow i);
+      List.init b (fun j -> Acpf.Ac_estimator.Pinj j);
+      List.init b (fun j -> Acpf.Ac_estimator.Qinj j);
+    ]
+
+let estimator_tests =
+  [
+    Alcotest.test_case "recovers the state from ideal AC measurements"
+      `Quick (fun () ->
+        let net = five_ac () in
+        let sol = solve_exn net in
+        let ms = full_ac_measurements net in
+        let z = Acpf.Ac_estimator.ideal_measurements net sol ms in
+        match Acpf.Ac_estimator.estimate net ~measurements:ms ~z with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+          Alcotest.(check bool) "converged" true r.Acpf.Ac_estimator.converged;
+          Alcotest.(check bool) "residual ~ 0" true
+            (r.Acpf.Ac_estimator.residual < 1e-6);
+          Array.iteri
+            (fun j v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "vm %d" j)
+                true
+                (Float.abs (v -. sol.Acpf.Ac.vm.(j)) < 1e-5))
+            r.Acpf.Ac_estimator.vm);
+    Alcotest.test_case "a gross AC error raises the residual" `Quick
+      (fun () ->
+        let net = five_ac () in
+        let sol = solve_exn net in
+        let ms = full_ac_measurements net in
+        let z = Acpf.Ac_estimator.ideal_measurements net sol ms in
+        z.(6) <- z.(6) +. 0.2;
+        match Acpf.Ac_estimator.estimate net ~measurements:ms ~z with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+          Alcotest.(check bool) "residual grows" true
+            (r.Acpf.Ac_estimator.residual > 0.05));
+    Alcotest.test_case
+      "a DC-stealthy UFDI attack is DETECTABLE under AC estimation" `Quick
+      (fun () ->
+        (* craft a = Hc stealthy for the DC model, inject it into the AC
+           P-measurements: the nonlinear model exposes it *)
+        let grid = TS.five_bus () in
+        let grid =
+          { grid with
+            Grid.Network.meas =
+              Array.map
+                (fun m -> { m with Grid.Network.taken = true })
+                grid.Grid.Network.meas }
+        in
+        let dc_topo = Grid.Topology.make grid in
+        let c = [| 0.0; 0.05; 0.0; 0.0 |] in
+        let a_full = Estimation.Ufdi.attack_vector_full dc_topo ~c in
+        let gen = TS.case_study_base_dispatch () in
+        let net = Acpf.Ac.of_dc ~gen grid in
+        let sol = solve_exn net in
+        let l = Array.length net.Acpf.Ac.lines in
+        let b = net.Acpf.Ac.n_buses in
+        (* AC measurement list aligned with the DC indices we perturb:
+           Pflow i <-> DC forward flow i; Pinj j <-> DC injection row *)
+        let ms =
+          List.concat
+            [
+              List.init b (fun j -> Acpf.Ac_estimator.Vm j);
+              List.init l (fun i -> Acpf.Ac_estimator.Pflow i);
+              List.init b (fun j -> Acpf.Ac_estimator.Pinj j);
+              List.init l (fun i -> Acpf.Ac_estimator.Qflow i);
+              List.init b (fun j -> Acpf.Ac_estimator.Qinj j);
+            ]
+        in
+        let z = Acpf.Ac_estimator.ideal_measurements net sol ms in
+        let clean =
+          match Acpf.Ac_estimator.estimate net ~measurements:ms ~z with
+          | Ok r -> r.Acpf.Ac_estimator.residual
+          | Error e -> Alcotest.fail e
+        in
+        (* inject: forward flows live at offsets b..b+l-1; injections at
+           b+l..b+l+b-1 (DC rows: flows 0..l-1, injections 2l..2l+b-1) *)
+        let z' = Array.copy z in
+        for i = 0 to l - 1 do
+          z'.(b + i) <- z'.(b + i) +. a_full.(i)
+        done;
+        for j = 0 to b - 1 do
+          z'.(b + l + j) <- z'.(b + l + j) +. a_full.((2 * l) + j)
+        done;
+        match Acpf.Ac_estimator.estimate net ~measurements:ms ~z:z' with
+        | Error _ -> () (* divergence also counts as detection *)
+        | Ok r ->
+          Alcotest.(check bool)
+            "attacked residual well above clean" true
+            (r.Acpf.Ac_estimator.residual > 10.0 *. clean +. 1e-4));
+  ]
+
+let () =
+  Alcotest.run "acpf"
+    [ ("newton-raphson", tests); ("ac-estimation", estimator_tests) ]

@@ -1,0 +1,125 @@
+(* Tests for the noise model and largest-normalized-residual bad-data
+   identification — and the key negative result: coordinated UFDI attacks
+   are invisible to identification (the paper's stealth premise). *)
+
+module Q = Numeric.Rat
+module N = Grid.Network
+module T = Grid.Topology
+module PF = Grid.Powerflow
+module TS = Grid.Test_systems
+module E = Estimation.Estimator
+module Noise = Estimation.Noise
+module BD = Estimation.Bad_data
+
+let prop ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let five_full =
+  let five = TS.five_bus () in
+  { five with N.meas = Array.map (fun m -> { m with N.taken = true }) five.N.meas }
+
+let base_z () =
+  let grid = five_full in
+  let topo = T.make grid in
+  let gen = TS.case_study_base_dispatch () in
+  let load = Array.make 5 Q.zero in
+  Array.iter (fun (l : N.load) -> load.(l.N.lbus) <- l.N.existing) grid.N.loads;
+  match PF.solve topo ~gen ~load with
+  | Ok sol -> (topo, E.measurement_vector topo sol)
+  | Error e -> failwith e
+
+let noise_tests =
+  [
+    Alcotest.test_case "rng is deterministic per seed" `Quick (fun () ->
+        let a = Noise.rng ~seed:7 and b = Noise.rng ~seed:7 in
+        for _ = 1 to 100 do
+          Alcotest.(check (float 0.0)) "same stream" (Noise.uniform a)
+            (Noise.uniform b)
+        done);
+    Alcotest.test_case "uniform stays in [0,1)" `Quick (fun () ->
+        let r = Noise.rng ~seed:3 in
+        for _ = 1 to 10000 do
+          let u = Noise.uniform r in
+          Alcotest.(check bool) "in range" true (u >= 0.0 && u < 1.0)
+        done);
+    Alcotest.test_case "gaussian sample moments" `Quick (fun () ->
+        let r = Noise.rng ~seed:11 in
+        let n = 20000 in
+        let samples =
+          Array.init n (fun _ -> Noise.gaussian r ~mean:2.0 ~sigma:0.5)
+        in
+        let mean = Array.fold_left ( +. ) 0.0 samples /. float_of_int n in
+        let var =
+          Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 samples
+          /. float_of_int n
+        in
+        Alcotest.(check bool) "mean ~ 2" true (Float.abs (mean -. 2.0) < 0.02);
+        Alcotest.(check bool) "sigma ~ 0.5" true
+          (Float.abs (sqrt var -. 0.5) < 0.02));
+    Alcotest.test_case "inverse normal cdf known values" `Quick (fun () ->
+        Alcotest.(check bool) "median" true
+          (Float.abs (Noise.inverse_normal_cdf 0.5) < 1e-9);
+        Alcotest.(check bool) "97.5%" true
+          (Float.abs (Noise.inverse_normal_cdf 0.975 -. 1.959964) < 1e-4);
+        Alcotest.(check bool) "2.5%" true
+          (Float.abs (Noise.inverse_normal_cdf 0.025 +. 1.959964) < 1e-4));
+    Alcotest.test_case "chi-square threshold known values" `Quick (fun () ->
+        (* chi2(0.95, 10) = 18.307; Wilson-Hilferty is good to ~0.1 *)
+        let t = Noise.chi_square_threshold ~df:10 ~confidence:0.95 in
+        Alcotest.(check bool) "df=10" true (Float.abs (t -. 18.307) < 0.2);
+        let t2 = Noise.chi_square_threshold ~df:1 ~confidence:0.95 in
+        Alcotest.(check bool) "df=1" true (Float.abs (t2 -. 3.841) < 0.35));
+    prop "noisy measurements stay near ideal" (QCheck2.Gen.int_range 0 10000)
+      (fun seed ->
+        let _, z = base_z () in
+        let r = Noise.rng ~seed in
+        let z' = Noise.noisy_measurements r ~sigma:0.001 z in
+        Array.for_all2 (fun a b -> Float.abs (a -. b) < 0.01) z z');
+  ]
+
+let identification_tests =
+  [
+    Alcotest.test_case "clean data has no suspects" `Quick (fun () ->
+        let topo, z = base_z () in
+        let v = BD.identify topo ~z in
+        Alcotest.(check (list int)) "none" [] v.BD.suspects);
+    Alcotest.test_case "a single gross error is identified" `Quick (fun () ->
+        let topo, z = base_z () in
+        z.(2) <- z.(2) +. 0.3;
+        (* corrupt measurement 3 (index 2) *)
+        let v = BD.identify topo ~z in
+        Alcotest.(check (list int)) "found it" [ 2 ] v.BD.suspects);
+    Alcotest.test_case "residual drops after removal" `Quick (fun () ->
+        let topo, z = base_z () in
+        z.(5) <- z.(5) +. 0.25;
+        let before = (E.estimate (E.make topo) ~z).E.residual in
+        let v = BD.identify topo ~z in
+        Alcotest.(check bool) "dropped" true (v.BD.final_residual < before));
+    Alcotest.test_case "UFDI attack leaves no suspects (stealth)" `Quick
+      (fun () ->
+        let topo, z = base_z () in
+        let c = [| 0.0; 0.03; 0.0; 0.0 |] in
+        let a = Estimation.Ufdi.attack_vector topo ~c in
+        let z' = Array.mapi (fun i zi -> zi +. a.(i)) z in
+        let v = BD.identify topo ~z:z' in
+        Alcotest.(check (list int)) "invisible" [] v.BD.suspects);
+    prop ~count:50 "identification under noise keeps residual at noise level"
+      (QCheck2.Gen.int_range 1 1000)
+      (fun seed ->
+        let topo, z = base_z () in
+        let r = Noise.rng ~seed in
+        let z = Noise.noisy_measurements r ~sigma:0.002 z in
+        let v = BD.identify ~threshold:4.0 topo ~z in
+        (* small iid noise should not trigger wholesale removals *)
+        List.length v.BD.suspects <= 2);
+    Alcotest.test_case "normalized residuals flag the corrupted row highest"
+      `Quick (fun () ->
+        let topo, z = base_z () in
+        z.(9) <- z.(9) -. 0.4;
+        let norm = BD.normalized_residuals topo ~z in
+        Alcotest.(check int) "argmax" 9 (Linalg.Vec.max_abs_index norm));
+  ]
+
+let () =
+  Alcotest.run "baddata"
+    [ ("noise", noise_tests); ("identification", identification_tests) ]

@@ -1,0 +1,182 @@
+(* Tests for WLS state estimation, bad-data detection and UFDI attacks.
+   The central property is the paper's stealth invariant: adding a = Hc to
+   the measurements leaves the residual unchanged. *)
+
+module Q = Numeric.Rat
+module N = Grid.Network
+module T = Grid.Topology
+module PF = Grid.Powerflow
+module TS = Grid.Test_systems
+module E = Estimation.Estimator
+module U = Estimation.Ufdi
+
+let close ?(eps = 1e-7) a b = Float.abs (a -. b) < eps
+
+let prop ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let five = TS.five_bus ()
+
+(* a fully-metered variant so estimation sees every measurement *)
+let five_full =
+  { five with N.meas = Array.map (fun m -> { m with N.taken = true }) five.N.meas }
+
+let base_solution grid =
+  let b = grid.N.n_buses in
+  let total = N.total_load grid in
+  let cap =
+    Array.fold_left (fun acc (g : N.gen) -> Q.add acc g.N.pmax) Q.zero grid.N.gens
+  in
+  let share = Q.div total cap in
+  let gen = Array.make b Q.zero in
+  Array.iter (fun (g : N.gen) -> gen.(g.N.gbus) <- Q.mul g.N.pmax share) grid.N.gens;
+  let load = Array.make b Q.zero in
+  Array.iter (fun (l : N.load) -> load.(l.N.lbus) <- l.N.existing) grid.N.loads;
+  match PF.solve (T.make grid) ~gen ~load with
+  | Ok sol -> sol
+  | Error e -> failwith e
+
+let wls_tests =
+  [
+    Alcotest.test_case "recovers the state from noise-free data" `Quick
+      (fun () ->
+        let topo = T.make five_full in
+        let sol = base_solution five_full in
+        let z = E.measurement_vector topo sol in
+        let est = E.make topo in
+        let r = E.estimate est ~z in
+        Alcotest.(check bool) "residual ~ 0" true (close r.E.residual 0.0);
+        Array.iteri
+          (fun j angle ->
+            Alcotest.(check bool)
+              (Printf.sprintf "theta %d" j)
+              true
+              (close angle (Q.to_float sol.PF.theta.(j))))
+          r.E.angles);
+    Alcotest.test_case "estimated loads match consumption" `Quick (fun () ->
+        let topo = T.make five_full in
+        let sol = base_solution five_full in
+        let z = E.measurement_vector topo sol in
+        let r = E.estimate (E.make topo) ~z in
+        Array.iteri
+          (fun j c ->
+            Alcotest.(check bool)
+              (Printf.sprintf "bus %d" j)
+              true
+              (close c (Q.to_float sol.PF.consumption.(j))))
+          r.E.loads);
+    Alcotest.test_case "partial metering still observable (case study 1)"
+      `Quick (fun () ->
+        Alcotest.(check bool) "observable" true (E.is_observable (T.make five)));
+    Alcotest.test_case "too few measurements are unobservable" `Quick
+      (fun () ->
+        let blind =
+          {
+            five with
+            N.meas =
+              Array.mapi
+                (fun i m -> { m with N.taken = i = 0 })
+                five.N.meas;
+          }
+        in
+        Alcotest.(check bool) "unobservable" false
+          (E.is_observable (T.make blind)));
+    Alcotest.test_case "gross error raises the residual" `Quick (fun () ->
+        let topo = T.make five_full in
+        let sol = base_solution five_full in
+        let z = E.measurement_vector topo sol in
+        let est = E.make topo in
+        let clean = (E.estimate est ~z).E.residual in
+        z.(0) <- z.(0) +. 0.5;
+        Alcotest.(check bool) "detected" true
+          (E.detects_bad_data est ~z ~tau:(clean +. 0.01)));
+  ]
+
+let gen_state_shift =
+  QCheck2.Gen.(array_size (return 4) (float_range (-0.05) 0.05))
+
+let ufdi_tests =
+  [
+    prop ~count:200 "stealth invariant: a = Hc leaves the residual unchanged"
+      gen_state_shift
+      (fun c ->
+        let topo = T.make five_full in
+        let sol = base_solution five_full in
+        let z = E.measurement_vector topo sol in
+        let est = E.make topo in
+        let r0 = (E.estimate est ~z).E.residual in
+        let a = U.attack_vector topo ~c in
+        let z' = Array.mapi (fun i zi -> zi +. a.(i)) z in
+        let r1 = (E.estimate est ~z:z').E.residual in
+        Float.abs (r0 -. r1) < 1e-7);
+    prop ~count:200 "state shift equals c" gen_state_shift (fun c ->
+        let topo = T.make five_full in
+        let sol = base_solution five_full in
+        let z = E.measurement_vector topo sol in
+        let est = E.make topo in
+        let before = (E.estimate est ~z).E.angles in
+        let a = U.attack_vector topo ~c in
+        let z' = Array.mapi (fun i zi -> zi +. a.(i)) z in
+        let after = (E.estimate est ~z:z').E.angles in
+        (* non-slack buses shift by exactly c *)
+        let ok = ref true in
+        let k = ref 0 in
+        Array.iteri
+          (fun j _ ->
+            if j <> 0 then begin
+              if Float.abs (after.(j) -. before.(j) -. c.(!k)) > 1e-6 then
+                ok := false;
+              incr k
+            end)
+          before;
+        !ok);
+    Alcotest.test_case "non-stealthy injection is detected" `Quick (fun () ->
+        let topo = T.make five_full in
+        let sol = base_solution five_full in
+        let z = E.measurement_vector topo sol in
+        let est = E.make topo in
+        let clean = (E.estimate est ~z).E.residual in
+        (* alter a single measurement: inconsistent with the model *)
+        z.(3) <- z.(3) +. 0.2;
+        let attacked = (E.estimate est ~z).E.residual in
+        Alcotest.(check bool) "residual grows" true (attacked > clean +. 0.01));
+    Alcotest.test_case "touched measurements respect sparsity of c" `Quick
+      (fun () ->
+        let topo = T.make five_full in
+        (* shift only state of bus 3 (index 2 -> c index 1) *)
+        let c = [| 0.0; 0.02; 0.0; 0.0 |] in
+        let touched = U.touched_measurements topo ~c in
+        (* only measurements involving bus 3 move: lines 3 (2-3), 6 (3-4)
+           forward+backward, and injections of buses 2,3,4 *)
+        let l = N.n_lines five_full in
+        List.iter
+          (fun m ->
+            let ok =
+              m = 2 || m = l + 2 || m = 5 || m = l + 5
+              || m = (2 * l) + 1
+              || m = (2 * l) + 2
+              || m = (2 * l) + 3
+            in
+            Alcotest.(check bool) (Printf.sprintf "meas %d" m) true ok)
+          touched);
+    Alcotest.test_case "feasibility honours secured measurements" `Quick
+      (fun () ->
+        (* secure everything: no non-trivial UFDI is feasible *)
+        let all_secured =
+          {
+            five_full with
+            N.meas =
+              Array.map
+                (fun m -> { m with N.secured = true; N.accessible = false })
+                five_full.N.meas;
+          }
+        in
+        let topo = T.make all_secured in
+        Alcotest.(check bool) "infeasible" false
+          (U.feasible topo ~c:[| 0.02; 0.0; 0.0; 0.0 |]);
+        Alcotest.(check bool) "trivial c feasible" true
+          (U.feasible topo ~c:[| 0.0; 0.0; 0.0; 0.0 |]));
+  ]
+
+let () =
+  Alcotest.run "estimation" [ ("wls", wls_tests); ("ufdi", ufdi_tests) ]

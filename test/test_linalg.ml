@@ -1,0 +1,116 @@
+(* Tests for the dense linear algebra substrate. *)
+
+module V = Linalg.Vec
+module M = Linalg.Mat
+module Lu = Linalg.Lu
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let check_vec_close msg a b =
+  Alcotest.(check bool)
+    msg true
+    (V.dim a = V.dim b && Array.for_all2 (fun x y -> close x y) a b)
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+
+(* random diagonally-dominant (hence nonsingular) matrix + rhs *)
+let gen_system =
+  QCheck2.Gen.(
+    let* n = int_range 1 8 in
+    let* entries = array_size (return (n * n)) (float_range (-10.0) 10.0) in
+    let* rhs = array_size (return n) (float_range (-10.0) 10.0) in
+    let m = M.init n n (fun i j -> entries.((i * n) + j)) in
+    for i = 0 to n - 1 do
+      let s = ref 0.0 in
+      for j = 0 to n - 1 do
+        s := !s +. Float.abs (M.get m i j)
+      done;
+      M.set m i i (!s +. 1.0)
+    done;
+    return (m, rhs))
+
+let vec_tests =
+  [
+    Alcotest.test_case "dot and norms" `Quick (fun () ->
+        let a = [| 3.0; 4.0 |] in
+        Alcotest.(check bool) "norm2" true (close (V.norm2 a) 5.0);
+        Alcotest.(check bool) "norm_inf" true (close (V.norm_inf a) 4.0);
+        Alcotest.(check bool) "dot" true (close (V.dot a a) 25.0);
+        Alcotest.(check int) "max_abs_index" 1 (V.max_abs_index a));
+    Alcotest.test_case "add/sub/scale" `Quick (fun () ->
+        let a = [| 1.0; 2.0 |] and b = [| 3.0; -1.0 |] in
+        check_vec_close "add" [| 4.0; 1.0 |] (V.add a b);
+        check_vec_close "sub" [| -2.0; 3.0 |] (V.sub a b);
+        check_vec_close "scale" [| 2.0; 4.0 |] (V.scale 2.0 a));
+    Alcotest.test_case "dimension mismatch raises" `Quick (fun () ->
+        Alcotest.check_raises "raise" (Invalid_argument "Vec: dimension mismatch")
+          (fun () -> ignore (V.add [| 1.0 |] [| 1.0; 2.0 |])));
+  ]
+
+let mat_tests =
+  [
+    Alcotest.test_case "identity multiplication" `Quick (fun () ->
+        let a = M.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+        let r = M.mul a (M.identity 2) in
+        Alcotest.(check bool) "same" true (M.to_arrays r = M.to_arrays a));
+    Alcotest.test_case "transpose involution" `Quick (fun () ->
+        let a = M.init 3 2 (fun i j -> float_of_int ((i * 10) + j)) in
+        Alcotest.(check bool) "tt" true
+          (M.to_arrays (M.transpose (M.transpose a)) = M.to_arrays a));
+    Alcotest.test_case "known product" `Quick (fun () ->
+        let a = M.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+        let b = M.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+        Alcotest.(check bool) "swap cols" true
+          (M.to_arrays (M.mul a b) = [| [| 2.0; 1.0 |]; [| 4.0; 3.0 |] |]));
+    Alcotest.test_case "drop_col" `Quick (fun () ->
+        let a = M.of_arrays [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+        Alcotest.(check bool) "drop middle" true
+          (M.to_arrays (M.drop_col a 1) = [| [| 1.0; 3.0 |]; [| 4.0; 6.0 |] |]));
+    Alcotest.test_case "mul_vec" `Quick (fun () ->
+        let a = M.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+        check_vec_close "Av" [| 5.0; 11.0 |] (M.mul_vec a [| 1.0; 2.0 |]));
+  ]
+
+let lu_tests =
+  [
+    Alcotest.test_case "solve known 2x2" `Quick (fun () ->
+        let a = M.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+        let x = Lu.solve_vec a [| 5.0; 10.0 |] in
+        check_vec_close "solution" [| 1.0; 3.0 |] x);
+    Alcotest.test_case "pivoting required" `Quick (fun () ->
+        (* a11 = 0 forces a row swap *)
+        let a = M.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+        let x = Lu.solve_vec a [| 2.0; 3.0 |] in
+        check_vec_close "swap solve" [| 3.0; 2.0 |] x);
+    Alcotest.test_case "singular raises" `Quick (fun () ->
+        let a = M.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+        Alcotest.check_raises "raise" Lu.Singular (fun () ->
+            ignore (Lu.decompose a)));
+    Alcotest.test_case "determinant" `Quick (fun () ->
+        let a = M.of_arrays [| [| 2.0; 0.0 |]; [| 0.0; 3.0 |] |] in
+        Alcotest.(check bool) "det 6" true (close (Lu.det a) 6.0);
+        let b = M.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+        Alcotest.(check bool) "det -1" true (close (Lu.det b) (-1.0)));
+    Alcotest.test_case "inverse" `Quick (fun () ->
+        let a = M.of_arrays [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+        let ai = Lu.inverse a in
+        let prod = M.mul a ai in
+        Alcotest.(check bool) "a*ai = I" true
+          (close (M.get prod 0 0) 1.0
+          && close (M.get prod 1 1) 1.0
+          && close (M.get prod 0 1) 0.0
+          && close (M.get prod 1 0) 0.0));
+    prop "LU solve residual small" gen_system (fun (m, b) ->
+        let x = Lu.solve_vec m b in
+        let r = V.sub (M.mul_vec m x) b in
+        V.norm_inf r < 1e-6);
+    prop "det of product is product of dets" gen_system (fun (m, _) ->
+        let d2 = Lu.det (M.mul m m) in
+        let d = Lu.det m in
+        Float.abs (d2 -. (d *. d)) < (1e-6 *. Float.max 1.0 (Float.abs (d *. d))));
+  ]
+
+let () =
+  Alcotest.run "linalg"
+    [ ("vec", vec_tests); ("mat", mat_tests); ("lu", lu_tests) ]

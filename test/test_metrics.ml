@@ -1,0 +1,115 @@
+(* Tests for the SMT binary-search optimum and the security metrics. *)
+
+module Q = Numeric.Rat
+module N = Grid.Network
+module T = Grid.Topology
+module TS = Grid.Test_systems
+module C = Estimation.Criticality
+
+let _qc = Alcotest.testable Q.pp Q.equal
+
+let smt_optimum_tests =
+  [
+    Alcotest.test_case "SMT bisection brackets the LP optimum" `Quick
+      (fun () ->
+        let grid = TS.five_bus () in
+        let topo = T.make grid in
+        match (Opf.Dc_opf.base_case grid, Opf.Smt_opf.minimum_cost topo) with
+        | Opf.Dc_opf.Dispatch d, Some smt_opt ->
+          let lp_opt = d.Opf.Dc_opf.cost in
+          (* the bisection returns a feasible budget within tolerance *)
+          Alcotest.(check bool) "above optimum" true Q.(smt_opt >= lp_opt);
+          Alcotest.(check bool) "within tolerance" true
+            Q.(Q.sub smt_opt lp_opt <= of_ints 2 100)
+        | _ -> Alcotest.fail "missing optimum");
+    Alcotest.test_case "SMT bisection detects infeasibility" `Quick (fun () ->
+        let grid = TS.five_bus () in
+        let loads = [| Q.zero; Q.one; Q.one; Q.one; Q.one |] in
+        Alcotest.(check bool) "none" true
+          (Opf.Smt_opf.minimum_cost ~loads (T.make grid) = None));
+    Alcotest.test_case "poisoned-system optimum matches the LP too" `Quick
+      (fun () ->
+        let grid = TS.five_bus () in
+        let mapped = N.true_topology grid in
+        mapped.(5) <- false;
+        let loads =
+          [| Q.zero; Q.of_ints 21 100; Q.of_ints 32 100; Q.of_ints 10 100;
+             Q.of_ints 20 100 |]
+        in
+        let topo = T.make ~mapped grid in
+        match (Opf.Dc_opf.solve ~loads topo, Opf.Smt_opf.minimum_cost ~loads topo) with
+        | Opf.Dc_opf.Dispatch d, Some smt_opt ->
+          Alcotest.(check bool) "bracketed" true
+            Q.(
+              smt_opt >= d.Opf.Dc_opf.cost
+              && Q.sub smt_opt d.Opf.Dc_opf.cost <= of_ints 2 100)
+        | Opf.Dc_opf.Infeasible, None -> ()
+        | _ -> Alcotest.fail "backends disagree");
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "full metering has no critical measurements" `Quick
+      (fun () ->
+        let grid = TS.five_bus () in
+        let full =
+          { grid with N.meas = Array.map (fun m -> { m with N.taken = true }) grid.N.meas }
+        in
+        Alcotest.(check (list int)) "none" []
+          (C.critical_measurements (T.make full)));
+    Alcotest.test_case "a minimal spanning set is all-critical" `Quick
+      (fun () ->
+        (* keep only the 4 injection measurements of buses 2..5: exactly
+           b-1 = 4 measurements for 4 states -> every one is critical *)
+        let grid = TS.five_bus () in
+        let l = N.n_lines grid in
+        let meas =
+          Array.mapi
+            (fun i (m : N.meas) -> { m with N.taken = i >= (2 * l) + 1 })
+            grid.N.meas
+        in
+        let minimal = { grid with N.meas } in
+        let topo = T.make minimal in
+        Alcotest.(check bool) "observable" true
+          (Estimation.Estimator.is_observable topo);
+        Alcotest.(check int) "all critical" 4
+          (List.length (C.critical_measurements topo)));
+    Alcotest.test_case "redundancy ratio" `Quick (fun () ->
+        let grid = TS.five_bus () in
+        let full =
+          { grid with N.meas = Array.map (fun m -> { m with N.taken = true }) grid.N.meas }
+        in
+        (* 19 measurements over 4 states *)
+        Alcotest.(check bool) "19/4" true
+          (Float.abs (C.redundancy (T.make full) -. 4.75) < 1e-9));
+    Alcotest.test_case "attack surface of case study 1" `Quick (fun () ->
+        let grid = TS.five_bus () in
+        let surface = C.attack_surface grid in
+        (* only line 6 (index 5) is attackable in Table II *)
+        Array.iteri
+          (fun i s ->
+            let expected = if i = 5 then C.Excludable else C.Protected in
+            Alcotest.(check bool) (Printf.sprintf "line %d" (i + 1)) true
+              (s = expected))
+          surface);
+    Alcotest.test_case "bus exposure counts residence correctly" `Quick
+      (fun () ->
+        let grid = TS.five_bus () in
+        let exposure = C.bus_exposure grid in
+        (* CS1: alterable+unsecured+taken measurements are 6,7,10,13,17,18
+           (1-based), residing at buses 3,4,5,3(bwd line6 at bus4)... *)
+        let total = Array.fold_left ( + ) 0 exposure in
+        Alcotest.(check int) "total exposed" 6 total;
+        Alcotest.(check int) "bus 1 clean" 0 exposure.(0));
+    Alcotest.test_case "summary prints without error" `Quick (fun () ->
+        let spec = TS.case_study_1 () in
+        let buf = Buffer.create 256 in
+        let fmt = Format.formatter_of_buffer buf in
+        C.summary fmt spec;
+        Format.pp_print_flush fmt ();
+        Alcotest.(check bool) "nonempty" true (Buffer.length buf > 50));
+  ]
+
+let () =
+  Alcotest.run "metrics"
+    [ ("smt-optimum", smt_optimum_tests); ("criticality", metrics_tests) ]

@@ -1,0 +1,255 @@
+(* Unit and property tests for the exact-arithmetic substrate. *)
+
+module B = Numeric.Bigint
+module Q = Numeric.Rat
+module QD = Numeric.Qdelta
+
+let bigint_testable = Alcotest.testable B.pp B.equal
+let rat_testable = Alcotest.testable Q.pp Q.equal
+
+(* ---- Bigint generators ---- *)
+
+let gen_small_int = QCheck2.Gen.int_range (-1_000_000) 1_000_000
+
+let gen_bigint =
+  (* product of several ints gives multi-limb values *)
+  QCheck2.Gen.(
+    map
+      (fun (a, b, c) -> B.mul (B.mul (B.of_int a) (B.of_int b)) (B.of_int c))
+      (triple (int_range (-1_000_000_000) 1_000_000_000)
+         (int_range (-1_000_000_000) 1_000_000_000)
+         (int_range (-1_000_000_000) 1_000_000_000)))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:500 ~name gen f)
+
+let bigint_unit_tests =
+  [
+    Alcotest.test_case "of_int/to_int roundtrip" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check (option int))
+              (string_of_int n) (Some n)
+              (B.to_int (B.of_int n)))
+          [ 0; 1; -1; 42; -42; max_int; min_int + 1; 1 lsl 40; -(1 lsl 40) ]);
+    Alcotest.test_case "of_string/to_string roundtrip (large)" `Quick (fun () ->
+        let s = "123456789012345678901234567890123456789" in
+        Alcotest.(check string) "roundtrip" s (B.to_string (B.of_string s));
+        Alcotest.(check string)
+          "negative" ("-" ^ s)
+          (B.to_string (B.of_string ("-" ^ s))));
+    Alcotest.test_case "big multiplication known value" `Quick (fun () ->
+        let a = B.of_string "99999999999999999999" in
+        let b = B.of_string "99999999999999999999" in
+        Alcotest.check bigint_testable "square"
+          (B.of_string "9999999999999999999800000000000000000001")
+          (B.mul a b));
+    Alcotest.test_case "divmod known value" `Quick (fun () ->
+        let a = B.of_string "10000000000000000000000000000001" in
+        let b = B.of_string "333333333333333" in
+        let q, r = B.divmod a b in
+        Alcotest.check bigint_testable "reconstruct" a (B.add (B.mul q b) r));
+    Alcotest.test_case "pow10" `Quick (fun () ->
+        Alcotest.check bigint_testable "10^12"
+          (B.of_string "1000000000000") (B.pow10 12));
+    Alcotest.test_case "division by zero raises" `Quick (fun () ->
+        Alcotest.check_raises "raise" Division_by_zero (fun () ->
+            ignore (B.divmod B.one B.zero)));
+    Alcotest.test_case "min_int does not overflow" `Quick (fun () ->
+        let m = B.of_int min_int in
+        Alcotest.(check string) "to_string" (string_of_int min_int)
+          (B.to_string m);
+        Alcotest.(check bool) "negation is max_int+1" true
+          (B.equal (B.neg m) (B.add (B.of_int max_int) B.one)));
+    Alcotest.test_case "of_string accepts a leading plus" `Quick (fun () ->
+        Alcotest.check bigint_testable "+42" (B.of_int 42) (B.of_string "+42"));
+    Alcotest.test_case "of_string rejects junk" `Quick (fun () ->
+        Alcotest.(check bool) "raise" true
+          (try
+             ignore (B.of_string "12a3");
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "pow10 zero is one" `Quick (fun () ->
+        Alcotest.check bigint_testable "1" B.one (B.pow10 0));
+    Alcotest.test_case "divmod signs follow the dividend" `Quick (fun () ->
+        let q1, r1 = B.divmod (B.of_int (-7)) (B.of_int 2) in
+        Alcotest.check bigint_testable "q" (B.of_int (-3)) q1;
+        Alcotest.check bigint_testable "r" (B.of_int (-1)) r1;
+        let q2, r2 = B.divmod (B.of_int 7) (B.of_int (-2)) in
+        Alcotest.check bigint_testable "q" (B.of_int (-3)) q2;
+        Alcotest.check bigint_testable "r" (B.of_int 1) r2);
+    Alcotest.test_case "to_small boundary" `Quick (fun () ->
+        Alcotest.(check (option int)) "single limb" (Some ((1 lsl 30) - 1))
+          (B.to_small (B.of_int ((1 lsl 30) - 1)));
+        Alcotest.(check (option int)) "two limbs" None
+          (B.to_small (B.of_int (1 lsl 30))));
+    Alcotest.test_case "gcd basics" `Quick (fun () ->
+        Alcotest.check bigint_testable "gcd(12,18)=6" (B.of_int 6)
+          (B.gcd (B.of_int 12) (B.of_int (-18)));
+        Alcotest.check bigint_testable "gcd(0,5)=5" (B.of_int 5)
+          (B.gcd B.zero (B.of_int 5)));
+  ]
+
+let bigint_prop_tests =
+  [
+    prop "add matches native int" QCheck2.Gen.(pair gen_small_int gen_small_int)
+      (fun (a, b) -> B.to_int (B.add (B.of_int a) (B.of_int b)) = Some (a + b));
+    prop "mul matches native int" QCheck2.Gen.(pair gen_small_int gen_small_int)
+      (fun (a, b) -> B.to_int (B.mul (B.of_int a) (B.of_int b)) = Some (a * b));
+    prop "sub matches native int" QCheck2.Gen.(pair gen_small_int gen_small_int)
+      (fun (a, b) -> B.to_int (B.sub (B.of_int a) (B.of_int b)) = Some (a - b));
+    prop "string roundtrip" gen_bigint (fun a ->
+        B.equal a (B.of_string (B.to_string a)));
+    prop "divmod reconstruction" QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, b) ->
+        QCheck2.assume (not (B.is_zero b));
+        let q, r = B.divmod a b in
+        B.equal a (B.add (B.mul q b) r)
+        && B.compare (B.abs r) (B.abs b) < 0
+        && (B.is_zero r || B.sign r = B.sign a));
+    prop "divmod small divisor" QCheck2.Gen.(pair gen_bigint (int_range 1 100000))
+      (fun (a, d) ->
+        let q, r = B.divmod a (B.of_int d) in
+        B.equal a (B.add (B.mul q (B.of_int d)) r));
+    prop "gcd divides both" QCheck2.Gen.(pair gen_small_int gen_small_int)
+      (fun (a, b) ->
+        let g = B.gcd (B.of_int a) (B.of_int b) in
+        if B.is_zero g then a = 0 && b = 0
+        else
+          B.is_zero (B.rem (B.of_int a) g) && B.is_zero (B.rem (B.of_int b) g));
+    prop "mul_int agrees with mul" QCheck2.Gen.(pair gen_bigint (int_range (-5000) 5000))
+      (fun (a, n) -> B.equal (B.mul_int a n) (B.mul a (B.of_int n)));
+    prop "compare antisymmetric" QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, b) -> B.compare a b = -B.compare b a);
+    prop "add commutative" QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, b) -> B.equal (B.add a b) (B.add b a));
+    prop "mul distributes over add"
+      QCheck2.Gen.(triple gen_bigint gen_bigint gen_bigint)
+      (fun (a, b, c) ->
+        B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+  ]
+
+(* ---- Rat ---- *)
+
+let gen_rat =
+  QCheck2.Gen.(
+    map
+      (fun (n, d) -> Q.of_ints n d)
+      (pair (int_range (-100000) 100000) (int_range 1 100000)))
+
+let rat_unit_tests =
+  [
+    Alcotest.test_case "of_decimal_string edge shapes" `Quick (fun () ->
+        Alcotest.check rat_testable "-.5" (Q.of_ints (-1) 2)
+          (Q.of_decimal_string "-.5");
+        Alcotest.check rat_testable "7." (Q.of_int 7) (Q.of_decimal_string "7.");
+        Alcotest.check rat_testable "0.0" Q.zero (Q.of_decimal_string "0.0"));
+    Alcotest.test_case "to_decimal_string rounds half away from zero" `Quick
+      (fun () ->
+        Alcotest.(check string) "0.25 at 1 digit" "0.3"
+          (Q.to_decimal_string ~digits:1 (Q.of_ints 1 4));
+        Alcotest.(check string) "-0.25 at 1 digit" "-0.3"
+          (Q.to_decimal_string ~digits:1 (Q.of_ints (-1) 4)));
+    Alcotest.test_case "mixed big/small arithmetic stays exact" `Quick
+      (fun () ->
+        (* force the slow path on one operand *)
+        let big = Q.make (B.of_string "123456789012345678901") (B.of_int 7) in
+        let small = Q.of_ints 1 3 in
+        let sum = Q.add big small in
+        Alcotest.check rat_testable "sub recovers" big (Q.sub sum small));
+    Alcotest.test_case "decimal string exact" `Quick (fun () ->
+        Alcotest.check rat_testable "16.90" (Q.of_ints 169 10)
+          (Q.of_decimal_string "16.90");
+        Alcotest.check rat_testable "-0.05" (Q.of_ints (-5) 100)
+          (Q.of_decimal_string "-0.05");
+        Alcotest.check rat_testable "3" (Q.of_int 3) (Q.of_decimal_string "3"));
+    Alcotest.test_case "normalisation" `Quick (fun () ->
+        let x = Q.of_ints 6 (-4) in
+        Alcotest.check rat_testable "-3/2" (Q.of_ints (-3) 2) x);
+    Alcotest.test_case "to_decimal_string" `Quick (fun () ->
+        Alcotest.(check string) "1/3 to 4 digits" "0.3333"
+          (Q.to_decimal_string ~digits:4 (Q.of_ints 1 3));
+        Alcotest.(check string) "-1/8" "-0.125"
+          (Q.to_decimal_string ~digits:3 (Q.of_ints (-1) 8)));
+    Alcotest.test_case "round_to_digits" `Quick (fun () ->
+        Alcotest.check rat_testable "0.346 -> 0.35" (Q.of_ints 35 100)
+          (Q.round_to_digits 2 (Q.of_ints 346 1000));
+        Alcotest.check rat_testable "-0.345 -> -0.35 (half away)"
+          (Q.of_ints (-35) 100)
+          (Q.round_to_digits 2 (Q.of_ints (-345) 1000)));
+    Alcotest.test_case "division by zero rational" `Quick (fun () ->
+        Alcotest.check_raises "raise" Division_by_zero (fun () ->
+            ignore (Q.div Q.one Q.zero)));
+  ]
+
+let rat_prop_tests =
+  [
+    prop "add commutative" QCheck2.Gen.(pair gen_rat gen_rat) (fun (a, b) ->
+        Q.equal (Q.add a b) (Q.add b a));
+    prop "add associative" QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+      (fun (a, b, c) ->
+        Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)));
+    prop "mul distributes" QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+      (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    prop "sub then add is identity" QCheck2.Gen.(pair gen_rat gen_rat)
+      (fun (a, b) -> Q.equal a (Q.add (Q.sub a b) b));
+    prop "inverse multiplies to one" gen_rat (fun a ->
+        QCheck2.assume (not (Q.is_zero a));
+        Q.equal Q.one (Q.mul a (Q.inv a)));
+    prop "denominator positive and reduced" QCheck2.Gen.(pair gen_rat gen_rat)
+      (fun (a, b) ->
+        let c = Q.add a b in
+        B.sign c.Q.den > 0
+        && B.equal B.one (B.gcd c.Q.num c.Q.den)
+           = not (B.is_zero c.Q.num) || B.is_zero c.Q.num);
+    prop "of_float exact roundtrip"
+      QCheck2.Gen.(map (fun (a, b) -> float_of_int a /. float_of_int b)
+                     (pair (int_range (-1000000) 1000000) (int_range 1 4096)))
+      (fun f -> Float.equal (Q.to_float (Q.of_float f)) f);
+    prop "compare consistent with float compare on exact values"
+      QCheck2.Gen.(pair gen_rat gen_rat)
+      (fun (a, b) ->
+        let c = Q.compare a b in
+        let cf = Float.compare (Q.to_float a) (Q.to_float b) in
+        (* floats of small rationals are close enough to agree on strict order
+           when the difference is representable *)
+        c = 0 || cf = 0 || c = cf);
+    prop "round_to_digits within half ulp" gen_rat (fun a ->
+        let r = Q.round_to_digits 2 a in
+        Q.( <= ) (Q.abs (Q.sub r a)) (Q.of_ints 1 200));
+  ]
+
+(* ---- Qdelta ---- *)
+
+let qdelta_tests =
+  [
+    Alcotest.test_case "lexicographic order" `Quick (fun () ->
+        let a = QD.make Q.one Q.zero in
+        let b = QD.make Q.one Q.one in
+        Alcotest.(check bool) "a < a+eps" true (QD.( < ) a b);
+        let c = QD.make (Q.of_int 2) (Q.of_int (-100)) in
+        Alcotest.(check bool) "1+eps < 2-100eps" true (QD.( < ) b c));
+    Alcotest.test_case "concretize" `Quick (fun () ->
+        let x = QD.make Q.one (Q.of_int (-2)) in
+        Alcotest.check rat_testable "1 - 2*0.25" (Q.of_ints 1 2)
+          (QD.concretize ~epsilon:(Q.of_ints 1 4) x));
+    prop "add componentwise" QCheck2.Gen.(pair gen_rat gen_rat)
+      (fun (a, b) ->
+        let x = QD.make a b and y = QD.make b a in
+        QD.equal (QD.add x y) (QD.make (Q.add a b) (Q.add a b)));
+    prop "scale distributes" QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+      (fun (k, a, b) ->
+        QD.equal
+          (QD.scale k (QD.make a b))
+          (QD.make (Q.mul k a) (Q.mul k b)));
+  ]
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ("bigint-unit", bigint_unit_tests);
+      ("bigint-prop", bigint_prop_tests);
+      ("rat-unit", rat_unit_tests);
+      ("rat-prop", rat_prop_tests);
+      ("qdelta", qdelta_tests);
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the OPF stack: exact LP DC-OPF, the SMT bounded-cost model,
+   PTDF/LODF/LCDF distribution factors and the shift-factor fast OPF. *)
+
+module Q = Numeric.Rat
+module N = Grid.Network
+module T = Grid.Topology
+module PF = Grid.Powerflow
+module TS = Grid.Test_systems
+
+let qc = Alcotest.testable Q.pp Q.equal
+let close ?(eps = 1e-6) a b = Float.abs (a -. b) < eps
+
+let prop ?(count = 50) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let five = TS.five_bus ()
+
+let dispatch_exn = function
+  | Opf.Dc_opf.Dispatch d -> d
+  | Opf.Dc_opf.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Opf.Dc_opf.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let relax_caps grid =
+  {
+    grid with
+    N.lines =
+      Array.map (fun ln -> { ln with N.capacity = Q.of_int 10 }) grid.N.lines;
+  }
+
+let dc_opf_tests =
+  [
+    Alcotest.test_case "uncongested optimum is the merit order" `Quick
+      (fun () ->
+        (* relaxed caps: fill cheapest generators first ->
+           G3 = 0.5, G1 = 0.23, G2 = 0.1; cost = 170+414+220+600 = 1404 *)
+        let d = dispatch_exn (Opf.Dc_opf.base_case (relax_caps five)) in
+        Alcotest.check qc "cost" (Q.of_int 1404) d.Opf.Dc_opf.cost;
+        Alcotest.check qc "g1" (Q.of_ints 23 100) d.Opf.Dc_opf.pg.(0);
+        Alcotest.check qc "g2" (Q.of_ints 10 100) d.Opf.Dc_opf.pg.(1);
+        Alcotest.check qc "g3" (Q.of_ints 50 100) d.Opf.Dc_opf.pg.(2));
+    Alcotest.test_case "congestion raises the cost above merit order" `Quick
+      (fun () ->
+        let d = dispatch_exn (Opf.Dc_opf.base_case five) in
+        Alcotest.(check bool) "congested > merit" true
+          Q.(d.Opf.Dc_opf.cost > of_int 1404));
+    Alcotest.test_case "dispatch balances and respects limits" `Quick
+      (fun () ->
+        let d = dispatch_exn (Opf.Dc_opf.base_case five) in
+        let total_gen = Array.fold_left Q.add Q.zero d.Opf.Dc_opf.pg in
+        Alcotest.check qc "balance" (N.total_load five) total_gen;
+        Array.iteri
+          (fun k p ->
+            let g = five.N.gens.(k) in
+            Alcotest.(check bool)
+              (Printf.sprintf "gen %d in range" k)
+              true
+              Q.(p >= g.N.pmin && p <= g.N.pmax))
+          d.Opf.Dc_opf.pg;
+        Array.iteri
+          (fun i f ->
+            Alcotest.(check bool)
+              (Printf.sprintf "line %d within cap" (i + 1))
+              true
+              Q.(abs f <= five.N.lines.(i).N.capacity))
+          d.Opf.Dc_opf.flows);
+    Alcotest.test_case "flows follow from the angles" `Quick (fun () ->
+        let d = dispatch_exn (Opf.Dc_opf.base_case five) in
+        let topo = T.make five in
+        let expected = PF.flow_of_angles topo d.Opf.Dc_opf.theta in
+        Array.iteri
+          (fun i f -> Alcotest.check qc (Printf.sprintf "line %d" i) expected.(i) f)
+          d.Opf.Dc_opf.flows);
+    Alcotest.test_case "infeasible when load exceeds generation" `Quick
+      (fun () ->
+        let loads = [| Q.zero; Q.one; Q.one; Q.one; Q.one |] in
+        Alcotest.(check bool) "infeasible" true
+          (Opf.Dc_opf.solve ~loads (T.make five) = Opf.Dc_opf.Infeasible));
+    Alcotest.test_case "islanding a loaded bus is infeasible" `Quick
+      (fun () ->
+        (* cutting lines 3 and 6 isolates bus 3 (load 0.24, gen <= 0.5:
+           balance within the island forces gen = load, but line caps are
+           irrelevant; islanding with nonzero mismatch must not dispatch *)
+        let mapped = N.true_topology five in
+        mapped.(2) <- false;
+        mapped.(5) <- false;
+        match Opf.Dc_opf.solve (T.make ~mapped five) with
+        | Opf.Dc_opf.Dispatch d ->
+          (* if it converges, the island must self-balance: G3 = 0.24 *)
+          Alcotest.check qc "island balance" (Q.of_ints 24 100)
+            d.Opf.Dc_opf.pg.(2)
+        | Opf.Dc_opf.Infeasible -> ()
+        | Opf.Dc_opf.Unbounded -> Alcotest.fail "unbounded");
+  ]
+
+let smt_opf_tests =
+  [
+    Alcotest.test_case "sat exactly at the LP optimum" `Quick (fun () ->
+        let d = dispatch_exn (Opf.Dc_opf.base_case five) in
+        let topo = T.make five in
+        Alcotest.(check bool) "sat at opt" true
+          (Opf.Smt_opf.feasible topo ~budget:d.Opf.Dc_opf.cost = `Sat);
+        Alcotest.(check bool) "unsat below opt" true
+          (Opf.Smt_opf.feasible topo
+             ~budget:(Q.sub d.Opf.Dc_opf.cost (Q.of_ints 1 100))
+          = `Unsat));
+    Alcotest.test_case "poisoned loads change the boundary" `Quick (fun () ->
+        let topo = T.make five in
+        let loads = [| Q.zero; Q.of_ints 21 100; Q.of_ints 30 100;
+                       Q.of_ints 12 100; Q.of_ints 20 100 |] in
+        let d = dispatch_exn (Opf.Dc_opf.solve ~loads topo) in
+        Alcotest.(check bool) "sat at its own opt" true
+          (Opf.Smt_opf.feasible ~loads topo ~budget:d.Opf.Dc_opf.cost = `Sat));
+    prop "LP optimum is the SMT boundary for random load shifts"
+      QCheck2.Gen.(pair (int_range (-5) 5) (int_range (-5) 5))
+      (fun (d2, d3) ->
+        (* shift load between buses 2 and 3 in 0.01 steps, keeping total *)
+        let shift = Q.of_ints (d2 - d3) 200 in
+        let loads =
+          [|
+            Q.zero;
+            Q.add (Q.of_ints 21 100) shift;
+            Q.sub (Q.of_ints 24 100) shift;
+            Q.of_ints 18 100;
+            Q.of_ints 20 100;
+          |]
+        in
+        let topo = T.make five in
+        match Opf.Dc_opf.solve ~loads topo with
+        | Opf.Dc_opf.Dispatch d ->
+          Opf.Smt_opf.feasible ~loads topo ~budget:d.Opf.Dc_opf.cost = `Sat
+          && Opf.Smt_opf.feasible ~loads topo
+               ~budget:(Q.sub d.Opf.Dc_opf.cost Q.one)
+             = `Unsat
+        | Opf.Dc_opf.Infeasible ->
+          (* then no budget can be satisfied either *)
+          Opf.Smt_opf.feasible ~loads topo ~budget:(Q.of_int 100000) = `Unsat
+        | Opf.Dc_opf.Unbounded -> false);
+  ]
+
+(* random balanced injection vector over the 5-bus system *)
+let gen_injections =
+  QCheck2.Gen.(
+    let* parts = array_size (return 4) (float_range (-0.3) 0.3) in
+    let total = Array.fold_left ( +. ) 0.0 parts in
+    return [| -.total; parts.(0); parts.(1); parts.(2); parts.(3) |])
+
+let factor_tests =
+  [
+    prop "PTDF flows equal power-flow flows" gen_injections (fun inj ->
+        let topo = T.make five in
+        let f = Opf.Factors.make topo in
+        let via_factors = Opf.Factors.flows_from_injections f inj in
+        let gen = Array.map (fun x -> Float.max x 0.0) inj in
+        let load = Array.map (fun x -> Float.max (-.x) 0.0) inj in
+        match PF.solve_float topo ~gen ~load with
+        | Error _ -> false
+        | Ok (_, flows) ->
+          Array.for_all2 (fun a b -> close a b) via_factors flows);
+    prop "LODF matches re-solving without the line" gen_injections
+      (fun inj ->
+        let topo = T.make five in
+        let f = Opf.Factors.make topo in
+        let gen = Array.map (fun x -> Float.max x 0.0) inj in
+        let load = Array.map (fun x -> Float.max (-.x) 0.0) inj in
+        match PF.solve_float topo ~gen ~load with
+        | Error _ -> false
+        | Ok (_, base_flows) ->
+          (* outage of line 6 (index 5) keeps the system connected *)
+          let predicted =
+            Opf.Factors.flows_after_outage f ~base_flows ~outage:5
+          in
+          let mapped = N.true_topology five in
+          mapped.(5) <- false;
+          (match PF.solve_float (T.make ~mapped five) ~gen ~load with
+          | Error _ -> false
+          | Ok (_, actual) ->
+            Array.for_all2 (fun a b -> close ~eps:1e-6 a b) predicted actual));
+    prop "LCDF closure flow matches adding the line" gen_injections
+      (fun inj ->
+        (* start from the topology without line 6, close it *)
+        let mapped = N.true_topology five in
+        mapped.(5) <- false;
+        let topo_open = T.make ~mapped five in
+        let f = Opf.Factors.make topo_open in
+        let gen = Array.map (fun x -> Float.max x 0.0) inj in
+        let load = Array.map (fun x -> Float.max (-.x) 0.0) inj in
+        match PF.solve_float topo_open ~gen ~load with
+        | Error _ -> false
+        | Ok (theta, base_flows) ->
+          let predicted =
+            Opf.Factors.flows_after_closure f ~theta ~base_flows ~line:5
+          in
+          (match PF.solve_float (T.make five) ~gen ~load with
+          | Error _ -> false
+          | Ok (_, actual) ->
+            Array.for_all2 (fun a b -> close ~eps:1e-6 a b) predicted actual));
+    Alcotest.test_case "radial outage has no distribution factor" `Quick
+      (fun () ->
+        (* islanding outage: LODF is NaN by construction *)
+        let mapped = N.true_topology five in
+        mapped.(2) <- false;
+        (* with line 3 out, line 6 is bus 3's only tie: its outage islands *)
+        let topo = T.make ~mapped five in
+        let f = Opf.Factors.make topo in
+        Alcotest.(check bool) "nan" true
+          (Float.is_nan (Opf.Factors.lodf f ~outage:5 0)));
+  ]
+
+let fast_opf_tests =
+  [
+    Alcotest.test_case "agrees with the exact LP on the 5-bus system" `Quick
+      (fun () ->
+        (* factor coefficients are rounded to 6 digits, so costs agree to
+           about a cent, not exactly *)
+        let d1 = dispatch_exn (Opf.Dc_opf.base_case five) in
+        let d2 = dispatch_exn (Opf.Fast_opf.solve (T.make five)) in
+        Alcotest.(check bool) "cost within a cent" true
+          (close ~eps:1e-2
+             (Q.to_float d1.Opf.Dc_opf.cost)
+             (Q.to_float d2.Opf.Dc_opf.cost)));
+    Alcotest.test_case "agrees with the exact LP on IEEE-14" `Quick (fun () ->
+        let grid = (TS.ieee 14).Grid.Spec.grid in
+        let d1 = dispatch_exn (Opf.Dc_opf.base_case grid) in
+        let d2 = dispatch_exn (Opf.Fast_opf.solve (T.make grid)) in
+        Alcotest.(check bool) "cost within a cent" true
+          (close ~eps:1e-2
+             (Q.to_float d1.Opf.Dc_opf.cost)
+             (Q.to_float d2.Opf.Dc_opf.cost)));
+    Alcotest.test_case "handles poisoned topology and loads" `Quick (fun () ->
+        let mapped = N.true_topology five in
+        mapped.(5) <- false;
+        let loads =
+          [| Q.zero; Q.of_ints 21 100; Q.of_ints 32 100; Q.of_ints 10 100;
+             Q.of_ints 20 100 |]
+        in
+        let topo = T.make ~mapped five in
+        match (Opf.Dc_opf.solve ~loads topo, Opf.Fast_opf.solve ~loads topo) with
+        | Opf.Dc_opf.Dispatch a, Opf.Dc_opf.Dispatch b ->
+          (* factor rounding: equal to ~1e-4 *)
+          Alcotest.(check bool) "costs close" true
+            (close ~eps:1e-2 (Q.to_float a.Opf.Dc_opf.cost)
+               (Q.to_float b.Opf.Dc_opf.cost))
+        | Opf.Dc_opf.Infeasible, Opf.Dc_opf.Infeasible -> ()
+        | _ -> Alcotest.fail "backends disagree on feasibility");
+  ]
+
+let () =
+  Alcotest.run "opf"
+    [
+      ("dc-opf", dc_opf_tests);
+      ("smt-opf", smt_opf_tests);
+      ("factors", factor_tests);
+      ("fast-opf", fast_opf_tests);
+    ]

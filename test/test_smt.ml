@@ -1,0 +1,373 @@
+(* Tests for the SMT substrate: SAT core, LRA simplex, full solver. *)
+
+module Q = Numeric.Rat
+module L = Smt.Linexp
+module F = Smt.Form
+module Sat = Smt.Sat
+module Solver = Smt.Solver
+
+let prop ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* ---- pure SAT ---- *)
+
+let sat_result = Alcotest.of_pp (fun fmt r ->
+    Format.pp_print_string fmt (match r with `Sat -> "sat" | `Unsat -> "unsat"))
+
+let mk_sat_problem nvars clauses =
+  let s = Sat.create () in
+  let vars = Array.init nvars (fun _ -> Sat.new_var s) in
+  List.iter
+    (fun cl ->
+      Sat.add_clause s
+        (List.map (fun l -> Sat.lit_of_var vars.(abs l - 1) (l > 0)) cl))
+    clauses;
+  (s, vars)
+
+let brute_force nvars clauses =
+  (* exhaustive check of a DIMACS-style clause list *)
+  let rec loop mask =
+    if mask >= 1 lsl nvars then `Unsat
+    else
+      let ok =
+        List.for_all
+          (fun cl ->
+            List.exists
+              (fun l ->
+                let v = abs l - 1 in
+                let tv = mask land (1 lsl v) <> 0 in
+                if l > 0 then tv else not tv)
+              cl)
+          clauses
+      in
+      if ok then `Sat else loop (mask + 1)
+  in
+  loop 0
+
+let gen_cnf =
+  QCheck2.Gen.(
+    let* nvars = int_range 1 10 in
+    let* nclauses = int_range 1 40 in
+    let gen_lit =
+      map2 (fun v s -> if s then v + 1 else -(v + 1)) (int_range 0 (nvars - 1)) bool
+    in
+    let* clauses = list_size (return nclauses) (list_size (int_range 1 4) gen_lit) in
+    return (nvars, clauses))
+
+let sat_tests =
+  [
+    Alcotest.test_case "empty problem is sat" `Quick (fun () ->
+        let s = Sat.create () in
+        Alcotest.check sat_result "sat" `Sat (Sat.solve s));
+    Alcotest.test_case "unit propagation chain" `Quick (fun () ->
+        (* 1, 1->2, 2->3, check 3 true *)
+        let s, vars = mk_sat_problem 3 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+        Alcotest.check sat_result "sat" `Sat (Sat.solve s);
+        Alcotest.(check bool) "v3" true (Sat.value s vars.(2)));
+    Alcotest.test_case "contradiction unsat" `Quick (fun () ->
+        let s, _ = mk_sat_problem 1 [ [ 1 ]; [ -1 ] ] in
+        Alcotest.check sat_result "unsat" `Unsat (Sat.solve s));
+    Alcotest.test_case "pigeonhole 3 pigeons 2 holes" `Quick (fun () ->
+        (* vars p_{i,h} = 2*i + h + 1 for i in 0..2, h in 0..1 *)
+        let v i h = (2 * i) + h + 1 in
+        let clauses =
+          (* each pigeon somewhere *)
+          [ [ v 0 0; v 0 1 ]; [ v 1 0; v 1 1 ]; [ v 2 0; v 2 1 ] ]
+          (* no two pigeons share a hole *)
+          @ List.concat_map
+              (fun h ->
+                [
+                  [ -v 0 h; -v 1 h ]; [ -v 0 h; -v 2 h ]; [ -v 1 h; -v 2 h ];
+                ])
+              [ 0; 1 ]
+        in
+        let s, _ = mk_sat_problem 6 clauses in
+        Alcotest.check sat_result "unsat" `Unsat (Sat.solve s));
+    Alcotest.test_case "incremental blocking enumerates models" `Quick
+      (fun () ->
+        (* 2 free vars -> exactly 4 models *)
+        let s, vars = mk_sat_problem 2 [ [ 1; -1 ] ] in
+        let count = ref 0 in
+        let rec loop () =
+          match Sat.solve s with
+          | `Unsat -> ()
+          | `Sat ->
+            incr count;
+            if !count > 8 then Alcotest.fail "too many models";
+            let block =
+              Array.to_list vars
+              |> List.map (fun v -> Sat.lit_of_var v (not (Sat.value s v)))
+            in
+            Sat.add_clause s block;
+            loop ()
+        in
+        loop ();
+        Alcotest.(check int) "4 models" 4 !count);
+    prop ~count:500 "agrees with brute force" gen_cnf (fun (nvars, clauses) ->
+        let s, _ = mk_sat_problem nvars clauses in
+        Sat.solve s = brute_force nvars clauses);
+    prop ~count:300 "models satisfy the formula" gen_cnf (fun (nvars, clauses) ->
+        let s, vars = mk_sat_problem nvars clauses in
+        match Sat.solve s with
+        | `Unsat -> true
+        | `Sat ->
+          List.for_all
+            (fun cl ->
+              List.exists
+                (fun l ->
+                  let b = Sat.value s vars.(abs l - 1) in
+                  if l > 0 then b else not b)
+                cl)
+            clauses);
+  ]
+
+(* ---- LRA through the solver facade ---- *)
+
+let qc = Alcotest.testable Q.pp Q.equal
+
+let check_result expected s =
+  Alcotest.check sat_result "result" expected (Solver.check s)
+
+let lra_tests =
+  [
+    Alcotest.test_case "simple feasible bounds" `Quick (fun () ->
+        let s = Solver.create () in
+        let x = Solver.fresh_real s in
+        Solver.assert_form s (F.ge (L.var x) (L.const (Q.of_int 1)));
+        Solver.assert_form s (F.le (L.var x) (L.const (Q.of_int 3)));
+        check_result `Sat s;
+        let v = Solver.model_real s x in
+        Alcotest.(check bool) "1<=x<=3" true
+          Q.(v >= of_int 1 && v <= of_int 3));
+    Alcotest.test_case "sum constraint infeasible" `Quick (fun () ->
+        let s = Solver.create () in
+        let x = Solver.fresh_real s and y = Solver.fresh_real s in
+        Solver.assert_form s
+          (F.le (L.add (L.var x) (L.var y)) (L.const (Q.of_int 2)));
+        Solver.assert_form s (F.ge (L.var x) (L.const Q.one));
+        Solver.assert_form s (F.ge (L.var y) (L.const (Q.of_decimal_string "1.5")));
+        check_result `Unsat s);
+    Alcotest.test_case "strict bounds satisfiable with exact model" `Quick
+      (fun () ->
+        let s = Solver.create () in
+        let x = Solver.fresh_real s in
+        Solver.assert_form s (F.gt (L.var x) (L.const Q.zero));
+        Solver.assert_form s (F.lt (L.var x) (L.const Q.one));
+        check_result `Sat s;
+        let v = Solver.model_real s x in
+        Alcotest.(check bool) "0<x<1" true Q.(v > zero && v < one));
+    Alcotest.test_case "strict contradiction" `Quick (fun () ->
+        let s = Solver.create () in
+        let x = Solver.fresh_real s in
+        Solver.assert_form s (F.gt (L.var x) (L.const Q.zero));
+        Solver.assert_form s (F.lt (L.var x) (L.const Q.zero));
+        check_result `Unsat s);
+    Alcotest.test_case "equality chain" `Quick (fun () ->
+        let s = Solver.create () in
+        let x = Solver.fresh_real s
+        and y = Solver.fresh_real s
+        and z = Solver.fresh_real s in
+        Solver.assert_form s (F.eq (L.var x) (L.var y));
+        Solver.assert_form s (F.eq (L.var y) (L.var z));
+        Solver.assert_form s
+          (F.eq (L.sum [ L.var x; L.var y; L.var z ]) (L.const (Q.of_int 3)));
+        check_result `Sat s;
+        Alcotest.check qc "x=1" Q.one (Solver.model_real s x);
+        Alcotest.check qc "z=1" Q.one (Solver.model_real s z));
+    Alcotest.test_case "boolean guards both infeasible" `Quick (fun () ->
+        let s = Solver.create () in
+        let b = Solver.fresh_bool s in
+        let x = Solver.fresh_real s in
+        Solver.assert_form s
+          (F.implies (F.bvar b) (F.ge (L.var x) (L.const (Q.of_int 5))));
+        Solver.assert_form s
+          (F.implies (F.not_ (F.bvar b)) (F.le (L.var x) (L.const Q.one)));
+        Solver.assert_form s (F.eq (L.var x) (L.const (Q.of_int 3)));
+        check_result `Unsat s);
+    Alcotest.test_case "disjunctive intervals" `Quick (fun () ->
+        let s = Solver.create () in
+        let x = Solver.fresh_real s in
+        Solver.assert_form s
+          (F.or_
+             [
+               F.le (L.var x) (L.const Q.one);
+               F.ge (L.var x) (L.const (Q.of_int 5));
+             ]);
+        Solver.assert_form s (F.ge (L.var x) (L.const (Q.of_int 3)));
+        check_result `Sat s;
+        Alcotest.(check bool) "x>=5" true
+          Q.(Solver.model_real s x >= of_int 5));
+    Alcotest.test_case "bound_real permanent bounds" `Quick (fun () ->
+        let s = Solver.create () in
+        let x = Solver.fresh_real s in
+        Solver.bound_real s ~lo:(Q.of_int 2) ~hi:(Q.of_int 2) x;
+        check_result `Sat s;
+        Alcotest.check qc "x=2" (Q.of_int 2) (Solver.model_real s x));
+    Alcotest.test_case "real_expr_var names a sum" `Quick (fun () ->
+        let s = Solver.create () in
+        let x = Solver.fresh_real s and y = Solver.fresh_real s in
+        let w =
+          Solver.real_expr_var s
+            (L.add (L.add (L.var x) (L.var y)) (L.const (Q.of_int 10)))
+        in
+        Solver.assert_form s (F.eq (L.var x) (L.const Q.one));
+        Solver.assert_form s (F.eq (L.var y) (L.const (Q.of_int 2)));
+        check_result `Sat s;
+        Alcotest.check qc "w=13" (Q.of_int 13) (Solver.model_real s w));
+    Alcotest.test_case "incremental blocking over reals" `Quick (fun () ->
+        let s = Solver.create () in
+        let x = Solver.fresh_real s in
+        Solver.assert_form s
+          (F.or_
+             [
+               F.eq (L.var x) (L.const Q.one);
+               F.eq (L.var x) (L.const (Q.of_int 2));
+             ]);
+        check_result `Sat s;
+        let v1 = Solver.model_real s x in
+        Solver.assert_form s (F.neq (L.var x) (L.const v1));
+        check_result `Sat s;
+        let v2 = Solver.model_real s x in
+        Alcotest.(check bool) "different" false (Q.equal v1 v2);
+        Solver.assert_form s (F.neq (L.var x) (L.const v2));
+        check_result `Unsat s);
+  ]
+
+(* ---- cardinality encodings ---- *)
+
+let card_case name encode =
+  Alcotest.test_case name `Quick (fun () ->
+      (* at most 2 of 5; force 2 -> sat *)
+      let s = Solver.create () in
+      let bs = List.init 5 (fun _ -> Solver.fresh_bool s) in
+      encode s 2 (List.map F.bvar bs);
+      (match bs with
+      | b0 :: b1 :: _ ->
+        Solver.assert_form s (F.bvar b0);
+        Solver.assert_form s (F.bvar b1)
+      | _ -> assert false);
+      check_result `Sat s;
+      let n_true =
+        List.length (List.filter (fun b -> Solver.model_bool s b) bs)
+      in
+      Alcotest.(check bool) "at most 2 true" true (n_true <= 2);
+      (* force a third -> unsat *)
+      (match bs with
+      | _ :: _ :: b2 :: _ -> Solver.assert_form s (F.bvar b2)
+      | _ -> assert false);
+      check_result `Unsat s)
+
+let card_tests =
+  [
+    card_case "sequential counter" Solver.assert_at_most;
+    card_case "indicator reals" Solver.assert_at_most_indicator;
+    Alcotest.test_case "at_most 0 forces all false" `Quick (fun () ->
+        let s = Solver.create () in
+        let bs = List.init 3 (fun _ -> Solver.fresh_bool s) in
+        Solver.assert_at_most s 0 (List.map F.bvar bs);
+        check_result `Sat s;
+        List.iter
+          (fun b -> Alcotest.(check bool) "false" false (Solver.model_bool s b))
+          bs);
+    Alcotest.test_case "at_most n is vacuous" `Quick (fun () ->
+        let s = Solver.create () in
+        let bs = List.init 3 (fun _ -> Solver.fresh_bool s) in
+        Solver.assert_at_most s 3 (List.map F.bvar bs);
+        List.iter (fun b -> Solver.assert_form s (F.bvar b)) bs;
+        check_result `Sat s);
+  ]
+
+(* ---- random model-checking property ---- *)
+
+(* random formulas over 3 reals and 2 bools; when sat, evaluate the model *)
+let gen_formula =
+  QCheck2.Gen.(
+    let gen_coeff = map Q.of_int (int_range (-3) 3) in
+    let gen_lexp =
+      let* c0 = gen_coeff and* c1 = gen_coeff and* c2 = gen_coeff
+      and* k = map Q.of_int (int_range (-10) 10) in
+      return
+        (L.sum
+           [
+             L.monomial c0 0;
+             L.monomial c1 1;
+             L.monomial c2 2;
+             L.const k;
+           ])
+    in
+    let gen_atom =
+      let* e = gen_lexp and* kind = int_range 0 3 in
+      return
+        (match kind with
+        | 0 -> F.le e L.zero
+        | 1 -> F.lt e L.zero
+        | 2 -> F.ge e L.zero
+        | _ -> F.eq e L.zero)
+    in
+    let gen_leaf =
+      oneof [ gen_atom; map (fun b -> F.bvar b) (int_range 0 1) ]
+    in
+    let rec gen_form depth =
+      if depth = 0 then gen_leaf
+      else
+        oneof
+          [
+            gen_leaf;
+            map F.not_ (gen_form (depth - 1));
+            map2 (fun a b -> F.and_ [ a; b ]) (gen_form (depth - 1))
+              (gen_form (depth - 1));
+            map2 (fun a b -> F.or_ [ a; b ]) (gen_form (depth - 1))
+              (gen_form (depth - 1));
+          ]
+    in
+    list_size (int_range 1 6) (gen_form 3))
+
+let rec eval_form bvals rvals (f : F.t) =
+  match f with
+  | F.True -> true
+  | F.False -> false
+  | F.Bvar v -> bvals v
+  | F.Atom (op, e) ->
+    let v = L.eval rvals e in
+    (match op with F.Le -> Q.(v <= zero) | F.Lt -> Q.(v < zero))
+  | F.Not f -> not (eval_form bvals rvals f)
+  | F.And fs -> List.for_all (eval_form bvals rvals) fs
+  | F.Or fs -> List.exists (eval_form bvals rvals) fs
+
+(* remap placeholder Bvar ids (0/1) in generated formulas to solver ids *)
+let rec subst_bvar bmap (f : F.t) =
+  match f with
+  | F.Bvar v -> F.bvar bmap.(v)
+  | F.Not f -> F.Not (subst_bvar bmap f)
+  | F.And fs -> F.And (List.map (subst_bvar bmap) fs)
+  | F.Or fs -> F.Or (List.map (subst_bvar bmap) fs)
+  | (F.True | F.False | F.Atom _) as f -> f
+
+let model_check_tests =
+  [
+    prop ~count:300 "sat models satisfy asserted formulas" gen_formula
+      (fun fs ->
+        let s = Solver.create () in
+        let rvars = Array.init 3 (fun _ -> Solver.fresh_real s) in
+        let bvars = Array.init 2 (fun _ -> Solver.fresh_bool s) in
+        (* generated real-var ids 0..2 coincide with the solver's; Boolean
+           placeholders are remapped to fresh solver variables *)
+        ignore rvars;
+        let fs = List.map (subst_bvar bvars) fs in
+        List.iter (Solver.assert_form s) fs;
+        match Solver.check s with
+        | `Unsat -> true
+        | `Sat ->
+          let bvals v = Solver.model_bool s v in
+          let rvals v = Solver.model_real s v in
+          List.for_all (eval_form bvals rvals) fs);
+  ]
+
+let () =
+  Alcotest.run "smt"
+    [
+      ("sat", sat_tests);
+      ("lra", lra_tests);
+      ("cardinality", card_tests);
+      ("model-check", model_check_tests);
+    ]
