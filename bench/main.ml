@@ -88,7 +88,53 @@ let fallback_measurement label size =
     seconds = 0.0;
     allocated_mb = 0.0;
     result = "?";
+    counters = [];
   }
+
+(* ---- machine-readable output: one BENCH_<suite>.json per section ----
+   The solver counters travel with each measurement (captured by
+   E.timed in the forked child and marshalled back), so the JSON rows
+   carry SAT/simplex statistics even though the parent process never
+   ran the solve. *)
+
+let bench_json_rows : (string, Obs.Json.t list ref) Hashtbl.t = Hashtbl.create 8
+
+let record_row ~suite ~case (m : E.measurement) =
+  let open Obs.Json in
+  let row =
+    Obj
+      [
+        ("label", String m.E.label);
+        ("case", String case);
+        ("buses", Int m.E.system_size);
+        ("seconds", Float m.E.seconds);
+        ("allocated_mb", Float m.E.allocated_mb);
+        ("result", String m.E.result);
+        ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) m.E.counters));
+      ]
+  in
+  let rows =
+    match Hashtbl.find_opt bench_json_rows suite with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add bench_json_rows suite r;
+      r
+  in
+  rows := row :: !rows
+
+let write_suite_json suite =
+  match Hashtbl.find_opt bench_json_rows suite with
+  | None -> ()
+  | Some rows ->
+    let file = Printf.sprintf "BENCH_%s.json" suite in
+    Obs.write_json_file file
+      (Obs.Json.Obj
+         [
+           ("suite", Obs.Json.String suite);
+           ("rows", Obs.Json.List (List.rev !rows));
+         ]);
+    Printf.printf "wrote %s\n%!" file
 
 let header title detail =
   Printf.printf "\n== %s ==\n%s\n%-6s %-6s %10s %12s  %s\n" title detail
@@ -107,7 +153,7 @@ let avg_row size times =
 
 (* ---- Fig. 4: impact-verification time vs system size ---- *)
 
-let fig4 ~title ~mode ~unsat =
+let fig4 ~suite ~title ~mode ~unsat =
   header title
     "paper Fig. 4: full impact verification, random scenarios per size";
   List.iter
@@ -122,12 +168,15 @@ let fig4 ~title ~mode ~unsat =
                   if unsat then E.unsat_impact_run ~mode ~seed spec
                   else E.impact_run ~mode ~seed spec)
             in
-            row m (Printf.sprintf "s%d" seed);
+            let case = Printf.sprintf "s%d" seed in
+            row m case;
+            record_row ~suite ~case m;
             m.E.seconds)
           seeds
       in
       avg_row n times)
-    sizes
+    sizes;
+  write_suite_json suite
 
 (* ---- Fig. 5(a): the OPF model alone, by budget tightness ---- *)
 
@@ -143,10 +192,14 @@ let fig5a () =
             with_timeout ~fallback:(fallback_measurement "opf-model" n)
               (fun () -> E.opf_model_run ~tightness:t spec)
           in
-          row m
-            (match t with `Loose -> "loose" | `Medium -> "med" | `Tight -> "tight"))
+          let case =
+            match t with `Loose -> "loose" | `Medium -> "med" | `Tight -> "tight"
+          in
+          row m case;
+          record_row ~suite:"FIG5A" ~case m)
         [ `Loose; `Medium; `Tight ])
-    sizes
+    sizes;
+  write_suite_json "FIG5A"
 
 (* ---- Fig. 5(b): the topology attack model alone ---- *)
 
@@ -163,12 +216,15 @@ let fig5b () =
               with_timeout ~fallback:(fallback_measurement "attack-model" n)
                 (fun () -> E.attack_model_run ~mode:Enc.Topology_only ~seed spec)
             in
-            row m (Printf.sprintf "s%d" seed);
+            let case = Printf.sprintf "s%d" seed in
+            row m case;
+            record_row ~suite:"FIG5B" ~case m;
             m.E.seconds)
           seeds
       in
       avg_row n times)
-    sizes
+    sizes;
+  write_suite_json "FIG5B"
 
 (* ---- Fig. 5(c): unsatisfiable cases of the individual models ---- *)
 
@@ -183,12 +239,15 @@ let fig5c () =
           (fun () -> E.unsat_attack_model_run ~mode:Enc.Topology_only ~seed:1 spec)
       in
       row m "atk";
+      record_row ~suite:"FIG5C" ~case:"atk" m;
       let m2 =
         with_timeout ~fallback:(fallback_measurement "unsat-opf" n)
           (fun () -> E.unsat_opf_model_run spec)
       in
-      row m2 "opf")
-    sizes
+      row m2 "opf";
+      record_row ~suite:"FIG5C" ~case:"opf" m2)
+    sizes;
+  write_suite_json "FIG5C"
 
 (* ---- Table IV: memory ---- *)
 
@@ -488,6 +547,8 @@ let bechamel_section () =
 let only_tail = Sys.getenv_opt "BENCH_TAIL_ONLY" <> None
 
 let () =
+  Obs.Clock.set Unix.gettimeofday;
+  Obs.set_enabled true;
   if only_tail then begin
     (* resume mode: print just the sections after ABL-FACTORS *)
     abl_factors ();
@@ -503,11 +564,13 @@ let () =
     (List.length seeds)
     (if quick then " (BENCH_QUICK)" else "");
   case_studies ();
-  fig4 ~title:"FIG4A: impact verification, topology attacks w/o state infection"
+  fig4 ~suite:"FIG4A"
+    ~title:"FIG4A: impact verification, topology attacks w/o state infection"
     ~mode:Enc.Topology_only ~unsat:false;
-  fig4 ~title:"FIG4B: impact verification, topology attacks + state infection"
+  fig4 ~suite:"FIG4B"
+    ~title:"FIG4B: impact verification, topology attacks + state infection"
     ~mode:Enc.With_state_infection ~unsat:false;
-  fig4 ~title:"FIG4C: impact verification, unsatisfiable cases"
+  fig4 ~suite:"FIG4C" ~title:"FIG4C: impact verification, unsatisfiable cases"
     ~mode:Enc.Topology_only ~unsat:true;
   fig5a ();
   fig5b ();

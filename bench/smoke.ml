@@ -1,0 +1,75 @@
+(* bench-smoke: a tiny instrumented run (the paper's 5-bus case study)
+   that exercises the whole SMT -> OPF attack pipeline with the
+   observability layer armed, writes the snapshot as JSON, and validates
+   that the emitted file parses and carries nonzero solver statistics.
+
+   CI entry point: dune build @bench-smoke *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("bench-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let counter json name =
+  match Obs.Json.member "counters" json with
+  | Some counters -> (
+    match Obs.Json.member name counters with
+    | Some (Obs.Json.Int n) -> n
+    | _ -> fail "counter %s missing from the JSON snapshot" name)
+  | None -> fail "no \"counters\" object in the JSON snapshot"
+
+let () =
+  Obs.Clock.set Unix.gettimeofday;
+  Obs.set_enabled true;
+  let scenario = Grid.Test_systems.case_study_1 () in
+  let base =
+    match
+      Attack.Base_state.of_dispatch scenario.Grid.Spec.grid
+        ~gen:(Grid.Test_systems.case_study_base_dispatch ())
+    with
+    | Ok b -> b
+    | Error e -> fail "base state: %s" e
+  in
+  (match Topoguard.Impact.analyze ~scenario ~base () with
+  | Topoguard.Impact.Attack_found _ -> ()
+  | Topoguard.Impact.No_attack _ ->
+    fail "expected an attack on the 5-bus case study"
+  | Topoguard.Impact.Base_infeasible e -> fail "base infeasible: %s" e);
+  let file = Filename.temp_file "bench_smoke" ".json" in
+  Obs.write_json_file file (Obs.json_of_snapshot (Obs.snapshot ()));
+  let json =
+    match Obs.Json.of_string (read_file file) with
+    | Ok j -> j
+    | Error e -> fail "emitted JSON does not parse: %s" e
+  in
+  Sys.remove file;
+  List.iter
+    (fun name ->
+      let n = counter json name in
+      if n <= 0 then fail "counter %s is %d, expected > 0" name n;
+      Printf.printf "bench-smoke: %-28s %d\n" name n)
+    [
+      "smt.sat.decisions";
+      "smt.sat.propagations";
+      "smt.simplex.pivots";
+      "attack.loop.iterations";
+      "opf.dc_opf.solves";
+    ];
+  (match Obs.Json.member "timers" json with
+  | Some timers -> (
+    match Obs.Json.member "attack.loop.analyze" timers with
+    | Some entry -> (
+      match Obs.Json.member "calls" entry with
+      | Some (Obs.Json.Int calls) when calls >= 1 -> ()
+      | _ -> fail "attack.loop.analyze timer has no calls")
+    | None -> fail "attack.loop.analyze timer missing")
+  | None -> fail "no \"timers\" object in the JSON snapshot");
+  print_endline "bench-smoke: OK"

@@ -34,6 +34,50 @@ let base_state_of spec kind =
     Format.eprintf "base state error: %s@." e;
     exit 2
 
+(* ---- observability (--stats / --stats-json) ---- *)
+
+let stats_term =
+  let show =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print observability counters and wall-clock timings \
+                   (SAT decisions/propagations, simplex pivots, per-phase \
+                   solve times) after the command finishes.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"FILE"
+             ~doc:"Write the observability snapshot as JSON to $(docv).")
+  in
+  Term.(const (fun show json_file -> (show, json_file)) $ show $ json_file)
+
+(* run [f] with the observability layer armed when either flag was given;
+   [extra] contributes command-specific JSON fields (e.g. per-solver SMT
+   statistics) evaluated after [f] *)
+let with_stats ?(extra = fun () -> []) (show, json_file) f =
+  Obs.Clock.set Unix.gettimeofday;
+  if show || json_file <> None then Obs.set_enabled true;
+  let result = f () in
+  if show || json_file <> None then begin
+    let snap = Obs.snapshot () in
+    if show then print_string (Obs.to_table snap);
+    match json_file with
+    | Some path -> (
+      let fields =
+        match Obs.json_of_snapshot snap with
+        | Obs.Json.Obj fields -> fields
+        | j -> [ ("snapshot", j) ]
+      in
+      try
+        Obs.write_json_file path (Obs.Json.Obj (fields @ extra ()));
+        Format.printf "stats written to %s@." path
+      with Sys_error e ->
+        Format.eprintf "cannot write stats file: %s@." e;
+        exit 1)
+    | None -> ()
+  end;
+  result
+
 (* ---- shared arguments ---- *)
 
 let file_arg =
@@ -63,10 +107,11 @@ let base_arg =
 (* ---- opf ---- *)
 
 let opf_cmd =
-  let run file fast =
+  let run file fast stats =
     let spec = load_spec file in
     let topo = Grid.Topology.make spec.Grid.Spec.grid in
     let solve = if fast then Opf.Fast_opf.solve else Opf.Dc_opf.solve in
+    with_stats stats @@ fun () ->
     match solve topo with
     | Opf.Dc_opf.Dispatch d ->
       Format.printf "optimal cost: $%s@." (qs ~d:2 d.Opf.Dc_opf.cost);
@@ -90,7 +135,7 @@ let opf_cmd =
     Arg.(value & flag & info [ "fast" ] ~doc:"Use the shift-factor OPF.")
   in
   Cmd.v (Cmd.info "opf" ~doc:"Solve the DC optimal power flow.")
-    Term.(const run $ file_arg $ fast)
+    Term.(const run $ file_arg $ fast $ stats_term)
 
 (* ---- se ---- *)
 
@@ -130,27 +175,41 @@ let se_cmd =
 (* ---- attack ---- *)
 
 let attack_cmd =
-  let run file mode base =
+  let run file mode base ((show, _) as stats) =
     let spec = load_spec file in
     let b = base_state_of spec base in
-    let solver = Smt.Solver.create () in
-    let vars = Attack.Encoder.encode solver ~mode ~scenario:spec ~base:b in
-    match Smt.Solver.check solver with
-    | `Unsat ->
-      Format.printf "no stealthy attack vector exists for this scenario@."
-    | `Sat ->
-      let v = Attack.Vector.of_model solver vars spec in
-      Format.printf "stealthy attack vector:@.%a" Attack.Vector.pp v
+    let solver_ref = ref None in
+    with_stats stats
+      ~extra:(fun () ->
+        match !solver_ref with
+        | Some s ->
+          [ ("solver", Smt.Solver.json_of_stats (Smt.Solver.stats s)) ]
+        | None -> [])
+      (fun () ->
+        let solver = Smt.Solver.create () in
+        solver_ref := Some solver;
+        let vars = Attack.Encoder.encode solver ~mode ~scenario:spec ~base:b in
+        (match Smt.Solver.check solver with
+        | `Unsat ->
+          Format.printf "no stealthy attack vector exists for this scenario@."
+        | `Sat ->
+          let v = Attack.Vector.of_model solver vars spec in
+          Format.printf "stealthy attack vector:@.%a" Attack.Vector.pp v;
+          if show then
+            Format.printf "named model:@.%a" Smt.Solver.pp_model solver);
+        if show then
+          Format.printf "solver statistics:@.%a" Smt.Solver.pp_stats
+            (Smt.Solver.stats solver))
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Search for a stealthy topology-poisoning attack vector.")
-    Term.(const run $ file_arg $ mode_arg $ base_arg)
+    Term.(const run $ file_arg $ mode_arg $ base_arg $ stats_term)
 
 (* ---- impact ---- *)
 
 let impact_cmd =
-  let run file mode base increase max_candidates =
+  let run file mode base increase max_candidates stats =
     let spec = load_spec file in
     let spec =
       match increase with
@@ -166,6 +225,7 @@ let impact_cmd =
         max_candidates;
       }
     in
+    with_stats stats @@ fun () ->
     match Topoguard.Impact.analyze ~config ~scenario:spec ~base:b () with
     | Topoguard.Impact.Attack_found s ->
       Format.printf "attack found after %d candidate(s):@.%a"
@@ -199,7 +259,9 @@ let impact_cmd =
     (Cmd.info "impact"
        ~doc:"Full impact analysis (paper Fig. 2): can a stealthy attack \
              raise the OPF cost by the target percentage?")
-    Term.(const run $ file_arg $ mode_arg $ base_arg $ increase $ max_candidates)
+    Term.(
+      const run $ file_arg $ mode_arg $ base_arg $ increase $ max_candidates
+      $ stats_term)
 
 (* ---- gen ---- *)
 
@@ -234,10 +296,11 @@ let gen_cmd =
 (* ---- defend ---- *)
 
 let defend_cmd =
-  let run file mode base minimal =
+  let run file mode base minimal stats =
     let spec = load_spec file in
     let b = base_state_of spec base in
     let config = { Topoguard.Impact.default_config with Topoguard.Impact.mode } in
+    with_stats stats @@ fun () ->
     if minimal then begin
       match Topoguard.Defense.synthesize_minimal ~config ~scenario:spec ~base:b () with
       | Error e ->
@@ -263,14 +326,15 @@ let defend_cmd =
   Cmd.v
     (Cmd.info "defend"
        ~doc:"Synthesise integrity protections that block all stealthy              attacks achieving the target increase.")
-    Term.(const run $ file_arg $ mode_arg $ base_arg $ minimal)
+    Term.(const run $ file_arg $ mode_arg $ base_arg $ minimal $ stats_term)
 
 (* ---- contingency ---- *)
 
 let contingency_cmd =
-  let run file secure =
+  let run file secure stats =
     let spec = load_spec file in
     let topo = Grid.Topology.make spec.Grid.Spec.grid in
+    with_stats stats @@ fun () ->
     let result =
       if secure then Opf.Contingency.sc_opf topo
       else Opf.Opf_auto.solve topo
@@ -304,7 +368,7 @@ let contingency_cmd =
   Cmd.v
     (Cmd.info "contingency"
        ~doc:"N-1 contingency screening of the (security-constrained) OPF              dispatch.")
-    Term.(const run $ file_arg $ secure)
+    Term.(const run $ file_arg $ secure $ stats_term)
 
 (* ---- acpf ---- *)
 

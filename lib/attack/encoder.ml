@@ -22,6 +22,9 @@ type vars = {
 
 let encode_cardinality_with_indicators = ref false
 
+let obs_encodings = Obs.Counter.make "attack.encoder.encodings"
+let obs_encode_timer = Obs.Timer.make "attack.encoder.encode"
+
 (* f <-> (e = 0), i.e. f -> e = 0 and (e < 0 or e > 0) -> f is false... we
    need the converse: not f -> e <> 0 is wrong; what the model needs is
    f <-> (e <> 0):  f -> (e < 0 \/ e > 0)  and  not f -> e = 0 *)
@@ -30,25 +33,33 @@ let iff_nonzero solver f e =
     (F.implies f (F.or_ [ F.lt e L.zero; F.gt e L.zero ]));
   Solver.assert_form solver (F.implies (F.not_ f) (F.eq e L.zero))
 
-let encode ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
+let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
     ~(base : Base_state.t) =
   let grid = scenario.Grid.Spec.grid in
   let l = N.n_lines grid in
   let b = grid.N.n_buses in
   let m = N.n_meas grid in
-  let fresh_bools n = Array.init n (fun _ -> Solver.fresh_bool solver) in
-  let fresh_reals n = Array.init n (fun _ -> Solver.fresh_real solver) in
-  let p = fresh_bools l and q = fresh_bools l and k = fresh_bools l in
-  let a = fresh_bools m and hb = fresh_bools b in
+  (* 1-based names matching the paper's indexing, so counterexample dumps
+     (Solver.named_model) read like its attack vectors *)
+  let fresh_bools prefix n =
+    Array.init n (fun i ->
+        Solver.fresh_bool ~name:(Printf.sprintf "%s%d" prefix (i + 1)) solver)
+  in
+  let fresh_reals prefix n =
+    Array.init n (fun i ->
+        Solver.fresh_real ~name:(Printf.sprintf "%s%d" prefix (i + 1)) solver)
+  in
+  let p = fresh_bools "p" l and q = fresh_bools "q" l and k = fresh_bools "k" l in
+  let a = fresh_bools "a" m and hb = fresh_bools "h" b in
   let with_states = mode <> Topology_only in
-  let c = if with_states then fresh_bools b else [||] in
-  let dtheta = if with_states then fresh_reals b else [||] in
+  let c = if with_states then fresh_bools "c" b else [||] in
+  let dtheta = if with_states then fresh_reals "dtheta" b else [||] in
   (* topology-change flow deltas are always present *)
-  let dflow_topo = fresh_reals l in
-  let dflow_state = if with_states then fresh_reals l else [||] in
-  let dflow_total = if with_states then fresh_reals l else dflow_topo in
-  let dbus = fresh_reals b in
-  let est_load = fresh_reals b in
+  let dflow_topo = fresh_reals "dF" l in
+  let dflow_state = if with_states then fresh_reals "dFstate" l else [||] in
+  let dflow_total = if with_states then fresh_reals "dFtotal" l else dflow_topo in
+  let dbus = fresh_reals "dbus" b in
+  let est_load = fresh_reals "estload" b in
   let bp i = F.bvar p.(i)
   and bq i = F.bvar q.(i)
   and bk i = F.bvar k.(i) in
@@ -211,3 +222,8 @@ let encode ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
     dbus;
     est_load;
   }
+
+let encode ?max_topology_changes solver ~mode ~scenario ~base =
+  Obs.Counter.incr obs_encodings;
+  Obs.Timer.with_ obs_encode_timer (fun () ->
+      encode_inner ?max_topology_changes solver ~mode ~scenario ~base)

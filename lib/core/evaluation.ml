@@ -7,6 +7,7 @@ type measurement = {
   seconds : float;
   allocated_mb : float;
   result : string;
+  counters : (string * int) list;
 }
 
 (* deterministic scenario perturbation *)
@@ -45,11 +46,20 @@ let base_state_for (spec : Grid.Spec.t) =
 
 let timed ~label ~size f =
   let a0 = Gc.allocated_bytes () in
+  let before = Obs.snapshot () in
   let t0 = Unix.gettimeofday () in
   let result = f () in
   let seconds = Unix.gettimeofday () -. t0 in
   let allocated_mb = (Gc.allocated_bytes () -. a0) /. 1.0e6 in
-  { label; system_size = size; seconds; allocated_mb; result }
+  let delta = Obs.diff ~before ~after:(Obs.snapshot ()) in
+  {
+    label;
+    system_size = size;
+    seconds;
+    allocated_mb;
+    result;
+    counters = delta.Obs.counters;
+  }
 
 let impact_run ~mode ?(backend = Impact.Lp_exact)
     ?(increase_pct = Q.of_ints 3 2) ?(max_candidates = 25) ~seed spec =
@@ -70,6 +80,7 @@ let impact_run ~mode ?(backend = Impact.Lp_exact)
       seconds = 0.0;
       allocated_mb = 0.0;
       result = "base-error: " ^ e;
+      counters = [];
     }
   | Ok base ->
     timed ~label:(Printf.sprintf "impact/%s/seed%d" mode_tag seed) ~size
@@ -105,6 +116,7 @@ let attack_model_run ~mode ~seed spec =
       seconds = 0.0;
       allocated_mb = 0.0;
       result = "base-error: " ^ e;
+      counters = [];
     }
   | Ok base ->
     timed ~label:(Printf.sprintf "attack-model/seed%d" seed) ~size (fun () ->
@@ -139,6 +151,7 @@ let unsat_impact_run ~mode ~seed spec =
       seconds = 0.0;
       allocated_mb = 0.0;
       result = "base-error: " ^ e;
+      counters = [];
     }
   | Ok base ->
     timed ~label:(Printf.sprintf "unsat-impact/seed%d" seed) ~size (fun () ->
@@ -175,6 +188,7 @@ let unsat_attack_model_run ~mode ~seed spec =
       seconds = 0.0;
       allocated_mb = 0.0;
       result = "base-error: " ^ e;
+      counters = [];
     }
   | Ok base ->
     timed ~label:(Printf.sprintf "unsat-attack-model/seed%d" seed) ~size
@@ -201,6 +215,7 @@ let opf_model_run ~tightness spec =
       seconds = 0.0;
       allocated_mb = 0.0;
       result = "base-infeasible";
+      counters = [];
     }
   | Opf.Dc_opf.Dispatch d ->
     let opt = d.Opf.Dc_opf.cost in
@@ -231,6 +246,7 @@ let unsat_opf_model_run spec =
       seconds = 0.0;
       allocated_mb = 0.0;
       result = "base-infeasible";
+      counters = [];
     }
   | Opf.Dc_opf.Dispatch d ->
     (* a budget strictly below the optimum is unsatisfiable *)

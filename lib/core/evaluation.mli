@@ -11,6 +11,9 @@ type measurement = {
   seconds : float;
   allocated_mb : float;  (** bytes allocated during the run / 1e6 *)
   result : string;  (** "sat", "unsat", "attack", "no-attack", ... *)
+  counters : (string * int) list;
+      (** observability counters incremented during the run (name, delta);
+          empty when the run never started *)
 }
 
 val randomize_scenario : seed:int -> Grid.Spec.t -> Grid.Spec.t

@@ -6,6 +6,12 @@ module N = Grid.Network
 
 type opf_backend = Lp_exact | Smt_bounded | Fast_factors
 
+let obs_iterations = Obs.Counter.make "attack.loop.iterations"
+let obs_candidates = Obs.Counter.make "attack.loop.candidates"
+let obs_blocked = Obs.Counter.make "attack.loop.blocked"
+let obs_loop_timer = Obs.Timer.make "attack.loop.analyze"
+let obs_verify_timer = Obs.Timer.make "attack.loop.verify_impact"
+
 type config = {
   mode : Attack.Encoder.mode;
   precision : int;
@@ -44,7 +50,11 @@ type outcome =
 (* the operator runs OPF on the poisoned topology and the shifted loads;
    the attack achieves the impact iff no dispatch beats the threshold
    (Eq. 37) while the OPF still converges (Eq. 38) *)
-let verify_impact backend grid (vec : Attack.Vector.t) ~threshold =
+let rec verify_impact backend grid (vec : Attack.Vector.t) ~threshold =
+  Obs.Timer.with_ obs_verify_timer (fun () ->
+      verify_impact_inner backend grid vec ~threshold)
+
+and verify_impact_inner backend grid (vec : Attack.Vector.t) ~threshold =
   let topo = Grid.Topology.make ~mapped:vec.Attack.Vector.mapped grid in
   let loads = vec.Attack.Vector.est_loads in
   match backend with
@@ -87,6 +97,8 @@ let analyze_closed_form config ~(scenario : Grid.Spec.t) ~base ~base_cost
   let rec loop tried = function
     | [] -> No_attack { candidates = tried }
     | (_, _, vec) :: rest -> (
+      Obs.Counter.incr obs_iterations;
+      Obs.Counter.incr obs_candidates;
       match verify_impact config.backend grid vec ~threshold with
       | `Success poisoned_cost ->
         Attack_found
@@ -101,8 +113,12 @@ let analyze_closed_form config ~(scenario : Grid.Spec.t) ~base ~base_cost
   in
   loop 0 candidates
 
-let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
+let rec analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
     ~(base : Attack.Base_state.t) () =
+  Obs.Timer.with_ obs_loop_timer (fun () -> analyze_inner ~config ~scenario ~base)
+
+and analyze_inner ~config ~(scenario : Grid.Spec.t)
+    ~(base : Attack.Base_state.t) =
   let grid = scenario.Grid.Spec.grid in
   match base_opf config.backend grid with
   | Opf.Dc_opf.Infeasible -> Base_infeasible "attack-free OPF infeasible"
@@ -126,10 +142,12 @@ let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
     in
     let rec loop candidates =
       if candidates >= config.max_candidates then No_attack { candidates }
-      else
+      else begin
+        Obs.Counter.incr obs_iterations;
         match Solver.check solver with
         | `Unsat -> No_attack { candidates }
         | `Sat -> (
+          Obs.Counter.incr obs_candidates;
           let vec = Attack.Vector.of_model solver vars scenario in
           match verify_impact config.backend grid vec ~threshold with
           | `Success poisoned_cost ->
@@ -142,9 +160,11 @@ let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
                 candidates = candidates + 1;
               }
           | `Cheaper_dispatch_exists | `No_convergence ->
+            Obs.Counter.incr obs_blocked;
             Solver.assert_form solver
               (Attack.Vector.blocking_clause ~precision:config.precision vars vec);
             loop (candidates + 1))
+      end
     in
     loop 0
     end

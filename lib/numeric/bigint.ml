@@ -368,5 +368,19 @@ let pow10 n =
   let rec loop acc n = if n = 0 then acc else loop (mul_int acc 10) (n - 1) in
   loop one n
 
+let shift_left x s =
+  if s < 0 then invalid_arg "Bigint.shift_left: negative shift";
+  if s = 0 || x.sign = 0 then x
+  else begin
+    let limbs = s / base_bits and bits = s mod base_bits in
+    let shifted = mag_shift_left_bits x.mag bits in
+    let mag =
+      if limbs = 0 then shifted else Array.append (Array.make limbs 0) shifted
+    in
+    { x with mag }
+  end
+
+let pow2 n = shift_left one n
+
 let hash x = Hashtbl.hash (x.sign, x.mag)
 let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -52,6 +52,14 @@ val gcd : t -> t -> t
 val mul_int : t -> int -> t
 val pow10 : int -> t
 
+val shift_left : t -> int -> t
+(** [shift_left x s] is [x * 2{^s}] in one limb-level pass ([s >= 0]);
+    replaces the repeated-doubling loops that made float conversion cost
+    up to ~1074 bigint multiplications. *)
+
+val pow2 : int -> t
+(** [pow2 n] is [2{^n}], via {!shift_left}. *)
+
 val hash : t -> int
 
 val pp : Format.formatter -> t -> unit

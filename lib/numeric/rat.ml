@@ -44,19 +44,44 @@ let of_ints n d = make (B.of_int n) (B.of_int d)
 
 let of_decimal_string s =
   let s = String.trim s in
-  match String.index_opt s '.' with
-  | None -> { num = B.of_string s; den = B.one }
-  | Some i ->
-    let whole = String.sub s 0 i in
-    let frac = String.sub s (i + 1) (String.length s - i - 1) in
-    let digits = String.length frac in
-    let sign_neg = String.length whole > 0 && whole.[0] = '-' in
-    let whole_b = if whole = "" || whole = "-" || whole = "+" then B.zero else B.of_string whole in
-    let frac_b = if frac = "" then B.zero else B.of_string frac in
-    let scale = B.pow10 digits in
-    let mag = B.add (B.mul (B.abs whole_b) scale) frac_b in
-    let num = if sign_neg || B.sign whole_b < 0 then B.neg mag else mag in
-    make num scale
+  (* optional scientific-notation exponent: <mantissa>[eE][+-]<digits>,
+     applied exactly by scaling numerator or denominator by 10^|exp| *)
+  let mantissa, exp10 =
+    match
+      match String.index_opt s 'e' with
+      | Some _ as i -> i
+      | None -> String.index_opt s 'E'
+    with
+    | None -> (s, 0)
+    | Some i -> (
+      let m = String.sub s 0 i in
+      let e = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt e with
+      | Some exp when m <> "" -> (m, exp)
+      | _ -> invalid_arg ("Rat.of_decimal_string: invalid exponent in " ^ s))
+  in
+  let num, den =
+    match String.index_opt mantissa '.' with
+    | None -> (B.of_string mantissa, B.one)
+    | Some i ->
+      let whole = String.sub mantissa 0 i in
+      let frac = String.sub mantissa (i + 1) (String.length mantissa - i - 1) in
+      let digits = String.length frac in
+      let sign_neg = String.length whole > 0 && whole.[0] = '-' in
+      let whole_b =
+        if whole = "" || whole = "-" || whole = "+" then B.zero
+        else B.of_string whole
+      in
+      let frac_b = if frac = "" then B.zero else B.of_string frac in
+      let scale = B.pow10 digits in
+      let mag = B.add (B.mul (B.abs whole_b) scale) frac_b in
+      let num = if sign_neg || B.sign whole_b < 0 then B.neg mag else mag in
+      (num, scale)
+  in
+  if exp10 = 0 then
+    if B.equal den B.one then { num; den } else make num den
+  else if exp10 > 0 then make (B.mul num (B.pow10 exp10)) den
+  else make num (B.mul den (B.pow10 (-exp10)))
 
 let of_float f =
   if not (Float.is_finite f) then invalid_arg "Rat.of_float: not finite";
@@ -67,9 +92,8 @@ let of_float f =
     let mant = Int64.of_float (Float.ldexp m 53) in
     let e = e - 53 in
     let num = B.of_string (Int64.to_string mant) in
-    let rec pow2 acc k = if k = 0 then acc else pow2 (B.mul_int acc 2) (k - 1) in
-    if e >= 0 then make (B.mul num (pow2 B.one e)) B.one
-    else make num (pow2 B.one (-e))
+    if e >= 0 then make (B.shift_left num e) B.one
+    else make num (B.pow2 (-e))
   end
 
 let to_float x = B.to_float x.num /. B.to_float x.den

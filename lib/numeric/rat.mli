@@ -17,7 +17,9 @@ val of_int : int -> t
 val of_ints : int -> int -> t
 
 val of_decimal_string : string -> t
-(** Parse e.g. ["16.90"], ["-0.05"], ["3"] exactly. *)
+(** Parse e.g. ["16.90"], ["-0.05"], ["3"], [".5"] exactly.  Scientific
+    notation is supported with an optional [e]/[E] exponent — ["1e-3"],
+    ["2.5E2"], ["-1.2e+4"] — applied exactly (no float round-trip). *)
 
 val of_float : float -> t
 (** Exact binary expansion of a finite float.  @raise Invalid_argument on

@@ -1,0 +1,397 @@
+(* Process-wide metrics registry.  Counter/timer handles are records kept
+   by the caller; the registry only maps names to handles so snapshots can
+   enumerate them.  Hot-path cost: Counter.incr is one field store. *)
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+module Clock = struct
+  let clock = ref Sys.time
+  let set f = clock := f
+  let now () = !clock ()
+end
+
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { name; v = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+  let incr c = c.v <- c.v + 1
+  let add c n = c.v <- c.v + n
+  let get c = c.v
+  let name c = c.name
+end
+
+module Timer = struct
+  type t = { name : string; mutable seconds : float; mutable calls : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t
+    | None ->
+      let t = { name; seconds = 0.0; calls = 0 } in
+      Hashtbl.add registry name t;
+      t
+
+  let add_seconds t s =
+    t.seconds <- t.seconds +. s;
+    t.calls <- t.calls + 1
+
+  let with_ t f =
+    if not !enabled_flag then f ()
+    else begin
+      let t0 = Clock.now () in
+      match f () with
+      | v ->
+        add_seconds t (Clock.now () -. t0);
+        v
+      | exception e ->
+        add_seconds t (Clock.now () -. t0);
+        raise e
+    end
+
+  let total_seconds t = t.seconds
+  let count t = t.calls
+  let name t = t.name
+end
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int n -> Buffer.add_string buf (string_of_int n)
+      | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.1f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      | String s -> escape_to buf s
+      | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            go x)
+          xs;
+        Buffer.add_char buf ']'
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+    in
+    go t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+            if !pos + 4 >= n then fail "short \\u escape";
+            let hex = String.sub s (!pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+            | Some _ -> Buffer.add_char buf '?'
+            | None -> fail "bad \\u escape");
+            pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape %C" c));
+          advance ();
+          loop ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+      in
+      loop ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      let is_float =
+        String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok
+      in
+      if is_float then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok)
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> fail (Printf.sprintf "bad number %S" tok)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+type timer_entry = { seconds : float; calls : int }
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * timer_entry) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot () =
+  let counters =
+    Hashtbl.fold
+      (fun name c acc -> (name, Counter.get c) :: acc)
+      Counter.registry []
+    |> List.sort by_name
+  in
+  let timers =
+    Hashtbl.fold
+      (fun name t acc ->
+        (name, { seconds = Timer.total_seconds t; calls = Timer.count t })
+        :: acc)
+      Timer.registry []
+    |> List.sort by_name
+  in
+  { counters; timers }
+
+let diff ~before ~after =
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        let v0 =
+          match List.assoc_opt name before.counters with
+          | Some v0 -> v0
+          | None -> 0
+        in
+        if v - v0 = 0 then None else Some (name, v - v0))
+      after.counters
+  in
+  let timers =
+    List.filter_map
+      (fun (name, (e : timer_entry)) ->
+        let e0 =
+          match List.assoc_opt name before.timers with
+          | Some e0 -> e0
+          | None -> { seconds = 0.0; calls = 0 }
+        in
+        let d = { seconds = e.seconds -. e0.seconds; calls = e.calls - e0.calls } in
+        if d.calls = 0 && d.seconds = 0.0 then None else Some (name, d))
+      after.timers
+  in
+  { counters; timers }
+
+let reset () =
+  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
+  Hashtbl.iter
+    (fun _ (t : Timer.t) ->
+      t.Timer.seconds <- 0.0;
+      t.Timer.calls <- 0)
+    Timer.registry
+
+let to_table { counters; timers } =
+  let buf = Buffer.create 256 in
+  let live_counters = List.filter (fun (_, v) -> v <> 0) counters in
+  let live_timers = List.filter (fun (_, e) -> e.calls <> 0) timers in
+  let width =
+    List.fold_left
+      (fun w (name, _) -> max w (String.length name))
+      24
+      (live_counters @ List.map (fun (n, _) -> (n, 0)) live_timers)
+  in
+  if live_counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-*s %d\n" width name v))
+      live_counters
+  end;
+  if live_timers <> [] then begin
+    Buffer.add_string buf "timers:\n";
+    List.iter
+      (fun (name, e) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s %10.6fs  (%d call%s)\n" width name e.seconds
+             e.calls
+             (if e.calls = 1 then "" else "s")))
+      live_timers
+  end;
+  Buffer.contents buf
+
+let json_of_snapshot { counters; timers } =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) counters));
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun (n, e) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ("seconds", Json.Float e.seconds);
+                     ("calls", Json.Int e.calls);
+                   ] ))
+             timers) );
+    ]
+
+let write_json_file path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')

@@ -1,0 +1,114 @@
+(** Zero-dependency observability: monotonic counters, wall-clock timers,
+    and a process-wide registry that snapshots to a human-readable table or
+    machine-readable JSON.
+
+    Design constraints, in order:
+
+    - Counters sit on solver hot paths (SAT decisions, simplex pivots), so
+      incrementing one is a single mutable-field store — no hashtable
+      lookup, no branch on an enabled flag.  Handles are created once at
+      module-initialisation time with {!Counter.make} and kept in
+      module-level bindings.
+    - Timers call the clock twice per span, which is too expensive for
+      inner loops but fine around whole solves; they are additionally
+      gated on {!set_enabled} so a disabled build pays one branch.
+    - The library depends on nothing (not even [unix]): the wall clock is
+      injected via {!Clock.set} by binaries that link [unix]; the default
+      is [Sys.time] (CPU seconds), which keeps the library usable from
+      anywhere. *)
+
+val set_enabled : bool -> unit
+(** Master switch for timers (counters are always live; they are too cheap
+    to gate).  Off by default. *)
+
+val enabled : unit -> bool
+
+module Clock : sig
+  val set : (unit -> float) -> unit
+  (** Install a wall clock, e.g. [Unix.gettimeofday].  Default [Sys.time]. *)
+
+  val now : unit -> float
+end
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Create-or-get the registered counter with this name.  Counters are
+      process-global; two [make] calls with one name share state. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val name : t -> string
+end
+
+module Timer : sig
+  type t
+
+  val make : string -> t
+  (** Create-or-get, like {!Counter.make}. *)
+
+  val with_ : t -> (unit -> 'a) -> 'a
+  (** Run the thunk, accumulating its wall-clock duration and bumping the
+      call count — when {!enabled}; otherwise just run the thunk. *)
+
+  val add_seconds : t -> float -> unit
+  (** Record an externally measured span (always recorded, regardless of
+      the enabled flag). *)
+
+  val total_seconds : t -> float
+  val count : t -> int
+  val name : t -> string
+end
+
+(** Minimal JSON tree, emitter and parser — enough to serialise snapshots
+    and to validate emitted files without third-party dependencies. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact serialisation; strings are escaped, floats printed with
+      [%.17g] so they round-trip. *)
+
+  val of_string : string -> (t, string) result
+  (** Strict parser for the subset emitted by {!to_string} plus ordinary
+      whitespace; numbers with [.], [e] or [E] parse as [Float]. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] elsewhere. *)
+end
+
+type timer_entry = { seconds : float; calls : int }
+
+type snapshot = {
+  counters : (string * int) list;  (** name-sorted *)
+  timers : (string * timer_entry) list;  (** name-sorted *)
+}
+
+val snapshot : unit -> snapshot
+(** Consistent copy of every registered counter and timer. *)
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-name subtraction ([after - before]); names missing from [before]
+    count from zero, entries that did not move are dropped. *)
+
+val reset : unit -> unit
+(** Zero every registered counter and timer (registrations survive). *)
+
+val to_table : snapshot -> string
+(** Human-readable two-column table, empty entries omitted. *)
+
+val json_of_snapshot : snapshot -> Json.t
+(** [{ "counters": { name: int, ... },
+      "timers": { name: { "seconds": s, "calls": n }, ... } }] *)
+
+val write_json_file : string -> Json.t -> unit
+(** Serialise to a file (trailing newline included). *)

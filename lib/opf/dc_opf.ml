@@ -22,7 +22,10 @@ let per_bus_loads grid loads =
     Array.iter (fun (l : N.load) -> v.(l.N.lbus) <- l.N.existing) grid.N.loads;
     v
 
-let solve ?loads (topo : Grid.Topology.t) =
+let obs_solves = Obs.Counter.make "opf.dc_opf.solves"
+let obs_timer = Obs.Timer.make "opf.dc_opf.solve"
+
+let solve_inner ?loads (topo : Grid.Topology.t) =
   let grid = topo.Grid.Topology.grid in
   let b = grid.N.n_buses in
   let loads = per_bus_loads grid loads in
@@ -98,5 +101,9 @@ let solve ?loads (topo : Grid.Topology.t) =
     let pg_v = Array.map (fun v -> values.(v)) pg in
     let flows = Grid.Powerflow.flow_of_angles topo theta_v in
     Dispatch { cost; pg = pg_v; theta = theta_v; flows }
+
+let solve ?loads topo =
+  Obs.Counter.incr obs_solves;
+  Obs.Timer.with_ obs_timer (fun () -> solve_inner ?loads topo)
 
 let base_case grid = solve (Grid.Topology.make grid)

@@ -7,7 +7,10 @@ module N = Grid.Network
    fits a native int comfortably *)
 let q_of_factor f = Q.of_ints (int_of_float (Float.round (f *. 1e5))) 100_000
 
-let solve ?loads (topo : Grid.Topology.t) =
+let obs_solves = Obs.Counter.make "opf.fast_opf.solves"
+let obs_timer = Obs.Timer.make "opf.fast_opf.solve"
+
+let solve_inner ?loads (topo : Grid.Topology.t) =
   let grid = topo.Grid.Topology.grid in
   let b = grid.N.n_buses in
   let loads =
@@ -120,3 +123,7 @@ let solve ?loads (topo : Grid.Topology.t) =
             theta = Array.make b Q.zero;
             flows = Array.make (N.n_lines grid) Q.zero;
           }))
+
+let solve ?loads topo =
+  Obs.Counter.incr obs_solves;
+  Obs.Timer.with_ obs_timer (fun () -> solve_inner ?loads topo)

@@ -91,11 +91,16 @@ let encode solver ?loads (topo : Grid.Topology.t) =
   let cost_var = Solver.real_expr_var solver cost_exp in
   { pg_vars; theta_vars; cost_var }
 
+let obs_solves = Obs.Counter.make "opf.smt_opf.solves"
+let obs_timer = Obs.Timer.make "opf.smt_opf.feasible"
+
 let feasible ?loads topo ~budget =
-  let solver = Solver.create () in
-  let e = encode solver ?loads topo in
-  Solver.assert_form solver (F.le (L.var e.cost_var) (L.const budget));
-  Solver.check solver
+  Obs.Counter.incr obs_solves;
+  Obs.Timer.with_ obs_timer (fun () ->
+      let solver = Solver.create () in
+      let e = encode solver ?loads topo in
+      Solver.assert_form solver (F.le (L.var e.cost_var) (L.const budget));
+      Solver.check solver)
 
 let minimum_cost ?loads ?(tolerance = Q.of_ints 1 100) topo =
   let grid = topo.Grid.Topology.grid in

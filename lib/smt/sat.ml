@@ -1,5 +1,13 @@
 type lit = int
 
+(* process-wide metrics (per-solver counts live in [t]); counter bumps are
+   single field stores, cheap enough for the inner loops *)
+let obs_decisions = Obs.Counter.make "smt.sat.decisions"
+let obs_propagations = Obs.Counter.make "smt.sat.propagations"
+let obs_conflicts = Obs.Counter.make "smt.sat.conflicts"
+let obs_restarts = Obs.Counter.make "smt.sat.restarts"
+let obs_learned = Obs.Counter.make "smt.sat.learned_clauses"
+
 let lit_of_var v pos = (2 * v) + if pos then 0 else 1
 let var_of_lit l = l lsr 1
 let lit_is_pos l = l land 1 = 0
@@ -63,6 +71,8 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable learned : int;
 }
 
 let create ?(theory = no_theory) () =
@@ -85,12 +95,16 @@ let create ?(theory = no_theory) () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
+    learned = 0;
   }
 
 let nvars s = s.nvars
 let n_conflicts s = s.conflicts
 let n_decisions s = s.decisions
 let n_propagations s = s.propagations
+let n_restarts s = s.restarts
+let n_learned s = s.learned
 
 let grow_arrays s =
   let cap = Array.length s.assign in
@@ -162,6 +176,7 @@ let propagate s =
       let l = Grow.get s.trail s.qhead in
       s.qhead <- s.qhead + 1;
       s.propagations <- s.propagations + 1;
+      Obs.Counter.incr obs_propagations;
       (* process clauses watching ¬l *)
       let nl = lit_neg l in
       let ws = s.watches.(nl) in
@@ -333,6 +348,7 @@ let add_clause s lits =
    conflict is at root level (unsat). *)
 let handle_conflict s confl =
   s.conflicts <- s.conflicts + 1;
+  Obs.Counter.incr obs_conflicts;
   if current_level s = 0 then false
   else begin
     (* if the conflict clause has no literal at the current level (possible
@@ -354,6 +370,8 @@ let handle_conflict s confl =
           else confl
         in
         let learnt, blevel = analyze s confl in
+        s.learned <- s.learned + 1;
+        Obs.Counter.incr obs_learned;
         backtrack_to s blevel;
         (if Array.length learnt = 1 then begin
            enqueue s learnt.(0) (-1)
@@ -409,6 +427,8 @@ let solve s =
             decr conflict_budget;
             if !conflict_budget <= 0 then begin
               incr restart_count;
+              s.restarts <- s.restarts + 1;
+              Obs.Counter.incr obs_restarts;
               conflict_budget := 100 * luby (!restart_count + 1);
               backtrack_to s 0
             end
@@ -425,6 +445,7 @@ let solve s =
             else begin
               let v = pick_branch_var s in
               s.decisions <- s.decisions + 1;
+              Obs.Counter.incr obs_decisions;
               Grow.push s.trail_lim (Grow.len s.trail);
               s.theory.t_new_level ();
               enqueue s (lit_of_var v s.phase.(v)) (-1)

@@ -47,3 +47,9 @@ val value : t -> int -> bool
 val n_conflicts : t -> int
 val n_decisions : t -> int
 val n_propagations : t -> int
+
+val n_restarts : t -> int
+(** Luby restarts performed across all [solve] calls on this solver. *)
+
+val n_learned : t -> int
+(** Clauses learned by conflict analysis (unit learnts included). *)

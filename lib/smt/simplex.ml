@@ -6,6 +6,11 @@ module Iset = Set.Make (Int)
 let prof_pivots_internal = ref 0
 let prof_pops_internal = ref 0
 
+let obs_pivots = Obs.Counter.make "smt.simplex.pivots"
+let obs_pops = Obs.Counter.make "smt.simplex.worklist_pops"
+let obs_bound_asserts = Obs.Counter.make "smt.simplex.bound_asserts"
+let obs_slack_rows = Obs.Counter.make "smt.simplex.slack_rows"
+
 type side = Upper | Lower
 
 type bound = { value : QD.t; lit : Sat.lit (* -1 when structural *) }
@@ -36,6 +41,9 @@ type t = {
       (* superset of the basic variables whose assignment may violate a
          bound; lets [check] work from a worklist instead of scanning the
          whole tableau *)
+  mutable n_pivots : int;
+  mutable n_bound_asserts : int;
+  mutable n_slack_rows : int;
 }
 
 let create () =
@@ -53,7 +61,14 @@ let create () =
     trail_len = 0;
     last_epsilon = Q.one;
     violated = Iset.empty;
+    n_pivots = 0;
+    n_bound_asserts = 0;
+    n_slack_rows = 0;
   }
+
+let n_pivots t = t.n_pivots
+let n_bound_asserts t = t.n_bound_asserts
+let n_slack_rows t = t.n_slack_rows
 
 let col_add t v basic =
   match Hashtbl.find_opt t.cols v with
@@ -145,6 +160,8 @@ let define_slack t e =
   | Some v -> v
   | None ->
     let s = new_var t in
+    t.n_slack_rows <- t.n_slack_rows + 1;
+    Obs.Counter.incr obs_slack_rows;
     let terms =
       List.fold_left
         (fun m (v, c) -> Imap.add v c m)
@@ -183,6 +200,8 @@ let neg_lit_of_bound b = if b.lit >= 0 then Some (Sat.lit_neg b.lit) else None
 
 (* returns a conflict clause if the new bound clashes with the opposite one *)
 let assert_bound t x side (value : QD.t) lit =
+  t.n_bound_asserts <- t.n_bound_asserts + 1;
+  Obs.Counter.incr obs_bound_asserts;
   match side with
   | Upper -> (
     let current = t.upper.(x) in
@@ -260,6 +279,8 @@ let t_assert t lit =
 (* pivot basic xi with nonbasic xj (xj in row of xi) *)
 let pivot t xi xj =
   incr prof_pivots_internal;
+  t.n_pivots <- t.n_pivots + 1;
+  Obs.Counter.incr obs_pivots;
   let row_i = Imap.find xi t.rows in
   let a = Imap.find xj row_i in
   let inv_a = Q.inv a in
@@ -364,6 +385,7 @@ let check_full t =
       | None -> continue := false
       | Some xi ->
         incr prof_pops_internal;
+        Obs.Counter.incr obs_pops;
         t.violated <- Iset.remove xi t.violated;
         if is_basic t xi then begin
           let row = Imap.find xi t.rows in

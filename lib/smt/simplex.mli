@@ -47,6 +47,15 @@ val model_all : t -> Numeric.Rat.t array
 val check_now : t -> Sat.lit array option
 (** Run a consistency check directly (used by tests). *)
 
+val n_pivots : t -> int
+(** Simplex pivots performed by this instance. *)
+
+val n_bound_asserts : t -> int
+(** Bound assertions received (redundant ones included). *)
+
+val n_slack_rows : t -> int
+(** Slack variables with tableau rows created by {!define_slack}. *)
+
 (**/**)
 
 val prof_pivots : int ref

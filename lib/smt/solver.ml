@@ -1,16 +1,27 @@
 module Q = Numeric.Rat
 module QD = Numeric.Qdelta
 
+let obs_atom_hits = Obs.Counter.make "smt.solver.atom_cache_hits"
+let obs_atom_misses = Obs.Counter.make "smt.solver.atom_cache_misses"
+let obs_tseitin = Obs.Counter.make "smt.solver.tseitin_clauses"
+let obs_checks = Obs.Counter.make "smt.solver.checks"
+let obs_check_timer = Obs.Timer.make "smt.solver.check"
+
 type t = {
   sat : Sat.t;
   simplex : Simplex.t;
   atom_cache : (string, int) Hashtbl.t; (* canonical atom -> sat var *)
+  bool_names : (int, string) Hashtbl.t; (* sat var -> user name *)
+  real_names : (int, string) Hashtbl.t; (* theory var -> user name *)
   mutable true_var : int; (* sat var forced true *)
   mutable bool_model : bool array;
   mutable real_model : Q.t array;
   mutable nreals : int;
   mutable has_model : bool;
   mutable unsat : bool;
+  mutable atom_hits : int;
+  mutable atom_misses : int;
+  mutable tseitin_clauses : int;
 }
 
 let create () =
@@ -22,23 +33,32 @@ let create () =
     sat;
     simplex;
     atom_cache = Hashtbl.create 256;
+    bool_names = Hashtbl.create 64;
+    real_names = Hashtbl.create 64;
     true_var;
     bool_model = [||];
     real_model = [||];
     nreals = 0;
     has_model = false;
     unsat = false;
+    atom_hits = 0;
+    atom_misses = 0;
+    tseitin_clauses = 0;
   }
 
 let fresh_bool ?name s =
-  ignore name;
-  Sat.new_var s.sat
+  let v = Sat.new_var s.sat in
+  (match name with Some n -> Hashtbl.replace s.bool_names v n | None -> ());
+  v
 
 let fresh_real ?name s =
-  ignore name;
   let v = Simplex.new_var s.simplex in
+  (match name with Some n -> Hashtbl.replace s.real_names v n | None -> ());
   s.nreals <- max s.nreals (v + 1);
   v
+
+let bool_name s v = Hashtbl.find_opt s.bool_names v
+let real_name s v = Hashtbl.find_opt s.real_names v
 
 (* A variable equal to a linear expression: reuse/define the slack for the
    homogeneous part; a pure variable is returned as-is when no constant. *)
@@ -121,8 +141,13 @@ let atom_sat_var s op e =
       (Q.to_string bound.QD.delta)
   in
   match Hashtbl.find_opt s.atom_cache key with
-  | Some v -> v
+  | Some v ->
+    s.atom_hits <- s.atom_hits + 1;
+    Obs.Counter.incr obs_atom_hits;
+    v
   | None ->
+    s.atom_misses <- s.atom_misses + 1;
+    Obs.Counter.incr obs_atom_misses;
     let v = Sat.new_var s.sat in
     Simplex.register_atom s.simplex ~sat_var:v ~tvar ~side ~bound;
     Hashtbl.add s.atom_cache key v;
@@ -144,6 +169,9 @@ let rec lit_of s (f : Form.t) : Sat.lit =
     let lx = Sat.lit_of_var x true in
     List.iter (fun l -> Sat.add_clause s.sat [ Sat.lit_neg lx; l ]) ls;
     Sat.add_clause s.sat (lx :: List.map Sat.lit_neg ls);
+    let added = List.length ls + 1 in
+    s.tseitin_clauses <- s.tseitin_clauses + added;
+    Obs.Counter.add obs_tseitin added;
     lx
   | Or fs ->
     let ls = List.map (lit_of s) fs in
@@ -151,6 +179,9 @@ let rec lit_of s (f : Form.t) : Sat.lit =
     let lx = Sat.lit_of_var x true in
     List.iter (fun l -> Sat.add_clause s.sat [ lx; Sat.lit_neg l ]) ls;
     Sat.add_clause s.sat (Sat.lit_neg lx :: ls);
+    let added = List.length ls + 1 in
+    s.tseitin_clauses <- s.tseitin_clauses + added;
+    Obs.Counter.add obs_tseitin added;
     lx
 
 let rec assert_form s (f : Form.t) =
@@ -230,7 +261,7 @@ let bound_real s ?lo ?hi v =
     then s.unsat <- true
   | None -> ()
 
-let check s =
+let check_inner s =
   if s.unsat then `Unsat
   else begin
     match Sat.solve s.sat with
@@ -249,6 +280,10 @@ let check s =
       `Sat
   end
 
+let check s =
+  Obs.Counter.incr obs_checks;
+  Obs.Timer.with_ obs_check_timer (fun () -> check_inner s)
+
 let model_bool s v =
   if not s.has_model then failwith "Solver.model_bool: no model";
   if v < Array.length s.bool_model then s.bool_model.(v) else false
@@ -257,5 +292,88 @@ let model_real s v =
   if not s.has_model then failwith "Solver.model_real: no model";
   if v < Array.length s.real_model then s.real_model.(v) else Q.zero
 
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learned : int;
+  pivots : int;
+  bound_asserts : int;
+  slack_rows : int;
+  atom_cache_hits : int;
+  atom_cache_misses : int;
+  tseitin_clauses : int;
+}
+
 let stats s =
-  (Sat.n_conflicts s.sat, Sat.n_decisions s.sat, Sat.n_propagations s.sat)
+  {
+    conflicts = Sat.n_conflicts s.sat;
+    decisions = Sat.n_decisions s.sat;
+    propagations = Sat.n_propagations s.sat;
+    restarts = Sat.n_restarts s.sat;
+    learned = Sat.n_learned s.sat;
+    pivots = Simplex.n_pivots s.simplex;
+    bound_asserts = Simplex.n_bound_asserts s.simplex;
+    slack_rows = Simplex.n_slack_rows s.simplex;
+    atom_cache_hits = s.atom_hits;
+    atom_cache_misses = s.atom_misses;
+    tseitin_clauses = s.tseitin_clauses;
+  }
+
+let stats_fields st =
+  [
+    ("conflicts", st.conflicts);
+    ("decisions", st.decisions);
+    ("propagations", st.propagations);
+    ("restarts", st.restarts);
+    ("learned", st.learned);
+    ("pivots", st.pivots);
+    ("bound_asserts", st.bound_asserts);
+    ("slack_rows", st.slack_rows);
+    ("atom_cache_hits", st.atom_cache_hits);
+    ("atom_cache_misses", st.atom_cache_misses);
+    ("tseitin_clauses", st.tseitin_clauses);
+  ]
+
+let json_of_stats st =
+  Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (stats_fields st))
+
+let pp_stats fmt st =
+  List.iter
+    (fun (k, v) -> Format.fprintf fmt "%-18s %d@." k v)
+    (stats_fields st)
+
+(* model restricted to the variables the caller bothered to name: the
+   debuggable face of a counterexample *)
+let named_model s =
+  if not s.has_model then []
+  else begin
+    let bools =
+      Hashtbl.fold
+        (fun v name acc ->
+          if v < Array.length s.bool_model then
+            (name, `Bool s.bool_model.(v)) :: acc
+          else acc)
+        s.bool_names []
+    in
+    let reals =
+      Hashtbl.fold
+        (fun v name acc ->
+          if v < Array.length s.real_model then
+            (name, `Real s.real_model.(v)) :: acc
+          else acc)
+        s.real_names []
+    in
+    List.sort (fun (a, _) (b, _) -> compare a b) (bools @ reals)
+  end
+
+let pp_model fmt s =
+  if not s.has_model then Format.fprintf fmt "(no model)@."
+  else
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | `Bool b -> Format.fprintf fmt "%-12s %b@." name b
+        | `Real q -> Format.fprintf fmt "%-12s %s@." name (Q.to_string q))
+      (named_model s)

@@ -13,6 +13,12 @@ val create : unit -> t
 val fresh_bool : ?name:string -> t -> int
 val fresh_real : ?name:string -> t -> int
 
+val bool_name : t -> int -> string option
+(** Name passed to {!fresh_bool} for this variable, if any. *)
+
+val real_name : t -> int -> string option
+(** Name passed to {!fresh_real} for this variable, if any. *)
+
 val real_expr_var : t -> Linexp.t -> int
 (** A variable constrained to equal the given expression (constant part
     allowed); useful for naming sums such as total generation cost. *)
@@ -37,5 +43,31 @@ val model_bool : t -> int -> bool
 
 val model_real : t -> int -> Numeric.Rat.t
 
-val stats : t -> int * int * int
-(** (conflicts, decisions, propagations) of the SAT core. *)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learned : int;  (** learned clauses *)
+  pivots : int;  (** simplex pivots *)
+  bound_asserts : int;
+  slack_rows : int;
+  atom_cache_hits : int;
+  atom_cache_misses : int;
+  tseitin_clauses : int;
+}
+
+val stats : t -> stats
+(** Cumulative per-instance counters of the SAT core, the simplex theory
+    solver, and this facade (atom cache, Tseitin translation). *)
+
+val json_of_stats : stats -> Obs.Json.t
+val pp_stats : Format.formatter -> stats -> unit
+
+val named_model :
+  t -> (string * [ `Bool of bool | `Real of Numeric.Rat.t ]) list
+(** The last model restricted to variables that were given a [?name],
+    sorted by name; empty when the last [check] was not [`Sat]. *)
+
+val pp_model : Format.formatter -> t -> unit
+(** Print {!named_model} one binding per line. *)

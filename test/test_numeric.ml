@@ -70,6 +70,22 @@ let bigint_unit_tests =
            with Invalid_argument _ -> true));
     Alcotest.test_case "pow10 zero is one" `Quick (fun () ->
         Alcotest.check bigint_testable "1" B.one (B.pow10 0));
+    Alcotest.test_case "shift_left / pow2" `Quick (fun () ->
+        Alcotest.check bigint_testable "1 lsl 40" (B.of_int (1 lsl 40))
+          (B.shift_left B.one 40);
+        Alcotest.check bigint_testable "-3 lsl 35"
+          (B.of_int ((-3) lsl 35))
+          (B.shift_left (B.of_int (-3)) 35);
+        Alcotest.check bigint_testable "2^0" B.one (B.pow2 0);
+        (* multi-limb: 2^1074 is the subnormal-double denominator *)
+        let p1074 = B.pow2 1074 in
+        let rec by_mul acc n =
+          if n = 0 then acc else by_mul (B.mul_int acc 2) (n - 1)
+        in
+        Alcotest.check bigint_testable "2^1074 matches repeated doubling"
+          (by_mul B.one 1074) p1074;
+        Alcotest.(check bool) "shift of zero is zero" true
+          (B.is_zero (B.shift_left B.zero 100)));
     Alcotest.test_case "divmod signs follow the dividend" `Quick (fun () ->
         let q1, r1 = B.divmod (B.of_int (-7)) (B.of_int 2) in
         Alcotest.check bigint_testable "q" (B.of_int (-3)) q1;
@@ -162,6 +178,31 @@ let rat_unit_tests =
         Alcotest.check rat_testable "-0.05" (Q.of_ints (-5) 100)
           (Q.of_decimal_string "-0.05");
         Alcotest.check rat_testable "3" (Q.of_int 3) (Q.of_decimal_string "3"));
+    Alcotest.test_case "of_decimal_string scientific notation" `Quick
+      (fun () ->
+        Alcotest.check rat_testable "1e-3" (Q.of_ints 1 1000)
+          (Q.of_decimal_string "1e-3");
+        Alcotest.check rat_testable "2.5E2" (Q.of_int 250)
+          (Q.of_decimal_string "2.5E2");
+        Alcotest.check rat_testable "-1.2e+4" (Q.of_int (-12000))
+          (Q.of_decimal_string "-1.2e+4");
+        Alcotest.check rat_testable "5e0" (Q.of_int 5)
+          (Q.of_decimal_string "5e0");
+        Alcotest.check rat_testable ".5e1" (Q.of_int 5)
+          (Q.of_decimal_string ".5e1");
+        Alcotest.check rat_testable "+0.5" (Q.of_ints 1 2)
+          (Q.of_decimal_string "+0.5");
+        Alcotest.check rat_testable "-0.0" Q.zero (Q.of_decimal_string "-0.0"));
+    Alcotest.test_case "of_decimal_string rejects bad exponents" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) s true
+              (try
+                 ignore (Q.of_decimal_string s);
+                 false
+               with Invalid_argument _ -> true))
+          [ "1e"; "e3"; "1e3.5"; "1e++2"; "2.5e3e4" ]);
     Alcotest.test_case "normalisation" `Quick (fun () ->
         let x = Q.of_ints 6 (-4) in
         Alcotest.check rat_testable "-3/2" (Q.of_ints (-3) 2) x);
@@ -217,6 +258,20 @@ let rat_prop_tests =
     prop "round_to_digits within half ulp" gen_rat (fun a ->
         let r = Q.round_to_digits 2 a in
         Q.( <= ) (Q.abs (Q.sub r a)) (Q.of_ints 1 200));
+    prop "decimal-string roundtrip on exact decimals"
+      QCheck2.Gen.(pair (int_range (-1_000_000) 1_000_000) (int_range 0 6))
+      (fun (n, d) ->
+        let x = Q.make (B.of_int n) (B.pow10 d) in
+        Q.equal x (Q.of_decimal_string (Q.to_decimal_string ~digits:d x)));
+    prop "scientific notation agrees with the expanded decimal"
+      QCheck2.Gen.(pair (int_range (-9999) 9999) (int_range (-6) 6))
+      (fun (m, e) ->
+        let s = Printf.sprintf "%de%d" m e in
+        let expected =
+          if e >= 0 then Q.mul (Q.of_int m) (Q.make (B.pow10 e) B.one)
+          else Q.make (B.of_int m) (B.pow10 (-e))
+        in
+        Q.equal expected (Q.of_decimal_string s));
   ]
 
 (* ---- Qdelta ---- *)

@@ -1,0 +1,185 @@
+(* Tests for the observability layer: counter/timer semantics, snapshot
+   diffing, the JSON emitter/parser, and end-to-end solver statistics. *)
+
+module J = Obs.Json
+
+let counter_tests =
+  [
+    Alcotest.test_case "incr/add accumulate" `Quick (fun () ->
+        let c = Obs.Counter.make "test.obs.counter_a" in
+        let before = Obs.Counter.get c in
+        Obs.Counter.incr c;
+        Obs.Counter.add c 41;
+        Alcotest.(check int) "delta 42" (before + 42) (Obs.Counter.get c));
+    Alcotest.test_case "make is create-or-get" `Quick (fun () ->
+        let c1 = Obs.Counter.make "test.obs.counter_shared" in
+        let c2 = Obs.Counter.make "test.obs.counter_shared" in
+        Obs.Counter.incr c1;
+        let v = Obs.Counter.get c2 in
+        Obs.Counter.incr c2;
+        Alcotest.(check int) "shared state" (v + 1) (Obs.Counter.get c1));
+    Alcotest.test_case "counters live regardless of enabled" `Quick (fun () ->
+        let c = Obs.Counter.make "test.obs.counter_gate" in
+        let was = Obs.enabled () in
+        Obs.set_enabled false;
+        let before = Obs.Counter.get c in
+        Obs.Counter.incr c;
+        Obs.set_enabled was;
+        Alcotest.(check int) "counted while disabled" (before + 1)
+          (Obs.Counter.get c));
+  ]
+
+let timer_tests =
+  [
+    Alcotest.test_case "with_ counts calls when enabled" `Quick (fun () ->
+        let t = Obs.Timer.make "test.obs.timer_a" in
+        let was = Obs.enabled () in
+        Obs.set_enabled true;
+        let n0 = Obs.Timer.count t in
+        let r = Obs.Timer.with_ t (fun () -> 7) in
+        Obs.set_enabled was;
+        Alcotest.(check int) "result passes through" 7 r;
+        Alcotest.(check int) "one call" (n0 + 1) (Obs.Timer.count t));
+    Alcotest.test_case "with_ is transparent when disabled" `Quick (fun () ->
+        let t = Obs.Timer.make "test.obs.timer_b" in
+        let was = Obs.enabled () in
+        Obs.set_enabled false;
+        let n0 = Obs.Timer.count t in
+        ignore (Obs.Timer.with_ t (fun () -> ()));
+        Obs.set_enabled was;
+        Alcotest.(check int) "not counted" n0 (Obs.Timer.count t));
+    Alcotest.test_case "with_ records on exception" `Quick (fun () ->
+        let t = Obs.Timer.make "test.obs.timer_exn" in
+        let was = Obs.enabled () in
+        Obs.set_enabled true;
+        let n0 = Obs.Timer.count t in
+        (try Obs.Timer.with_ t (fun () -> failwith "boom")
+         with Failure _ -> ());
+        Obs.set_enabled was;
+        Alcotest.(check int) "counted despite raise" (n0 + 1)
+          (Obs.Timer.count t));
+    Alcotest.test_case "add_seconds accumulates" `Quick (fun () ->
+        let t = Obs.Timer.make "test.obs.timer_c" in
+        let s0 = Obs.Timer.total_seconds t in
+        Obs.Timer.add_seconds t 0.25;
+        Obs.Timer.add_seconds t 0.25;
+        Alcotest.(check (float 1e-9)) "half second" (s0 +. 0.5)
+          (Obs.Timer.total_seconds t));
+  ]
+
+let snapshot_tests =
+  [
+    Alcotest.test_case "diff isolates the delta" `Quick (fun () ->
+        let c = Obs.Counter.make "test.obs.snap_c" in
+        let before = Obs.snapshot () in
+        Obs.Counter.add c 5;
+        let d = Obs.diff ~before ~after:(Obs.snapshot ()) in
+        Alcotest.(check (option int)) "delta of 5" (Some 5)
+          (List.assoc_opt "test.obs.snap_c" d.Obs.counters);
+        Alcotest.(check bool) "untouched counters dropped" true
+          (List.for_all (fun (_, v) -> v <> 0) d.Obs.counters));
+    Alcotest.test_case "json_of_snapshot parses back" `Quick (fun () ->
+        let c = Obs.Counter.make "test.obs.snap_json" in
+        Obs.Counter.incr c;
+        let snap = Obs.snapshot () in
+        let s = J.to_string (Obs.json_of_snapshot snap) in
+        match J.of_string s with
+        | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
+        | Ok j -> (
+          match J.member "counters" j with
+          | Some (J.Obj fields) ->
+            Alcotest.(check bool) "our counter is present" true
+              (List.mem_assoc "test.obs.snap_json" fields)
+          | _ -> Alcotest.fail "no counters object"));
+  ]
+
+let json_tests =
+  [
+    Alcotest.test_case "escaping round-trips" `Quick (fun () ->
+        let v =
+          J.Obj
+            [
+              ("plain", J.String "hello");
+              ("quotes", J.String "a\"b\\c");
+              ("control", J.String "line1\nline2\ttab");
+              ("unicode-ish", J.String "\xc3\xa9");
+            ]
+        in
+        match J.of_string (J.to_string v) with
+        | Ok v' -> Alcotest.(check bool) "equal" true (v = v')
+        | Error e -> Alcotest.failf "parse: %s" e);
+    Alcotest.test_case "numbers round-trip" `Quick (fun () ->
+        let v =
+          J.List
+            [ J.Int 0; J.Int (-42); J.Float 0.1; J.Float 1e-3; J.Float (-2.5) ]
+        in
+        match J.of_string (J.to_string v) with
+        | Ok v' -> Alcotest.(check bool) "equal" true (v = v')
+        | Error e -> Alcotest.failf "parse: %s" e);
+    Alcotest.test_case "structures parse" `Quick (fun () ->
+        match J.of_string {| {"a": [1, 2.5, null, true], "b": {"c": "d"}} |} with
+        | Ok
+            (J.Obj
+               [
+                 ("a", J.List [ J.Int 1; J.Float 2.5; J.Null; J.Bool true ]);
+                 ("b", J.Obj [ ("c", J.String "d") ]);
+               ]) ->
+          ()
+        | Ok _ -> Alcotest.fail "parsed to the wrong tree"
+        | Error e -> Alcotest.failf "parse: %s" e);
+    Alcotest.test_case "malformed input rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match J.of_string s with
+            | Ok _ -> Alcotest.failf "accepted %S" s
+            | Error _ -> ())
+          [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2" ]);
+  ]
+
+(* a small real solve must move the SAT/simplex counters *)
+let solver_stats_tests =
+  [
+    Alcotest.test_case "stats nonzero after a solve" `Quick (fun () ->
+        let module F = Smt.Form in
+        let module L = Smt.Linexp in
+        let module Q = Numeric.Rat in
+        let s = Smt.Solver.create () in
+        let x = Smt.Solver.fresh_real ~name:"x" s in
+        let y = Smt.Solver.fresh_real ~name:"y" s in
+        let p = Smt.Solver.fresh_bool ~name:"p" s in
+        Smt.Solver.assert_form s
+          (F.or_
+             [
+               F.and_ [ F.bvar p; F.ge (L.var x) (L.const Q.one) ];
+               F.and_ [ F.not_ (F.bvar p); F.le (L.var x) (L.const Q.zero) ];
+             ]);
+        Smt.Solver.assert_form s (F.eq (L.var y) (L.add (L.var x) (L.const Q.one)));
+        Smt.Solver.assert_form s (F.ge (L.var y) (L.const (Q.of_int 2)));
+        (match Smt.Solver.check s with
+        | `Sat -> ()
+        | `Unsat -> Alcotest.fail "expected sat");
+        let st = Smt.Solver.stats s in
+        Alcotest.(check bool) "propagations > 0" true
+          (st.Smt.Solver.propagations > 0);
+        Alcotest.(check bool) "bound asserts > 0" true
+          (st.Smt.Solver.bound_asserts > 0);
+        Alcotest.(check bool) "tseitin clauses > 0" true
+          (st.Smt.Solver.tseitin_clauses > 0);
+        let named = Smt.Solver.named_model s in
+        Alcotest.(check (list string)) "named model keys" [ "p"; "x"; "y" ]
+          (List.map fst named);
+        (* the JSON form of the stats parses back *)
+        match J.of_string (J.to_string (Smt.Solver.json_of_stats st)) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "stats JSON: %s" e);
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("counter", counter_tests);
+      ("timer", timer_tests);
+      ("snapshot", snapshot_tests);
+      ("json", json_tests);
+      ("solver-stats", solver_stats_tests);
+    ]
