@@ -6,9 +6,25 @@
    rows/series the paper reports (system size vs time / memory), followed
    by Bechamel micro-benchmarks (one Test.make per table/figure kernel).
 
+   Isolation: each measurement runs on a detached domain awaited with a
+   timeout (Pool.detached + Future.await_timeout) instead of the old
+   fork-per-measurement.  A timed-out solve cannot be killed — its domain
+   is abandoned and keeps running until process exit — but results flow
+   back in-process, so no Marshal round-trip and the Obs counters the
+   rows report are the real shared-registry deltas (exact: the counters
+   are atomic).
+
+   Sharding: BENCH_JOBS=n runs whole suites concurrently on a Pool; each
+   suite renders into its own buffer and the buffers are printed in suite
+   order, so the output is deterministic.  Sharding trades measurement
+   fidelity for wall-clock (suites contend for cores, and per-row counter
+   deltas then include concurrent suites' work) — keep BENCH_JOBS=1 when
+   the numbers themselves are the point.
+
    Environment:
      BENCH_QUICK=1   restrict to the 5/14/30-bus systems (fast CI run)
-     BENCH_SEEDS=n   scenarios per size (default 3, as in the paper)   *)
+     BENCH_SEEDS=n   scenarios per size (default 3, as in the paper)
+     BENCH_JOBS=n    run suites concurrently on n worker domains        *)
 
 module Q = Numeric.Rat
 module E = Topoguard.Evaluation
@@ -21,6 +37,15 @@ let seeds =
   | Some s -> (try List.init (max 1 (int_of_string s)) (fun i -> i + 1) with _ -> [ 1; 2; 3 ])
   | None -> [ 1; 2; 3 ]
 
+let bench_jobs =
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some 0 -> Pool.default_jobs ()
+    | Some n when n > 0 -> n
+    | _ -> 1)
+  | None -> 1
+
 let sizes = if quick then [ 5; 14; 30 ] else [ 5; 14; 30; 57; 118 ]
 
 let timeout_s =
@@ -28,51 +53,38 @@ let timeout_s =
   | Some s -> (try float_of_string s with _ -> 60.0)
   | None -> 60.0
 
-(* run a computation in a forked child so a hard solver instance cannot
-   stall the whole harness; None on timeout or crash *)
-let fork_with_timeout (f : unit -> 'a) : 'a option =
-  (* flush before forking or the child re-flushes inherited buffers *)
-  flush stdout;
-  flush stderr;
-  let rd, wr = Unix.pipe () in
-  match Unix.fork () with
-  | 0 -> (
-    Unix.close rd;
-    let oc = Unix.out_channel_of_descr wr in
-    match f () with
-    | v ->
-      Marshal.to_channel oc v [];
-      flush oc;
-      exit 0
-    | exception _ -> exit 3)
-  | pid ->
-    Unix.close wr;
-    let deadline = Unix.gettimeofday () +. timeout_s in
-    let rec wait () =
-      match Unix.waitpid [ Unix.WNOHANG ] pid with
-      | 0, _ ->
-        if Unix.gettimeofday () > deadline then begin
-          (try Unix.kill pid Sys.sigkill with _ -> ());
-          ignore (Unix.waitpid [] pid);
-          None
-        end
-        else begin
-          Unix.sleepf 0.05;
-          wait ()
-        end
-      | _, Unix.WEXITED 0 -> (
-        let ic = Unix.in_channel_of_descr rd in
-        match (Marshal.from_channel ic : 'a) with
-        | v -> Some v
-        | exception _ -> None)
-      | _ -> None
-    in
-    let r = wait () in
-    (try Unix.close rd with _ -> ());
-    r
+(* run a computation on its own domain so a hard solver instance cannot
+   stall the whole harness; None on timeout or crash.  The replacement
+   for the old Unix.fork isolation: same contract, shared memory.
+   A timed-out domain cannot be killed, only abandoned — it keeps
+   running (and allocating), which bechamel's heap stabilization cannot
+   tolerate, so every abandoned future is remembered for a later
+   liveness check. *)
+let abandoned : (unit -> bool) list Atomic.t = Atomic.make []
+
+let remember_abandoned pending =
+  let rec push () =
+    let old = Atomic.get abandoned in
+    if not (Atomic.compare_and_set abandoned old (pending :: old)) then
+      push ()
+  in
+  push ()
+
+let run_with_timeout (f : unit -> 'a) : 'a option =
+  let fut = Pool.detached f in
+  match
+    Pool.Future.await_timeout ~clock:Unix.gettimeofday
+      ~sleep:(fun () -> Unix.sleepf 0.02)
+      ~seconds:timeout_s fut
+  with
+  | None ->
+    remember_abandoned (fun () -> Pool.Future.poll fut = `Pending);
+    None
+  | Some _ as v -> v
+  | exception _ -> None
 
 let with_timeout (f : unit -> E.measurement) ~fallback : E.measurement =
-  match fork_with_timeout f with
+  match run_with_timeout f with
   | Some m -> m
   | None ->
     {
@@ -91,15 +103,22 @@ let fallback_measurement label size =
     counters = [];
   }
 
-(* ---- machine-readable output: one BENCH_<suite>.json per section ----
-   The solver counters travel with each measurement (captured by
-   E.timed in the forked child and marshalled back), so the JSON rows
-   carry SAT/simplex statistics even though the parent process never
-   ran the solve. *)
+(* ---- output sinks: direct streaming when sequential, per-suite buffers
+   when sharded (printed in suite order once the suite completes) ---- *)
 
-let bench_json_rows : (string, Obs.Json.t list ref) Hashtbl.t = Hashtbl.create 8
+type sink = { put : string -> unit }
 
-let record_row ~suite ~case (m : E.measurement) =
+let direct_sink = { put = (fun s -> print_string s; flush stdout) }
+let buffer_sink buf = { put = Buffer.add_string buf }
+let out sink fmt = Printf.ksprintf sink.put fmt
+
+(* ---- machine-readable output: one BENCH_<suite>.json per section.
+   Rows are suite-local (no shared registry), so sharded suites cannot
+   interleave each other's JSON. *)
+
+type suite_rows = Obs.Json.t list ref
+
+let record_row ~(rows : suite_rows) ~case (m : E.measurement) =
   let open Obs.Json in
   let row =
     Obj
@@ -113,48 +132,37 @@ let record_row ~suite ~case (m : E.measurement) =
         ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) m.E.counters));
       ]
   in
-  let rows =
-    match Hashtbl.find_opt bench_json_rows suite with
-    | Some r -> r
-    | None ->
-      let r = ref [] in
-      Hashtbl.add bench_json_rows suite r;
-      r
-  in
   rows := row :: !rows
 
-let write_suite_json suite =
-  match Hashtbl.find_opt bench_json_rows suite with
-  | None -> ()
-  | Some rows ->
-    let file = Printf.sprintf "BENCH_%s.json" suite in
-    Obs.write_json_file file
-      (Obs.Json.Obj
-         [
-           ("suite", Obs.Json.String suite);
-           ("rows", Obs.Json.List (List.rev !rows));
-         ]);
-    Printf.printf "wrote %s\n%!" file
+let write_suite_json sink suite (rows : suite_rows) =
+  let file = Printf.sprintf "BENCH_%s.json" suite in
+  Obs.write_json_file file
+    (Obs.Json.Obj
+       [
+         ("suite", Obs.Json.String suite);
+         ("rows", Obs.Json.List (List.rev !rows));
+       ]);
+  out sink "wrote %s\n" file
 
-let header title detail =
-  Printf.printf "\n== %s ==\n%s\n%-6s %-6s %10s %12s  %s\n" title detail
-    "buses" "case" "time(s)" "alloc(MB)" "result"
+let header sink title detail =
+  out sink "\n== %s ==\n%s\n%-6s %-6s %10s %12s  %s\n" title detail "buses"
+    "case" "time(s)" "alloc(MB)" "result"
 
-let row (m : E.measurement) case =
-  Printf.printf "%-6d %-6s %10.3f %12.1f  %s\n%!" m.E.system_size case
-    m.E.seconds m.E.allocated_mb m.E.result
+let row sink (m : E.measurement) case =
+  out sink "%-6d %-6s %10.3f %12.1f  %s\n" m.E.system_size case m.E.seconds
+    m.E.allocated_mb m.E.result
 
-let avg_row size times =
+let avg_row sink size times =
   if times <> [] then
-    Printf.printf "%-6d %-6s %10.3f %12s  (average of %d scenarios)\n%!" size
-      "avg"
+    out sink "%-6d %-6s %10.3f %12s  (average of %d scenarios)\n" size "avg"
       (List.fold_left ( +. ) 0.0 times /. float_of_int (List.length times))
       "-" (List.length times)
 
 (* ---- Fig. 4: impact-verification time vs system size ---- *)
 
-let fig4 ~suite ~title ~mode ~unsat =
-  header title
+let fig4 ~suite ~title ~mode ~unsat sink =
+  let rows : suite_rows = ref [] in
+  header sink title
     "paper Fig. 4: full impact verification, random scenarios per size";
   List.iter
     (fun n ->
@@ -169,19 +177,20 @@ let fig4 ~suite ~title ~mode ~unsat =
                   else E.impact_run ~mode ~seed spec)
             in
             let case = Printf.sprintf "s%d" seed in
-            row m case;
-            record_row ~suite ~case m;
+            row sink m case;
+            record_row ~rows ~case m;
             m.E.seconds)
           seeds
       in
-      avg_row n times)
+      avg_row sink n times)
     sizes;
-  write_suite_json suite
+  write_suite_json sink suite rows
 
 (* ---- Fig. 5(a): the OPF model alone, by budget tightness ---- *)
 
-let fig5a () =
-  header "FIG5A: OPF model time vs cost-constraint tightness"
+let fig5a sink =
+  let rows : suite_rows = ref [] in
+  header sink "FIG5A: OPF model time vs cost-constraint tightness"
     "paper Fig. 5(a): SMT bounded-cost feasibility; tighter budget = longer";
   List.iter
     (fun n ->
@@ -195,16 +204,17 @@ let fig5a () =
           let case =
             match t with `Loose -> "loose" | `Medium -> "med" | `Tight -> "tight"
           in
-          row m case;
-          record_row ~suite:"FIG5A" ~case m)
+          row sink m case;
+          record_row ~rows ~case m)
         [ `Loose; `Medium; `Tight ])
     sizes;
-  write_suite_json "FIG5A"
+  write_suite_json sink "FIG5A" rows
 
 (* ---- Fig. 5(b): the topology attack model alone ---- *)
 
-let fig5b () =
-  header "FIG5B: topology attack model time vs system size"
+let fig5b sink =
+  let rows : suite_rows = ref [] in
+  header sink "FIG5B: topology attack model time vs system size"
     "paper Fig. 5(b): attack model alone, random scenarios per size";
   List.iter
     (fun n ->
@@ -217,19 +227,20 @@ let fig5b () =
                 (fun () -> E.attack_model_run ~mode:Enc.Topology_only ~seed spec)
             in
             let case = Printf.sprintf "s%d" seed in
-            row m case;
-            record_row ~suite:"FIG5B" ~case m;
+            row sink m case;
+            record_row ~rows ~case m;
             m.E.seconds)
           seeds
       in
-      avg_row n times)
+      avg_row sink n times)
     sizes;
-  write_suite_json "FIG5B"
+  write_suite_json sink "FIG5B" rows
 
 (* ---- Fig. 5(c): unsatisfiable cases of the individual models ---- *)
 
-let fig5c () =
-  header "FIG5C: individual models, unsatisfiable cases"
+let fig5c sink =
+  let rows : suite_rows = ref [] in
+  header sink "FIG5C: individual models, unsatisfiable cases"
     "paper Fig. 5(c): attack model with a 1-substation budget; OPF below optimum";
   List.iter
     (fun n ->
@@ -238,38 +249,38 @@ let fig5c () =
         with_timeout ~fallback:(fallback_measurement "unsat-attack" n)
           (fun () -> E.unsat_attack_model_run ~mode:Enc.Topology_only ~seed:1 spec)
       in
-      row m "atk";
-      record_row ~suite:"FIG5C" ~case:"atk" m;
+      row sink m "atk";
+      record_row ~rows ~case:"atk" m;
       let m2 =
         with_timeout ~fallback:(fallback_measurement "unsat-opf" n)
           (fun () -> E.unsat_opf_model_run spec)
       in
-      row m2 "opf";
-      record_row ~suite:"FIG5C" ~case:"opf" m2)
+      row sink m2 "opf";
+      record_row ~rows ~case:"opf" m2)
     sizes;
-  write_suite_json "FIG5C"
+  write_suite_json sink "FIG5C" rows
 
 (* ---- Table IV: memory ---- *)
 
-let table4 () =
-  Printf.printf
+let table4 sink =
+  out sink
     "\n== TABLE4: memory (MB allocated) by the solver per individual model ==\n";
-  Printf.printf "%-10s %-28s %-20s\n" "# of buses" "Topology attack model (MB)"
+  out sink "%-10s %-28s %-20s\n" "# of buses" "Topology attack model (MB)"
     "OPF model (MB)";
   List.iter
     (fun n ->
       let spec = Grid.Test_systems.ieee n in
-      match fork_with_timeout (fun () -> E.memory_table_row spec) with
+      match run_with_timeout (fun () -> E.memory_table_row spec) with
       | Some (Ok (attack_mb, opf_mb)) ->
-        Printf.printf "%-10d %-28.2f %-20.2f\n%!" n attack_mb opf_mb
-      | Some (Error e) -> Printf.printf "%-10d error: %s\n%!" n e
-      | None -> Printf.printf "%-10d timeout(>%.0fs)\n%!" n timeout_s)
+        out sink "%-10d %-28.2f %-20.2f\n" n attack_mb opf_mb
+      | Some (Error e) -> out sink "%-10d error: %s\n" n e
+      | None -> out sink "%-10d timeout(>%.0fs)\n" n timeout_s)
     sizes
 
 (* ---- case-study recap (Section III-G) ---- *)
 
-let case_studies () =
-  Printf.printf "\n== CS1/CS2: the paper's case studies (Section III-G) ==\n";
+let case_studies sink =
+  out sink "\n== CS1/CS2: the paper's case studies (Section III-G) ==\n";
   let run name scenario mode target =
     let scenario =
       { scenario with Grid.Spec.min_increase_pct = Q.of_int target }
@@ -278,13 +289,13 @@ let case_studies () =
       Attack.Base_state.of_dispatch scenario.Grid.Spec.grid
         ~gen:(Grid.Test_systems.case_study_base_dispatch ())
     with
-    | Error e -> Printf.printf "%s: base error %s\n" name e
+    | Error e -> out sink "%s: base error %s\n" name e
     | Ok base -> (
       let config = { Topoguard.Impact.default_config with Topoguard.Impact.mode } in
       let t0 = Unix.gettimeofday () in
       match Topoguard.Impact.analyze ~config ~scenario ~base () with
       | Topoguard.Impact.Attack_found s ->
-        Printf.printf "%s (target %d%%): attack — excluded %s, %d meas in %d buses%s (%.3fs)\n%!"
+        out sink "%s (target %d%%): attack — excluded %s, %d meas in %d buses%s (%.3fs)\n"
           name target
           (String.concat ","
              (List.map (fun i -> string_of_int (i + 1))
@@ -299,11 +310,11 @@ let case_studies () =
           | None -> "")
           (Unix.gettimeofday () -. t0)
       | Topoguard.Impact.No_attack { candidates } ->
-        Printf.printf "%s (target %d%%): no attack (%d candidates, %.3fs)\n%!"
+        out sink "%s (target %d%%): no attack (%d candidates, %.3fs)\n"
           name target candidates
           (Unix.gettimeofday () -. t0)
       | Topoguard.Impact.Base_infeasible e ->
-        Printf.printf "%s: base infeasible %s\n" name e)
+        out sink "%s: base infeasible %s\n" name e)
   in
   run "CS1" (Grid.Test_systems.case_study_1 ()) Enc.Topology_only 3;
   run "CS2" (Grid.Test_systems.case_study_2 ()) Enc.With_state_infection 6;
@@ -311,19 +322,19 @@ let case_studies () =
 
 (* ---- ablations ---- *)
 
-let abl_precision () =
-  Printf.printf
+let abl_precision sink =
+  out sink
     "\n== ABL-PRECISION: blocking-clause discretisation (Section IV-A idea 1) ==\n\
      CS2 at a 9%% target: coarser discretisation concludes faster but can\n\
      block genuinely distinct vectors — at 3+ digits an attack above 9%%\n\
      exists that the paper's 2-digit setting (and hence its 8%% bound) misses.\n";
-  Printf.printf "%-10s %-12s %-10s %s\n" "digits" "candidates" "time(s)" "result";
+  out sink "%-10s %-12s %-10s %s\n" "digits" "candidates" "time(s)" "result";
   let scenario = Grid.Test_systems.case_study_2 () in
   match
     Attack.Base_state.of_dispatch scenario.Grid.Spec.grid
       ~gen:(Grid.Test_systems.case_study_base_dispatch ())
   with
-  | Error e -> Printf.printf "base error: %s\n" e
+  | Error e -> out sink "base error: %s\n" e
   | Ok base ->
     List.iter
       (fun precision ->
@@ -341,10 +352,10 @@ let abl_precision () =
         in
         match Topoguard.Impact.analyze ~config ~scenario:scenario9 ~base () with
         | Topoguard.Impact.No_attack { candidates } ->
-          Printf.printf "%-10d %-12d %-10.3f %s\n%!" precision candidates
+          out sink "%-10d %-12d %-10.3f %s\n" precision candidates
             (Unix.gettimeofday () -. t0) "no attack within discretisation"
         | Topoguard.Impact.Attack_found s ->
-          Printf.printf "%-10d %-12d %-10.3f %s\n%!" precision
+          out sink "%-10d %-12d %-10.3f %s\n" precision
             s.Topoguard.Impact.candidates
             (Unix.gettimeofday () -. t0)
             (match s.Topoguard.Impact.poisoned_cost with
@@ -353,13 +364,13 @@ let abl_precision () =
                 (Q.to_decimal_string ~digits:2 c)
             | None -> "attack found")
         | Topoguard.Impact.Base_infeasible e ->
-          Printf.printf "%-10d base infeasible: %s\n" precision e)
+          out sink "%-10d base infeasible: %s\n" precision e)
       [ 1; 2; 3 ]
 
-let abl_factors () =
-  Printf.printf
+let abl_factors sink =
+  out sink
     "\n== ABL-FACTORS: angle-variable OPF vs shift-factor OPF (idea 2) ==\n";
-  Printf.printf "%-6s %-14s %-14s %-10s\n" "buses" "exact LP (s)"
+  out sink "%-6s %-14s %-14s %-10s\n" "buses" "exact LP (s)"
     "factors (s)" "cost match";
   List.iter
     (fun n ->
@@ -372,7 +383,7 @@ let abl_factors () =
       in
       let t_fast, r_fast =
         match
-          fork_with_timeout (fun () ->
+          run_with_timeout (fun () ->
               let t, r = time (fun () -> Opf.Opf_auto.solve_factors topo) in
               (t, r))
         with
@@ -388,22 +399,25 @@ let abl_factors () =
             < 0.01
           | _ -> false
         in
-        Printf.printf "%-6d %-14.3f %-14.3f %-10s\n%!" n t_exact t_fast
+        out sink "%-6d %-14.3f %-14.3f %-10s\n" n t_exact t_fast
           (if same then "within 1c" else "DIFFERS")
       end
-      else Printf.printf "%-6d %-14s %-14.3f %-10s\n%!" n "(skipped)" t_fast "-")
+      else out sink "%-6d %-14s %-14.3f %-10s\n" n "(skipped)" t_fast "-")
     sizes
 
-let abl_cardinality () =
-  Printf.printf
+(* mutates the global cardinality-encoding toggle, so this suite must
+   never run concurrently with another — the driver keeps it out of the
+   sharded batch *)
+let abl_cardinality sink =
+  out sink
     "\n== ABL-CARD: cardinality encoding (sequential counter vs LRA indicators) ==\n";
-  Printf.printf "%-6s %-22s %-22s\n" "buses" "seq. counter (s)" "indicators (s)";
+  out sink "%-6s %-22s %-22s\n" "buses" "seq. counter (s)" "indicators (s)";
   List.iter
     (fun n ->
       let spec = Grid.Test_systems.ieee n in
       let run () =
         match
-          fork_with_timeout (fun () ->
+          run_with_timeout (fun () ->
               (E.attack_model_run ~mode:Enc.Topology_only ~seed:1 spec).E.seconds)
         with
         | Some t -> t
@@ -413,26 +427,26 @@ let abl_cardinality () =
       Enc.encode_cardinality_with_indicators := true;
       let t_ind = run () in
       Enc.encode_cardinality_with_indicators := false;
-      Printf.printf "%-6d %-22.3f %-22.3f\n%!" n t_seq t_ind)
+      out sink "%-6d %-22.3f %-22.3f\n" n t_seq t_ind)
     (if quick then [ 5; 14 ] else [ 5; 14; 30 ])
 
 (* ---- ABL-FASTPATH: SMT enumeration vs closed-form single-line path ---- *)
 
-let abl_fastpath () =
-  Printf.printf
+let abl_fastpath sink =
+  out sink
     "\n== ABL-FASTPATH: SMT candidate loop vs closed-form single-line path ==\n";
-  Printf.printf "%-6s %-14s %-16s %-10s\n" "buses" "SMT loop (s)"
-    "closed form (s)" "same verdict";
+  out sink "%-6s %-14s %-16s %-16s %-10s\n" "buses" "SMT loop (s)"
+    "closed form (s)" "closed x4 (s)" "same verdict";
   List.iter
     (fun n ->
       let spec0 = Grid.Test_systems.ieee n in
       let spec = E.randomize_scenario ~seed:1 spec0 in
       let spec = { spec with Grid.Spec.min_increase_pct = Q.of_ints 3 2 } in
       match E.base_state_for spec with
-      | Error e -> Printf.printf "%-6d base error: %s\n" n e
+      | Error e -> out sink "%-6d base error: %s\n" n e
       | Ok base ->
-        let run use_closed_form =
-          fork_with_timeout (fun () ->
+        let run ~use_closed_form ~jobs =
+          run_with_timeout (fun () ->
               let config =
                 {
                   Topoguard.Impact.default_config with
@@ -442,6 +456,7 @@ let abl_fastpath () =
                      else Topoguard.Impact.Lp_exact);
                   max_topology_changes = Some 1;
                   use_closed_form;
+                  jobs;
                 }
               in
               let t0 = Unix.gettimeofday () in
@@ -457,17 +472,31 @@ let abl_fastpath () =
               in
               (dt, tag))
         in
-        (match (run false, run true) with
-        | Some (t_smt, v1), Some (t_cf, v2) ->
-          Printf.printf "%-6d %-14.3f %-16.3f %-10s\n%!" n t_smt t_cf
-            (if v1 = v2 then "yes (" ^ v1 ^ ")" else "NO: " ^ v1 ^ "/" ^ v2)
-        | _ -> Printf.printf "%-6d timeout\n%!" n))
+        (match
+           ( run ~use_closed_form:false ~jobs:1,
+             run ~use_closed_form:true ~jobs:1,
+             run ~use_closed_form:true ~jobs:4 )
+         with
+        | Some (t_smt, v1), Some (t_cf, v2), Some (t_cf4, v3) ->
+          out sink "%-6d %-14.3f %-16.3f %-16.3f %-10s\n" n t_smt t_cf t_cf4
+            (if v1 = v2 && v2 = v3 then "yes (" ^ v1 ^ ")"
+             else "NO: " ^ v1 ^ "/" ^ v2 ^ "/" ^ v3)
+        | _ -> out sink "%-6d timeout\n" n))
     sizes
 
 (* ---- Bechamel micro-benchmarks: one Test.make per table/figure ---- *)
 
 let bechamel_section () =
   let open Bechamel in
+  let still_running =
+    List.length (List.filter (fun pending -> pending ()) (Atomic.get abandoned))
+  in
+  if still_running > 0 then
+    Printf.printf
+      "\n== BECHAMEL: skipped — %d timed-out measurement(s) still running \
+       on abandoned domains; the heap cannot stabilize ==\n"
+      still_running
+  else begin
   Printf.printf "\n== BECHAMEL: per-experiment kernels (5-bus, OLS ns/run) ==\n";
   let cs1 = Grid.Test_systems.case_study_1 () in
   let cs2 = Grid.Test_systems.case_study_2 () in
@@ -543,6 +572,27 @@ let bechamel_section () =
           Printf.printf "%-32s %s\n%!" (Test.Elt.name elt) estimate)
         (Test.elements test))
     tests
+  end
+
+(* ---- driver: run the suites, sequentially or sharded over a pool ---- *)
+
+let run_suites suites =
+  if bench_jobs <= 1 then List.iter (fun suite -> suite direct_sink) suites
+  else
+    Pool.with_pool ~jobs:bench_jobs (fun pool ->
+        let buffers =
+          Pool.map pool
+            ~f:(fun suite ->
+              let buf = Buffer.create 4096 in
+              suite (buffer_sink buf);
+              buf)
+            suites
+        in
+        List.iter
+          (fun buf ->
+            print_string (Buffer.contents buf);
+            flush stdout)
+          buffers)
 
 let only_tail = Sys.getenv_opt "BENCH_TAIL_ONLY" <> None
 
@@ -551,34 +601,41 @@ let () =
   Obs.set_enabled true;
   if only_tail then begin
     (* resume mode: print just the sections after ABL-FACTORS *)
-    abl_factors ();
-    abl_cardinality ();
-    abl_fastpath ();
+    run_suites [ abl_factors ];
+    abl_cardinality direct_sink;
+    run_suites [ abl_fastpath ];
     bechamel_section ();
     Printf.printf "\ndone.\n";
     exit 0
   end;
   Printf.printf "topoguard benchmark harness — regenerating the paper's evaluation\n";
-  Printf.printf "systems: %s; %d scenario(s) per size%s\n"
+  Printf.printf "systems: %s; %d scenario(s) per size%s%s\n"
     (String.concat ", " (List.map string_of_int sizes))
     (List.length seeds)
-    (if quick then " (BENCH_QUICK)" else "");
-  case_studies ();
-  fig4 ~suite:"FIG4A"
-    ~title:"FIG4A: impact verification, topology attacks w/o state infection"
-    ~mode:Enc.Topology_only ~unsat:false;
-  fig4 ~suite:"FIG4B"
-    ~title:"FIG4B: impact verification, topology attacks + state infection"
-    ~mode:Enc.With_state_infection ~unsat:false;
-  fig4 ~suite:"FIG4C" ~title:"FIG4C: impact verification, unsatisfiable cases"
-    ~mode:Enc.Topology_only ~unsat:true;
-  fig5a ();
-  fig5b ();
-  fig5c ();
-  table4 ();
-  abl_precision ();
-  abl_factors ();
-  abl_cardinality ();
-  abl_fastpath ();
+    (if quick then " (BENCH_QUICK)" else "")
+    (if bench_jobs > 1 then Printf.sprintf "; %d suite shards" bench_jobs
+     else "");
+  run_suites
+    [
+      case_studies;
+      fig4 ~suite:"FIG4A"
+        ~title:"FIG4A: impact verification, topology attacks w/o state infection"
+        ~mode:Enc.Topology_only ~unsat:false;
+      fig4 ~suite:"FIG4B"
+        ~title:"FIG4B: impact verification, topology attacks + state infection"
+        ~mode:Enc.With_state_infection ~unsat:false;
+      fig4 ~suite:"FIG4C"
+        ~title:"FIG4C: impact verification, unsatisfiable cases"
+        ~mode:Enc.Topology_only ~unsat:true;
+      fig5a;
+      fig5b;
+      fig5c;
+      table4;
+      abl_precision;
+      abl_factors;
+      abl_fastpath;
+    ];
+  (* toggles a global encoder flag — must run alone *)
+  abl_cardinality direct_sink;
   bechamel_section ();
   Printf.printf "\ndone.\n"

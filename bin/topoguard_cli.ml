@@ -80,6 +80,18 @@ let with_stats ?(extra = fun () -> []) (show, json_file) f =
 
 (* ---- shared arguments ---- *)
 
+(* --jobs N: verification/screening parallelism.  0 = the machine's
+   recommended domain count. *)
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel stages (closed-form \
+                 candidate verification, N-1 screening).  $(docv) = 0 \
+                 picks the recommended domain count of this machine; 1 \
+                 (default) runs sequentially.")
+
+let resolve_jobs n = if n = 0 then Pool.default_jobs () else n
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
          ~doc:"Input file in the paper's text format (Tables II/III).")
@@ -209,7 +221,7 @@ let attack_cmd =
 (* ---- impact ---- *)
 
 let impact_cmd =
-  let run file mode base increase max_candidates stats =
+  let run file mode base increase max_candidates single_line jobs stats =
     let spec = load_spec file in
     let spec =
       match increase with
@@ -223,6 +235,12 @@ let impact_cmd =
         Topoguard.Impact.default_config with
         Topoguard.Impact.mode;
         max_candidates;
+        use_closed_form = single_line;
+        max_topology_changes =
+          (if single_line then Some 1
+           else Topoguard.Impact.default_config.Topoguard.Impact
+                  .max_topology_changes);
+        jobs = resolve_jobs jobs;
       }
     in
     with_stats stats @@ fun () ->
@@ -255,13 +273,20 @@ let impact_cmd =
          & info [ "max-candidates" ] ~docv:"N"
              ~doc:"Bound on candidate attack vectors to examine.")
   in
+  let single_line =
+    Arg.(value & flag
+         & info [ "single-line" ]
+             ~doc:"Restrict to single-line attacks and enumerate them in \
+                   closed form (no SMT; paper Section IV-A).  Candidate \
+                   verification then parallelises with $(b,--jobs).")
+  in
   Cmd.v
     (Cmd.info "impact"
        ~doc:"Full impact analysis (paper Fig. 2): can a stealthy attack \
              raise the OPF cost by the target percentage?")
     Term.(
       const run $ file_arg $ mode_arg $ base_arg $ increase $ max_candidates
-      $ stats_term)
+      $ single_line $ jobs_arg $ stats_term)
 
 (* ---- gen ---- *)
 
@@ -331,7 +356,7 @@ let defend_cmd =
 (* ---- contingency ---- *)
 
 let contingency_cmd =
-  let run file secure stats =
+  let run file secure jobs stats =
     let spec = load_spec file in
     let topo = Grid.Topology.make spec.Grid.Spec.grid in
     with_stats stats @@ fun () ->
@@ -343,7 +368,9 @@ let contingency_cmd =
     | Opf.Dc_opf.Dispatch d ->
       Format.printf "dispatch cost: $%s@." (qs ~d:2 d.Opf.Dc_opf.cost);
       let base_flows = Array.map Q.to_float d.Opf.Dc_opf.flows in
-      let violations = Opf.Contingency.screen topo ~base_flows in
+      let violations =
+        Opf.Contingency.screen ~jobs:(resolve_jobs jobs) topo ~base_flows
+      in
       if violations = [] then Format.printf "N-1 secure (no post-outage overloads)@."
       else
         List.iter
@@ -368,7 +395,7 @@ let contingency_cmd =
   Cmd.v
     (Cmd.info "contingency"
        ~doc:"N-1 contingency screening of the (security-constrained) OPF              dispatch.")
-    Term.(const run $ file_arg $ secure $ stats_term)
+    Term.(const run $ file_arg $ secure $ jobs_arg $ stats_term)
 
 (* ---- acpf ---- *)
 

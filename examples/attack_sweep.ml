@@ -4,11 +4,31 @@
    motivates for grid operators ("preemptively analyze potential threats
    under changing attack scenarios").
 
-   Run with: dune exec examples/attack_sweep.exe *)
+   Every sweep point is an independent SMT-loop impact analysis, so the
+   sweep fans out over a Pool work pool.  Results are printed in sweep
+   order whatever the parallelism.
+
+   Run with: dune exec examples/attack_sweep.exe
+        or:  dune exec examples/attack_sweep.exe -- --jobs 4
+   (--jobs 0 picks the machine's recommended domain count) *)
 
 module Q = Numeric.Rat
 module I = Topoguard.Impact
 module Enc = Attack.Encoder
+
+let jobs =
+  let rec scan = function
+    | "--jobs" :: n :: _ | "-j" :: n :: _ -> (
+      match int_of_string_opt n with
+      | Some 0 -> Pool.default_jobs ()
+      | Some n when n > 0 -> n
+      | _ ->
+        prerr_endline "attack_sweep: --jobs expects a non-negative integer";
+        exit 2)
+    | _ :: rest -> scan rest
+    | [] -> 1
+  in
+  scan (Array.to_list Sys.argv)
 
 let () =
   let scenario0 = Grid.Test_systems.case_study_2 () in
@@ -20,65 +40,57 @@ let () =
     | Ok b -> b
     | Error e -> failwith e
   in
+  let config = { I.default_config with I.mode = Enc.With_state_infection } in
+  let sweep pool points describe analyze =
+    let results = Pool.map pool ~f:analyze points in
+    List.iter2 (fun p r -> Format.printf "%s  %s@." (describe p) r) points
+      results
+  in
+
+  Pool.with_pool ~jobs @@ fun pool ->
+  if jobs > 1 then Format.printf "(sweeping with %d worker domains)@." jobs;
 
   Format.printf "=== attainable cost increase vs. target I (topology+state) ===@.";
   Format.printf "%8s  %s@." "I (%)" "result";
-  List.iter
+  sweep pool
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (Printf.sprintf "%8d")
     (fun i ->
       let scenario =
         { scenario0 with Grid.Spec.min_increase_pct = Q.of_int i }
       in
-      let config =
-        { I.default_config with I.mode = Enc.With_state_infection }
-      in
-      let r =
-        match I.analyze ~config ~scenario ~base () with
-        | I.Attack_found s -> (
-          match s.I.poisoned_cost with
-          | Some c ->
-            Printf.sprintf "attack (+%s%%)"
-              (Q.to_decimal_string ~digits:2
-                 (Q.mul (Q.of_int 100)
-                    (Q.div (Q.sub c s.I.base_cost) s.I.base_cost)))
-          | None -> "attack")
-        | I.No_attack _ -> "no stealthy attack"
-        | I.Base_infeasible e -> "base infeasible: " ^ e
-      in
-      Format.printf "%8d  %s@." i r)
-    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+      match I.analyze ~config ~scenario ~base () with
+      | I.Attack_found s -> (
+        match s.I.poisoned_cost with
+        | Some c ->
+          Printf.sprintf "attack (+%s%%)"
+            (Q.to_decimal_string ~digits:2
+               (Q.mul (Q.of_int 100)
+                  (Q.div (Q.sub c s.I.base_cost) s.I.base_cost)))
+        | None -> "attack")
+      | I.No_attack _ -> "no stealthy attack"
+      | I.Base_infeasible e -> "base infeasible: " ^ e);
 
   Format.printf "@.=== effect of the attacker's bus budget (target 6%%) ===@.";
   Format.printf "%10s  %s@." "T_B" "result";
-  List.iter
+  sweep pool [ 1; 2; 3; 4; 5 ]
+    (Printf.sprintf "%10d")
     (fun tb ->
       let scenario = { scenario0 with Grid.Spec.max_buses = tb } in
-      let config =
-        { I.default_config with I.mode = Enc.With_state_infection }
-      in
-      let r =
-        match I.analyze ~config ~scenario ~base () with
-        | I.Attack_found _ -> "attack possible"
-        | I.No_attack _ -> "blocked"
-        | I.Base_infeasible e -> "base infeasible: " ^ e
-      in
-      Format.printf "%10d  %s@." tb r)
-    [ 1; 2; 3; 4; 5 ];
+      match I.analyze ~config ~scenario ~base () with
+      | I.Attack_found _ -> "attack possible"
+      | I.No_attack _ -> "blocked"
+      | I.Base_infeasible e -> "base infeasible: " ^ e);
 
   Format.printf "@.=== effect of the measurement budget (target 6%%) ===@.";
   Format.printf "%10s  %s@." "T_M" "result";
-  List.iter
+  sweep pool [ 2; 4; 6; 8; 10; 12 ]
+    (Printf.sprintf "%10d")
     (fun tm ->
       let scenario = { scenario0 with Grid.Spec.max_meas = tm } in
-      let config =
-        { I.default_config with I.mode = Enc.With_state_infection }
-      in
-      let r =
-        match I.analyze ~config ~scenario ~base () with
-        | I.Attack_found s ->
-          Printf.sprintf "attack (%d measurements altered)"
-            (List.length s.I.vector.Attack.Vector.altered)
-        | I.No_attack _ -> "blocked"
-        | I.Base_infeasible e -> "base infeasible: " ^ e
-      in
-      Format.printf "%10d  %s@." tm r)
-    [ 2; 4; 6; 8; 10; 12 ]
+      match I.analyze ~config ~scenario ~base () with
+      | I.Attack_found s ->
+        Printf.sprintf "attack (%d measurements altered)"
+          (List.length s.I.vector.Attack.Vector.altered)
+      | I.No_attack _ -> "blocked"
+      | I.Base_infeasible e -> "base infeasible: " ^ e)

@@ -22,6 +22,10 @@ type config = {
       (* enumerate single-line vectors with Attack.Single_line instead of
          the SMT model; only applies to Topology_only with
          max_topology_changes = Some 1 *)
+  jobs : int;
+      (* verification parallelism for the closed-form path; <= 1 is
+         sequential, 0 would also be sequential (use Pool.default_jobs ()
+         explicitly for the machine's recommended width) *)
 }
 
 let default_config =
@@ -32,6 +36,7 @@ let default_config =
     backend = Lp_exact;
     max_topology_changes = None;
     use_closed_form = false;
+    jobs = 1;
   }
 
 type success = {
@@ -88,30 +93,43 @@ let base_opf backend grid =
   | Lp_exact | Smt_bounded -> Opf.Dc_opf.base_case grid
 
 (* closed-form enumeration of single-line attacks (the paper's LODF-era
-   fast path): no SMT involved *)
+   fast path): no SMT involved.  The candidate verifications are
+   independent OPF solves, so with config.jobs >= 2 they are fanned out
+   over a domain pool; Pool.find_mapi_first keeps the sequential
+   semantics (the success with the lowest candidate index wins, workers
+   past a success are cancelled through the pool's shared best-index
+   flag).  With jobs <= 1 the pool degrades to the plain sequential loop,
+   early exit included. *)
 let analyze_closed_form config ~(scenario : Grid.Spec.t) ~base ~base_cost
     ~threshold =
   let grid = scenario.Grid.Spec.grid in
-  ignore base_cost;
   let candidates = Attack.Single_line.all_feasible ~scenario ~base in
-  let rec loop tried = function
-    | [] -> No_attack { candidates = tried }
-    | (_, _, vec) :: rest -> (
-      Obs.Counter.incr obs_iterations;
-      Obs.Counter.incr obs_candidates;
-      match verify_impact config.backend grid vec ~threshold with
-      | `Success poisoned_cost ->
-        Attack_found
-          {
-            vector = vec;
-            base_cost;
-            threshold;
-            poisoned_cost;
-            candidates = tried + 1;
-          }
-      | `Cheaper_dispatch_exists | `No_convergence -> loop (tried + 1) rest)
+  let examined = Atomic.make 0 in
+  let verify _i (_, _, vec) =
+    Obs.Counter.incr obs_iterations;
+    Obs.Counter.incr obs_candidates;
+    Atomic.incr examined;
+    match verify_impact config.backend grid vec ~threshold with
+    | `Success poisoned_cost -> Some (vec, poisoned_cost)
+    | `Cheaper_dispatch_exists | `No_convergence ->
+      Obs.Counter.incr obs_blocked;
+      None
   in
-  loop 0 candidates
+  let found =
+    Pool.with_pool ~jobs:config.jobs (fun pool ->
+        Pool.find_mapi_first pool ~f:verify candidates)
+  in
+  match found with
+  | Some (vec, poisoned_cost) ->
+    Attack_found
+      {
+        vector = vec;
+        base_cost;
+        threshold;
+        poisoned_cost;
+        candidates = Atomic.get examined;
+      }
+  | None -> No_attack { candidates = Atomic.get examined }
 
 let rec analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
     ~(base : Attack.Base_state.t) () =
@@ -186,9 +204,11 @@ let max_achievable_increase ?(config = default_config)
     let candidates = ref 0 in
     while !continue && !candidates < config.max_candidates do
       incr candidates;
+      Obs.Counter.incr obs_iterations;
       match Solver.check solver with
       | `Unsat -> continue := false
       | `Sat -> (
+        Obs.Counter.incr obs_candidates;
         let vec = Attack.Vector.of_model solver vars scenario in
         let topo = Grid.Topology.make ~mapped:vec.Attack.Vector.mapped grid in
         let solve =
@@ -203,6 +223,8 @@ let max_achievable_increase ?(config = default_config)
           | Some b when Q.( >= ) b cost -> ()
           | _ -> best := Some cost)
         | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> ());
+        (* every candidate is blocked here — the search is exhaustive *)
+        Obs.Counter.incr obs_blocked;
         Solver.assert_form solver
           (Attack.Vector.blocking_clause ~precision:config.precision vars vec))
     done;

@@ -27,6 +27,16 @@ type config = {
           instead of the SMT model (requires [Topology_only] and
           [max_topology_changes = Some 1]); the deterministic counterpart
           of the paper's LODF shortcut *)
+  jobs : int;
+      (** parallelism of candidate verification on the closed-form path
+          (default 1 = sequential).  The verifications run on a
+          {!Pool.t}; the outcome — and the poisoned cost, when an attack
+          is found — is identical to the sequential run because the
+          lowest-index success wins ({!Pool.find_mapi_first}).  Only the
+          reported [candidates] count may be higher, since workers past
+          the winner may already have started.  The SMT enumeration loop
+          is inherently sequential (each candidate's blocking clause
+          feeds the next query) and ignores this field. *)
 }
 
 val default_config : config
@@ -37,7 +47,10 @@ type success = {
   threshold : Numeric.Rat.t;  (** [T_OPF] *)
   poisoned_cost : Numeric.Rat.t option;
       (** exact poisoned optimum (present with the LP backends) *)
-  candidates : int;  (** attack vectors examined *)
+  candidates : int;
+      (** attack vectors examined; with [jobs >= 2] this counts every
+          verification actually started, which can exceed the sequential
+          count (see {!config.jobs}) *)
 }
 
 type outcome =

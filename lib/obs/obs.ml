@@ -1,10 +1,20 @@
 (* Process-wide metrics registry.  Counter/timer handles are records kept
    by the caller; the registry only maps names to handles so snapshots can
-   enumerate them.  Hot-path cost: Counter.incr is one field store. *)
+   enumerate them.
 
-let enabled_flag = ref false
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+   Domain-safety: counters are Atomic.t ints (incr is one lock-free
+   fetch-and-add, so totals are exact — not approximately merged — when
+   several domains of a Pool instrument the same counter); timer
+   accumulation is guarded by a per-timer mutex; registry lookups are
+   guarded by a global mutex (they happen once per handle at module
+   initialisation, never on a hot path). *)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* one lock for both registries: make/snapshot/reset are cold paths *)
+let registry_mutex = Mutex.create ()
 
 module Clock = struct
   let clock = ref Sys.time
@@ -13,43 +23,51 @@ module Clock = struct
 end
 
 module Counter = struct
-  type t = { name : string; mutable v : int }
+  type t = { name : string; v : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-      let c = { name; v = 0 } in
-      Hashtbl.add registry name c;
-      c
+    Mutex.protect registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+          let c = { name; v = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c)
 
-  let incr c = c.v <- c.v + 1
-  let add c n = c.v <- c.v + n
-  let get c = c.v
+  let incr c = Atomic.incr c.v
+  let add c n = ignore (Atomic.fetch_and_add c.v n)
+  let get c = Atomic.get c.v
   let name c = c.name
 end
 
 module Timer = struct
-  type t = { name : string; mutable seconds : float; mutable calls : int }
+  type t = {
+    name : string;
+    m : Mutex.t;
+    mutable seconds : float;
+    mutable calls : int;
+  }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some t -> t
-    | None ->
-      let t = { name; seconds = 0.0; calls = 0 } in
-      Hashtbl.add registry name t;
-      t
+    Mutex.protect registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some t -> t
+        | None ->
+          let t = { name; m = Mutex.create (); seconds = 0.0; calls = 0 } in
+          Hashtbl.add registry name t;
+          t)
 
   let add_seconds t s =
-    t.seconds <- t.seconds +. s;
-    t.calls <- t.calls + 1
+    Mutex.protect t.m (fun () ->
+        t.seconds <- t.seconds +. s;
+        t.calls <- t.calls + 1)
 
   let with_ t f =
-    if not !enabled_flag then f ()
+    if not (Atomic.get enabled_flag) then f ()
     else begin
       let t0 = Clock.now () in
       match f () with
@@ -61,9 +79,11 @@ module Timer = struct
         raise e
     end
 
-  let total_seconds t = t.seconds
-  let count t = t.calls
+  let total_seconds t = Mutex.protect t.m (fun () -> t.seconds)
+  let count t = Mutex.protect t.m (fun () -> t.calls)
   let name t = t.name
+
+  let read t = Mutex.protect t.m (fun () -> (t.seconds, t.calls))
 end
 
 module Json = struct
@@ -292,21 +312,23 @@ type snapshot = {
 let by_name (a, _) (b, _) = compare (a : string) b
 
 let snapshot () =
-  let counters =
-    Hashtbl.fold
-      (fun name c acc -> (name, Counter.get c) :: acc)
-      Counter.registry []
-    |> List.sort by_name
+  (* the registry lock freezes the set of handles; each entry's value is
+     then read atomically (counter) or under its own lock (timer) *)
+  let counters, timers =
+    Mutex.protect registry_mutex (fun () ->
+        ( Hashtbl.fold
+            (fun name c acc -> (name, Counter.get c) :: acc)
+            Counter.registry [],
+          Hashtbl.fold
+            (fun name t acc ->
+              let seconds, calls = Timer.read t in
+              (name, { seconds; calls }) :: acc)
+            Timer.registry [] ))
   in
-  let timers =
-    Hashtbl.fold
-      (fun name t acc ->
-        (name, { seconds = Timer.total_seconds t; calls = Timer.count t })
-        :: acc)
-      Timer.registry []
-    |> List.sort by_name
-  in
-  { counters; timers }
+  {
+    counters = List.sort by_name counters;
+    timers = List.sort by_name timers;
+  }
 
 let diff ~before ~after =
   let counters =
@@ -335,12 +357,15 @@ let diff ~before ~after =
   { counters; timers }
 
 let reset () =
-  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
-  Hashtbl.iter
-    (fun _ (t : Timer.t) ->
-      t.Timer.seconds <- 0.0;
-      t.Timer.calls <- 0)
-    Timer.registry
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.Counter.v 0)
+        Counter.registry;
+      Hashtbl.iter
+        (fun _ (t : Timer.t) ->
+          Mutex.protect t.Timer.m (fun () ->
+              t.Timer.seconds <- 0.0;
+              t.Timer.calls <- 0))
+        Timer.registry)
 
 let to_table { counters; timers } =
   let buf = Buffer.create 256 in

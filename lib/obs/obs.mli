@@ -5,10 +5,16 @@
     Design constraints, in order:
 
     - Counters sit on solver hot paths (SAT decisions, simplex pivots), so
-      incrementing one is a single mutable-field store — no hashtable
-      lookup, no branch on an enabled flag.  Handles are created once at
-      module-initialisation time with {!Counter.make} and kept in
+      incrementing one is a single lock-free atomic fetch-and-add — no
+      hashtable lookup, no branch on an enabled flag.  Handles are created
+      once at module-initialisation time with {!Counter.make} and kept in
       module-level bindings.
+    - The layer is domain-safe, because the [Pool] work pool runs
+      instrumented code (candidate verification, contingency screening) on
+      several domains at once: counter totals are {e exact} under
+      parallelism (atomic adds, not per-domain approximations merged
+      later), timer accumulation is serialised by a per-timer mutex, and
+      registry creation/snapshot/reset by a registry mutex.
     - Timers call the clock twice per span, which is too expensive for
       inner loops but fine around whole solves; they are additionally
       gated on {!set_enabled} so a disabled build pays one branch.
@@ -38,6 +44,8 @@ module Counter : sig
       process-global; two [make] calls with one name share state. *)
 
   val incr : t -> unit
+  (** Atomic; concurrent increments from several domains are all counted. *)
+
   val add : t -> int -> unit
   val get : t -> int
   val name : t -> string

@@ -18,29 +18,37 @@ let credible_outages (topo : Grid.Topology.t) factors =
       && not (Float.is_nan (Factors.lodf factors ~outage:i (if i = 0 then 1 else 0))))
     (List.init (N.n_lines grid) Fun.id)
 
-let screen ?(emergency_factor = 1.2) (topo : Grid.Topology.t) ~base_flows =
+(* Screening one outage is an independent read of the (immutable) factor
+   matrices, so the outage list is fanned out over a Pool when jobs >= 2.
+   Pool.map keeps outage order, and violations within one outage are
+   collected in ascending line order, so the result list is identical to
+   the sequential scan's. *)
+let screen ?(emergency_factor = 1.2) ?(jobs = 1) (topo : Grid.Topology.t)
+    ~base_flows =
   let grid = topo.Grid.Topology.grid in
   let factors = Factors.make topo in
-  let violations = ref [] in
-  List.iter
-    (fun outage ->
-      let post = Factors.flows_after_outage factors ~base_flows ~outage in
-      Array.iteri
-        (fun i f ->
-          if i <> outage && topo.Grid.Topology.mapped.(i) then begin
-            let rating =
-              emergency_factor *. Q.to_float grid.N.lines.(i).N.capacity
-            in
-            if Float.abs f > rating +. 1e-9 then
-              violations :=
-                { outage; overloaded = i; post_flow = f; rating } :: !violations
-          end)
-        post)
-    (credible_outages topo factors);
-  List.rev !violations
+  let screen_outage outage =
+    let post = Factors.flows_after_outage factors ~base_flows ~outage in
+    let violations = ref [] in
+    Array.iteri
+      (fun i f ->
+        if i <> outage && topo.Grid.Topology.mapped.(i) then begin
+          let rating =
+            emergency_factor *. Q.to_float grid.N.lines.(i).N.capacity
+          in
+          if Float.abs f > rating +. 1e-9 then
+            violations :=
+              { outage; overloaded = i; post_flow = f; rating } :: !violations
+        end)
+      post;
+    List.rev !violations
+  in
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.map pool ~f:screen_outage (credible_outages topo factors))
+  |> List.concat
 
-let is_n1_secure ?emergency_factor topo ~base_flows =
-  screen ?emergency_factor topo ~base_flows = []
+let is_n1_secure ?emergency_factor ?jobs topo ~base_flows =
+  screen ?emergency_factor ?jobs topo ~base_flows = []
 
 let sc_opf ?(emergency_factor = 1.2) ?contingencies ?loads
     (topo : Grid.Topology.t) =

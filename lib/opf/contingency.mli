@@ -16,15 +16,20 @@ type violation = {
 
 val screen :
   ?emergency_factor:float ->
+  ?jobs:int ->
   Grid.Topology.t ->
   base_flows:float array ->
   violation list
 (** Screen all single-line outages of mapped, non-radial lines.
     [emergency_factor] (default 1.2) scales normal ratings to emergency
-    ratings, the usual N-1 practice. *)
+    ratings, the usual N-1 practice.  [jobs] (default 1) fans the
+    independent outages out over a {!Pool} of that many domains; the
+    violation list is deterministic — outages in screening order, lines
+    ascending within an outage — for any [jobs]. *)
 
 val is_n1_secure :
   ?emergency_factor:float ->
+  ?jobs:int ->
   Grid.Topology.t ->
   base_flows:float array ->
   bool

@@ -1,0 +1,195 @@
+(* Fixed-size domain pool: a Mutex/Condition-guarded FIFO of closures
+   drained by [jobs] worker domains.  Futures carry the result (or the
+   exception + backtrace) back under their own lock.  jobs <= 1 degrades
+   to direct calls on the submitting domain, so sequential behaviour —
+   including early exit in find_mapi_first — is preserved exactly. *)
+
+module Future = struct
+  type 'a state =
+    | Pending
+    | Done of 'a
+    | Failed of exn * Printexc.raw_backtrace
+
+  type 'a t = {
+    m : Mutex.t;
+    cond : Condition.t;
+    mutable state : 'a state;
+  }
+
+  let make () =
+    { m = Mutex.create (); cond = Condition.create (); state = Pending }
+
+  let fill fut state =
+    Mutex.protect fut.m (fun () ->
+        fut.state <- state;
+        Condition.broadcast fut.cond)
+
+  let of_thunk f =
+    let fut = make () in
+    (match f () with
+    | v -> fut.state <- Done v
+    | exception e -> fut.state <- Failed (e, Printexc.get_raw_backtrace ()));
+    fut
+
+  let run_into fut f =
+    match f () with
+    | v -> fill fut (Done v)
+    | exception e -> fill fut (Failed (e, Printexc.get_raw_backtrace ()))
+
+  let await fut =
+    let state =
+      Mutex.protect fut.m (fun () ->
+          while fut.state = Pending do
+            Condition.wait fut.cond fut.m
+          done;
+          fut.state)
+    in
+    match state with
+    | Pending -> assert false
+    | Done v -> v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+
+  let poll fut =
+    Mutex.protect fut.m (fun () ->
+        match fut.state with
+        | Pending -> `Pending
+        | Done _ -> `Done
+        | Failed _ -> `Failed)
+
+  let await_timeout ~clock ~sleep ~seconds fut =
+    let deadline = clock () +. seconds in
+    let rec go () =
+      match poll fut with
+      | `Done | `Failed -> Some (await fut)
+      | `Pending ->
+        if clock () > deadline then None
+        else begin
+          sleep ();
+          go ()
+        end
+    in
+    go ()
+end
+
+type t = {
+  n_jobs : int;
+  queue : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker pool () =
+  let rec loop () =
+    let task =
+      Mutex.protect pool.m (fun () ->
+          while Queue.is_empty pool.queue && not pool.closed do
+            Condition.wait pool.nonempty pool.m
+          done;
+          if Queue.is_empty pool.queue then None
+          else Some (Queue.pop pool.queue))
+    in
+    match task with
+    | None -> ()
+    | Some task ->
+      (* tasks are Future.run_into closures and never raise *)
+      task ();
+      loop ()
+  in
+  loop ()
+
+let create ~jobs () =
+  let n_jobs = max 1 jobs in
+  let pool =
+    {
+      n_jobs;
+      queue = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if n_jobs >= 2 then
+    pool.workers <- List.init n_jobs (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let jobs pool = pool.n_jobs
+
+let shutdown pool =
+  let workers =
+    Mutex.protect pool.m (fun () ->
+        pool.closed <- true;
+        Condition.broadcast pool.nonempty;
+        let ws = pool.workers in
+        pool.workers <- [];
+        ws)
+  in
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let pool = create ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let async pool f =
+  if pool.n_jobs <= 1 then Future.of_thunk f
+  else begin
+    let fut = Future.make () in
+    Mutex.protect pool.m (fun () ->
+        if pool.closed then invalid_arg "Pool.async: pool is shut down";
+        Queue.push (fun () -> Future.run_into fut f) pool.queue;
+        Condition.signal pool.nonempty);
+    fut
+  end
+
+let detached f =
+  let fut = Future.make () in
+  let (_ : unit Domain.t) = Domain.spawn (fun () -> Future.run_into fut f) in
+  fut
+
+let mapi pool ~f xs =
+  if pool.n_jobs <= 1 then List.mapi f xs
+  else
+    List.mapi (fun i x -> async pool (fun () -> f i x)) xs
+    |> List.map Future.await
+
+let map pool ~f xs = mapi pool ~f:(fun _ x -> f x) xs
+let iter pool ~f xs = ignore (map pool ~f xs)
+
+let find_mapi_first pool ~f xs =
+  if pool.n_jobs <= 1 then
+    (* plain sequential search: stops calling f at the first success *)
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> ( match f i x with Some _ as r -> r | None -> go (i + 1) rest)
+    in
+    go 0 xs
+  else begin
+    (* best = lowest successful index so far; tasks above it skip their
+       work (cooperative cancellation).  Tasks below it still run, so the
+       lowest-index success always wins, as in the sequential search. *)
+    let best = Atomic.make max_int in
+    let attempt i x =
+      if i >= Atomic.get best then None
+      else
+        match f i x with
+        | None -> None
+        | Some _ as r ->
+          let rec lower () =
+            let cur = Atomic.get best in
+            if i < cur && not (Atomic.compare_and_set best cur i) then lower ()
+          in
+          lower ();
+          r
+    in
+    let futures = List.mapi (fun i x -> async pool (fun () -> attempt i x)) xs in
+    List.fold_left
+      (fun acc fut ->
+        match acc with
+        | Some _ -> ignore (Future.await fut); acc
+        | None -> Future.await fut)
+      None futures
+  end

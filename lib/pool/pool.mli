@@ -1,0 +1,99 @@
+(** Fixed-size domain work pool for the embarrassingly parallel stages of
+    the pipeline (candidate verification, N-1 contingency screening,
+    benchmark sharding).
+
+    Zero dependencies: built on OCaml 5 [Domain], [Mutex], [Condition] and
+    [Atomic] only — no [unix], no third-party scheduler.  Time-based
+    operations ({!Future.await_timeout}) therefore take the clock and the
+    sleep primitive as arguments, mirroring how [Obs.Clock] is injected.
+
+    Semantics callers rely on:
+
+    - {b Deterministic results.}  {!map}, {!mapi} and {!iter} return (or
+      visit) results in input order regardless of completion order, and
+      {!find_mapi_first} returns the match with the {e lowest index}, not
+      the first to finish — so a parallel run is observationally equal to
+      the sequential one.
+    - {b Sequential fallback.}  A pool created with [jobs <= 1] spawns no
+      domains; every submission runs immediately on the calling domain, and
+      {!find_mapi_first} short-circuits exactly like a sequential loop.
+    - {b Exception propagation.}  An exception raised inside a task is
+      captured with its backtrace and re-raised by {!Future.await} (and by
+      the collective operations, which await in input order, so the
+      lowest-index exception wins deterministically).
+
+    Tasks must not submit work to the pool they run on: with every worker
+    blocked on a nested {!map} the pool deadlocks.  Create a nested pool or
+    restructure instead. *)
+
+type t
+
+val create : jobs:int -> unit -> t
+(** [create ~jobs ()] starts [jobs] worker domains when [jobs >= 2]; the
+    submitting domain only enqueues and waits.  [jobs <= 1] creates a
+    purely sequential pool with no domains at all. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with (always >= 1). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
+
+val shutdown : t -> unit
+(** Signal workers to finish the queue and join them.  Idempotent.
+    Futures already submitted still complete. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+module Future : sig
+  type 'a t
+
+  val await : 'a t -> 'a
+  (** Block until the task completes; re-raises the task's exception with
+      its original backtrace if it failed. *)
+
+  val poll : 'a t -> [ `Pending | `Done | `Failed ]
+  (** Non-blocking completion test (does not consume the result). *)
+
+  val await_timeout :
+    clock:(unit -> float) ->
+    sleep:(unit -> unit) ->
+    seconds:float ->
+    'a t ->
+    'a option
+  (** Poll until completion or until [clock () - start > seconds];
+      [None] on timeout (the task keeps running — domains cannot be
+      killed, so the caller must tolerate an abandoned worker).
+      Re-raises on task failure.  [sleep] bounds the polling rate, e.g.
+      [fun () -> Unix.sleepf 0.02]. *)
+end
+
+val async : t -> (unit -> 'a) -> 'a Future.t
+(** Submit one task.  On a sequential pool the task runs before [async]
+    returns. *)
+
+val detached : (unit -> 'a) -> 'a Future.t
+(** Run a single task on a dedicated, freshly spawned domain, outside any
+    pool.  This is the replacement for fork-per-measurement isolation in
+    the bench harness: combine with {!Future.await_timeout} to bound how
+    long the caller waits (an expired task's domain is abandoned, not
+    killed). *)
+
+val map : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with results in input order. *)
+
+val mapi : t -> f:(int -> 'a -> 'b) -> 'a list -> 'b list
+
+val iter : t -> f:('a -> unit) -> 'a list -> unit
+(** Runs [f] on every element in parallel, returning once all are done. *)
+
+val find_mapi_first : t -> f:(int -> 'a -> 'b option) -> 'a list -> 'b option
+(** First-success-by-input-order search: returns [Some] for the lowest
+    index on which [f] succeeds, like sequential [List.find_mapi].  Late
+    workers are cancelled cooperatively through a shared best-index flag:
+    a task whose index is above the best success so far is skipped without
+    calling [f].  Tasks at indices {e below} a success always run, so the
+    winner is deterministic.  [f] may be called for indices past the
+    winning one (they were already in flight); callers needing an exact
+    examined-count must count inside [f]. *)
