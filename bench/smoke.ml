@@ -62,6 +62,12 @@ let () =
       "smt.simplex.pivots";
       "attack.loop.iterations";
       "opf.dc_opf.solves";
+      (* LP presolve statistics: the 5-bus OPF solves inside the impact
+         loop must show presolve reductions and exact-simplex pivots *)
+      "lp.exact.pivots";
+      "lp.presolve.rows_eliminated";
+      "lp.presolve.bounds_tightened";
+      "lp.presolve.vars_fixed";
     ];
   (match Obs.Json.member "timers" json with
   | Some timers -> (

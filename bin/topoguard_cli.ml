@@ -1,7 +1,8 @@
 (* topoguard: command-line front end over the paper's input-file format.
 
    Sub-commands: opf, se, attack, impact, gen (write a bundled test system
-   to a file). *)
+   to a file), lint (static analysis of grid data), defend, contingency,
+   acpf, audit. *)
 
 module Q = Numeric.Rat
 module N = Grid.Network
@@ -116,6 +117,74 @@ let base_arg =
            ~doc:"Observed operating point: $(b,opf), $(b,proportional), or \
                  $(b,case-study) (calibrated 5-bus dispatch).")
 
+(* ---- model checking (--check-model) ---- *)
+
+let check_model_arg =
+  Arg.(value & flag
+       & info [ "check-model" ]
+           ~doc:"Lint every formula of the attack encoding (unknown \
+                 variables, contradictory or duplicate atoms, empty bound \
+                 intervals) before solving; exit 3 if the model has \
+                 errors.")
+
+(* encode the scenario with the lint hook attached and report every
+   diagnostic; exits 3 when the model is broken *)
+let run_model_check ?max_topology_changes ~mode spec b =
+  let solver = Smt.Solver.create () in
+  let tagged = ref [] in
+  let on_assert tag f = tagged := (tag, f) :: !tagged in
+  ignore
+    (Attack.Encoder.encode ?max_topology_changes ~on_assert solver ~mode
+       ~scenario:spec ~base:b);
+  let assertions = List.rev !tagged in
+  let diags =
+    Analysis.Form_lint.check
+      ~n_bools:(Smt.Solver.n_bools solver)
+      ~n_reals:(Smt.Solver.n_reals solver)
+      assertions
+  in
+  Format.printf "%a" Analysis.Diagnostic.pp_list diags;
+  let errors = Analysis.Diagnostic.count_errors diags in
+  Format.printf "model check: %d formulas, %d error(s), %d finding(s)@."
+    (List.length assertions) errors (List.length diags);
+  if errors > 0 then exit 3
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let run files =
+    let parse_failures = ref 0 and lint_errors = ref 0 in
+    List.iter
+      (fun file ->
+        match Grid.Spec.parse_file ~validate:false file with
+        | Error e ->
+          incr parse_failures;
+          Format.printf "%s: parse error: %s@." file e
+        | Ok spec ->
+          let diags = Analysis.Grid_lint.check spec in
+          lint_errors := !lint_errors + Analysis.Diagnostic.count_errors diags;
+          List.iter
+            (fun d ->
+              Format.printf "%s: %a@." file Analysis.Diagnostic.pp d)
+            diags;
+          Format.printf "%s: %d finding(s), %d error(s)@." file
+            (List.length diags)
+            (Analysis.Diagnostic.count_errors diags))
+      files;
+    if !parse_failures > 0 then exit 2 else if !lint_errors > 0 then exit 1
+  in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Input file(s) in the paper's text format (Tables II/III).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically validate grid input files: connectivity, line \
+             admittances and capacities, generator and load bounds, \
+             measurement-vector shape, reference bus, generation/load \
+             balance.  Exits 1 on lint errors, 2 on parse failures.")
+    Term.(const run $ files)
+
 (* ---- opf ---- *)
 
 let opf_cmd =
@@ -187,9 +256,10 @@ let se_cmd =
 (* ---- attack ---- *)
 
 let attack_cmd =
-  let run file mode base ((show, _) as stats) =
+  let run file mode base check_model ((show, _) as stats) =
     let spec = load_spec file in
     let b = base_state_of spec base in
+    if check_model then run_model_check ~mode spec b;
     let solver_ref = ref None in
     with_stats stats
       ~extra:(fun () ->
@@ -216,12 +286,15 @@ let attack_cmd =
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Search for a stealthy topology-poisoning attack vector.")
-    Term.(const run $ file_arg $ mode_arg $ base_arg $ stats_term)
+    Term.(
+      const run $ file_arg $ mode_arg $ base_arg $ check_model_arg
+      $ stats_term)
 
 (* ---- impact ---- *)
 
 let impact_cmd =
-  let run file mode base increase max_candidates single_line jobs stats =
+  let run file mode base increase max_candidates single_line check_model jobs
+      stats =
     let spec = load_spec file in
     let spec =
       match increase with
@@ -243,6 +316,10 @@ let impact_cmd =
         jobs = resolve_jobs jobs;
       }
     in
+    if check_model then
+      run_model_check
+        ?max_topology_changes:config.Topoguard.Impact.max_topology_changes
+        ~mode spec b;
     with_stats stats @@ fun () ->
     match Topoguard.Impact.analyze ~config ~scenario:spec ~base:b () with
     | Topoguard.Impact.Attack_found s ->
@@ -286,7 +363,7 @@ let impact_cmd =
              raise the OPF cost by the target percentage?")
     Term.(
       const run $ file_arg $ mode_arg $ base_arg $ increase $ max_candidates
-      $ single_line $ jobs_arg $ stats_term)
+      $ single_line $ check_model_arg $ jobs_arg $ stats_term)
 
 (* ---- gen ---- *)
 
@@ -440,6 +517,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "topoguard" ~doc)
           [
-            opf_cmd; se_cmd; attack_cmd; impact_cmd; gen_cmd; defend_cmd;
-            contingency_cmd; acpf_cmd; audit_cmd;
+            lint_cmd; opf_cmd; se_cmd; attack_cmd; impact_cmd; gen_cmd;
+            defend_cmd; contingency_cmd; acpf_cmd; audit_cmd;
           ]))

@@ -1,0 +1,37 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  tag : string option;
+  message : string;
+}
+
+let make severity ?tag ~code fmt =
+  Format.kasprintf (fun message -> { severity; code; tag; message }) fmt
+
+let error ?tag ~code fmt = make Error ?tag ~code fmt
+let warning ?tag ~code fmt = make Warning ?tag ~code fmt
+let info ?tag ~code fmt = make Info ?tag ~code fmt
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let count_errors ds =
+  List.length (List.filter (fun d -> d.severity = Error) ds)
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let by_code code ds = List.filter (fun d -> d.code = code) ds
+
+let pp fmt d =
+  match d.tag with
+  | Some tag ->
+    Format.fprintf fmt "%s[%s](%s): %s" (severity_label d.severity) d.code tag
+      d.message
+  | None ->
+    Format.fprintf fmt "%s[%s]: %s" (severity_label d.severity) d.code d.message
+
+let pp_list fmt ds =
+  List.iter (fun d -> Format.fprintf fmt "%a@." pp d) ds

@@ -1,0 +1,40 @@
+(** Structured findings produced by the static analyzers ({!Form_lint},
+    {!Grid_lint}, and the presolve layer).
+
+    A diagnostic carries a machine-readable [code] (stable across
+    releases, suitable for tests and CI filters), an optional [tag]
+    naming the paper equation the offending constraint encodes (threaded
+    from the attack encoder), a severity, and a human-readable message. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable kebab-case identifier, e.g. ["islanded-bus"] *)
+  tag : string option;  (** encoder equation tag, e.g. ["eq36"] *)
+  message : string;
+}
+
+val error :
+  ?tag:string -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning :
+  ?tag:string -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val info :
+  ?tag:string -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_label : severity -> string
+
+val count_errors : t list -> int
+(** Number of [Error]-severity diagnostics in the list. *)
+
+val has_errors : t list -> bool
+
+val by_code : string -> t list -> t list
+(** Diagnostics carrying the given code. *)
+
+val pp : Format.formatter -> t -> unit
+(** [severity[code](tag): message] on one line. *)
+
+val pp_list : Format.formatter -> t list -> unit

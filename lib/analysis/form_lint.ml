@@ -1,0 +1,346 @@
+module Q = Numeric.Rat
+module F = Smt.Form
+module L = Smt.Linexp
+module Iset = Set.Make (Int)
+
+(* ---- normalised one-sided bounds on linear terms ----
+
+   Every conjunct-level atom (positive or negated) is equivalent to
+   [e (<= | < | >= | >) 0] with [e = terms + k].  Dividing by the leading
+   coefficient [c0] yields a monic term [n = e/c0 - k/c0] and a bound
+   [n (dir) -k/c0], the direction flipping when [c0 < 0].  Two atoms over
+   proportional expressions then land on the same key, so [x <= a] meets
+   [b <= x] no matter how either was scaled or oriented. *)
+
+type side = Upper | Lower
+
+type norm_atom = {
+  nkey : string;  (* Linexp.key of the monic term *)
+  nterm : L.t;  (* monic term, for messages *)
+  side : side;
+  bound : Q.t;
+  strict : bool;
+}
+
+(* [polarity]: true for the atom itself, false under an odd number of
+   negations.  Returns None for constant atoms. *)
+let normalize_atom ~polarity op e =
+  match L.terms e with
+  | [] -> None
+  | (_, c0) :: _ ->
+    let k = L.const_part e in
+    let monic = L.sub (L.scale (Q.inv c0) e) (L.const (Q.div k c0)) in
+    let bound = Q.neg (Q.div k c0) in
+    (* e <= 0: n <= bound (c0 > 0) or n >= bound (c0 < 0);
+       negation turns [<=] into [>] and [<] into [>=] *)
+    let upper = (Q.sign c0 > 0) = polarity in
+    let strict = if polarity then op = F.Lt else op = F.Le in
+    Some
+      {
+        nkey = L.key monic;
+        nterm = monic;
+        side = (if upper then Upper else Lower);
+        bound;
+        strict;
+      }
+
+(* interval state per monic key; each side remembers the tag that set it *)
+type interval = {
+  mutable lo : (Q.t * bool * string) option;
+  mutable hi : (Q.t * bool * string) option;
+}
+
+let tighter_lo cur (b, strict) =
+  match cur with
+  | None -> true
+  | Some (b0, s0, _) ->
+    Q.(b > b0) || (Q.equal b b0 && strict && not s0)
+
+let tighter_hi cur (b, strict) =
+  match cur with
+  | None -> true
+  | Some (b0, s0, _) ->
+    Q.(b < b0) || (Q.equal b b0 && strict && not s0)
+
+let empty_interval iv =
+  match (iv.lo, iv.hi) with
+  | Some (l, sl, tl), Some (h, sh, th) when Q.(l > h) || (Q.equal l h && (sl || sh))
+    ->
+    Some ((l, sl, tl), (h, sh, th))
+  | _ -> None
+
+(* conjuncts of a formula (flattening nested And) *)
+let conjuncts f =
+  let rec go acc = function
+    | F.And fs -> List.fold_left go acc fs
+    | f -> f :: acc
+  in
+  List.rev (go [] f)
+
+let rec fold_vars ~bool_var ~real_var acc = function
+  | F.True | F.False -> acc
+  | F.Bvar v -> bool_var acc v
+  | F.Atom (_, e) ->
+    List.fold_left (fun acc (v, _) -> real_var acc v) acc (L.terms e)
+  | F.Not f -> fold_vars ~bool_var ~real_var acc f
+  | F.And fs | F.Or fs ->
+    List.fold_left (fold_vars ~bool_var ~real_var) acc fs
+
+let pp_term fmt t = L.pp fmt t
+
+let check ?n_bools ?n_reals tagged =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* 1. variable ranges + usage *)
+  let used_bools, used_reals =
+    List.fold_left
+      (fun acc (_, f) ->
+        fold_vars
+          ~bool_var:(fun (b, r) v -> (Iset.add v b, r))
+          ~real_var:(fun (b, r) v -> (b, Iset.add v r))
+          acc f)
+      (Iset.empty, Iset.empty) tagged
+  in
+  List.iter
+    (fun (tag, f) ->
+      ignore
+        (fold_vars
+           ~bool_var:(fun () v ->
+             match n_bools with
+             | Some n when v < 0 || v >= n ->
+               emit
+                 (Diagnostic.error ~tag ~code:"unknown-bool-var"
+                    "Boolean variable b%d was never declared (solver issued %d)"
+                    v n)
+             | _ -> ())
+           ~real_var:(fun () v ->
+             match n_reals with
+             | Some n when v < 0 || v >= n ->
+               emit
+                 (Diagnostic.error ~tag ~code:"unknown-real-var"
+                    "real variable x%d was never declared (solver issued %d)" v
+                    n)
+             | _ -> ())
+           () f))
+    tagged;
+  let report_unused kind n used =
+    let unused =
+      List.filter (fun v -> not (Iset.mem v used)) (List.init n Fun.id)
+    in
+    match unused with
+    | [] -> ()
+    | vs ->
+      let shown = List.filteri (fun i _ -> i < 8) vs in
+      emit
+        (Diagnostic.info ~code:"unconstrained-var"
+           "%d %s variable(s) appear in no assertion: %s%s" (List.length vs)
+           kind
+           (String.concat ", " (List.map string_of_int shown))
+           (if List.length vs > 8 then ", ..." else ""))
+  in
+  (match n_bools with Some n -> report_unused "Boolean" n used_bools | None -> ());
+  (match n_reals with Some n -> report_unused "real" n used_reals | None -> ());
+  (* 2. trivially decided constant atoms anywhere in a formula *)
+  let rec scan_trivial tag = function
+    | F.True | F.False | F.Bvar _ -> ()
+    | F.Atom (op, e) when L.is_const e ->
+      let c = Q.compare (L.const_part e) Q.zero in
+      let sat = match op with F.Le -> c <= 0 | F.Lt -> c < 0 in
+      if not sat then
+        emit
+          (Diagnostic.error ~tag ~code:"trivial-unsat-atom"
+             "constant atom %s %s 0 is false"
+             (Q.to_string (L.const_part e))
+             (match op with F.Le -> "<=" | F.Lt -> "<"))
+    | F.Atom _ -> ()
+    | F.Not f -> scan_trivial tag f
+    | F.And fs | F.Or fs -> List.iter (scan_trivial tag) fs
+  in
+  List.iter (fun (tag, f) -> scan_trivial tag f) tagged;
+  (* 3. conjunct-level analysis: the assertion set is one conjunction *)
+  let intervals : (string, interval) Hashtbl.t = Hashtbl.create 64 in
+  let seen_atoms : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let pos_lits : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let neg_lits : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let handle_literal tag ~polarity v =
+    let mine, other = if polarity then (pos_lits, neg_lits) else (neg_lits, pos_lits) in
+    (match Hashtbl.find_opt other v with
+    | Some tag0 ->
+      emit
+        (Diagnostic.error ~tag ~code:"contradictory-literals"
+           "b%d is asserted both positively (%s) and negatively (%s)" v
+           (if polarity then tag0 else tag)
+           (if polarity then tag else tag0))
+    | None -> ());
+    (match Hashtbl.find_opt mine v with
+    | Some tag0 ->
+      emit
+        (Diagnostic.warning ~tag ~code:"duplicate-atom"
+           "literal %sb%d already asserted by %s"
+           (if polarity then "" else "not ")
+           v tag0)
+    | None -> Hashtbl.replace mine v tag)
+  in
+  let handle_atom tag ~polarity op e =
+    match normalize_atom ~polarity op e with
+    | None -> () (* constant atom, covered by scan_trivial *)
+    | Some na ->
+      let atom_id =
+        Printf.sprintf "%s|%s|%s|%b" na.nkey
+          (match na.side with Upper -> "<=" | Lower -> ">=")
+          (Q.to_string na.bound) na.strict
+      in
+      (match Hashtbl.find_opt seen_atoms atom_id with
+      | Some tag0 ->
+        emit
+          (Diagnostic.warning ~tag ~code:"duplicate-atom"
+             "atom over %a already asserted by %s with the same polarity and \
+              bound"
+             pp_term na.nterm tag0)
+      | None -> Hashtbl.replace seen_atoms atom_id tag);
+      let iv =
+        match Hashtbl.find_opt intervals na.nkey with
+        | Some iv -> iv
+        | None ->
+          let iv = { lo = None; hi = None } in
+          Hashtbl.replace intervals na.nkey iv;
+          iv
+      in
+      (match na.side with
+      | Upper ->
+        if tighter_hi iv.hi (na.bound, na.strict) then
+          iv.hi <- Some (na.bound, na.strict, tag)
+      | Lower ->
+        if tighter_lo iv.lo (na.bound, na.strict) then
+          iv.lo <- Some (na.bound, na.strict, tag));
+      (match empty_interval iv with
+      | Some ((l, sl, tl), (h, sh, th)) ->
+        emit
+          (Diagnostic.error ~tag ~code:"contradictory-bounds"
+             "empty interval for %a: %s %s (from %s) contradicts %s %s (from \
+              %s)"
+             pp_term na.nterm
+             (if sl then ">" else ">=")
+             (Q.to_string l) tl
+             (if sh then "<" else "<=")
+             (Q.to_string h) th);
+        (* avoid cascading reports for the same key *)
+        Hashtbl.remove intervals na.nkey
+      | None -> ())
+  in
+  List.iter
+    (fun (tag, f) ->
+      List.iter
+        (fun conj ->
+          match conj with
+          | F.False ->
+            emit
+              (Diagnostic.error ~tag ~code:"asserted-false"
+                 "formula is (or folds to) false")
+          | F.Bvar v -> handle_literal tag ~polarity:true v
+          | F.Not (F.Bvar v) -> handle_literal tag ~polarity:false v
+          | F.Atom (op, e) -> handle_atom tag ~polarity:true op e
+          | F.Not (F.Atom (op, e)) -> handle_atom tag ~polarity:false op e
+          | _ -> ())
+        (conjuncts f))
+    tagged;
+  List.rev !diags
+
+(* ---- interval-propagation constant folding ---- *)
+
+(* decide an atom against the accumulated interval of its key:
+   [`Implied] when the interval already guarantees it, [`Contradicts]
+   when the interval already excludes it, [`Record] otherwise *)
+let decide iv na =
+  match na.side with
+  | Upper -> (
+    match iv.hi with
+    | Some (h, sh, _)
+      when Q.(h < na.bound) || (Q.equal h na.bound && (sh || not na.strict)) ->
+      `Implied
+    | _ -> (
+      match iv.lo with
+      | Some (l, sl, _)
+        when Q.(l > na.bound) || (Q.equal l na.bound && (sl || na.strict)) ->
+        `Contradicts
+      | _ -> `Record))
+  | Lower -> (
+    match iv.lo with
+    | Some (l, sl, _)
+      when Q.(l > na.bound) || (Q.equal l na.bound && (sl || not na.strict)) ->
+      `Implied
+    | _ -> (
+      match iv.hi with
+      | Some (h, sh, _)
+        when Q.(h < na.bound) || (Q.equal h na.bound && (sh || na.strict)) ->
+        `Contradicts
+      | _ -> `Record))
+
+let rec simplify f =
+  match f with
+  | F.True | F.False | F.Bvar _ -> f
+  | F.Atom (op, e) when L.is_const e ->
+    let c = Q.compare (L.const_part e) Q.zero in
+    let sat = match op with F.Le -> c <= 0 | F.Lt -> c < 0 in
+    if sat then F.tru else F.fls
+  | F.Atom _ -> f
+  | F.Not g -> F.not_ (simplify g)
+  | F.Or fs -> F.or_ (List.map simplify fs)
+  | F.And fs -> (
+    match F.and_ (List.map simplify fs) with
+    | F.And gs -> fold_conjunction gs
+    | g -> g)
+
+(* left-to-right scan: drop conjuncts implied by the interval accumulated
+   from earlier ones; collapse to False on a contradiction *)
+and fold_conjunction gs =
+  let intervals : (string, interval) Hashtbl.t = Hashtbl.create 16 in
+  let pos = Hashtbl.create 16 and neg = Hashtbl.create 16 in
+  let exception Contradiction in
+  try
+    let kept =
+      List.filter
+        (fun conj ->
+          let atom ~polarity op e =
+            match normalize_atom ~polarity op e with
+            | None -> true
+            | Some na -> (
+              let iv =
+                match Hashtbl.find_opt intervals na.nkey with
+                | Some iv -> iv
+                | None ->
+                  let iv = { lo = None; hi = None } in
+                  Hashtbl.replace intervals na.nkey iv;
+                  iv
+              in
+              match decide iv na with
+              | `Implied -> false
+              | `Contradicts -> raise Contradiction
+              | `Record ->
+                (match na.side with
+                | Upper -> iv.hi <- Some (na.bound, na.strict, "")
+                | Lower -> iv.lo <- Some (na.bound, na.strict, ""));
+                true)
+          in
+          match conj with
+          | F.Bvar v ->
+            if Hashtbl.mem neg v then raise Contradiction
+            else if Hashtbl.mem pos v then false
+            else begin
+              Hashtbl.replace pos v ();
+              true
+            end
+          | F.Not (F.Bvar v) ->
+            if Hashtbl.mem pos v then raise Contradiction
+            else if Hashtbl.mem neg v then false
+            else begin
+              Hashtbl.replace neg v ();
+              true
+            end
+          | F.Atom (op, e) -> atom ~polarity:true op e
+          | F.Not (F.Atom (op, e)) -> atom ~polarity:false op e
+          | _ -> true)
+        gs
+    in
+    F.and_ kept
+  with Contradiction -> F.fls

@@ -1,0 +1,39 @@
+(** Static lint over {!Smt.Form.t} assertion sets.
+
+    The input is the list of top-level assertions, each paired with the
+    equation tag the encoder gave it (see [Attack.Encoder.encode]'s
+    [?on_assert]).  Because every entry is asserted, the set behaves as
+    one big conjunction: atoms that are conjuncts of any entry may be
+    combined for interval propagation across entries.
+
+    Checks performed by {!check}:
+    - [unknown-bool-var] / [unknown-real-var] (error): a variable id
+      outside the solver-issued range;
+    - [asserted-false] (error): a [False] in conjunct position;
+    - [trivial-unsat-atom] (error): a constant atom that decides false
+      (the {!Smt.Form} smart constructors fold these away, so one in a
+      raw formula indicates a hand-built encoding bug);
+    - [contradictory-bounds] (error): interval propagation over
+      conjunct-level atoms derives an empty interval for some linear
+      term, e.g. [x <= a] and [x >= b] with [a < b];
+    - [duplicate-atom] (warning): the same atom asserted twice under the
+      same polarity in conjunct position;
+    - [unconstrained-var] (info): declared variables that appear in no
+      assertion. *)
+
+val check :
+  ?n_bools:int ->
+  ?n_reals:int ->
+  (string * Smt.Form.t) list ->
+  Diagnostic.t list
+(** [n_bools]/[n_reals] are the solver's issued-variable counts (see
+    [Smt.Solver.n_bools]); when omitted the unknown-variable and
+    unconstrained-variable checks are skipped. *)
+
+val simplify : Smt.Form.t -> Smt.Form.t
+(** Interval-propagation constant folding: inside each conjunction,
+    scanning left to right, an atom already implied by the interval
+    accumulated from earlier conjuncts folds to [True] (and is dropped);
+    an atom contradicting it folds the whole conjunction to [False].
+    Sub-formulas are rebuilt with the smart constructors, so nested
+    [And]/[Or] are flattened and decided constants folded. *)

@@ -25,20 +25,32 @@ let encode_cardinality_with_indicators = ref false
 let obs_encodings = Obs.Counter.make "attack.encoder.encodings"
 let obs_encode_timer = Obs.Timer.make "attack.encoder.encode"
 
-(* f <-> (e = 0), i.e. f -> e = 0 and (e < 0 or e > 0) -> f is false... we
-   need the converse: not f -> e <> 0 is wrong; what the model needs is
-   f <-> (e <> 0):  f -> (e < 0 \/ e > 0)  and  not f -> e = 0 *)
-let iff_nonzero solver f e =
-  Solver.assert_form solver
-    (F.implies f (F.or_ [ F.lt e L.zero; F.gt e L.zero ]));
-  Solver.assert_form solver (F.implies (F.not_ f) (F.eq e L.zero))
-
-let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
-    ~(base : Base_state.t) =
+let encode_inner ?max_topology_changes ?on_assert solver ~mode
+    ~(scenario : Grid.Spec.t) ~(base : Base_state.t) =
   let grid = scenario.Grid.Spec.grid in
   let l = N.n_lines grid in
   let b = grid.N.n_buses in
   let m = N.n_meas grid in
+  let notify = match on_assert with Some f -> f | None -> fun _ _ -> () in
+  (* every asserted formula flows through here with the paper-equation tag
+     it encodes, so a lint pass sees the same conjunction the solver does *)
+  let assert_t tag f =
+    Solver.assert_form solver f;
+    notify tag f
+  in
+  (* bound_real bypasses Form.t inside the solver for efficiency; mirror
+     the bounds as a formula for the observer so e.g. an empty Eq. 36
+     interval is visible to interval propagation *)
+  let bound_t tag ~lo ~hi v =
+    Solver.bound_real solver ~lo ~hi v;
+    notify tag
+      (F.and_ [ F.ge (L.var v) (L.const lo); F.le (L.var v) (L.const hi) ])
+  in
+  (* f <-> (e <> 0):  f -> (e < 0 \/ e > 0)  and  not f -> e = 0 *)
+  let iff_nonzero tag f e =
+    assert_t tag (F.implies f (F.or_ [ F.lt e L.zero; F.gt e L.zero ]));
+    assert_t tag (F.implies (F.not_ f) (F.eq e L.zero))
+  in
   (* 1-based names matching the paper's indexing, so counterexample dumps
      (Solver.named_model) read like its attack vectors *)
   let fresh_bools prefix n =
@@ -75,20 +87,19 @@ let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
       in
       (* Eqs. 11/12 with the attacker-capability conjunct; with constant
          line attributes they reduce to forcing impossible attacks false *)
-      if not excludable then Solver.assert_form solver (F.not_ (bp i));
-      if not includable then Solver.assert_form solver (F.not_ (bq i));
+      if not excludable then assert_t "eq11" (F.not_ (bp i));
+      if not includable then assert_t "eq12" (F.not_ (bq i));
       (* a line cannot be both excluded and included *)
-      Solver.assert_form solver (F.or_ [ F.not_ (bp i); F.not_ (bq i) ]);
+      assert_t "eq11-12" (F.or_ [ F.not_ (bp i); F.not_ (bq i) ]);
       (* Eq. 10 as a definition of k_i *)
-      if u then Solver.assert_form solver (F.iff (bk i) (F.not_ (bp i)))
-      else Solver.assert_form solver (F.iff (bk i) (bq i));
+      if u then assert_t "eq10" (F.iff (bk i) (F.not_ (bp i)))
+      else assert_t "eq10" (F.iff (bk i) (bq i));
       (* Eqs. 13/14/15: topology-change component of the flow delta *)
       let dfl = L.var dflow_topo.(i) in
       let base_flow = L.const base.Base_state.flows.(i) in
-      Solver.assert_form solver
-        (F.implies (bp i) (F.eq dfl (L.neg base_flow)));
-      Solver.assert_form solver (F.implies (bq i) (F.eq dfl base_flow));
-      Solver.assert_form solver
+      assert_t "eq13" (F.implies (bp i) (F.eq dfl (L.neg base_flow)));
+      assert_t "eq14" (F.implies (bq i) (F.eq dfl base_flow));
+      assert_t "eq15"
         (F.implies
            (F.and_ [ F.not_ (bp i); F.not_ (bq i) ])
            (F.eq dfl L.zero)))
@@ -96,12 +107,13 @@ let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
   (* state-infection constraints (Section III-D) *)
   if with_states then begin
     (* the slack/reference state cannot shift *)
-    Solver.bound_real solver ~lo:Q.zero ~hi:Q.zero
+    bound_t "slack-ref" ~lo:Q.zero ~hi:Q.zero
       dtheta.(base.Base_state.topo.Grid.Topology.slack);
     (* modest sanity range helps the simplex without constraining attacks:
        load bounds below are the real limiter *)
     Array.iter
-      (fun v -> Solver.bound_real solver ~lo:(Q.of_int (-10)) ~hi:(Q.of_int 10) v)
+      (fun v ->
+        bound_t "dtheta-range" ~lo:(Q.of_int (-10)) ~hi:(Q.of_int 10) v)
       dtheta;
     Array.iteri
       (fun i (ln : N.line) ->
@@ -111,22 +123,22 @@ let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
             (L.sub (L.var dtheta.(ln.N.from_bus)) (L.var dtheta.(ln.N.to_bus)))
         in
         (* Eq. 24 / Eq. 25 *)
-        Solver.assert_form solver (F.implies (bk i) (F.eq dbar angle_delta));
-        Solver.assert_form solver
-          (F.implies (F.not_ (bk i)) (F.eq dbar L.zero));
+        assert_t "eq24" (F.implies (bk i) (F.eq dbar angle_delta));
+        assert_t "eq25" (F.implies (F.not_ (bk i)) (F.eq dbar L.zero));
         (* Eq. 27 *)
-        Solver.assert_form solver
+        assert_t "eq27"
           (F.eq (L.var dflow_total.(i)) (L.add (L.var dflow_topo.(i)) dbar)))
       grid.N.lines;
     (* Eq. 26 (as a definition, so c counts infected states exactly) *)
     Array.iteri
       (fun j cj ->
         if j = base.Base_state.topo.Grid.Topology.slack then
-          Solver.assert_form solver (F.not_ (F.bvar cj))
-        else iff_nonzero solver (F.bvar cj) (L.var dtheta.(j)))
+          assert_t "eq26" (F.not_ (F.bvar cj))
+        else iff_nonzero "eq26" (F.bvar cj) (L.var dtheta.(j)))
       c
   end;
   (* Eqs. 16/28: bus-consumption deltas from line-flow deltas *)
+  let bus_delta_tag = if with_states then "eq28" else "eq16" in
   for j = 0 to b - 1 do
     let inflow =
       L.sum (List.map (fun i -> L.var dflow_total.(i)) (N.lines_in grid j))
@@ -134,16 +146,17 @@ let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
     let outflow =
       L.sum (List.map (fun i -> L.var dflow_total.(i)) (N.lines_out grid j))
     in
-    Solver.assert_form solver
-      (F.eq (L.var dbus.(j)) (L.sub inflow outflow))
+    assert_t bus_delta_tag (F.eq (L.var dbus.(j)) (L.sub inflow outflow))
   done;
   (* Eqs. 17/18 (29 with states): a_i <-> taken and the quantity changed *)
+  let flow_meas_tag = if with_states then "eq29" else "eq17" in
+  let inj_meas_tag = if with_states then "eq29" else "eq18" in
   for i = 0 to l - 1 do
     let delta = L.var dflow_total.(i) in
     let handle meas_idx =
       if grid.N.meas.(meas_idx).N.taken then
-        iff_nonzero solver (F.bvar a.(meas_idx)) delta
-      else Solver.assert_form solver (F.not_ (F.bvar a.(meas_idx)))
+        iff_nonzero flow_meas_tag (F.bvar a.(meas_idx)) delta
+      else assert_t flow_meas_tag (F.not_ (F.bvar a.(meas_idx)))
     in
     handle (N.meas_fwd grid i);
     handle (N.meas_bwd grid i);
@@ -152,26 +165,26 @@ let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
     let fwd_taken = grid.N.meas.(N.meas_fwd grid i).N.taken in
     let bwd_taken = grid.N.meas.(N.meas_bwd grid i).N.taken in
     if (not ln.N.known) && (fwd_taken || bwd_taken) then
-      Solver.assert_form solver (F.eq delta L.zero)
+      assert_t "eq19" (F.eq delta L.zero)
   done;
   for j = 0 to b - 1 do
     let mi = N.meas_inj grid j in
     if grid.N.meas.(mi).N.taken then
-      iff_nonzero solver (F.bvar a.(mi)) (L.var dbus.(j))
-    else Solver.assert_form solver (F.not_ (F.bvar a.(mi)))
+      iff_nonzero inj_meas_tag (F.bvar a.(mi)) (L.var dbus.(j))
+    else assert_t inj_meas_tag (F.not_ (F.bvar a.(mi)))
   done;
   (* Eq. 20: accessibility and security of measurements *)
   Array.iteri
     (fun i (ms : N.meas) ->
       if not (ms.N.accessible && not ms.N.secured) then
-        Solver.assert_form solver (F.not_ (F.bvar a.(i))))
+        assert_t "eq20" (F.not_ (F.bvar a.(i))))
     grid.N.meas;
   (* Eq. 21: altered measurements mark their bus as compromised *)
   for i = 0 to m - 1 do
-    Solver.assert_form solver
-      (F.implies (F.bvar a.(i)) (F.bvar hb.(N.meas_bus grid i)))
+    assert_t "eq21" (F.implies (F.bvar a.(i)) (F.bvar hb.(N.meas_bus grid i)))
   done;
-  (* Eq. 22 + measurement budget *)
+  (* Eq. 22 + measurement budget.  The sequential-counter clauses are
+     asserted inside the solver and are not mirrored to the observer. *)
   let card k fs =
     if !encode_cardinality_with_indicators then
       Solver.assert_at_most_indicator solver k fs
@@ -186,13 +199,12 @@ let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
      consumption delta (Section III-E) and stays within plausible bounds
      (Eq. 36); buses without a load must not appear to gain one *)
   for j = 0 to b - 1 do
-    Solver.assert_form solver
+    assert_t "load-consistency"
       (F.eq (L.var est_load.(j))
          (L.add (L.const base.Base_state.load.(j)) (L.var dbus.(j))));
     match N.load_at grid j with
-    | Some ld ->
-      Solver.bound_real solver ~lo:ld.N.lmin ~hi:ld.N.lmax est_load.(j)
-    | None -> Solver.bound_real solver ~lo:Q.zero ~hi:Q.zero est_load.(j)
+    | Some ld -> bound_t "eq36" ~lo:ld.N.lmin ~hi:ld.N.lmax est_load.(j)
+    | None -> bound_t "eq36" ~lo:Q.zero ~hi:Q.zero est_load.(j)
   done;
   (* optional restriction to few simultaneous topology changes (the
      paper's evaluation uses single-line attacks on the larger systems) *)
@@ -201,14 +213,14 @@ let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
   | Some n when n < 2 * l -> card n topo_attack
   | _ -> ());
   (match mode with
-  | Topology_only -> Solver.assert_form solver (F.or_ topo_attack)
+  | Topology_only -> assert_t "attack-nonempty" (F.or_ topo_attack)
   | With_state_infection ->
-    Solver.assert_form solver
+    assert_t "attack-nonempty"
       (F.or_ (topo_attack @ Array.to_list (Array.map F.bvar c)))
   | Ufdi_only ->
-    Array.iter (fun v -> Solver.assert_form solver (F.not_ (F.bvar v))) p;
-    Array.iter (fun v -> Solver.assert_form solver (F.not_ (F.bvar v))) q;
-    Solver.assert_form solver (F.or_ (Array.to_list (Array.map F.bvar c))));
+    Array.iter (fun v -> assert_t "ufdi-topology-intact" (F.not_ (F.bvar v))) p;
+    Array.iter (fun v -> assert_t "ufdi-topology-intact" (F.not_ (F.bvar v))) q;
+    assert_t "attack-nonempty" (F.or_ (Array.to_list (Array.map F.bvar c))));
   {
     mode;
     p;
@@ -223,7 +235,8 @@ let encode_inner ?max_topology_changes solver ~mode ~(scenario : Grid.Spec.t)
     est_load;
   }
 
-let encode ?max_topology_changes solver ~mode ~scenario ~base =
+let encode ?max_topology_changes ?on_assert solver ~mode ~scenario ~base =
   Obs.Counter.incr obs_encodings;
   Obs.Timer.with_ obs_encode_timer (fun () ->
-      encode_inner ?max_topology_changes solver ~mode ~scenario ~base)
+      encode_inner ?max_topology_changes ?on_assert solver ~mode ~scenario
+        ~base)

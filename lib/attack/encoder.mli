@@ -28,6 +28,7 @@ type vars = {
 
 val encode :
   ?max_topology_changes:int ->
+  ?on_assert:(string -> Smt.Form.t -> unit) ->
   Smt.Solver.t ->
   mode:mode ->
   scenario:Grid.Spec.t ->
@@ -38,7 +39,15 @@ val encode :
     budget) via the sequential-counter cardinality encoding.
     [max_topology_changes] restricts how many lines may be excluded or
     included simultaneously; the paper's evaluation sets this to 1 on the
-    57- and 118-bus systems (Section IV-A). *)
+    57- and 118-bus systems (Section IV-A).
+
+    [on_assert tag form] is called for every asserted formula with the
+    paper-equation tag it encodes ([eq10] … [eq29], [eq36],
+    [load-consistency], [slack-ref], [dtheta-range], [attack-nonempty],
+    [ufdi-topology-intact]) — the hook {!Analysis.Form_lint} consumes.
+    Real-variable bounds asserted through the solver's fast path are
+    mirrored to the hook as conjunctions of inequalities; only the
+    cardinality counters (Eq. 22) are not surfaced. *)
 
 val encode_cardinality_with_indicators : bool ref
 (** Ablation switch: encode Eq. 22 with LRA indicator sums instead of the

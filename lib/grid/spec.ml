@@ -35,7 +35,7 @@ let section_of_header h =
   else if contains "cost" then Sec_cost
   else Sec_none
 
-let parse content =
+let parse ?(validate = true) content =
   let lines = String.split_on_char '\n' content in
   let section = ref Sec_none in
   let topo = ref [] and meas = ref [] and bus_types = ref [] in
@@ -140,7 +140,7 @@ let parse content =
         meas = Array.of_list (List.rev !meas);
       }
     in
-    match Network.validate grid with
+    match (if validate then Network.validate grid else Ok ()) with
     | Error e -> Error e
     | Ok () ->
       let max_meas, max_buses =
@@ -151,12 +151,12 @@ let parse content =
       in
       Ok { grid; max_meas; max_buses; cost_reference; min_increase_pct })
 
-let parse_file path =
+let parse_file ?validate path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let content = really_input_string ic len in
   close_in ic;
-  parse content
+  parse ?validate content
 
 let print t =
   let buf = Buffer.create 1024 in

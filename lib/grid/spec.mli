@@ -11,9 +11,12 @@ type t = {
   min_increase_pct : Numeric.Rat.t;  (** target increase [I] in percent *)
 }
 
-val parse : string -> (t, string) Result.t
-(** Parse the contents of an input file. *)
+val parse : ?validate:bool -> string -> (t, string) Result.t
+(** Parse the contents of an input file.  [validate] (default [true])
+    runs {!Network.validate} and fails on the first structural defect;
+    pass [false] to obtain the raw spec for linting, so every defect in a
+    broken file can be reported at once ({!Analysis.Grid_lint}). *)
 
-val parse_file : string -> (t, string) Result.t
+val parse_file : ?validate:bool -> string -> (t, string) Result.t
 val print : t -> string
 val write_file : string -> t -> unit

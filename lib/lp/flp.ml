@@ -1,8 +1,10 @@
-(* Float bounded-variable simplex.  Mirrors Lp's structure: slack per
-   constraint row, phase-I bound repair, phase-II objective descent, both
-   under Bland's rule, with epsilon comparisons. *)
+(* Float bounded-variable simplex.  Mirrors Lp's structure: deferred
+   tableau build behind an optimum-preserving presolve, slack per
+   surviving constraint row, phase-I bound repair, phase-II objective
+   descent, both under Bland's rule, with epsilon comparisons. *)
 
 module Imap = Map.Make (Int)
+module P = Analysis.Presolve.Float
 
 let eps = 1e-9
 
@@ -11,25 +13,46 @@ type result =
   | Infeasible
   | Unbounded
 
+let presolve_default = ref true
+
+(* the lp.presolve.* counters are shared with Lp *)
+let c_rows_eliminated = Obs.Counter.make "lp.presolve.rows_eliminated"
+let c_bounds_tightened = Obs.Counter.make "lp.presolve.bounds_tightened"
+let c_vars_fixed = Obs.Counter.make "lp.presolve.vars_fixed"
+let c_presolve_infeasible = Obs.Counter.make "lp.presolve.infeasible"
+let c_pivots = Obs.Counter.make "lp.float.pivots"
+
+type pending = {
+  pterms : (int * float) list;
+  plo : float; (* neg_infinity = free below *)
+  phi : float; (* infinity = free above *)
+}
+
 type t = {
   mutable nvars : int;
   mutable lo : float array; (* neg_infinity = free below *)
   mutable hi : float array; (* infinity = free above *)
   mutable beta : float array;
   mutable rows : float Imap.t Imap.t;
+  mutable pending : pending list; (* reversed insertion order *)
   mutable pivots : int;
   mutable user_vars : int;
+  presolve : bool;
+  mutable built : bool;
 }
 
-let create () =
+let create ?presolve () =
   {
     nvars = 0;
     lo = Array.make 16 neg_infinity;
     hi = Array.make 16 infinity;
     beta = Array.make 16 0.0;
     rows = Imap.empty;
+    pending = [];
     pivots = 0;
     user_vars = 0;
+    presolve = Option.value presolve ~default:!presolve_default;
+    built = false;
   }
 
 let n_pivots t = t.pivots
@@ -58,13 +81,13 @@ let new_var ?(lo = neg_infinity) ?(hi = infinity) t =
   v
 
 let add_var ?lo ?hi t =
+  if t.built then invalid_arg "Flp.add_var: tableau already built";
   let v = new_var ?lo ?hi t in
   t.user_vars <- t.user_vars + 1;
   v
 
 (* warm start: set a variable's initial value (clamped to its bounds);
-   must be called before any constraint referencing it is added, so slack
-   initial values are computed from it *)
+   call before minimize *)
 let set_initial t v x =
   t.beta.(v) <- Float.min t.hi.(v) (Float.max t.lo.(v) x)
 
@@ -88,18 +111,79 @@ let normalize_terms t terms =
 let row_value t row =
   Imap.fold (fun v c acc -> acc +. (c *. t.beta.(v))) row 0.0
 
-let add_slack t ?(lo = neg_infinity) ?(hi = infinity) terms =
+let record_constraint t ?(lo = neg_infinity) ?(hi = infinity) terms =
+  if t.built then invalid_arg "Flp: constraint added after minimize";
+  t.pending <- { pterms = terms; plo = lo; phi = hi } :: t.pending
+
+let add_le t terms b = record_constraint t ~hi:b terms
+let add_ge t terms b = record_constraint t ~lo:b terms
+let add_eq t terms b = record_constraint t ~lo:b ~hi:b terms
+
+let install_row t terms lo hi =
   let row = normalize_terms t terms in
   let s = new_var t in
   t.lo.(s) <- lo;
   t.hi.(s) <- hi;
   t.rows <- Imap.add s row t.rows;
+  t.beta.(s) <- row_value t row
+
+(* fresh unbounded slack for the objective *)
+let add_slack t terms =
+  let row = normalize_terms t terms in
+  let s = new_var t in
+  t.rows <- Imap.add s row t.rows;
   t.beta.(s) <- row_value t row;
   s
 
-let add_le t terms b = ignore (add_slack t ~hi:b terms)
-let add_ge t terms b = ignore (add_slack t ~lo:b terms)
-let add_eq t terms b = ignore (add_slack t ~lo:b ~hi:b terms)
+let report_stats (st : P.stats) =
+  Obs.Counter.add c_rows_eliminated st.P.rows_eliminated;
+  Obs.Counter.add c_bounds_tightened st.P.bounds_tightened;
+  Obs.Counter.add c_vars_fixed st.P.vars_fixed
+
+let opt_of_lo l = if l = neg_infinity then None else Some l
+let opt_of_hi h = if h = infinity then None else Some h
+
+let build t =
+  t.built <- true;
+  let pend = List.rev t.pending in
+  if not t.presolve then begin
+    List.iter (fun p -> install_row t p.pterms p.plo p.phi) pend;
+    `Ok
+  end
+  else begin
+    let n = t.user_vars in
+    let lo = Array.init n (fun v -> opt_of_lo t.lo.(v)) in
+    let hi = Array.init n (fun v -> opt_of_hi t.hi.(v)) in
+    let rows =
+      List.map
+        (fun p ->
+          { P.terms = p.pterms; lo = opt_of_lo p.plo; hi = opt_of_hi p.phi })
+        pend
+    in
+    match P.run ~n_vars:n ~lo ~hi rows with
+    | P.Infeasible { stats; _ } ->
+      report_stats stats;
+      Obs.Counter.incr c_presolve_infeasible;
+      `Infeasible
+    | P.Reduced { lo; hi; rows; fixed; stats } ->
+      report_stats stats;
+      for v = 0 to n - 1 do
+        t.lo.(v) <- (match lo.(v) with Some l -> l | None -> neg_infinity);
+        t.hi.(v) <- (match hi.(v) with Some h -> h | None -> infinity)
+      done;
+      List.iter (fun (v, x) -> t.beta.(v) <- x) fixed;
+      (* re-clamp warm starts to the tightened box *)
+      for v = 0 to n - 1 do
+        t.beta.(v) <- Float.min t.hi.(v) (Float.max t.lo.(v) t.beta.(v))
+      done;
+      List.iter
+        (fun (r : P.row) ->
+          install_row t r.P.terms
+            (match r.P.lo with Some l -> l | None -> neg_infinity)
+            (match r.P.hi with Some h -> h | None -> infinity))
+        rows;
+      `Ok
+  end
 
 let below_lo t x = t.beta.(x) < t.lo.(x) -. eps
 let above_hi t x = t.beta.(x) > t.hi.(x) +. eps
@@ -108,6 +192,7 @@ let can_decrease t x = t.beta.(x) > t.lo.(x) +. eps
 
 let pivot t xi xj =
   t.pivots <- t.pivots + 1;
+  Obs.Counter.incr c_pivots;
   let row_i = Imap.find xi t.rows in
   let a = Imap.find xj row_i in
   let inv_a = 1.0 /. a in
@@ -301,14 +386,17 @@ let optimize t z =
   loop ()
 
 let minimize t obj ~constant =
-  let z = add_slack t obj in
-  if not (feasibility t) then Infeasible
-  else
-    match optimize t z with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-      Optimal
-        {
-          objective = t.beta.(z) +. constant;
-          values = Array.init t.user_vars (fun v -> t.beta.(v));
-        }
+  match build t with
+  | `Infeasible -> Infeasible
+  | `Ok -> (
+    let z = add_slack t obj in
+    if not (feasibility t) then Infeasible
+    else
+      match optimize t z with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+        Optimal
+          {
+            objective = t.beta.(z) +. constant;
+            values = Array.init t.user_vars (fun v -> t.beta.(v));
+          })

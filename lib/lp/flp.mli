@@ -5,7 +5,13 @@
     largest test systems, where exact rational minors grow into hundreds of
     digits, and as the numeric baseline the exact solver is compared
     against (ablation ABL-FLOAT-LP).  Results carry a ~1e-7 tolerance and
-    no exactness guarantee. *)
+    no exactness guarantee.
+
+    Like {!Lp}, constraints are recorded and the tableau is built on the
+    [minimize] call behind an optimum-preserving presolve
+    ({!Analysis.Presolve.Float}, whose drop/infeasibility decisions keep a
+    1e-6 safety margin above this solver's 1e-9 epsilon).  Activity shows
+    up in the [lp.presolve.*] and [lp.float.pivots] {!Obs} counters. *)
 
 type t
 
@@ -14,17 +20,25 @@ type result =
   | Infeasible
   | Unbounded
 
-val create : unit -> t
+val presolve_default : bool ref
+(** Whether newly created solvers presolve (default [true]); [create]'s
+    [?presolve] overrides it per instance. *)
+
+val create : ?presolve:bool -> unit -> t
 val add_var : ?lo:float -> ?hi:float -> t -> int
 
 val set_initial : t -> int -> float -> unit
 (** Warm start: initial value for a variable (clamped to bounds).  Call
-    before adding constraints that mention it. *)
+    before [minimize]. *)
 
 val add_le : t -> (int * float) list -> float -> unit
 (** [(var, coeff)] terms; constant right-hand side. *)
 
 val add_ge : t -> (int * float) list -> float -> unit
 val add_eq : t -> (int * float) list -> float -> unit
+
 val minimize : t -> (int * float) list -> constant:float -> result
+(** Builds the tableau (one-shot: adding constraints afterwards raises
+    [Invalid_argument]) and solves. *)
+
 val n_pivots : t -> int

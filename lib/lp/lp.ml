@@ -1,10 +1,29 @@
 module Q = Numeric.Rat
 module Imap = Map.Make (Int)
+module P = Analysis.Presolve.Exact
 
 type result =
   | Optimal of { objective : Q.t; values : Q.t array }
   | Infeasible
   | Unbounded
+
+let presolve_default = ref true
+
+(* shared with Flp: both solvers funnel through the same presolve rules *)
+let c_rows_eliminated = Obs.Counter.make "lp.presolve.rows_eliminated"
+let c_bounds_tightened = Obs.Counter.make "lp.presolve.bounds_tightened"
+let c_vars_fixed = Obs.Counter.make "lp.presolve.vars_fixed"
+let c_presolve_infeasible = Obs.Counter.make "lp.presolve.infeasible"
+let c_pivots = Obs.Counter.make "lp.exact.pivots"
+
+(* a constraint as recorded before the tableau exists; [<=] and [>=] over
+   the same expression merge into one two-sided pending row *)
+type pending = {
+  pterms : (int * Q.t) list;
+  mutable plo : Q.t option;
+  mutable phi : Q.t option;
+  order : int; (* insertion rank, to keep tableau construction stable *)
+}
 
 type t = {
   mutable nvars : int;
@@ -12,23 +31,27 @@ type t = {
   mutable hi : Q.t option array;
   mutable beta : Q.t array;
   mutable rows : Q.t Imap.t Imap.t; (* basic var -> row over nonbasic vars *)
-  slack_cache : (string, int * Q.t) Hashtbl.t;
-      (* expression key -> (slack var, constant shift): [<=] and [>=]
-         constraints over the same expression share one tableau row *)
+  pending : (string, pending) Hashtbl.t; (* expression key -> constraint *)
+  mutable n_pending : int;
   mutable pivots : int;
   mutable user_vars : int; (* vars visible to the caller (before slacks) *)
+  presolve : bool;
+  mutable built : bool;
 }
 
-let create () =
+let create ?presolve () =
   {
     nvars = 0;
     lo = Array.make 16 None;
     hi = Array.make 16 None;
     beta = Array.make 16 Q.zero;
     rows = Imap.empty;
-    slack_cache = Hashtbl.create 64;
+    pending = Hashtbl.create 64;
+    n_pending = 0;
     pivots = 0;
     user_vars = 0;
+    presolve = Option.value presolve ~default:!presolve_default;
+    built = false;
   }
 
 let n_pivots t = t.pivots
@@ -63,13 +86,14 @@ let new_var ?lo ?hi t =
 
 let add_var ?lo ?hi ?name t =
   ignore name;
+  if t.built then invalid_arg "Lp.add_var: tableau already built";
   let v = new_var ?lo ?hi t in
   t.user_vars <- t.user_vars + 1;
   assert (v = t.user_vars - 1);
   v
 
 (* warm start: set a variable's initial value (clamped to its bounds);
-   call before adding constraints that mention it *)
+   call before minimize *)
 let set_initial t v x =
   let x = match t.lo.(v) with Some l -> Q.max l x | None -> x in
   let x = match t.hi.(v) with Some h -> Q.min h x | None -> x in
@@ -96,27 +120,27 @@ let normalize_terms t terms =
 let row_value t row =
   Imap.fold (fun v c acc -> Q.add acc (Q.mul c t.beta.(v))) row Q.zero
 
-(* add (or reuse) slack s = e - const(e); bounds are shifted by the
-   constant part: lo <= e <=> lo - const <= s.  Bounds merge when the same
-   expression is constrained twice (e.g. both flow directions of a line) *)
-let add_slack t ?lo ?hi e =
+(* record (or tighten) the pending constraint lo <= e <= hi; bounds are
+   shifted by the constant part of e so the stored row is pure terms *)
+let record_constraint t ?lo ?hi e =
+  if t.built then invalid_arg "Lp: constraint added after minimize";
   let const = Smt.Linexp.const_part e in
   let key = Smt.Linexp.key e in
-  let s =
-    match Hashtbl.find_opt t.slack_cache key with
-    | Some (s, _) -> s
+  let p =
+    match Hashtbl.find_opt t.pending key with
+    | Some p -> p
     | None ->
-      let terms =
-        List.fold_left
-          (fun m (v, c) -> Imap.add v c m)
-          Imap.empty (Smt.Linexp.terms e)
+      let p =
+        {
+          pterms = Smt.Linexp.terms e;
+          plo = None;
+          phi = None;
+          order = t.n_pending;
+        }
       in
-      let row = normalize_terms t terms in
-      let s = new_var t in
-      t.rows <- Imap.add s row t.rows;
-      t.beta.(s) <- row_value t row;
-      Hashtbl.add t.slack_cache key (s, const);
-      s
+      t.n_pending <- t.n_pending + 1;
+      Hashtbl.add t.pending key p;
+      p
   in
   let tighten current candidate keep_max =
     match (current, candidate) with
@@ -124,9 +148,72 @@ let add_slack t ?lo ?hi e =
     | None, Some c -> Some c
     | Some a, Some b -> Some (if keep_max then Q.max a b else Q.min a b)
   in
-  t.lo.(s) <- tighten t.lo.(s) (Option.map (fun b -> Q.sub b const) lo) true;
-  t.hi.(s) <- tighten t.hi.(s) (Option.map (fun b -> Q.sub b const) hi) false;
-  s
+  p.plo <- tighten p.plo (Option.map (fun b -> Q.sub b const) lo) true;
+  p.phi <- tighten p.phi (Option.map (fun b -> Q.sub b const) hi) false
+
+let add_le t e b = record_constraint t ~hi:b e
+let add_ge t e b = record_constraint t ~lo:b e
+let add_eq t e b = record_constraint t ~lo:b ~hi:b e
+
+(* materialise one constraint row as a bounded slack basic variable *)
+let install_row t terms lo hi =
+  let term_map =
+    List.fold_left (fun m (v, c) -> Imap.add v c m) Imap.empty terms
+  in
+  let row = normalize_terms t term_map in
+  let s = new_var t in
+  t.lo.(s) <- lo;
+  t.hi.(s) <- hi;
+  t.rows <- Imap.add s row t.rows;
+  t.beta.(s) <- row_value t row
+
+let report_stats (st : P.stats) =
+  Obs.Counter.add c_rows_eliminated st.P.rows_eliminated;
+  Obs.Counter.add c_bounds_tightened st.P.bounds_tightened;
+  Obs.Counter.add c_vars_fixed st.P.vars_fixed
+
+(* deferred tableau construction: presolve the pending rows (unless
+   disabled), then build slack rows only for the survivors *)
+let build t =
+  t.built <- true;
+  let pend = Hashtbl.fold (fun _ p acc -> p :: acc) t.pending [] in
+  let pend = List.sort (fun a b -> compare a.order b.order) pend in
+  if not t.presolve then begin
+    List.iter (fun p -> install_row t p.pterms p.plo p.phi) pend;
+    `Ok
+  end
+  else begin
+    let n = t.user_vars in
+    let lo = Array.init n (fun v -> t.lo.(v)) in
+    let hi = Array.init n (fun v -> t.hi.(v)) in
+    let rows =
+      List.map (fun p -> { P.terms = p.pterms; lo = p.plo; hi = p.phi }) pend
+    in
+    match P.run ~n_vars:n ~lo ~hi rows with
+    | P.Infeasible { stats; _ } ->
+      report_stats stats;
+      Obs.Counter.incr c_presolve_infeasible;
+      `Infeasible
+    | P.Reduced { lo; hi; rows; fixed; stats } ->
+      report_stats stats;
+      for v = 0 to n - 1 do
+        t.lo.(v) <- lo.(v);
+        t.hi.(v) <- hi.(v)
+      done;
+      List.iter (fun (v, x) -> t.beta.(v) <- x) fixed;
+      (* re-clamp warm starts to the tightened box so every nonbasic
+         variable starts within bounds *)
+      for v = 0 to n - 1 do
+        (match t.lo.(v) with
+        | Some l when Q.( < ) t.beta.(v) l -> t.beta.(v) <- l
+        | _ -> ());
+        match t.hi.(v) with
+        | Some h when Q.( > ) t.beta.(v) h -> t.beta.(v) <- h
+        | _ -> ()
+      done;
+      List.iter (fun (r : P.row) -> install_row t r.P.terms r.P.lo r.P.hi) rows;
+      `Ok
+  end
 
 (* a fresh basic variable equal to e - const(e), never shared: the
    objective variable must stay basic and unbounded through phase I *)
@@ -142,10 +229,6 @@ let fresh_slack t e =
   t.beta.(s) <- row_value t row;
   s
 
-let add_le t e b = ignore (add_slack t ~hi:b e)
-let add_ge t e b = ignore (add_slack t ~lo:b e)
-let add_eq t e b = ignore (add_slack t ~lo:b ~hi:b e)
-
 let below_lo t x = match t.lo.(x) with Some b -> Q.( < ) t.beta.(x) b | None -> false
 let above_hi t x = match t.hi.(x) with Some b -> Q.( > ) t.beta.(x) b | None -> false
 let can_increase t x = match t.hi.(x) with Some b -> Q.( < ) t.beta.(x) b | None -> true
@@ -153,6 +236,7 @@ let can_decrease t x = match t.lo.(x) with Some b -> Q.( > ) t.beta.(x) b | None
 
 let pivot t xi xj =
   t.pivots <- t.pivots + 1;
+  Obs.Counter.incr c_pivots;
   let row_i = Imap.find xi t.rows in
   let a = Imap.find xj row_i in
   let inv_a = Q.inv a in
@@ -322,15 +406,21 @@ let optimize t z =
   loop ()
 
 let minimize t obj =
-  let z = fresh_slack t (Smt.Linexp.sub obj (Smt.Linexp.const (Smt.Linexp.const_part obj))) in
-  let const = Smt.Linexp.const_part obj in
-  if not (feasibility t) then Infeasible
-  else
-    match optimize t z with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-      let values = Array.init t.user_vars (fun v -> t.beta.(v)) in
-      Optimal { objective = Q.add t.beta.(z) const; values }
+  match build t with
+  | `Infeasible -> Infeasible
+  | `Ok -> (
+    let z =
+      fresh_slack t
+        (Smt.Linexp.sub obj (Smt.Linexp.const (Smt.Linexp.const_part obj)))
+    in
+    let const = Smt.Linexp.const_part obj in
+    if not (feasibility t) then Infeasible
+    else
+      match optimize t z with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+        let values = Array.init t.user_vars (fun v -> t.beta.(v)) in
+        Optimal { objective = Q.add t.beta.(z) const; values })
 
 let maximize t obj =
   match minimize t (Smt.Linexp.neg obj) with

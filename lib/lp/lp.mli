@@ -5,7 +5,14 @@
     objective with Bland's anti-cycling rule.  All arithmetic is exact, so
     optima are exact rationals — this is the reference optimiser the OPF
     module uses, and the ground truth the SMT bounded-cost OPF model is
-    validated against. *)
+    validated against.
+
+    Constraints are recorded, not eagerly turned into tableau rows: the
+    tableau is built on the first [minimize]/[maximize] call, after an
+    optimum-preserving presolve ({!Analysis.Presolve}) has fixed
+    variables, converted singleton rows to bounds, merged proportional
+    rows and dropped redundant ones.  Presolve activity is visible through
+    the [lp.presolve.*] and [lp.exact.pivots] {!Obs} counters. *)
 
 type t
 
@@ -15,7 +22,11 @@ type result =
   | Infeasible
   | Unbounded
 
-val create : unit -> t
+val presolve_default : bool ref
+(** Whether newly created solvers presolve (default [true]); [create]'s
+    [?presolve] overrides it per instance. *)
+
+val create : ?presolve:bool -> unit -> t
 
 val add_var :
   ?lo:Numeric.Rat.t -> ?hi:Numeric.Rat.t -> ?name:string -> t -> int
@@ -23,13 +34,16 @@ val add_var :
 
 val set_initial : t -> int -> Numeric.Rat.t -> unit
 (** Warm start: initial value for a variable (clamped to bounds).  Call
-    before adding constraints that mention it. *)
+    before [minimize]. *)
 
 val add_le : t -> Smt.Linexp.t -> Numeric.Rat.t -> unit
 val add_ge : t -> Smt.Linexp.t -> Numeric.Rat.t -> unit
 val add_eq : t -> Smt.Linexp.t -> Numeric.Rat.t -> unit
 
 val minimize : t -> Smt.Linexp.t -> result
+(** Builds the tableau (one-shot: adding constraints afterwards raises
+    [Invalid_argument]) and solves. *)
+
 val maximize : t -> Smt.Linexp.t -> result
 
 val n_pivots : t -> int

@@ -21,15 +21,42 @@ let not_ = function
   | Not f -> f
   | f -> Not f
 
+exception Decided
+
+(* drop the unit, flatten nested occurrences of the same connective, and
+   short-circuit on the absorbing element *)
+let gather ~unit ~absorbing ~flatten fs =
+  let rec go acc fs =
+    List.fold_left
+      (fun acc f ->
+        if f = unit then acc
+        else if f = absorbing then raise Decided
+        else match flatten f with Some gs -> go acc gs | None -> f :: acc)
+      acc fs
+  in
+  List.rev (go [] fs)
+
 let and_ fs =
-  let fs = List.filter (fun f -> f <> True) fs in
-  if List.exists (fun f -> f = False) fs then False
-  else match fs with [] -> True | [ f ] -> f | fs -> And fs
+  match
+    gather ~unit:True ~absorbing:False
+      ~flatten:(function And gs -> Some gs | _ -> None)
+      fs
+  with
+  | exception Decided -> False
+  | [] -> True
+  | [ f ] -> f
+  | fs -> And fs
 
 let or_ fs =
-  let fs = List.filter (fun f -> f <> False) fs in
-  if List.exists (fun f -> f = True) fs then True
-  else match fs with [] -> False | [ f ] -> f | fs -> Or fs
+  match
+    gather ~unit:False ~absorbing:True
+      ~flatten:(function Or gs -> Some gs | _ -> None)
+      fs
+  with
+  | exception Decided -> True
+  | [] -> False
+  | [ f ] -> f
+  | fs -> Or fs
 
 let implies a b = or_ [ not_ a; b ]
 let iff a b = and_ [ implies a b; implies b a ]

@@ -17,11 +17,25 @@ val tru : t
 val fls : t
 val bvar : int -> t
 val not_ : t -> t
+
 val and_ : t list -> t
+(** Smart constructor: drops [True] conjuncts, short-circuits to [False]
+    on a [False] conjunct, splices nested [And]s in place (the result
+    never directly contains an [And] child), and collapses empty and
+    singleton lists. *)
+
 val or_ : t list -> t
+(** Dual of {!and_}: drops [False], short-circuits on [True], splices
+    nested [Or]s, collapses empty/singleton lists. *)
+
 val implies : t -> t -> t
+(** Built on {!or_}/{!not_}, so constant antecedents fold:
+    [implies tru b = b], [implies fls b = tru]. *)
+
 val iff : t -> t -> t
+
 val ite : t -> t -> t -> t
+(** [ite c a b] folds to [a]/[b] when [c] is constant. *)
 
 (** Comparisons between linear expressions. *)
 

@@ -57,6 +57,8 @@ let fresh_real ?name s =
   s.nreals <- max s.nreals (v + 1);
   v
 
+let n_bools s = Sat.nvars s.sat
+let n_reals s = s.nreals
 let bool_name s v = Hashtbl.find_opt s.bool_names v
 let real_name s v = Hashtbl.find_opt s.real_names v
 

@@ -13,6 +13,14 @@ val create : unit -> t
 val fresh_bool : ?name:string -> t -> int
 val fresh_real : ?name:string -> t -> int
 
+val n_bools : t -> int
+(** Number of Boolean (SAT) variables allocated so far, Tseitin and
+    internal variables included: every valid [Form.Bvar] id is below it. *)
+
+val n_reals : t -> int
+(** Number of theory (real) variables allocated so far: every valid
+    [Linexp] variable id is below it. *)
+
 val bool_name : t -> int -> string option
 (** Name passed to {!fresh_bool} for this variable, if any. *)
 

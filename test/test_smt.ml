@@ -363,6 +363,58 @@ let model_check_tests =
           List.for_all (eval_form bvals rvals) fs);
   ]
 
+(* ---- smart-constructor rewrites ---- *)
+
+let form = Alcotest.testable F.pp ( = )
+
+let form_tests =
+  let b n = F.bvar n in
+  [
+    Alcotest.test_case "and_ drops true and flattens nesting" `Quick (fun () ->
+        Alcotest.check form "flattened"
+          (F.And [ b 0; b 1; b 2; b 3 ])
+          (F.and_ [ b 0; F.tru; F.and_ [ b 1; F.and_ [ b 2; b 3 ] ] ]));
+    Alcotest.test_case "and_ short-circuits on false" `Quick (fun () ->
+        Alcotest.check form "false wins"
+          F.fls
+          (F.and_ [ b 0; F.and_ [ b 1; F.fls ]; b 2 ]));
+    Alcotest.test_case "and_ of nothing is true" `Quick (fun () ->
+        Alcotest.check form "unit" F.tru (F.and_ [ F.tru; F.and_ [] ]));
+    Alcotest.test_case "and_ collapses a singleton" `Quick (fun () ->
+        Alcotest.check form "singleton" (b 7) (F.and_ [ F.tru; b 7 ]));
+    Alcotest.test_case "or_ drops false and flattens nesting" `Quick (fun () ->
+        Alcotest.check form "flattened"
+          (F.Or [ b 0; b 1; b 2; b 3 ])
+          (F.or_ [ b 0; F.fls; F.or_ [ b 1; F.or_ [ b 2; b 3 ] ] ]));
+    Alcotest.test_case "or_ short-circuits on true" `Quick (fun () ->
+        Alcotest.check form "true wins"
+          F.tru
+          (F.or_ [ b 0; F.or_ [ F.tru; b 1 ] ]));
+    Alcotest.test_case "or_ of nothing is false" `Quick (fun () ->
+        Alcotest.check form "unit" F.fls (F.or_ [ F.fls; F.or_ [] ]));
+    Alcotest.test_case "or_ does not splice an and_ child" `Quick (fun () ->
+        Alcotest.check form "mixed kept"
+          (F.Or [ b 0; F.And [ b 1; b 2 ] ])
+          (F.or_ [ b 0; F.and_ [ b 1; b 2 ] ]));
+    Alcotest.test_case "implies folds constant antecedents" `Quick (fun () ->
+        Alcotest.check form "true antecedent" (b 1) (F.implies F.tru (b 1));
+        Alcotest.check form "false antecedent" F.tru (F.implies F.fls (b 1));
+        Alcotest.check form "true consequent" F.tru (F.implies (b 0) F.tru));
+    Alcotest.test_case "ite folds constant conditions" `Quick (fun () ->
+        Alcotest.check form "ite true" (b 1) (F.ite F.tru (b 1) (b 2));
+        Alcotest.check form "ite false" (b 2) (F.ite F.fls (b 1) (b 2)));
+    Alcotest.test_case "constant atoms fold to a decision" `Quick (fun () ->
+        Alcotest.check form "0 <= 1"
+          F.tru
+          (F.le (L.const Q.zero) (L.const Q.one));
+        Alcotest.check form "1 <= 0"
+          F.fls
+          (F.le (L.const Q.one) (L.const Q.zero));
+        Alcotest.check form "x - x = 0"
+          F.tru
+          (F.eq (L.var 0) (L.var 0)));
+  ]
+
 let () =
   Alcotest.run "smt"
     [
@@ -370,4 +422,5 @@ let () =
       ("lra", lra_tests);
       ("cardinality", card_tests);
       ("model-check", model_check_tests);
+      ("form-rewrites", form_tests);
     ]
