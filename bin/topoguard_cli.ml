@@ -2,7 +2,14 @@
 
    Sub-commands: opf, se, attack, impact, gen (write a bundled test system
    to a file), lint (static analysis of grid data), defend, contingency,
-   acpf, audit. *)
+   acpf, audit, serve (resident scenario service), submit (its client).
+
+   Exit codes (documented in README.md; keep the two in sync):
+     0  success (for serve: graceful drain)
+     1  runtime/analysis failure (infeasible OPF, lint errors, job
+        failed/timed out/cancelled, server startup failure)
+     2  input parse or usage errors
+     3  --check-model found model errors *)
 
 module Q = Numeric.Rat
 module N = Grid.Network
@@ -32,8 +39,10 @@ let base_state_of spec kind =
   match result with
   | Ok b -> b
   | Error e ->
+    (* the file parsed; failing to construct the operating point is an
+       analysis failure (exit 1), not an input error (exit 2) *)
     Format.eprintf "base state error: %s@." e;
-    exit 2
+    exit 1
 
 (* ---- observability (--stats / --stats-json) ---- *)
 
@@ -293,8 +302,27 @@ let attack_cmd =
 (* ---- impact ---- *)
 
 let impact_cmd =
-  let run file mode base increase max_candidates single_line check_model jobs
-      stats =
+  let pp_outcome = function
+    | Topoguard.Impact.Attack_found s ->
+      Format.printf "attack found after %d candidate(s):@.%a"
+        s.Topoguard.Impact.candidates Attack.Vector.pp
+        s.Topoguard.Impact.vector;
+      Format.printf "T* = $%s, threshold = $%s@."
+        (qs ~d:2 s.Topoguard.Impact.base_cost)
+        (qs ~d:2 s.Topoguard.Impact.threshold);
+      (match s.Topoguard.Impact.poisoned_cost with
+      | Some c -> Format.printf "poisoned optimum = $%s@." (qs ~d:2 c)
+      | None -> ())
+    | Topoguard.Impact.No_attack { candidates } ->
+      Format.printf
+        "no stealthy attack achieves the target (%d candidates examined)@."
+        candidates
+    | Topoguard.Impact.Base_infeasible e ->
+      Format.printf "base case infeasible: %s@." e;
+      exit 1
+  in
+  let run file mode base increase sweep max_candidates single_line check_model
+      jobs stats =
     let spec = load_spec file in
     let spec =
       match increase with
@@ -321,29 +349,41 @@ let impact_cmd =
         ?max_topology_changes:config.Topoguard.Impact.max_topology_changes
         ~mode spec b;
     with_stats stats @@ fun () ->
-    match Topoguard.Impact.analyze ~config ~scenario:spec ~base:b () with
-    | Topoguard.Impact.Attack_found s ->
-      Format.printf "attack found after %d candidate(s):@.%a"
-        s.Topoguard.Impact.candidates Attack.Vector.pp
-        s.Topoguard.Impact.vector;
-      Format.printf "T* = $%s, threshold = $%s@."
-        (qs ~d:2 s.Topoguard.Impact.base_cost)
-        (qs ~d:2 s.Topoguard.Impact.threshold);
-      (match s.Topoguard.Impact.poisoned_cost with
-      | Some c -> Format.printf "poisoned optimum = $%s@." (qs ~d:2 c)
-      | None -> ())
-    | Topoguard.Impact.No_attack { candidates } ->
-      Format.printf
-        "no stealthy attack achieves the target (%d candidates examined)@."
-        candidates
-    | Topoguard.Impact.Base_infeasible e ->
-      Format.printf "base case infeasible: %s@." e;
-      exit 1
+    match sweep with
+    | None ->
+      pp_outcome (Topoguard.Impact.analyze ~config ~scenario:spec ~base:b ())
+    | Some pcts ->
+      let increases =
+        List.filter_map
+          (fun s ->
+            let s = String.trim s in
+            if s = "" then None else Some (Q.of_decimal_string s))
+          (String.split_on_char ',' pcts)
+      in
+      if increases = [] then begin
+        Format.eprintf "error: --sweep needs a comma-separated list of percentages@.";
+        exit 2
+      end;
+      List.iter
+        (fun (pct, outcome) ->
+          Format.printf "== target increase %s%% ==@." (qs ~d:2 pct);
+          pp_outcome outcome)
+        (Topoguard.Impact.analyze_sweep ~config ~scenario:spec ~base:b
+           ~increases ())
   in
   let increase =
     Arg.(value & opt (some string) None
          & info [ "increase" ] ~docv:"PCT"
              ~doc:"Override the target cost increase (percent).")
+  in
+  let sweep =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ] ~docv:"PCTS"
+             ~doc:"Run the analysis against several target increases \
+                   (comma-separated percentages, e.g. $(b,2,5,10)), sharing \
+                   the base OPF, candidate enumeration, and per-candidate \
+                   poisoned optima across targets instead of restarting per \
+                   target.")
   in
   let max_candidates =
     Arg.(value & opt int 200
@@ -362,8 +402,8 @@ let impact_cmd =
        ~doc:"Full impact analysis (paper Fig. 2): can a stealthy attack \
              raise the OPF cost by the target percentage?")
     Term.(
-      const run $ file_arg $ mode_arg $ base_arg $ increase $ max_candidates
-      $ single_line $ check_model_arg $ jobs_arg $ stats_term)
+      const run $ file_arg $ mode_arg $ base_arg $ increase $ sweep
+      $ max_candidates $ single_line $ check_model_arg $ jobs_arg $ stats_term)
 
 (* ---- gen ---- *)
 
@@ -499,6 +539,234 @@ let acpf_cmd =
        ~doc:"Full AC power flow (Newton-Raphson) at the base operating point.")
     Term.(const run $ file_arg $ base_arg)
 
+(* ---- serve / submit ---- *)
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/topoguard.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the scenario service listens on.")
+
+let serve_cmd =
+  let run socket jobs queue_cap cache_mb journal timeout verbose =
+    let cfg =
+      {
+        Serve.Server.socket_path = socket;
+        jobs = max 1 (resolve_jobs jobs);
+        queue_capacity = queue_cap;
+        cache_bytes = cache_mb * 1024 * 1024;
+        journal;
+        default_timeout = timeout;
+        verbose;
+      }
+    in
+    match Serve.Server.run cfg with
+    | Ok () -> ()
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 1
+  in
+  let queue_cap =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Bound on queued-not-yet-running jobs; a full queue \
+                   rejects submissions with a $(b,retry_after) hint instead \
+                   of buffering unboundedly.")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64
+         & info [ "cache-mb" ] ~docv:"MB"
+             ~doc:"Byte budget (MiB) of the in-memory result store; least \
+                   recently used entries are evicted past it.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Append-only journal persisting the result store across \
+                   restarts.  A truncated tail record (crash mid-write) is \
+                   dropped on reopen, never fatal.")
+  in
+  let timeout =
+    Arg.(value & opt float 300.
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Default per-job wall-clock limit when a submission does \
+                   not carry its own.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ] ~doc:"Log job lifecycle events to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident scenario service: accepts impact-analysis \
+             jobs over a Unix-domain socket (line-delimited JSON), answers \
+             repeats from a content-addressed result cache, and drains \
+             gracefully on SIGTERM (exit 0).  Exits 1 on startup failure \
+             (socket in use, unreadable journal).")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue_cap $ cache_mb $ journal
+      $ timeout $ verbose)
+
+let submit_cmd =
+  let run file socket mode base increase max_candidates single_line backend
+      timeout journal wait_timeout =
+    let grid =
+      try
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error e ->
+        Format.eprintf "error: %s@." e;
+        exit 2
+    in
+    let sub =
+      {
+        Serve.Protocol.grid;
+        mode;
+        base;
+        increase;
+        max_candidates;
+        single_line;
+        backend;
+        timeout;
+      }
+    in
+    let print_result j = print_endline (Obs.Json.to_string j) in
+    let offline reason =
+      match journal with
+      | None ->
+        Format.eprintf "error: %s@." reason;
+        exit 1
+      | Some journal -> (
+        (* no server: answer from the warm cache on disk if we can *)
+        match Grid.Spec.parse grid with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          exit 2
+        | Ok spec -> (
+          match Serve.Client.offline_lookup ~journal ~spec ~submit:sub with
+          | Ok (Some result) ->
+            Format.printf "offline cache hit (%s)@." reason;
+            print_result result
+          | Ok None ->
+            Format.eprintf "error: %s, and the journal has no cached result@."
+              reason;
+            exit 1
+          | Error e ->
+            Format.eprintf "error: %s@." e;
+            exit 1))
+    in
+    match Serve.Client.connect socket with
+    | Error e -> offline e
+    | Ok client -> (
+      let fail e =
+        Serve.Client.close client;
+        Format.eprintf "error: %s@." e;
+        exit 1
+      in
+      match Serve.Client.submit client sub with
+      | Error e -> fail e
+      | Ok resp -> (
+        match Obs.Json.member "ok" resp with
+        | Some (Obs.Json.Bool true) -> (
+          let id =
+            match Obs.Json.member "id" resp with
+            | Some (Obs.Json.Int id) -> id
+            | _ -> fail "malformed submit response"
+          in
+          let cached =
+            match Obs.Json.member "cached" resp with
+            | Some (Obs.Json.Bool b) -> b
+            | _ -> false
+          in
+          match Serve.Client.await client ~id ~timeout:wait_timeout () with
+          | Error e -> fail e
+          | Ok ("done", Some result) ->
+            Format.printf "job %d: done%s@." id
+              (if cached then " (cached)" else "");
+            print_result result;
+            Serve.Client.close client
+          | Ok ("done", None) -> fail "result missing"
+          | Ok (status, _) ->
+            Format.printf "job %d: %s@." id status;
+            Serve.Client.close client;
+            exit 1)
+        | _ -> (
+          match Obs.Json.member "error" resp with
+          | Some (Obs.Json.String "queue_full") ->
+            let hint =
+              match Obs.Json.member "retry_after" resp with
+              | Some (Obs.Json.Float s) -> Printf.sprintf " (retry in %gs)" s
+              | _ -> ""
+            in
+            fail ("server queue full" ^ hint)
+          | Some (Obs.Json.String e) -> fail e
+          | _ -> fail "malformed response")))
+  in
+  let enum_str l = Arg.enum (List.map (fun s -> (s, s)) l) in
+  let mode =
+    Arg.(value & opt (enum_str [ "topo"; "state"; "ufdi" ]) "topo"
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Attack mode: $(b,topo), $(b,state), or $(b,ufdi).")
+  in
+  let base =
+    Arg.(value
+         & opt (enum_str [ "opf"; "proportional"; "case-study" ]) "case-study"
+         & info [ "base" ] ~docv:"KIND"
+             ~doc:"Observed operating point: $(b,opf), $(b,proportional), \
+                   or $(b,case-study).")
+  in
+  let increase =
+    Arg.(value & opt (some string) None
+         & info [ "increase" ] ~docv:"PCT"
+             ~doc:"Override the target cost increase (percent).")
+  in
+  let max_candidates =
+    Arg.(value & opt int 200
+         & info [ "max-candidates" ] ~docv:"N"
+             ~doc:"Bound on candidate attack vectors to examine.")
+  in
+  let single_line =
+    Arg.(value & flag
+         & info [ "single-line" ]
+             ~doc:"Restrict to single-line attacks (closed-form path).")
+  in
+  let backend =
+    Arg.(value & opt (enum_str [ "lp"; "smt"; "factors" ]) "lp"
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"OPF verification backend: $(b,lp) (exact), $(b,smt) \
+                   (bounded queries), or $(b,factors) (shift factors).")
+  in
+  let timeout =
+    Arg.(value & opt float 0.
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-job wall-clock limit; 0 uses the server default.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"If no server is listening, answer from this store \
+                   journal instead (offline mode): a scenario any previous \
+                   server run has solved needs no server at all.")
+  in
+  let wait_timeout =
+    Arg.(value & opt float 600.
+         & info [ "wait" ] ~docv:"SECONDS"
+             ~doc:"Give up polling for the result after $(docv) seconds.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit an impact-analysis job to a running $(b,topoguard \
+             serve) instance and wait for the result.  Exits 0 when the \
+             job completes, 1 when it fails, times out, is cancelled, or \
+             no server (and no cached result) is available, 2 on input \
+             errors.")
+    Term.(
+      const run $ file_arg $ socket_arg $ mode $ base $ increase
+      $ max_candidates $ single_line $ backend $ timeout $ journal
+      $ wait_timeout)
+
 (* ---- audit ---- *)
 
 let audit_cmd =
@@ -518,5 +786,6 @@ let () =
        (Cmd.group (Cmd.info "topoguard" ~doc)
           [
             lint_cmd; opf_cmd; se_cmd; attack_cmd; impact_cmd; gen_cmd;
-            defend_cmd; contingency_cmd; acpf_cmd; audit_cmd;
+            defend_cmd; contingency_cmd; acpf_cmd; audit_cmd; serve_cmd;
+            submit_cmd;
           ]))

@@ -6,11 +6,15 @@ module N = Grid.Network
 
 type opf_backend = Lp_exact | Smt_bounded | Fast_factors
 
+exception Interrupted
+
 let obs_iterations = Obs.Counter.make "attack.loop.iterations"
 let obs_candidates = Obs.Counter.make "attack.loop.candidates"
 let obs_blocked = Obs.Counter.make "attack.loop.blocked"
 let obs_loop_timer = Obs.Timer.make "attack.loop.analyze"
 let obs_verify_timer = Obs.Timer.make "attack.loop.verify_impact"
+let obs_sweep_reused = Obs.Counter.make "attack.sweep.reused_verifications"
+let obs_sweep_targets = Obs.Counter.make "attack.sweep.targets"
 
 type config = {
   mode : Attack.Encoder.mode;
@@ -26,6 +30,11 @@ type config = {
       (* verification parallelism for the closed-form path; <= 1 is
          sequential, 0 would also be sequential (use Pool.default_jobs ()
          explicitly for the machine's recommended width) *)
+  interrupt : (unit -> bool) option;
+      (* cooperative cancellation/timeout probe, checked between solver
+         iterations and candidate verifications *)
+  store : Store.Cache.t option;
+      (* content-addressed cache for the per-candidate OPF verifications *)
 }
 
 let default_config =
@@ -37,6 +46,8 @@ let default_config =
     max_topology_changes = None;
     use_closed_form = false;
     jobs = 1;
+    interrupt = None;
+    store = None;
   }
 
 type success = {
@@ -52,31 +63,106 @@ type outcome =
   | No_attack of { candidates : int }
   | Base_infeasible of string
 
+let check_interrupt config =
+  match config.interrupt with
+  | Some probe -> if probe () then raise Interrupted
+  | None -> ()
+
+let threshold_of ~base_cost pct =
+  Q.mul base_cost (Q.add Q.one (Q.div pct (Q.of_int 100)))
+
+(* ---- verification store (partial reuse across scenarios) ----
+
+   The poisoned optimum depends only on the grid, the mapped topology and
+   the shifted loads — not on the threshold — so for the exact backends a
+   verification can be answered from the store and compared against any
+   threshold.  The SMT backend's bounded query is threshold-dependent and
+   bypasses the store. *)
+
+let backend_tag = function
+  | Lp_exact -> "lp"
+  | Smt_bounded -> "smt"
+  | Fast_factors -> "factors"
+
+(* "cost <num[/den]>" | "noconv" *)
+let encode_verdict = function
+  | `Cost c -> "cost " ^ Q.to_string c
+  | `NoConv -> "noconv"
+
+let decode_verdict s =
+  if s = "noconv" then Some `NoConv
+  else
+    match String.split_on_char ' ' s with
+    | [ "cost"; q ] -> (
+      match String.split_on_char '/' q with
+      | [ n ] -> (
+        match Numeric.Bigint.of_string n with
+        | n -> Some (`Cost (Q.make n Numeric.Bigint.one))
+        | exception _ -> None)
+      | [ n; d ] -> (
+        match (Numeric.Bigint.of_string n, Numeric.Bigint.of_string d) with
+        | n, d -> Some (`Cost (Q.make n d))
+        | exception _ -> None)
+      | _ -> None)
+    | _ -> None
+
+let verify_store_key config ~grid_fp (vec : Attack.Vector.t) =
+  match (config.store, grid_fp) with
+  | Some store, Some fp when config.backend <> Smt_bounded ->
+    Some
+      ( store,
+        "verify:"
+        ^ Store.Canonical.verify_key ~grid_fp:fp
+            ~backend:(backend_tag config.backend)
+            ~mapped:vec.Attack.Vector.mapped ~loads:vec.Attack.Vector.est_loads
+      )
+  | _ -> None
+
+let grid_fingerprint config grid =
+  match config.store with
+  | Some _ -> Some (Store.Canonical.fingerprint (Store.Canonical.of_network grid))
+  | None -> None
+
+(* the poisoned optimum through an exact backend, as a store verdict *)
+let exact_verdict backend grid (vec : Attack.Vector.t) =
+  let topo = Grid.Topology.make ~mapped:vec.Attack.Vector.mapped grid in
+  let loads = vec.Attack.Vector.est_loads in
+  let solve =
+    match backend with
+    | Fast_factors -> Opf.Opf_auto.solve_factors
+    | Lp_exact | Smt_bounded -> Opf.Dc_opf.solve
+  in
+  match solve ~loads topo with
+  | Opf.Dc_opf.Dispatch d -> `Cost d.Opf.Dc_opf.cost
+  | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> `NoConv
+
+let exact_verdict_cached config ~grid_fp grid vec =
+  match verify_store_key config ~grid_fp vec with
+  | None -> exact_verdict config.backend grid vec
+  | Some (store, key) -> (
+    match Option.bind (Store.Cache.find store key) decode_verdict with
+    | Some verdict -> verdict
+    | None ->
+      let verdict = exact_verdict config.backend grid vec in
+      Store.Cache.add store ~key ~value:(encode_verdict verdict);
+      verdict)
+
 (* the operator runs OPF on the poisoned topology and the shifted loads;
    the attack achieves the impact iff no dispatch beats the threshold
    (Eq. 37) while the OPF still converges (Eq. 38) *)
-let rec verify_impact backend grid (vec : Attack.Vector.t) ~threshold =
-  Obs.Timer.with_ obs_verify_timer (fun () ->
-      verify_impact_inner backend grid vec ~threshold)
-
-and verify_impact_inner backend grid (vec : Attack.Vector.t) ~threshold =
-  let topo = Grid.Topology.make ~mapped:vec.Attack.Vector.mapped grid in
-  let loads = vec.Attack.Vector.est_loads in
-  match backend with
-  | Lp_exact -> (
-    match Opf.Dc_opf.solve ~loads topo with
-    | Opf.Dc_opf.Dispatch d ->
-      if Q.( >= ) d.Opf.Dc_opf.cost threshold then `Success (Some d.Opf.Dc_opf.cost)
+let verify_impact config ~grid_fp grid (vec : Attack.Vector.t) ~threshold =
+  Obs.Timer.with_ obs_verify_timer @@ fun () ->
+  match config.backend with
+  | Lp_exact | Fast_factors -> (
+    match exact_verdict_cached config ~grid_fp grid vec with
+    | `Cost c ->
+      if Q.( >= ) c threshold then `Success (Some c)
       else `Cheaper_dispatch_exists
-    | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> `No_convergence)
-  | Fast_factors -> (
-    match Opf.Opf_auto.solve_factors ~loads topo with
-    | Opf.Dc_opf.Dispatch d ->
-      if Q.( >= ) d.Opf.Dc_opf.cost threshold then `Success (Some d.Opf.Dc_opf.cost)
-      else `Cheaper_dispatch_exists
-    | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> `No_convergence)
+    | `NoConv -> `No_convergence)
   | Smt_bounded -> (
     (* Eq. 37: unsat below the threshold; Eq. 38: sat with a loose budget *)
+    let topo = Grid.Topology.make ~mapped:vec.Attack.Vector.mapped grid in
+    let loads = vec.Attack.Vector.est_loads in
     match Opf.Smt_opf.feasible ~loads topo ~budget:threshold with
     | `Sat -> `Cheaper_dispatch_exists
     | `Unsat -> (
@@ -100,16 +186,15 @@ let base_opf backend grid =
    past a success are cancelled through the pool's shared best-index
    flag).  With jobs <= 1 the pool degrades to the plain sequential loop,
    early exit included. *)
-let analyze_closed_form config ~(scenario : Grid.Spec.t) ~base ~base_cost
-    ~threshold =
-  let grid = scenario.Grid.Spec.grid in
-  let candidates = Attack.Single_line.all_feasible ~scenario ~base in
+let analyze_closed_form config ~grid ~grid_fp ~candidates ~base_cost ~threshold
+    =
   let examined = Atomic.make 0 in
   let verify _i (_, _, vec) =
+    check_interrupt config;
     Obs.Counter.incr obs_iterations;
     Obs.Counter.incr obs_candidates;
     Atomic.incr examined;
-    match verify_impact config.backend grid vec ~threshold with
+    match verify_impact config ~grid_fp grid vec ~threshold with
     | `Success poisoned_cost -> Some (vec, poisoned_cost)
     | `Cheaper_dispatch_exists | `No_convergence ->
       Obs.Counter.incr obs_blocked;
@@ -131,12 +216,49 @@ let analyze_closed_form config ~(scenario : Grid.Spec.t) ~base ~base_cost
       }
   | None -> No_attack { candidates = Atomic.get examined }
 
-let rec analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
-    ~(base : Attack.Base_state.t) () =
-  Obs.Timer.with_ obs_loop_timer (fun () -> analyze_inner ~config ~scenario ~base)
+let closed_form_applies config =
+  config.use_closed_form
+  && config.mode = Attack.Encoder.Topology_only
+  && config.max_topology_changes = Some 1
 
-and analyze_inner ~config ~(scenario : Grid.Spec.t)
+(* the SMT candidate-enumeration loop against one threshold.  The solver
+   may carry blocking clauses from lower thresholds: a blocked candidate
+   has a poisoned optimum strictly below that lower threshold, hence below
+   this one too, so the clauses stay valid for ascending sweeps. *)
+let smt_loop config ~scenario ~grid ~grid_fp ~solver ~vars ~base_cost
+    ~threshold =
+  let rec loop candidates =
+    if candidates >= config.max_candidates then No_attack { candidates }
+    else begin
+      check_interrupt config;
+      Obs.Counter.incr obs_iterations;
+      match Solver.check solver with
+      | `Unsat -> No_attack { candidates }
+      | `Sat -> (
+        Obs.Counter.incr obs_candidates;
+        let vec = Attack.Vector.of_model solver vars scenario in
+        match verify_impact config ~grid_fp grid vec ~threshold with
+        | `Success poisoned_cost ->
+          Attack_found
+            {
+              vector = vec;
+              base_cost;
+              threshold;
+              poisoned_cost;
+              candidates = candidates + 1;
+            }
+        | `Cheaper_dispatch_exists | `No_convergence ->
+          Obs.Counter.incr obs_blocked;
+          Solver.assert_form solver
+            (Attack.Vector.blocking_clause ~precision:config.precision vars vec);
+          loop (candidates + 1))
+    end
+  in
+  loop 0
+
+let analyze_inner ~config ~(scenario : Grid.Spec.t)
     ~(base : Attack.Base_state.t) =
+  check_interrupt config;
   let grid = scenario.Grid.Spec.grid in
   match base_opf config.backend grid with
   | Opf.Dc_opf.Infeasible -> Base_infeasible "attack-free OPF infeasible"
@@ -144,48 +266,148 @@ and analyze_inner ~config ~(scenario : Grid.Spec.t)
   | Opf.Dc_opf.Dispatch base_dispatch ->
     let base_cost = base_dispatch.Opf.Dc_opf.cost in
     let threshold =
-      Q.mul base_cost
-        (Q.add Q.one (Q.div scenario.Grid.Spec.min_increase_pct (Q.of_int 100)))
+      threshold_of ~base_cost scenario.Grid.Spec.min_increase_pct
     in
-    if
-      config.use_closed_form
-      && config.mode = Attack.Encoder.Topology_only
-      && config.max_topology_changes = Some 1
-    then analyze_closed_form config ~scenario ~base ~base_cost ~threshold
+    let grid_fp = grid_fingerprint config grid in
+    if closed_form_applies config then
+      let candidates = Attack.Single_line.all_feasible ~scenario ~base in
+      analyze_closed_form config ~grid ~grid_fp ~candidates ~base_cost
+        ~threshold
     else begin
-    let solver = Solver.create () in
-    let vars =
-      Attack.Encoder.encode ?max_topology_changes:config.max_topology_changes
-        solver ~mode:config.mode ~scenario ~base
-    in
-    let rec loop candidates =
-      if candidates >= config.max_candidates then No_attack { candidates }
-      else begin
-        Obs.Counter.incr obs_iterations;
-        match Solver.check solver with
-        | `Unsat -> No_attack { candidates }
-        | `Sat -> (
-          Obs.Counter.incr obs_candidates;
-          let vec = Attack.Vector.of_model solver vars scenario in
-          match verify_impact config.backend grid vec ~threshold with
-          | `Success poisoned_cost ->
-            Attack_found
-              {
-                vector = vec;
-                base_cost;
-                threshold;
-                poisoned_cost;
-                candidates = candidates + 1;
-              }
-          | `Cheaper_dispatch_exists | `No_convergence ->
-            Obs.Counter.incr obs_blocked;
-            Solver.assert_form solver
-              (Attack.Vector.blocking_clause ~precision:config.precision vars vec);
-            loop (candidates + 1))
-      end
-    in
-    loop 0
+      let solver = Solver.create () in
+      let vars =
+        Attack.Encoder.encode ?max_topology_changes:config.max_topology_changes
+          solver ~mode:config.mode ~scenario ~base
+      in
+      smt_loop config ~scenario ~grid ~grid_fp ~solver ~vars ~base_cost
+        ~threshold
     end
+
+let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
+    ~(base : Attack.Base_state.t) () =
+  Obs.Timer.with_ obs_loop_timer (fun () -> analyze_inner ~config ~scenario ~base)
+
+(* ---- threshold sweeps (satellite of the serving PR) ----
+
+   A sweep over the impact target I re-solves nothing that is
+   threshold-independent:
+
+   - the attack-free OPF and (closed form) the candidate enumeration run
+     once;
+   - with an exact backend, each candidate's poisoned optimum is computed
+     at most once and compared against every threshold (memoised below,
+     and shared further through config.store when present);
+   - on the SMT path one solver and one encoding serve all targets,
+     processed in ascending threshold order so accumulated blocking
+     clauses remain valid (blocked at T means the poisoned optimum is
+     below T, hence below any larger T'). *)
+
+let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
+  let grid = scenario.Grid.Spec.grid in
+  let grid_fp = grid_fingerprint config grid in
+  let candidates = Array.of_list (Attack.Single_line.all_feasible ~scenario ~base) in
+  match config.backend with
+  | Smt_bounded ->
+    (* the bounded-feasibility verdict depends on the threshold: only the
+       enumeration and the base OPF are shared *)
+    List.map
+      (fun pct ->
+        let threshold = threshold_of ~base_cost pct in
+        ( pct,
+          analyze_closed_form config ~grid ~grid_fp
+            ~candidates:(Array.to_list candidates) ~base_cost ~threshold ))
+      increases
+  | Lp_exact | Fast_factors ->
+    let memo = Array.make (Array.length candidates) None in
+    (* verdict plus whether this call actually solved (fresh) or reused *)
+    let verdict i =
+      match memo.(i) with
+      | Some v ->
+        Obs.Counter.incr obs_sweep_reused;
+        (v, false)
+      | None ->
+        check_interrupt config;
+        Obs.Counter.incr obs_iterations;
+        Obs.Counter.incr obs_candidates;
+        let _, _, vec = candidates.(i) in
+        let v =
+          Obs.Timer.with_ obs_verify_timer (fun () ->
+              exact_verdict_cached config ~grid_fp grid vec)
+        in
+        memo.(i) <- Some v;
+        (v, true)
+    in
+    List.map
+      (fun pct ->
+        let threshold = threshold_of ~base_cost pct in
+        let rec scan i =
+          if i >= Array.length candidates then
+            No_attack { candidates = Array.length candidates }
+          else
+            match verdict i with
+            | `Cost c, _ when Q.( >= ) c threshold ->
+              let _, _, vec = candidates.(i) in
+              Attack_found
+                {
+                  vector = vec;
+                  base_cost;
+                  threshold;
+                  poisoned_cost = Some c;
+                  candidates = i + 1;
+                }
+            | (`Cost _ | `NoConv), fresh ->
+              if fresh then Obs.Counter.incr obs_blocked;
+              scan (i + 1)
+        in
+        (pct, scan 0))
+      increases
+
+let sweep_smt config ~scenario ~base ~base_cost ~increases =
+  let grid = scenario.Grid.Spec.grid in
+  let grid_fp = grid_fingerprint config grid in
+  let solver = Solver.create () in
+  let vars =
+    Attack.Encoder.encode ?max_topology_changes:config.max_topology_changes
+      solver ~mode:config.mode ~scenario ~base
+  in
+  (* ascending thresholds keep the accumulated blocking clauses sound *)
+  let indexed = List.mapi (fun i pct -> (i, pct)) increases in
+  let by_threshold =
+    List.sort (fun (_, a) (_, b) -> Q.compare a b) indexed
+  in
+  let results = Array.make (List.length increases) None in
+  List.iter
+    (fun (i, pct) ->
+      let threshold = threshold_of ~base_cost pct in
+      let outcome =
+        smt_loop config ~scenario ~grid ~grid_fp ~solver ~vars ~base_cost
+          ~threshold
+      in
+      results.(i) <- Some (pct, outcome))
+    by_threshold;
+  List.map
+    (fun (i, pct) ->
+      match results.(i) with
+      | Some r -> r
+      | None -> (pct, No_attack { candidates = 0 }) (* unreachable *))
+    indexed
+
+let analyze_sweep ?(config = default_config) ~(scenario : Grid.Spec.t)
+    ~(base : Attack.Base_state.t) ~increases () =
+  Obs.Timer.with_ obs_loop_timer @@ fun () ->
+  Obs.Counter.add obs_sweep_targets (List.length increases);
+  check_interrupt config;
+  let grid = scenario.Grid.Spec.grid in
+  match base_opf config.backend grid with
+  | Opf.Dc_opf.Infeasible ->
+    List.map (fun pct -> (pct, Base_infeasible "attack-free OPF infeasible")) increases
+  | Opf.Dc_opf.Unbounded ->
+    List.map (fun pct -> (pct, Base_infeasible "attack-free OPF unbounded")) increases
+  | Opf.Dc_opf.Dispatch base_dispatch ->
+    let base_cost = base_dispatch.Opf.Dc_opf.cost in
+    if closed_form_applies config then
+      sweep_closed_form config ~scenario ~base ~base_cost ~increases
+    else sweep_smt config ~scenario ~base ~base_cost ~increases
 
 let max_achievable_increase ?(config = default_config)
     ~(scenario : Grid.Spec.t) ~(base : Attack.Base_state.t) () =
@@ -204,6 +426,7 @@ let max_achievable_increase ?(config = default_config)
     let candidates = ref 0 in
     while !continue && !candidates < config.max_candidates do
       incr candidates;
+      check_interrupt config;
       Obs.Counter.incr obs_iterations;
       match Solver.check solver with
       | `Unsat -> continue := false

@@ -14,6 +14,12 @@ type opf_backend =
   | Smt_bounded  (** the paper's bounded-cost SMT feasibility query *)
   | Fast_factors  (** shift-factor OPF (Section IV-A idea 2) *)
 
+exception Interrupted
+(** Raised from inside {!analyze} / {!analyze_sweep} /
+    {!max_achievable_increase} when {!config.interrupt} reports true —
+    the cooperative cancellation/timeout mechanism of the scenario
+    service.  Never raised when [config.interrupt = None]. *)
+
 type config = {
   mode : Attack.Encoder.mode;
   precision : int;  (** blocking-clause discretisation digits *)
@@ -37,6 +43,21 @@ type config = {
           the winner may already have started.  The SMT enumeration loop
           is inherently sequential (each candidate's blocking clause
           feeds the next query) and ignores this field. *)
+  interrupt : (unit -> bool) option;
+      (** probed between solver iterations and candidate verifications;
+          returning [true] aborts the analysis by raising {!Interrupted}.
+          The probe may be called from pool worker domains on the
+          closed-form path, so it must be domain-safe (read an [Atomic],
+          compare against a deadline clock). *)
+  store : Store.Cache.t option;
+      (** content-addressed store for per-candidate OPF verifications.
+          With an exact backend the poisoned optimum is
+          threshold-independent, so entries are keyed by (grid
+          fingerprint, backend, poisoned topology, shifted loads) and are
+          shared between scenarios that differ only in the impact target
+          [I] — and, through the store's journal, across process
+          restarts.  The [Smt_bounded] backend bypasses the store (its
+          verdict depends on the threshold). *)
 }
 
 val default_config : config
@@ -64,6 +85,33 @@ val analyze :
   base:Attack.Base_state.t ->
   unit ->
   outcome
+
+val analyze_sweep :
+  ?config:config ->
+  scenario:Grid.Spec.t ->
+  base:Attack.Base_state.t ->
+  increases:Numeric.Rat.t list ->
+  unit ->
+  (Numeric.Rat.t * outcome) list
+(** Run {!analyze} against several impact targets [I] (percent values
+    overriding [scenario.min_increase_pct]), sharing every
+    threshold-independent computation instead of restarting from scratch
+    per target:
+
+    - the attack-free OPF (and thus [T*]) is solved once;
+    - on the closed-form path the single-line candidates are enumerated
+      once, and with an exact backend each candidate's poisoned optimum
+      is solved at most once and compared against every threshold
+      (reuse is visible as [attack.sweep.reused_verifications] and as
+      flat [attack.loop.iterations] in [--stats]);
+    - on the SMT path one solver and one encoding serve all targets:
+      thresholds are processed in ascending order, which keeps
+      accumulated blocking clauses sound (a candidate blocked at
+      threshold [T] has a poisoned optimum below [T], hence below any
+      larger threshold).
+
+    Results are returned in the input order of [increases].  Outcomes are
+    identical to running {!analyze} per target. *)
 
 val max_achievable_increase :
   ?config:config ->

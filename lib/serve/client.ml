@@ -1,0 +1,82 @@
+module J = Obs.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd; ic = Unix.in_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+    Unix.close fd;
+    Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+
+let close t = try close_in t.ic (* closes the fd *) with Sys_error _ -> ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go ofs =
+    if ofs < n then
+      match Unix.single_write fd b ofs (n - ofs) with
+      | w -> go (ofs + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+  in
+  go 0
+
+let rpc t json =
+  match write_all t.fd (J.to_string json ^ "\n") with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "send: %s" (Unix.error_message e))
+  | () -> (
+    match input_line t.ic with
+    | exception End_of_file -> Error "server closed the connection"
+    | exception Sys_error e -> Error ("receive: " ^ e)
+    | line -> (
+      match J.of_string line with
+      | Ok j -> Ok j
+      | Error e -> Error ("malformed response: " ^ e)))
+
+let request t req = rpc t (Protocol.json_of_request req)
+let submit t s = request t (Protocol.Submit s)
+
+let await t ~id ?(poll_interval = 0.02) ?(timeout = 600.) () =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    if Unix.gettimeofday () > deadline then Error "await: timed out"
+    else
+      match request t (Protocol.Status id) with
+      | Error e -> Error e
+      | Ok resp -> (
+        match J.member "status" resp with
+        | Some (J.String ("queued" | "running")) ->
+          Unix.sleepf poll_interval;
+          loop ()
+        | Some (J.String "done") -> (
+          match request t (Protocol.Result id) with
+          | Error e -> Error e
+          | Ok r -> Ok ("done", J.member "result" r))
+        | Some (J.String terminal) -> Ok (terminal, None)
+        | _ -> (
+          match J.member "error" resp with
+          | Some (J.String e) -> Error e
+          | _ -> Error "await: malformed status response"))
+  in
+  loop ()
+
+let offline_lookup ~journal ~spec ~submit =
+  match Store.Journal.scan journal with
+  | Error e -> Error e
+  | Ok recovery -> (
+    let key = Protocol.job_key spec submit in
+    (* last write wins, as in the cache replay *)
+    let hit =
+      List.fold_left
+        (fun acc (k, v) -> if k = key then Some v else acc)
+        None recovery.Store.Journal.records
+    in
+    match hit with
+    | None -> Ok None
+    | Some v -> (
+      match J.of_string v with
+      | Ok j -> Ok (Some j)
+      | Error e -> Error ("corrupt cached result: " ^ e)))

@@ -1,0 +1,41 @@
+(** Client side of the scenario service: a blocking request/response
+    connection over the Unix-domain socket, plus an offline mode that
+    answers submissions straight from a warm store journal when no
+    server is running. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to a server socket path. *)
+
+val close : t -> unit
+
+val rpc : t -> Obs.Json.t -> (Obs.Json.t, string) result
+(** Send one request line, read one response line.  [Error] covers
+    transport failures (server went away, malformed response); protocol
+    errors come back as [Ok] responses with ["ok"] = false. *)
+
+val request : t -> Protocol.request -> (Obs.Json.t, string) result
+
+val submit : t -> Protocol.submit -> (Obs.Json.t, string) result
+
+val await :
+  t ->
+  id:int ->
+  ?poll_interval:float ->
+  ?timeout:float ->
+  unit ->
+  (string * Obs.Json.t option, string) result
+(** Poll [status] until the job leaves the queued/running states (or
+    [timeout] seconds elapse — default 600); returns the terminal status
+    string and, for ["done"], the result object. *)
+
+val offline_lookup :
+  journal:string ->
+  spec:Grid.Spec.t ->
+  submit:Protocol.submit ->
+  (Obs.Json.t option, string) result
+(** Recover the store journal (read-only) and look the submission's key
+    up — the offline path of [topoguard submit]: a scenario that any
+    previous server run has answered is served with no server at all.
+    [Ok None] = cache miss; [Error] = unreadable journal. *)

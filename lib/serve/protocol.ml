@@ -1,0 +1,145 @@
+module J = Obs.Json
+
+type submit = {
+  grid : string;
+  mode : string;
+  base : string;
+  increase : string option;
+  max_candidates : int;
+  single_line : bool;
+  backend : string;
+  timeout : float;
+}
+
+let default_submit =
+  {
+    grid = "";
+    mode = "topo";
+    base = "case-study";
+    increase = None;
+    max_candidates = 200;
+    single_line = false;
+    backend = "lp";
+    timeout = 0.;
+  }
+
+type request =
+  | Submit of submit
+  | Status of int
+  | Result of int
+  | Cancel of int
+  | Stats
+  | Shutdown
+
+let json_of_request = function
+  | Submit s ->
+    J.Obj
+      ([
+         ("op", J.String "submit");
+         ("grid", J.String s.grid);
+         ("mode", J.String s.mode);
+         ("base", J.String s.base);
+       ]
+      @ (match s.increase with
+        | Some i -> [ ("increase", J.String i) ]
+        | None -> [])
+      @ [
+          ("max_candidates", J.Int s.max_candidates);
+          ("single_line", J.Bool s.single_line);
+          ("backend", J.String s.backend);
+          ("timeout", J.Float s.timeout);
+        ])
+  | Status id -> J.Obj [ ("op", J.String "status"); ("id", J.Int id) ]
+  | Result id -> J.Obj [ ("op", J.String "result"); ("id", J.Int id) ]
+  | Cancel id -> J.Obj [ ("op", J.String "cancel"); ("id", J.Int id) ]
+  | Stats -> J.Obj [ ("op", J.String "stats") ]
+  | Shutdown -> J.Obj [ ("op", J.String "shutdown") ]
+
+let str_field ?default name j =
+  match J.member name j with
+  | Some (J.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing field %S" name))
+
+let int_field ?default name j =
+  match J.member name j with
+  | Some (J.Int n) -> Ok n
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing field %S" name))
+
+let ( let* ) = Result.bind
+
+let submit_of_json j =
+  let d = default_submit in
+  let* grid = str_field "grid" j in
+  let* mode = str_field ~default:d.mode "mode" j in
+  let* base = str_field ~default:d.base "base" j in
+  let increase =
+    match J.member "increase" j with Some (J.String s) -> Some s | _ -> None
+  in
+  let* max_candidates = int_field ~default:d.max_candidates "max_candidates" j in
+  let single_line =
+    match J.member "single_line" j with Some (J.Bool b) -> b | _ -> false
+  in
+  let* backend = str_field ~default:d.backend "backend" j in
+  let timeout =
+    match J.member "timeout" j with
+    | Some (J.Float f) -> f
+    | Some (J.Int n) -> float_of_int n
+    | _ -> d.timeout
+  in
+  if not (List.mem mode [ "topo"; "state"; "ufdi" ]) then
+    Error (Printf.sprintf "unknown mode %S" mode)
+  else if not (List.mem base [ "opf"; "proportional"; "case-study" ]) then
+    Error (Printf.sprintf "unknown base %S" base)
+  else if not (List.mem backend [ "lp"; "smt"; "factors" ]) then
+    Error (Printf.sprintf "unknown backend %S" backend)
+  else
+    Ok
+      {
+        grid;
+        mode;
+        base;
+        increase;
+        max_candidates;
+        single_line;
+        backend;
+        timeout;
+      }
+
+let request_of_json j =
+  let* op = str_field "op" j in
+  match op with
+  | "submit" ->
+    let* s = submit_of_json j in
+    Ok (Submit s)
+  | "status" ->
+    let* id = int_field "id" j in
+    Ok (Status id)
+  | "result" ->
+    let* id = int_field "id" j in
+    Ok (Result id)
+  | "cancel" ->
+    let* id = int_field "id" j in
+    Ok (Cancel id)
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let job_params s =
+  [
+    ("mode", s.mode);
+    ("base", s.base);
+    ("increase", Option.value ~default:"" s.increase);
+    ("max_candidates", string_of_int s.max_candidates);
+    ("single_line", if s.single_line then "1" else "0");
+    ("backend", s.backend);
+  ]
+
+let job_key spec s = "job:" ^ Store.Canonical.key ~params:(job_params s) spec

@@ -1,0 +1,49 @@
+(** The scenario service's wire protocol: one JSON object per line, both
+    directions, over a Unix-domain stream socket (newlines inside grid
+    payloads are JSON-escaped by construction, so framing is trivial).
+
+    Requests carry an ["op"] discriminator; responses always carry
+    ["ok"] — [true] with op-specific fields, or [false] with ["error"]
+    (and ["retry_after"] seconds when the job queue is full).  See
+    docs/serving.md for the full specification and an example session. *)
+
+type submit = {
+  grid : string;  (** grid-file content, paper text format *)
+  mode : string;  (** ["topo"] | ["state"] | ["ufdi"] *)
+  base : string;  (** ["opf"] | ["proportional"] | ["case-study"] *)
+  increase : string option;
+      (** decimal percent overriding the file's target increase [I] *)
+  max_candidates : int;
+  single_line : bool;  (** closed-form single-line enumeration *)
+  backend : string;  (** ["lp"] | ["smt"] | ["factors"] *)
+  timeout : float;  (** per-job wall-clock seconds; [<= 0] = server default *)
+}
+
+val default_submit : submit
+(** [mode = "topo"], [base = "case-study"], no increase override,
+    [max_candidates = 200], SMT enumeration, [backend = "lp"], server
+    default timeout — mirroring the CLI defaults of [topoguard impact]. *)
+
+type request =
+  | Submit of submit
+  | Status of int
+  | Result of int
+  | Cancel of int
+  | Stats
+  | Shutdown
+
+val json_of_request : request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (request, string) result
+
+val job_params : submit -> (string * string) list
+(** The key-relevant scenario parameters (mode, base, increase override,
+    candidate bound, enumeration strategy, backend).  The timeout is
+    deliberately excluded: it bounds the computation, it does not change
+    the answer. *)
+
+val job_key : Grid.Spec.t -> submit -> string
+(** The store key under which this submission's result is cached:
+    ["job:" ^ Store.Canonical.key] over the parsed spec and
+    {!job_params}.  Client and server must (and do) derive keys through
+    this one function, which is what makes offline cache lookups
+    possible. *)

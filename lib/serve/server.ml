@@ -1,0 +1,621 @@
+module J = Obs.Json
+module Q = Numeric.Rat
+module I = Topoguard.Impact
+module N = Grid.Network
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_capacity : int;
+  cache_bytes : int;
+  journal : string option;
+  default_timeout : float;
+  verbose : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = 1;
+    queue_capacity = 64;
+    cache_bytes = 64 * 1024 * 1024;
+    journal = None;
+    default_timeout = 300.;
+    verbose = false;
+  }
+
+(* ---- observability ---- *)
+
+let c_requests = Obs.Counter.make "serve.requests"
+let c_submitted = Obs.Counter.make "serve.jobs.submitted"
+let c_rejected = Obs.Counter.make "serve.jobs.rejected"
+let c_cache_hits = Obs.Counter.make "serve.jobs.cache_hits"
+let c_done = Obs.Counter.make "serve.jobs.done"
+let c_failed = Obs.Counter.make "serve.jobs.failed"
+let c_timeout = Obs.Counter.make "serve.jobs.timeout"
+let c_cancelled = Obs.Counter.make "serve.jobs.cancelled"
+
+(* a gauge maintained as +1/-1 updates of an atomic counter, so the queue
+   depth shows up in the same snapshot as everything else *)
+let c_depth = Obs.Counter.make "serve.queue.depth"
+let t_wait = Obs.Timer.make "serve.job.wait"
+let t_run = Obs.Timer.make "serve.job.run"
+
+(* ---- job records ---- *)
+
+type job_state =
+  | Queued
+  | Running
+  | Done
+  | Failed of string
+  | Cancelled
+  | Timed_out
+
+let state_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed _ -> "failed"
+  | Cancelled -> "cancelled"
+  | Timed_out -> "timeout"
+
+type job = {
+  id : int;
+  key : string;
+  submit : Protocol.submit;
+  spec : Grid.Spec.t;
+  timeout : float;
+  submitted_at : float;
+  mutable started_at : float;
+  mutable state : job_state;
+  mutable result : J.t option;
+  cancel : bool Atomic.t;
+  deadline : float Atomic.t;
+  mutable future : J.t Pool.Future.t option;
+}
+
+(* ---- translation to the impact pipeline ---- *)
+
+let mode_of = function
+  | "state" -> Attack.Encoder.With_state_infection
+  | "ufdi" -> Attack.Encoder.Ufdi_only
+  | _ -> Attack.Encoder.Topology_only
+
+let backend_of = function
+  | "smt" -> I.Smt_bounded
+  | "factors" -> I.Fast_factors
+  | _ -> I.Lp_exact
+
+(* mirror of the CLI's --base resolution: the calibrated 5-bus dispatch
+   when it applies, the OPF operating point otherwise *)
+let base_state_of (spec : Grid.Spec.t) kind =
+  let grid = spec.Grid.Spec.grid in
+  match kind with
+  | "opf" -> Attack.Base_state.of_opf grid
+  | "proportional" -> Attack.Base_state.proportional grid
+  | _ ->
+    if grid.N.n_buses = 5 then
+      Attack.Base_state.of_dispatch grid
+        ~gen:(Grid.Test_systems.case_study_base_dispatch ())
+    else Attack.Base_state.of_opf grid
+
+let qs v = Q.to_decimal_string ~digits:6 v
+
+let json_of_outcome (outcome : I.outcome) =
+  match outcome with
+  | I.Attack_found s ->
+    let v = s.I.vector in
+    J.Obj
+      [
+        ("outcome", J.String "attack_found");
+        ("candidates", J.Int s.I.candidates);
+        ("base_cost", J.String (qs s.I.base_cost));
+        ("threshold", J.String (qs s.I.threshold));
+        ( "poisoned_cost",
+          match s.I.poisoned_cost with
+          | Some c -> J.String (qs c)
+          | None -> J.Null );
+        ( "excluded",
+          J.List (List.map (fun i -> J.Int (i + 1)) v.Attack.Vector.excluded) );
+        ( "included",
+          J.List (List.map (fun i -> J.Int (i + 1)) v.Attack.Vector.included) );
+        ( "altered",
+          J.List (List.map (fun i -> J.Int (i + 1)) v.Attack.Vector.altered) );
+        ( "buses",
+          J.List (List.map (fun i -> J.Int (i + 1)) v.Attack.Vector.buses) );
+      ]
+  | I.No_attack { candidates } ->
+    J.Obj
+      [ ("outcome", J.String "no_attack"); ("candidates", J.Int candidates) ]
+  | I.Base_infeasible e ->
+    J.Obj [ ("outcome", J.String "base_infeasible"); ("error", J.String e) ]
+
+(* runs on a pool worker domain *)
+let execute ~store (job : job) =
+  let interrupt () =
+    Atomic.get job.cancel || Obs.Clock.now () > Atomic.get job.deadline
+  in
+  if interrupt () then raise I.Interrupted;
+  let submit = job.submit in
+  let spec =
+    match submit.Protocol.increase with
+    | None -> job.spec
+    | Some pct ->
+      {
+        job.spec with
+        Grid.Spec.min_increase_pct = Q.of_decimal_string pct;
+      }
+  in
+  let base =
+    match base_state_of spec submit.Protocol.base with
+    | Ok b -> b
+    | Error e -> failwith ("base state: " ^ e)
+  in
+  let config =
+    {
+      I.default_config with
+      I.mode = mode_of submit.Protocol.mode;
+      backend = backend_of submit.Protocol.backend;
+      max_candidates = submit.Protocol.max_candidates;
+      use_closed_form = submit.Protocol.single_line;
+      max_topology_changes =
+        (if submit.Protocol.single_line then Some 1
+         else I.default_config.I.max_topology_changes);
+      jobs = 1;
+      interrupt = Some interrupt;
+      store = Some store;
+    }
+  in
+  json_of_outcome (I.analyze ~config ~scenario:spec ~base ())
+
+(* ---- connection plumbing ---- *)
+
+exception Closed
+
+type conn = { fd : Unix.file_descr; mutable carry : string }
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go ofs =
+    if ofs < n then
+      match Unix.single_write fd b ofs (n - ofs) with
+      | w -> go (ofs + w)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ignore (Unix.select [] [ fd ] [] 1.0);
+        go ofs
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Closed
+  in
+  go 0
+
+let ok_fields fields = J.Obj (("ok", J.Bool true) :: fields)
+let err ?retry_after msg =
+  J.Obj
+    ([ ("ok", J.Bool false); ("error", J.String msg) ]
+    @
+    match retry_after with
+    | Some s -> [ ("retry_after", J.Float s) ]
+    | None -> [])
+
+(* ---- the server ---- *)
+
+type t = {
+  cfg : config;
+  store : Store.Cache.t;
+  pool : Pool.t;
+  jobs_tbl : (int, job) Hashtbl.t;
+  pending : int Queue.t;
+  mutable running : int list;
+  mutable next_id : int;
+  mutable conns : conn list;
+  mutable listener : Unix.file_descr option;
+  draining : bool Atomic.t;
+}
+
+let log t fmt =
+  if t.cfg.verbose then
+    Printf.ksprintf (fun s -> Printf.eprintf "topoguard-serve: %s\n%!" s) fmt
+  else Printf.ksprintf ignore fmt
+
+let now () = Obs.Clock.now ()
+
+let queue_depth t =
+  Queue.fold
+    (fun acc id ->
+      match Hashtbl.find_opt t.jobs_tbl id with
+      | Some j when j.state = Queued -> acc + 1
+      | _ -> acc)
+    0 t.pending
+
+let job_status_json (j : job) =
+  let base =
+    [
+      ("id", J.Int j.id);
+      ("status", J.String (state_string j.state));
+      ("key", J.String j.key);
+    ]
+  in
+  match j.state with
+  | Failed e -> base @ [ ("error", J.String e) ]
+  | _ -> base
+
+let handle_submit t (s : Protocol.submit) =
+  if Atomic.get t.draining then err "draining"
+  else
+    match Grid.Spec.parse s.Protocol.grid with
+    | Error e -> err ("parse: " ^ e)
+    | Ok spec -> (
+      let key = Protocol.job_key spec s in
+      let timeout =
+        if s.Protocol.timeout > 0. then s.Protocol.timeout
+        else t.cfg.default_timeout
+      in
+      Obs.Counter.incr c_submitted;
+      match Store.Cache.find t.store key with
+      | Some cached -> (
+        (* answered entirely from the store: no queue slot, no solver *)
+        match J.of_string cached with
+        | Ok result ->
+          Obs.Counter.incr c_cache_hits;
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          let job =
+            {
+              id;
+              key;
+              submit = s;
+              spec;
+              timeout;
+              submitted_at = now ();
+              started_at = now ();
+              state = Done;
+              result = Some result;
+              cancel = Atomic.make false;
+              deadline = Atomic.make infinity;
+              future = None;
+            }
+          in
+          Hashtbl.replace t.jobs_tbl id job;
+          Obs.Counter.incr c_done;
+          ok_fields
+            [
+              ("id", J.Int id);
+              ("status", J.String "done");
+              ("cached", J.Bool true);
+              ("key", J.String key);
+            ]
+        | Error _ ->
+          (* an unreadable cached value is treated as a miss *)
+          err "corrupt cache entry")
+      | None ->
+        if queue_depth t >= t.cfg.queue_capacity then begin
+          Obs.Counter.incr c_rejected;
+          err ~retry_after:1.0 "queue_full"
+        end
+        else begin
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          let job =
+            {
+              id;
+              key;
+              submit = s;
+              spec;
+              timeout;
+              submitted_at = now ();
+              started_at = 0.;
+              state = Queued;
+              result = None;
+              cancel = Atomic.make false;
+              deadline = Atomic.make infinity;
+              future = None;
+            }
+          in
+          Hashtbl.replace t.jobs_tbl id job;
+          Queue.push id t.pending;
+          Obs.Counter.add c_depth 1;
+          log t "job %d queued (key %s)" id key;
+          ok_fields
+            [
+              ("id", J.Int id);
+              ("status", J.String "queued");
+              ("cached", J.Bool false);
+              ("key", J.String key);
+            ]
+        end)
+
+let handle_cancel t id =
+  match Hashtbl.find_opt t.jobs_tbl id with
+  | None -> err (Printf.sprintf "unknown job %d" id)
+  | Some job -> (
+    match job.state with
+    | Queued ->
+      job.state <- Cancelled;
+      Obs.Counter.incr c_cancelled;
+      Obs.Counter.add c_depth (-1);
+      log t "job %d cancelled while queued" id;
+      ok_fields (job_status_json job)
+    | Running ->
+      (* cooperative: the worker observes the flag at its next probe *)
+      Atomic.set job.cancel true;
+      ok_fields (job_status_json job)
+    | Done | Failed _ | Cancelled | Timed_out -> ok_fields (job_status_json job))
+
+let handle_result t id =
+  match Hashtbl.find_opt t.jobs_tbl id with
+  | None -> err (Printf.sprintf "unknown job %d" id)
+  | Some job -> (
+    match (job.state, job.result) with
+    | Done, Some result -> ok_fields (job_status_json job @ [ ("result", result) ])
+    | Done, None -> err "result missing"
+    | (Queued | Running | Failed _ | Cancelled | Timed_out), _ ->
+      ok_fields (job_status_json job))
+
+let stats_json t =
+  ok_fields
+    [
+      ( "queue",
+        J.Obj
+          [
+            ("depth", J.Int (queue_depth t));
+            ("running", J.Int (List.length t.running));
+            ("capacity", J.Int t.cfg.queue_capacity);
+          ] );
+      ( "jobs",
+        J.Obj
+          [
+            ("submitted", J.Int (Obs.Counter.get c_submitted));
+            ("done", J.Int (Obs.Counter.get c_done));
+            ("failed", J.Int (Obs.Counter.get c_failed));
+            ("timeout", J.Int (Obs.Counter.get c_timeout));
+            ("cancelled", J.Int (Obs.Counter.get c_cancelled));
+            ("rejected", J.Int (Obs.Counter.get c_rejected));
+            ("cache_hits", J.Int (Obs.Counter.get c_cache_hits));
+          ] );
+      ("store", Store.Cache.stats_json t.store);
+      ("snapshot", Obs.json_of_snapshot (Obs.snapshot ()));
+    ]
+
+let handle_request t (req : Protocol.request) =
+  Obs.Counter.incr c_requests;
+  match req with
+  | Protocol.Submit s -> handle_submit t s
+  | Protocol.Status id -> (
+    match Hashtbl.find_opt t.jobs_tbl id with
+    | None -> err (Printf.sprintf "unknown job %d" id)
+    | Some job -> ok_fields (job_status_json job))
+  | Protocol.Result id -> handle_result t id
+  | Protocol.Cancel id -> handle_cancel t id
+  | Protocol.Stats -> stats_json t
+  | Protocol.Shutdown ->
+    Atomic.set t.draining true;
+    ok_fields [ ("draining", J.Bool true) ]
+
+let handle_line t line =
+  match J.of_string line with
+  | Error e -> err ("bad json: " ^ e)
+  | Ok j -> (
+    match Protocol.request_of_json j with
+    | Error e -> err e
+    | Ok req -> handle_request t req)
+
+(* ---- scheduling ---- *)
+
+let start_ready_jobs t =
+  while
+    List.length t.running < t.cfg.jobs && not (Queue.is_empty t.pending)
+  do
+    let id = Queue.pop t.pending in
+    match Hashtbl.find_opt t.jobs_tbl id with
+    | Some job when job.state = Queued ->
+      Obs.Counter.add c_depth (-1);
+      job.state <- Running;
+      job.started_at <- now ();
+      Atomic.set job.deadline (job.started_at +. job.timeout);
+      Obs.Timer.add_seconds t_wait (job.started_at -. job.submitted_at);
+      (* the pool always has >= 2 worker domains (see [run]), and we
+         never submit more than cfg.jobs concurrently, so this cannot
+         execute on the event-loop domain *)
+      job.future <- Some (Pool.async t.pool (fun () -> execute ~store:t.store job));
+      t.running <- id :: t.running;
+      log t "job %d started (timeout %.3fs)" id job.timeout
+    | _ -> () (* cancelled while queued: already accounted *)
+  done
+
+let reap_finished t =
+  let still_running = ref [] in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.jobs_tbl id with
+      | None -> ()
+      | Some job -> (
+        match job.future with
+        | None -> ()
+        | Some fut -> (
+          match Pool.Future.poll fut with
+          | `Pending -> still_running := id :: !still_running
+          | `Done | `Failed -> (
+            job.future <- None;
+            Obs.Timer.add_seconds t_run (now () -. job.started_at);
+            match Pool.Future.await fut with
+            | result ->
+              job.state <- Done;
+              job.result <- Some result;
+              Store.Cache.add t.store ~key:job.key ~value:(J.to_string result);
+              Obs.Counter.incr c_done;
+              log t "job %d done" job.id
+            | exception I.Interrupted ->
+              if Atomic.get job.cancel then begin
+                job.state <- Cancelled;
+                Obs.Counter.incr c_cancelled;
+                log t "job %d cancelled" job.id
+              end
+              else begin
+                job.state <- Timed_out;
+                Obs.Counter.incr c_timeout;
+                log t "job %d timed out" job.id
+              end
+            | exception e ->
+              job.state <- Failed (Printexc.to_string e);
+              Obs.Counter.incr c_failed;
+              log t "job %d failed: %s" job.id (Printexc.to_string e)))))
+    t.running;
+  t.running <- !still_running
+
+(* ---- socket lifecycle ---- *)
+
+let bind_listener path =
+  (* a leftover socket file from a dead server must not block restart;
+     a live server must *)
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> false
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false
+      | exception Unix.Unix_error _ -> false
+    in
+    Unix.close probe;
+    if live then Error (Printf.sprintf "socket %s: server already running" path)
+    else begin
+      (try Sys.remove path with Sys_error _ -> ());
+      Ok ()
+    end
+  end
+  else Ok ()
+
+let run cfg =
+  Obs.Clock.set Unix.gettimeofday;
+  Obs.set_enabled true;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match bind_listener cfg.socket_path with
+  | Error e -> Error e
+  | Ok () -> (
+    match Store.Cache.create ~max_bytes:cfg.cache_bytes ?journal:cfg.journal () with
+    | Error e -> Error e
+    | Ok store -> (
+      let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.bind listener (Unix.ADDR_UNIX cfg.socket_path) with
+      | exception Unix.Unix_error (e, _, _) ->
+        Unix.close listener;
+        Store.Cache.close store;
+        Error
+          (Printf.sprintf "bind %s: %s" cfg.socket_path (Unix.error_message e))
+      | () ->
+        Unix.listen listener 16;
+        Unix.set_nonblock listener;
+        let t =
+          {
+            cfg;
+            store;
+            pool = Pool.create ~jobs:(max 2 cfg.jobs) ();
+            jobs_tbl = Hashtbl.create 64;
+            pending = Queue.create ();
+            running = [];
+            next_id = 1;
+            conns = [];
+            listener = Some listener;
+            draining = Atomic.make false;
+          }
+        in
+        let prev_term =
+          Sys.signal Sys.sigterm
+            (Sys.Signal_handle (fun _ -> Atomic.set t.draining true))
+        in
+        log t "listening on %s (%d worker(s), queue %d)" cfg.socket_path
+          cfg.jobs cfg.queue_capacity;
+        let close_conn c =
+          (try Unix.close c.fd with Unix.Unix_error _ -> ());
+          t.conns <- List.filter (fun c' -> c' != c) t.conns
+        in
+        let accept_new () =
+          match t.listener with
+          | None -> ()
+          | Some l ->
+            let continue = ref true in
+            while !continue do
+              match Unix.accept l with
+              | fd, _ ->
+                Unix.set_nonblock fd;
+                t.conns <- { fd; carry = "" } :: t.conns
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                continue := false
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            done
+        in
+        let feed conn chunk =
+          let data = conn.carry ^ chunk in
+          let lines = String.split_on_char '\n' data in
+          let rec go = function
+            | [] -> conn.carry <- ""
+            | [ last ] -> conn.carry <- last
+            | line :: rest ->
+              (if String.trim line <> "" then
+                 let resp = handle_line t line in
+                 write_all conn.fd (J.to_string resp ^ "\n"));
+              go rest
+          in
+          go lines
+        in
+        let read_conn conn =
+          let buf = Bytes.create 65536 in
+          match Unix.read conn.fd buf 0 (Bytes.length buf) with
+          | 0 -> close_conn conn
+          | n -> (
+            match feed conn (Bytes.sub_string buf 0 n) with
+            | () -> ()
+            | exception Closed -> close_conn conn)
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            close_conn conn
+        in
+        let finished () =
+          Atomic.get t.draining
+          && t.running = []
+          && queue_depth t = 0
+        in
+        while not (finished ()) do
+          (* entering drain: stop accepting new connections *)
+          (if Atomic.get t.draining then
+             match t.listener with
+             | Some l ->
+               (try Unix.close l with Unix.Unix_error _ -> ());
+               t.listener <- None;
+               log t "draining: listener closed"
+             | None -> ());
+          let read_fds =
+            (match t.listener with Some l -> [ l ] | None -> [])
+            @ List.map (fun c -> c.fd) t.conns
+          in
+          let readable, _, _ =
+            match Unix.select read_fds [] [] 0.05 with
+            | r -> r
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          (match t.listener with
+          | Some l when List.mem l readable -> accept_new ()
+          | _ -> ());
+          List.iter
+            (fun conn -> if List.mem conn.fd readable then read_conn conn)
+            t.conns;
+          reap_finished t;
+          start_ready_jobs t
+        done;
+        log t "drained: %d job(s) served" (t.next_id - 1);
+        List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+        t.conns <- [];
+        (match t.listener with
+        | Some l -> ( try Unix.close l with Unix.Unix_error _ -> ())
+        | None -> ());
+        (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+        Pool.shutdown t.pool;
+        Store.Cache.close store;
+        Sys.set_signal Sys.sigterm prev_term;
+        Ok ()))

@@ -1,0 +1,41 @@
+(** The resident scenario service.
+
+    One process owns a Unix-domain listening socket and a {!Pool} of
+    worker domains; clients speak the line-delimited JSON protocol of
+    {!Protocol}.  Submissions are keyed through {!Store.Canonical} and
+    answered from the content-addressed store when possible — a cache hit
+    short-circuits the whole job (no solver is created at all).  Misses
+    enter a bounded FIFO queue (backpressure: a full queue rejects with
+    [retry_after] rather than buffering unboundedly) and run on worker
+    domains with a per-job wall-clock deadline and cooperative
+    cancellation via {!Topoguard.Impact.Interrupted}.
+
+    Shutdown: SIGTERM (or the [shutdown] op) puts the server into
+    draining mode — the listener closes, queued and running jobs finish
+    (their results are journaled), open connections can still poll
+    status/results of what they submitted, then {!run} returns.
+
+    Every figure is observable: [serve.queue.depth] (a gauge maintained
+    with +1/-1 counter updates), [serve.jobs.{submitted,done,failed,
+    timeout,cancelled,rejected,cache_hits}], [serve.requests],
+    [store.{hit,miss,evict,insert}] and the [serve.job.{wait,run}]
+    timers all land in the ordinary [Obs] snapshot, which both the
+    [stats] op and the CLI's [--stats]/[--stats-json] report. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** concurrent analyses (worker domains; min 1) *)
+  queue_capacity : int;  (** bound on queued-not-yet-running jobs *)
+  cache_bytes : int;  (** LRU byte budget of the result store *)
+  journal : string option;  (** persistence for the store, if any *)
+  default_timeout : float;  (** per-job seconds when a submit gives none *)
+  verbose : bool;  (** log lifecycle events to stderr *)
+}
+
+val default_config : socket_path:string -> config
+(** jobs 1, queue 64, cache 64 MiB, no journal, 300 s timeout, quiet. *)
+
+val run : config -> (unit, string) result
+(** Blocks until drained.  [Error] covers startup failures (socket in
+    use, unwritable journal) — never job failures, which are reported to
+    the submitting client instead. *)

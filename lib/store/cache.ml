@@ -1,0 +1,72 @@
+let c_hit = Obs.Counter.make "store.hit"
+let c_miss = Obs.Counter.make "store.miss"
+let c_evict = Obs.Counter.make "store.evict"
+let c_insert = Obs.Counter.make "store.insert"
+let c_recovered = Obs.Counter.make "store.journal.recovered"
+let c_dropped = Obs.Counter.make "store.journal.dropped_bytes"
+
+type t = {
+  lru : Lru.t;
+  journal : Journal.t option;
+  mutex : Mutex.t;
+  recovered : int;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create ?(max_bytes = 64 * 1024 * 1024) ?journal () =
+  let lru = Lru.create ~max_bytes in
+  match journal with
+  | None -> Ok { lru; journal = None; mutex = Mutex.create (); recovered = 0 }
+  | Some path -> (
+    match Journal.open_append path with
+    | Error e -> Error e
+    | Ok (j, recovery) ->
+      List.iter
+        (fun (key, value) -> ignore (Lru.add lru ~key ~value))
+        recovery.Journal.records;
+      let n = List.length recovery.Journal.records in
+      Obs.Counter.add c_recovered n;
+      Obs.Counter.add c_dropped recovery.Journal.dropped_bytes;
+      Ok { lru; journal = Some j; mutex = Mutex.create (); recovered = n })
+
+let find t key =
+  locked t @@ fun () ->
+  match Lru.find t.lru key with
+  | Some v ->
+    Obs.Counter.incr c_hit;
+    Some v
+  | None ->
+    Obs.Counter.incr c_miss;
+    None
+
+let add t ~key ~value =
+  locked t @@ fun () ->
+  if not (Lru.mem t.lru key) then begin
+    let evicted = Lru.add t.lru ~key ~value in
+    Obs.Counter.add c_evict (List.length evicted);
+    Obs.Counter.incr c_insert;
+    match t.journal with
+    | Some j -> Journal.append j ~key ~value
+    | None -> ()
+  end
+
+let length t = locked t @@ fun () -> Lru.length t.lru
+let bytes t = locked t @@ fun () -> Lru.bytes t.lru
+let recovered t = t.recovered
+
+let stats_json t =
+  locked t @@ fun () ->
+  Obs.Json.Obj
+    [
+      ("entries", Obs.Json.Int (Lru.length t.lru));
+      ("bytes", Obs.Json.Int (Lru.bytes t.lru));
+      ("max_bytes", Obs.Json.Int (Lru.max_bytes t.lru));
+      ("recovered", Obs.Json.Int t.recovered);
+    ]
+
+let close t =
+  locked t @@ fun () ->
+  match t.journal with Some j -> Journal.close j | None -> ()

@@ -1,0 +1,45 @@
+(** Canonical serialisation and stable content hashing of scenarios.
+
+    A store key must identify the {e semantic} scenario, not the accident
+    of row order inside a [.grid] file: permuting the topology rows
+    (together with their forward/backward flow-measurement rows, which are
+    indexed by line), the generator rows or the load rows describes the
+    same network, so it must hash to the same key — while changing any
+    single field (an admittance, a flag, a budget) must change the key.
+
+    The canonical form therefore sorts each section into a content-defined
+    order before hashing: every line travels with its two flow
+    measurements as one record; bus-injection measurements stay in bus
+    order; generators and loads sort by their (unique-per-bus) records.
+    Rationals are serialised exactly ([num/den]), never through floats.
+
+    Hashes are 128 bits of FNV-1a (two independent 64-bit passes),
+    rendered as 32 hex digits.  The canonical byte string is versioned
+    ([v1]) so any format change invalidates old journals naturally. *)
+
+val fingerprint : string -> string
+(** 32-hex-digit stable hash of an arbitrary byte string. *)
+
+val of_network : Grid.Network.t -> string
+(** Canonical byte serialisation of the grid alone (topology, flow and
+    injection measurements, generators, loads) — reordering-invariant. *)
+
+val of_spec : Grid.Spec.t -> string
+(** {!of_network} plus the scenario scalars: attacker budgets and the
+    cost-constraint pair (reference, target increase). *)
+
+val key : params:(string * string) list -> Grid.Spec.t -> string
+(** Store key for a whole job: hash of {!of_spec} and the name-sorted
+    [params] (mode, precision, backend, ... — caller-defined strings). *)
+
+val verify_key :
+  grid_fp:string ->
+  backend:string ->
+  mapped:bool array ->
+  loads:Numeric.Rat.t array ->
+  string
+(** Store key for one OPF verification inside the impact loop: the
+    poisoned topology and shifted loads over a grid fingerprint
+    ([fingerprint (of_network grid)]).  Thresholds are deliberately
+    excluded — the poisoned optimum is threshold-independent, so sweeps
+    over the impact target [I] share these entries. *)

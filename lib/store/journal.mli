@@ -1,0 +1,41 @@
+(** Append-only on-disk journal of [(key, value)] records.
+
+    File layout: a versioned magic line followed by framed records
+
+    {v
+    topoguard-journal v1\n
+    r <key-bytes> <value-bytes> <fnv-checksum-hex>\n<key><value>\n
+    v}
+
+    The format is crash-tolerant by construction: a record is accepted
+    only if its header line is newline-terminated, the full payload plus
+    trailing newline is present, and the checksum matches — so a tail
+    truncated at {e any} byte offset (or a corrupted tail) is skipped,
+    never fatal, and every complete prefix record is recovered.
+    {!open_append} additionally truncates the file back to its last valid
+    record before appending, so a recovered journal never accretes
+    garbage between records.
+
+    A file whose magic line is missing or names an unknown version is
+    rejected with [Error] — that is a format mismatch, not a crash. *)
+
+type t
+(** A journal opened for appending. *)
+
+type recovery = {
+  records : (string * string) list;  (** complete records, oldest first *)
+  dropped_bytes : int;  (** truncated/corrupt tail bytes skipped *)
+}
+
+val scan : string -> (recovery, string) result
+(** Read-only recovery of every complete record.  Missing file = empty
+    recovery. *)
+
+val open_append : string -> (t * recovery, string) result
+(** Open (creating the file and magic line if needed), recover, truncate
+    any corrupt tail, and position for appending. *)
+
+val append : t -> key:string -> value:string -> unit
+(** Write one record (flushed to the fd with a single [write]). *)
+
+val close : t -> unit

@@ -1,0 +1,71 @@
+type entry = {
+  key : string;
+  value : string;
+  mutable prev : entry option;  (* towards most-recent *)
+  mutable next : entry option;  (* towards least-recent *)
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable head : entry option;  (* most recently used *)
+  mutable tail : entry option;  (* least recently used *)
+  mutable bytes : int;
+  max_bytes : int;
+}
+
+let overhead = 64
+let cost ~key ~value = String.length key + String.length value + overhead
+
+let create ~max_bytes =
+  { table = Hashtbl.create 64; head = None; tail = None; bytes = 0; max_bytes }
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let remove t e =
+  unlink t e;
+  Hashtbl.remove t.table e.key;
+  t.bytes <- t.bytes - cost ~key:e.key ~value:e.value
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e ->
+    unlink t e;
+    push_front t e;
+    Some e.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let add t ~key ~value =
+  (match Hashtbl.find_opt t.table key with Some old -> remove t old | None -> ());
+  let c = cost ~key ~value in
+  if c > t.max_bytes then []
+  else begin
+    let evicted = ref [] in
+    while t.bytes + c > t.max_bytes do
+      match t.tail with
+      | Some lru ->
+        evicted := lru.key :: !evicted;
+        remove t lru
+      | None -> t.bytes <- 0 (* unreachable: c <= max_bytes *)
+    done;
+    let e = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key e;
+    push_front t e;
+    t.bytes <- t.bytes + c;
+    List.rev !evicted
+  end
+
+let length t = Hashtbl.length t.table
+let bytes t = t.bytes
+let max_bytes t = t.max_bytes

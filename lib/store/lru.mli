@@ -1,0 +1,24 @@
+(** In-memory LRU with a byte budget.
+
+    Entries are charged [String.length key + String.length value + 64]
+    bytes (the constant approximates table/list overhead); inserting past
+    the budget evicts least-recently-used entries until the new entry
+    fits.  An entry that alone exceeds the whole budget is not stored.
+    Not thread-safe — {!Cache} serialises access. *)
+
+type t
+
+val create : max_bytes:int -> t
+val find : t -> string -> string option
+(** Promotes the entry to most-recently-used. *)
+
+val mem : t -> string -> bool
+(** Does not promote. *)
+
+val add : t -> key:string -> value:string -> string list
+(** Insert or replace; returns the keys evicted to make room (the
+    replaced key, if any, is not reported as evicted). *)
+
+val length : t -> int
+val bytes : t -> int
+val max_bytes : t -> int

@@ -1,0 +1,229 @@
+(* Tests for lib/serve: protocol encode/decode roundtrips, job-key
+   determinism, and an in-process server (on a detached domain, over a
+   temp socket) exercised through the client: submit, await, cached
+   resubmit, stats, cancel, shutdown, and the offline journal lookup. *)
+
+module J = Obs.Json
+module P = Serve.Protocol
+
+let grid_text = Grid.Spec.print (Grid.Test_systems.case_study_1 ())
+
+let submit_of t =
+  {
+    P.grid = grid_text;
+    mode = "topo";
+    base = "case-study";
+    increase = None;
+    max_candidates = 50;
+    single_line = true;
+    backend = "lp";
+    timeout = t;
+  }
+
+(* ---- protocol ---- *)
+
+let roundtrip req =
+  match P.request_of_json (P.json_of_request req) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+
+let protocol_tests =
+  [
+    Alcotest.test_case "submit roundtrips through JSON" `Quick (fun () ->
+        let s = { (submit_of 2.5) with P.increase = Some "3.5" } in
+        match roundtrip (P.Submit s) with
+        | P.Submit s' ->
+          Alcotest.(check string) "grid" s.P.grid s'.P.grid;
+          Alcotest.(check (option string)) "increase" s.P.increase s'.P.increase;
+          Alcotest.(check bool) "single_line" s.P.single_line s'.P.single_line;
+          Alcotest.(check int) "max_candidates" s.P.max_candidates s'.P.max_candidates;
+          Alcotest.(check string) "backend" s.P.backend s'.P.backend;
+          Alcotest.(check (float 1e-9)) "timeout" s.P.timeout s'.P.timeout
+        | _ -> Alcotest.fail "wrong constructor");
+    Alcotest.test_case "control ops roundtrip" `Quick (fun () ->
+        List.iter
+          (fun req ->
+            Alcotest.(check bool) "same" true (roundtrip req = req))
+          [ P.Status 7; P.Result 3; P.Cancel 12; P.Stats; P.Shutdown ]);
+    Alcotest.test_case "invalid enum values are rejected" `Quick (fun () ->
+        List.iter
+          (fun j ->
+            match P.request_of_json j with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "accepted invalid request")
+          [
+            J.Obj [ ("op", J.String "warp") ];
+            J.Obj [ ("op", J.String "submit"); ("grid", J.String "x");
+                    ("mode", J.String "sideways") ];
+            J.Obj [ ("op", J.String "submit"); ("grid", J.String "x");
+                    ("backend", J.String "quantum") ];
+            J.Obj [ ("op", J.String "status") ];
+          ]);
+    Alcotest.test_case "job key ignores the timeout" `Quick (fun () ->
+        let spec = Grid.Test_systems.case_study_1 () in
+        Alcotest.(check string) "timeout-independent"
+          (P.job_key spec (submit_of 1.))
+          (P.job_key spec (submit_of 99.)));
+    Alcotest.test_case "job key depends on the increase override" `Quick
+      (fun () ->
+        let spec = Grid.Test_systems.case_study_1 () in
+        let s = submit_of 0. in
+        Alcotest.(check bool) "increase matters" false
+          (P.job_key spec s = P.job_key spec { s with P.increase = Some "9" }));
+  ]
+
+(* ---- in-process server over a temp socket ---- *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let expect_ok = function
+  | Error e -> Alcotest.failf "rpc failed: %s" e
+  | Ok resp -> (
+    match J.member "ok" resp with
+    | Some (J.Bool true) -> resp
+    | _ -> Alcotest.failf "server error: %s" (J.to_string resp))
+
+let int_field name j =
+  match J.member name j with
+  | Some (J.Int n) -> n
+  | _ -> Alcotest.failf "missing int field %S in %s" name (J.to_string j)
+
+let bool_field name j =
+  match J.member name j with
+  | Some (J.Bool b) -> b
+  | _ -> Alcotest.failf "missing bool field %S in %s" name (J.to_string j)
+
+let connect_retry path =
+  let rec go n =
+    match Serve.Client.connect path with
+    | Ok c -> c
+    | Error e ->
+      if n = 0 then Alcotest.failf "connect: %s" e
+      else begin
+        Unix.sleepf 0.05;
+        go (n - 1)
+      end
+  in
+  go 100
+
+let server_tests =
+  [
+    Alcotest.test_case "submit/await/cached-resubmit/stats/shutdown" `Slow
+      (fun () ->
+        let socket = tmp (Printf.sprintf "tg-serve-%d.sock" (Unix.getpid ())) in
+        let journal = tmp (Printf.sprintf "tg-serve-%d.j" (Unix.getpid ())) in
+        List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
+          [ socket; journal ];
+        let cfg =
+          { (Serve.Server.default_config ~socket_path:socket) with
+            Serve.Server.journal = Some journal }
+        in
+        let server = Pool.detached (fun () -> Serve.Server.run cfg) in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
+              [ socket; journal ])
+          (fun () ->
+            let c = connect_retry socket in
+            (* first submission computes *)
+            let r1 = expect_ok (Serve.Client.submit c (submit_of 0.)) in
+            Alcotest.(check bool) "first not cached" false (bool_field "cached" r1);
+            let id1 = int_field "id" r1 in
+            (match Serve.Client.await c ~id:id1 ~timeout:60. () with
+            | Ok ("done", Some result) -> (
+              match J.member "outcome" result with
+              | Some (J.String "attack_found") -> ()
+              | _ -> Alcotest.failf "unexpected result %s" (J.to_string result))
+            | Ok (st, _) -> Alcotest.failf "terminal status %s" st
+            | Error e -> Alcotest.failf "await: %s" e);
+            (* identical resubmission answers from the store *)
+            let r2 = expect_ok (Serve.Client.submit c (submit_of 0.)) in
+            Alcotest.(check bool) "second cached" true (bool_field "cached" r2);
+            (* a cached job still serves its result *)
+            let id2 = int_field "id" r2 in
+            (match Serve.Client.request c (P.Result id2) with
+            | Ok resp ->
+              Alcotest.(check bool) "has result" true
+                (J.member "result" resp <> None)
+            | Error e -> Alcotest.failf "result: %s" e);
+            (* stats reflect both *)
+            let stats = expect_ok (Serve.Client.request c P.Stats) in
+            (match J.member "jobs" stats with
+            | Some jobs ->
+              Alcotest.(check int) "submitted" 2 (int_field "submitted" jobs);
+              Alcotest.(check int) "cache hits" 1 (int_field "cache_hits" jobs);
+              Alcotest.(check int) "done" 2 (int_field "done" jobs)
+            | None -> Alcotest.fail "stats missing jobs");
+            (* unknown job ids are errors, not crashes *)
+            (match Serve.Client.request c (P.Status 999) with
+            | Ok resp ->
+              Alcotest.(check bool) "ok=false" false (bool_field "ok" resp)
+            | Error e -> Alcotest.failf "status 999: %s" e);
+            (* graceful shutdown via the protocol *)
+            ignore (expect_ok (Serve.Client.request c P.Shutdown));
+            Serve.Client.close c;
+            (match Pool.Future.await server with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "server exit: %s" e);
+            Alcotest.(check bool) "socket removed" false (Sys.file_exists socket);
+            (* the journal now answers the same submission offline *)
+            let spec = Grid.Test_systems.case_study_1 () in
+            match
+              Serve.Client.offline_lookup ~journal ~spec ~submit:(submit_of 0.)
+            with
+            | Ok (Some result) -> (
+              match J.member "outcome" result with
+              | Some (J.String "attack_found") -> ()
+              | _ -> Alcotest.fail "offline result mismatch")
+            | Ok None -> Alcotest.fail "offline lookup missed"
+            | Error e -> Alcotest.failf "offline lookup: %s" e));
+    Alcotest.test_case "cancel of a queued job and drain on shutdown" `Slow
+      (fun () ->
+        let socket =
+          tmp (Printf.sprintf "tg-serve-c-%d.sock" (Unix.getpid ()))
+        in
+        if Sys.file_exists socket then Sys.remove socket;
+        let cfg = Serve.Server.default_config ~socket_path:socket in
+        let server = Pool.detached (fun () -> Serve.Server.run cfg) in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists socket then Sys.remove socket)
+          (fun () ->
+            let c = connect_retry socket in
+            (* occupy the single worker with a slow job (57-bus, exact
+               backend) so the next submission stays queued *)
+            let slow =
+              {
+                (submit_of 0.) with
+                P.grid = Grid.Spec.print (Grid.Test_systems.ieee 57);
+                base = "proportional";
+                single_line = true;
+              }
+            in
+            let r_slow = expect_ok (Serve.Client.submit c slow) in
+            let id_slow = int_field "id" r_slow in
+            (* distinct key from the slow job: different increase *)
+            let queued = { (submit_of 0.) with P.increase = Some "2" } in
+            let r_q = expect_ok (Serve.Client.submit c queued) in
+            let id_q = int_field "id" r_q in
+            (* cancel it while it waits for the worker *)
+            let r_c = expect_ok (Serve.Client.request c (P.Cancel id_q)) in
+            Alcotest.(check string) "cancelled immediately" "cancelled"
+              (match J.member "status" r_c with
+              | Some (J.String s) -> s
+              | _ -> "?");
+            (* cancel the running job too: cooperative, needs a probe *)
+            ignore (expect_ok (Serve.Client.request c (P.Cancel id_slow)));
+            (match Serve.Client.await c ~id:id_slow ~timeout:60. () with
+            | Ok ("cancelled", _) -> ()
+            | Ok (st, _) -> Alcotest.failf "slow job ended as %s" st
+            | Error e -> Alcotest.failf "await slow: %s" e);
+            ignore (expect_ok (Serve.Client.request c P.Shutdown));
+            Serve.Client.close c;
+            match Pool.Future.await server with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "server exit: %s" e));
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [ ("protocol", protocol_tests); ("server", server_tests) ]
