@@ -556,6 +556,9 @@ let serve_cmd =
         cache_bytes = cache_mb * 1024 * 1024;
         journal;
         default_timeout = timeout;
+        max_terminal_jobs =
+          (Serve.Server.default_config ~socket_path:socket).Serve.Server
+            .max_terminal_jobs;
         verbose;
       }
     in

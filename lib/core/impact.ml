@@ -106,22 +106,21 @@ let decode_verdict s =
       | _ -> None)
     | _ -> None
 
-let verify_store_key config ~grid_fp (vec : Attack.Vector.t) =
-  match (config.store, grid_fp) with
-  | Some store, Some fp when config.backend <> Smt_bounded ->
+(* the key is a canonical serialisation of the poisoned instance itself
+   (each line carries its mapped bit through the content sort), so two
+   .grid files that are row permutations of each other share entries for
+   the same physical topology — and never for different ones *)
+let verify_store_key config grid (vec : Attack.Vector.t) =
+  match config.store with
+  | Some store when config.backend <> Smt_bounded ->
     Some
       ( store,
         "verify:"
-        ^ Store.Canonical.verify_key ~grid_fp:fp
+        ^ Store.Canonical.verify_key
             ~backend:(backend_tag config.backend)
             ~mapped:vec.Attack.Vector.mapped ~loads:vec.Attack.Vector.est_loads
-      )
+            grid )
   | _ -> None
-
-let grid_fingerprint config grid =
-  match config.store with
-  | Some _ -> Some (Store.Canonical.fingerprint (Store.Canonical.of_network grid))
-  | None -> None
 
 (* the poisoned optimum through an exact backend, as a store verdict *)
 let exact_verdict backend grid (vec : Attack.Vector.t) =
@@ -136,8 +135,8 @@ let exact_verdict backend grid (vec : Attack.Vector.t) =
   | Opf.Dc_opf.Dispatch d -> `Cost d.Opf.Dc_opf.cost
   | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> `NoConv
 
-let exact_verdict_cached config ~grid_fp grid vec =
-  match verify_store_key config ~grid_fp vec with
+let exact_verdict_cached config grid vec =
+  match verify_store_key config grid vec with
   | None -> exact_verdict config.backend grid vec
   | Some (store, key) -> (
     match Option.bind (Store.Cache.find store key) decode_verdict with
@@ -150,11 +149,11 @@ let exact_verdict_cached config ~grid_fp grid vec =
 (* the operator runs OPF on the poisoned topology and the shifted loads;
    the attack achieves the impact iff no dispatch beats the threshold
    (Eq. 37) while the OPF still converges (Eq. 38) *)
-let verify_impact config ~grid_fp grid (vec : Attack.Vector.t) ~threshold =
+let verify_impact config grid (vec : Attack.Vector.t) ~threshold =
   Obs.Timer.with_ obs_verify_timer @@ fun () ->
   match config.backend with
   | Lp_exact | Fast_factors -> (
-    match exact_verdict_cached config ~grid_fp grid vec with
+    match exact_verdict_cached config grid vec with
     | `Cost c ->
       if Q.( >= ) c threshold then `Success (Some c)
       else `Cheaper_dispatch_exists
@@ -186,15 +185,14 @@ let base_opf backend grid =
    past a success are cancelled through the pool's shared best-index
    flag).  With jobs <= 1 the pool degrades to the plain sequential loop,
    early exit included. *)
-let analyze_closed_form config ~grid ~grid_fp ~candidates ~base_cost ~threshold
-    =
+let analyze_closed_form config ~grid ~candidates ~base_cost ~threshold =
   let examined = Atomic.make 0 in
   let verify _i (_, _, vec) =
     check_interrupt config;
     Obs.Counter.incr obs_iterations;
     Obs.Counter.incr obs_candidates;
     Atomic.incr examined;
-    match verify_impact config ~grid_fp grid vec ~threshold with
+    match verify_impact config grid vec ~threshold with
     | `Success poisoned_cost -> Some (vec, poisoned_cost)
     | `Cheaper_dispatch_exists | `No_convergence ->
       Obs.Counter.incr obs_blocked;
@@ -225,8 +223,7 @@ let closed_form_applies config =
    may carry blocking clauses from lower thresholds: a blocked candidate
    has a poisoned optimum strictly below that lower threshold, hence below
    this one too, so the clauses stay valid for ascending sweeps. *)
-let smt_loop config ~scenario ~grid ~grid_fp ~solver ~vars ~base_cost
-    ~threshold =
+let smt_loop config ~scenario ~grid ~solver ~vars ~base_cost ~threshold =
   let rec loop candidates =
     if candidates >= config.max_candidates then No_attack { candidates }
     else begin
@@ -237,7 +234,7 @@ let smt_loop config ~scenario ~grid ~grid_fp ~solver ~vars ~base_cost
       | `Sat -> (
         Obs.Counter.incr obs_candidates;
         let vec = Attack.Vector.of_model solver vars scenario in
-        match verify_impact config ~grid_fp grid vec ~threshold with
+        match verify_impact config grid vec ~threshold with
         | `Success poisoned_cost ->
           Attack_found
             {
@@ -268,19 +265,16 @@ let analyze_inner ~config ~(scenario : Grid.Spec.t)
     let threshold =
       threshold_of ~base_cost scenario.Grid.Spec.min_increase_pct
     in
-    let grid_fp = grid_fingerprint config grid in
     if closed_form_applies config then
       let candidates = Attack.Single_line.all_feasible ~scenario ~base in
-      analyze_closed_form config ~grid ~grid_fp ~candidates ~base_cost
-        ~threshold
+      analyze_closed_form config ~grid ~candidates ~base_cost ~threshold
     else begin
       let solver = Solver.create () in
       let vars =
         Attack.Encoder.encode ?max_topology_changes:config.max_topology_changes
           solver ~mode:config.mode ~scenario ~base
       in
-      smt_loop config ~scenario ~grid ~grid_fp ~solver ~vars ~base_cost
-        ~threshold
+      smt_loop config ~scenario ~grid ~solver ~vars ~base_cost ~threshold
     end
 
 let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
@@ -304,7 +298,6 @@ let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
 
 let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
   let grid = scenario.Grid.Spec.grid in
-  let grid_fp = grid_fingerprint config grid in
   let candidates = Array.of_list (Attack.Single_line.all_feasible ~scenario ~base) in
   match config.backend with
   | Smt_bounded ->
@@ -314,7 +307,7 @@ let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
       (fun pct ->
         let threshold = threshold_of ~base_cost pct in
         ( pct,
-          analyze_closed_form config ~grid ~grid_fp
+          analyze_closed_form config ~grid
             ~candidates:(Array.to_list candidates) ~base_cost ~threshold ))
       increases
   | Lp_exact | Fast_factors ->
@@ -332,7 +325,7 @@ let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
         let _, _, vec = candidates.(i) in
         let v =
           Obs.Timer.with_ obs_verify_timer (fun () ->
-              exact_verdict_cached config ~grid_fp grid vec)
+              exact_verdict_cached config grid vec)
         in
         memo.(i) <- Some v;
         (v, true)
@@ -364,7 +357,6 @@ let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
 
 let sweep_smt config ~scenario ~base ~base_cost ~increases =
   let grid = scenario.Grid.Spec.grid in
-  let grid_fp = grid_fingerprint config grid in
   let solver = Solver.create () in
   let vars =
     Attack.Encoder.encode ?max_topology_changes:config.max_topology_changes
@@ -380,8 +372,7 @@ let sweep_smt config ~scenario ~base ~base_cost ~increases =
     (fun (i, pct) ->
       let threshold = threshold_of ~base_cost pct in
       let outcome =
-        smt_loop config ~scenario ~grid ~grid_fp ~solver ~vars ~base_cost
-          ~threshold
+        smt_loop config ~scenario ~grid ~solver ~vars ~base_cost ~threshold
       in
       results.(i) <- Some (pct, outcome))
     by_threshold;

@@ -52,12 +52,16 @@ type config = {
   store : Store.Cache.t option;
       (** content-addressed store for per-candidate OPF verifications.
           With an exact backend the poisoned optimum is
-          threshold-independent, so entries are keyed by (grid
-          fingerprint, backend, poisoned topology, shifted loads) and are
+          threshold-independent, so entries are keyed by a canonical
+          serialisation of the poisoned instance (backend, each line's
+          electrical parameters with its mapped bit, generators, per-bus
+          shifted loads — see {!Store.Canonical.verify_key}) and are
           shared between scenarios that differ only in the impact target
           [I] — and, through the store's journal, across process
-          restarts.  The [Smt_bounded] backend bypasses the store (its
-          verdict depends on the threshold). *)
+          restarts.  The key names the physical topology, not a
+          row-indexed bitstring, so row-permuted copies of a [.grid]
+          file share entries soundly.  The [Smt_bounded] backend
+          bypasses the store (its verdict depends on the threshold). *)
 }
 
 val default_config : config
@@ -110,8 +114,14 @@ val analyze_sweep :
       threshold [T] has a poisoned optimum below [T], hence below any
       larger threshold).
 
-    Results are returned in the input order of [increases].  Outcomes are
-    identical to running {!analyze} per target. *)
+    Results are returned in the input order of [increases].  On the
+    closed-form path, and on the SMT path whenever [max_candidates] does
+    not truncate the enumeration, outcomes are identical to running
+    {!analyze} per target.  When the SMT budget {e is} exhausted the
+    sweep can diverge from fresh per-target runs: the shared solver's
+    accumulated blocking clauses change which candidates each target's
+    [max_candidates] budget examines (the clauses themselves stay sound
+    — only the cut-off point of a truncated search moves). *)
 
 val max_achievable_increase :
   ?config:config ->

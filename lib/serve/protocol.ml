@@ -142,4 +142,13 @@ let job_params s =
     ("backend", s.backend);
   ]
 
-let job_key spec s = "job:" ^ Store.Canonical.key ~params:(job_params s) spec
+(* cached results embed attack-vector line indices numbered by the
+   submission's file-row order, so the key folds that ordering in: a
+   row-permuted copy of a solved grid misses (and recomputes) instead of
+   hitting an entry whose indices name different rows of its file *)
+let job_key (spec : Grid.Spec.t) s =
+  let params =
+    ("row-order", Store.Canonical.ordering spec.Grid.Spec.grid)
+    :: job_params s
+  in
+  "job:" ^ Store.Canonical.key ~params spec

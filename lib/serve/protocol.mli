@@ -43,7 +43,13 @@ val job_params : submit -> (string * string) list
 
 val job_key : Grid.Spec.t -> submit -> string
 (** The store key under which this submission's result is cached:
-    ["job:" ^ Store.Canonical.key] over the parsed spec and
-    {!job_params}.  Client and server must (and do) derive keys through
-    this one function, which is what makes offline cache lookups
-    possible. *)
+    ["job:" ^ Store.Canonical.key] over the parsed spec, {!job_params}
+    and a {!Store.Canonical.ordering} fingerprint of the file's row
+    order.  The ordering term is deliberate: results embed attack-vector
+    line indices numbered by the submitted file's rows, so a row-permuted
+    copy of a solved grid must miss and recompute rather than receive
+    indices that name different rows of its own file (the impact loop's
+    [verify:] entries, which are keyed by physical topology, still carry
+    most of the solve across the permutation).  Client and server must
+    (and do) derive keys through this one function, which is what makes
+    offline cache lookups possible. *)

@@ -10,6 +10,7 @@ type config = {
   cache_bytes : int;
   journal : string option;
   default_timeout : float;
+  max_terminal_jobs : int;
   verbose : bool;
 }
 
@@ -21,6 +22,7 @@ let default_config ~socket_path =
     cache_bytes = 64 * 1024 * 1024;
     journal = None;
     default_timeout = 300.;
+    max_terminal_jobs = 1024;
     verbose = false;
   }
 
@@ -207,6 +209,8 @@ type t = {
   pool : Pool.t;
   jobs_tbl : (int, job) Hashtbl.t;
   pending : int Queue.t;
+  terminal : int Queue.t;
+      (* ids of finished jobs, oldest first; bounds jobs_tbl *)
   mutable running : int list;
   mutable next_id : int;
   mutable conns : conn list;
@@ -220,6 +224,16 @@ let log t fmt =
   else Printf.ksprintf ignore fmt
 
 let now () = Obs.Clock.now ()
+
+(* terminal jobs stay queryable by id for a while, but a resident server
+   must not grow without bound: only the newest cfg.max_terminal_jobs are
+   retained (a status/result request for an evicted id reports it as
+   unknown — the result itself lives on in the store, by key) *)
+let remember_terminal t id =
+  Queue.push id t.terminal;
+  while Queue.length t.terminal > t.cfg.max_terminal_jobs do
+    Hashtbl.remove t.jobs_tbl (Queue.pop t.terminal)
+  done
 
 let queue_depth t =
   Queue.fold
@@ -253,42 +267,53 @@ let handle_submit t (s : Protocol.submit) =
         else t.cfg.default_timeout
       in
       Obs.Counter.incr c_submitted;
-      match Store.Cache.find t.store key with
-      | Some cached -> (
+      let cached =
+        match Store.Cache.find t.store key with
+        | None -> None
+        | Some raw -> (
+          match J.of_string raw with
+          | Ok result -> Some result
+          | Error _ ->
+            (* an unreadable cached value is a miss: drop it and fall
+               through to the enqueue path, so the submission recomputes
+               (and re-stores) instead of failing on every retry until
+               the entry happens to be evicted *)
+            Store.Cache.remove t.store key;
+            log t "dropped corrupt cache entry (key %s)" key;
+            None)
+      in
+      match cached with
+      | Some result ->
         (* answered entirely from the store: no queue slot, no solver *)
-        match J.of_string cached with
-        | Ok result ->
-          Obs.Counter.incr c_cache_hits;
-          let id = t.next_id in
-          t.next_id <- id + 1;
-          let job =
-            {
-              id;
-              key;
-              submit = s;
-              spec;
-              timeout;
-              submitted_at = now ();
-              started_at = now ();
-              state = Done;
-              result = Some result;
-              cancel = Atomic.make false;
-              deadline = Atomic.make infinity;
-              future = None;
-            }
-          in
-          Hashtbl.replace t.jobs_tbl id job;
-          Obs.Counter.incr c_done;
-          ok_fields
-            [
-              ("id", J.Int id);
-              ("status", J.String "done");
-              ("cached", J.Bool true);
-              ("key", J.String key);
-            ]
-        | Error _ ->
-          (* an unreadable cached value is treated as a miss *)
-          err "corrupt cache entry")
+        Obs.Counter.incr c_cache_hits;
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let job =
+          {
+            id;
+            key;
+            submit = s;
+            spec;
+            timeout;
+            submitted_at = now ();
+            started_at = now ();
+            state = Done;
+            result = Some result;
+            cancel = Atomic.make false;
+            deadline = Atomic.make infinity;
+            future = None;
+          }
+        in
+        Hashtbl.replace t.jobs_tbl id job;
+        remember_terminal t id;
+        Obs.Counter.incr c_done;
+        ok_fields
+          [
+            ("id", J.Int id);
+            ("status", J.String "done");
+            ("cached", J.Bool true);
+            ("key", J.String key);
+          ]
       | None ->
         if queue_depth t >= t.cfg.queue_capacity then begin
           Obs.Counter.incr c_rejected;
@@ -333,6 +358,7 @@ let handle_cancel t id =
     match job.state with
     | Queued ->
       job.state <- Cancelled;
+      remember_terminal t id;
       Obs.Counter.incr c_cancelled;
       Obs.Counter.add c_depth (-1);
       log t "job %d cancelled while queued" id;
@@ -436,10 +462,10 @@ let reap_finished t =
         | Some fut -> (
           match Pool.Future.poll fut with
           | `Pending -> still_running := id :: !still_running
-          | `Done | `Failed -> (
+          | `Done | `Failed ->
             job.future <- None;
             Obs.Timer.add_seconds t_run (now () -. job.started_at);
-            match Pool.Future.await fut with
+            (match Pool.Future.await fut with
             | result ->
               job.state <- Done;
               job.result <- Some result;
@@ -460,7 +486,8 @@ let reap_finished t =
             | exception e ->
               job.state <- Failed (Printexc.to_string e);
               Obs.Counter.incr c_failed;
-              log t "job %d failed: %s" job.id (Printexc.to_string e)))))
+              log t "job %d failed: %s" job.id (Printexc.to_string e));
+            remember_terminal t job.id)))
     t.running;
   t.running <- !still_running
 
@@ -514,6 +541,7 @@ let run cfg =
             pool = Pool.create ~jobs:(max 2 cfg.jobs) ();
             jobs_tbl = Hashtbl.create 64;
             pending = Queue.create ();
+            terminal = Queue.create ();
             running = [];
             next_id = 1;
             conns = [];

@@ -29,11 +29,16 @@ type config = {
   cache_bytes : int;  (** LRU byte budget of the result store *)
   journal : string option;  (** persistence for the store, if any *)
   default_timeout : float;  (** per-job seconds when a submit gives none *)
+  max_terminal_jobs : int;
+      (** finished jobs retained for status/result queries; older ones
+          are forgotten (their results remain addressable by key in the
+          store), bounding memory on a long-lived server *)
   verbose : bool;  (** log lifecycle events to stderr *)
 }
 
 val default_config : socket_path:string -> config
-(** jobs 1, queue 64, cache 64 MiB, no journal, 300 s timeout, quiet. *)
+(** jobs 1, queue 64, cache 64 MiB, no journal, 300 s timeout, 1024
+    retained terminal jobs, quiet. *)
 
 val run : config -> (unit, string) result
 (** Blocks until drained.  [Error] covers startup failures (socket in

@@ -53,6 +53,8 @@ let add t ~key ~value =
     | None -> ()
   end
 
+let remove t key = locked t @@ fun () -> Lru.remove t.lru key
+
 let length t = locked t @@ fun () -> Lru.length t.lru
 let bytes t = locked t @@ fun () -> Lru.bytes t.lru
 let recovered t = t.recovered

@@ -32,6 +32,13 @@ val add : t -> key:string -> value:string -> unit
 (** Insert (idempotent: a key already resident is not re-journaled);
     evictions count [store.evict]. *)
 
+val remove : t -> string -> unit
+(** Drop one entry from the LRU (used to shed a value that fails to
+    decode, so the next submission recomputes it).  The journal is
+    append-only and is {e not} rewritten: a removed entry can resurrect
+    on restart until a later insert of the same key supersedes it during
+    replay. *)
+
 val length : t -> int
 val bytes : t -> int
 val recovered : t -> int

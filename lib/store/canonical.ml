@@ -96,18 +96,52 @@ let key ~params spec =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) params);
   fingerprint (Buffer.contents buf)
 
-let verify_key ~grid_fp ~backend ~mapped ~loads =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf "verify v1 ";
-  Buffer.add_string buf grid_fp;
-  Buffer.add_char buf ' ';
-  Buffer.add_string buf backend;
-  Buffer.add_string buf " m:";
-  Array.iter (fun b -> Buffer.add_char buf (b01 b)) mapped;
-  Buffer.add_string buf " d:";
-  Array.iter
-    (fun v ->
-      Buffer.add_string buf (q v);
-      Buffer.add_char buf ',')
-    loads;
+(* the rows of a .grid file can be permuted without changing the network,
+   so a per-line bitstring indexed by file row does not name a topology:
+   the same bits over a row-permuted file denote different physical
+   lines.  Each line record therefore carries its own mapped bit through
+   the content sort — permuting rows permutes (line, bit) records
+   together, keeping the key reorder-invariant while distinguishing every
+   physical poisoned topology.  Only OPF-relevant content participates
+   (buses, line electrical parameters + mapped bit, generators, per-bus
+   shifted loads): the verdict is the poisoned optimum, which depends on
+   nothing else, so scenarios differing only in attacker metadata share
+   entries. *)
+let verify_key ~backend ~mapped ~loads g =
+  let buf = Buffer.create 1024 in
+  let add s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  add ("topoguard-verify v2 " ^ backend);
+  add (Printf.sprintf "grid %d" g.N.n_buses);
+  Array.iter add
+    (sorted_lines
+       (List.of_seq
+          (Seq.mapi
+             (fun i (ln : N.line) ->
+               let b = i < Array.length mapped && mapped.(i) in
+               Printf.sprintf "l %d %d %s %s m%c" ln.N.from_bus ln.N.to_bus
+                 (q ln.N.admittance) (q ln.N.capacity) (b01 b))
+             (Array.to_seq g.N.lines))));
+  Array.iter add (sorted_lines (List.map gen_str (Array.to_list g.N.gens)));
+  (* shifted loads are indexed by bus, which row permutation cannot
+     change: keep bus order *)
+  Array.iteri (fun b v -> add (Printf.sprintf "d %d %s" b (q v))) loads;
+  fingerprint (Buffer.contents buf)
+
+(* fingerprint of the file's row ordering (the exact non-canonical row
+   sequence): equal iff the sections hold the same records in the same
+   order.  Combined with {!key} it pins a submission to its file layout,
+   for results that embed row indices. *)
+let ordering g =
+  let buf = Buffer.create 1024 in
+  let add s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  add "topoguard-ordering v1";
+  Array.iteri (fun i ln -> add (line_str g i ln)) g.N.lines;
+  Array.iter (fun x -> add (gen_str x)) g.N.gens;
+  Array.iter (fun x -> add (load_str x)) g.N.loads;
   fingerprint (Buffer.contents buf)

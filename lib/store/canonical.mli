@@ -33,13 +33,30 @@ val key : params:(string * string) list -> Grid.Spec.t -> string
     [params] (mode, precision, backend, ... — caller-defined strings). *)
 
 val verify_key :
-  grid_fp:string ->
   backend:string ->
   mapped:bool array ->
   loads:Numeric.Rat.t array ->
+  Grid.Network.t ->
   string
-(** Store key for one OPF verification inside the impact loop: the
-    poisoned topology and shifted loads over a grid fingerprint
-    ([fingerprint (of_network grid)]).  Thresholds are deliberately
-    excluded — the poisoned optimum is threshold-independent, so sweeps
-    over the impact target [I] share these entries. *)
+(** Store key for one OPF verification inside the impact loop: a
+    canonical serialisation of the {e poisoned instance}.  Each line
+    record carries its own [mapped] bit (indexed by the grid's line
+    order) through the content sort, so the key is invariant under
+    file-row permutation yet names the physical poisoned topology — the
+    same bitstring over a row-permuted file hashes differently, because
+    it denotes a different set of physical lines.  [loads] are the
+    per-bus shifted loads the operator will see.  Only OPF-relevant
+    content participates (bus count, line electrical parameters, the
+    mapped bits, generators, loads): attacker metadata cannot change the
+    poisoned optimum, so it does not split entries.  Thresholds are
+    deliberately excluded — the poisoned optimum is
+    threshold-independent, so sweeps over the impact target [I] share
+    these entries. *)
+
+val ordering : Grid.Network.t -> string
+(** Fingerprint of the {e non-canonical} row ordering: the line,
+    generator and load records in exactly the sequence the grid stores
+    them.  Two grids agree iff they hold the same records in the same
+    order, so folding this into a job key makes row-permuted copies of a
+    file miss instead of hit — required whenever the cached value embeds
+    row indices (attack vectors number lines by file row). *)

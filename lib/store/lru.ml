@@ -31,10 +31,15 @@ let push_front t e =
   (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
   t.head <- Some e
 
-let remove t e =
+let remove_entry t e =
   unlink t e;
   Hashtbl.remove t.table e.key;
   t.bytes <- t.bytes - cost ~key:e.key ~value:e.value
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> remove_entry t e
+  | None -> ()
 
 let find t key =
   match Hashtbl.find_opt t.table key with
@@ -47,7 +52,9 @@ let find t key =
 let mem t key = Hashtbl.mem t.table key
 
 let add t ~key ~value =
-  (match Hashtbl.find_opt t.table key with Some old -> remove t old | None -> ());
+  (match Hashtbl.find_opt t.table key with
+  | Some old -> remove_entry t old
+  | None -> ());
   let c = cost ~key ~value in
   if c > t.max_bytes then []
   else begin
@@ -56,7 +63,7 @@ let add t ~key ~value =
       match t.tail with
       | Some lru ->
         evicted := lru.key :: !evicted;
-        remove t lru
+        remove_entry t lru
       | None -> t.bytes <- 0 (* unreachable: c <= max_bytes *)
     done;
     let e = { key; value; prev = None; next = None } in

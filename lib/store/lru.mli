@@ -19,6 +19,9 @@ val add : t -> key:string -> value:string -> string list
 (** Insert or replace; returns the keys evicted to make room (the
     replaced key, if any, is not reported as evicted). *)
 
+val remove : t -> string -> unit
+(** Drop one entry; absent keys are a no-op. *)
+
 val length : t -> int
 val bytes : t -> int
 val max_bytes : t -> int

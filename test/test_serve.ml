@@ -70,6 +70,32 @@ let protocol_tests =
         let s = submit_of 0. in
         Alcotest.(check bool) "increase matters" false
           (P.job_key spec s = P.job_key spec { s with P.increase = Some "9" }));
+    Alcotest.test_case "job key depends on the file's row order" `Quick
+      (fun () ->
+        (* results embed line indices in the submission's row order, so a
+           row-permuted copy of the same grid must get its own key (miss
+           and recompute) rather than a cache hit with misnumbered
+           vectors *)
+        let module N = Grid.Network in
+        let spec = Grid.Test_systems.case_study_1 () in
+        let g = spec.Grid.Spec.grid in
+        let nl = N.n_lines g in
+        let swap a i j =
+          let x = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- x
+        in
+        let lines = Array.copy g.N.lines in
+        swap lines 0 1;
+        let meas = Array.copy g.N.meas in
+        swap meas 0 1;
+        swap meas nl (nl + 1);
+        let spec' = { spec with Grid.Spec.grid = { g with N.lines; meas } } in
+        let s = submit_of 0. in
+        Alcotest.(check bool) "permuted rows change the key" false
+          (P.job_key spec s = P.job_key spec' s);
+        Alcotest.(check string) "stable for the same file"
+          (P.job_key spec s) (P.job_key spec s));
   ]
 
 (* ---- in-process server over a temp socket ---- *)

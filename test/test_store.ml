@@ -90,21 +90,75 @@ let canonical_tests =
       (fun () ->
         let spec = case5 () in
         let g = spec.Grid.Spec.grid in
-        let fp = C.fingerprint (C.of_network g) in
         let mapped = Array.make (N.n_lines g) true in
         let loads = Array.make g.N.n_buses (q 1 10) in
-        let k0 = C.verify_key ~grid_fp:fp ~backend:"lp" ~mapped ~loads in
+        let k0 = C.verify_key ~backend:"lp" ~mapped ~loads g in
         let mapped' = Array.copy mapped in
         mapped'.(2) <- false;
-        let k1 = C.verify_key ~grid_fp:fp ~backend:"lp" ~mapped:mapped' ~loads in
+        let k1 = C.verify_key ~backend:"lp" ~mapped:mapped' ~loads g in
         let loads' = Array.copy loads in
         loads'.(1) <- q 2 10;
-        let k2 = C.verify_key ~grid_fp:fp ~backend:"lp" ~mapped ~loads:loads' in
+        let k2 = C.verify_key ~backend:"lp" ~mapped ~loads:loads' g in
         Alcotest.(check bool) "topology matters" false (k0 = k1);
         Alcotest.(check bool) "loads matter" false (k0 = k2);
         Alcotest.(check string)
           "deterministic" k0
-          (C.verify_key ~grid_fp:fp ~backend:"lp" ~mapped ~loads));
+          (C.verify_key ~backend:"lp" ~mapped ~loads g));
+    Alcotest.test_case "verify_key names the physical topology, not row bits"
+      `Quick (fun () ->
+        (* two .grid files that are row permutations of each other share a
+           grid fingerprint, but a mapped bitstring is indexed by file
+           row: the same bits over the permuted file denote different
+           physical lines.  The verify key must (a) agree when the bits
+           are permuted along with the rows — same poisoned topology —
+           and (b) differ when the same bits are applied to the permuted
+           rows — a different poisoned topology. *)
+        let spec = case5 () in
+        let g = spec.Grid.Spec.grid in
+        let nl = N.n_lines g in
+        let loads = Array.make g.N.n_buses (q 1 10) in
+        (* swap line rows 0 and 1 together with their index-linked
+           forward/backward flow-measurement rows *)
+        let swap a i j =
+          let x = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- x
+        in
+        let g' =
+          let lines = Array.copy g.N.lines in
+          swap lines 0 1;
+          let meas = Array.copy g.N.meas in
+          swap meas 0 1;
+          swap meas nl (nl + 1);
+          { g with N.lines; meas }
+        in
+        Alcotest.(check bool) "rows 0 and 1 differ" false
+          (g.N.lines.(0) = g.N.lines.(1));
+        let mapped = Array.init nl (fun i -> i <> 0) in
+        let mapped' = Array.init nl (fun i -> i <> 1) in
+        let k ~mapped g = C.verify_key ~backend:"lp" ~mapped ~loads g in
+        Alcotest.(check string) "same physical topology, same key"
+          (k ~mapped g)
+          (k ~mapped:mapped' g');
+        Alcotest.(check bool)
+          "same bits over permuted rows is a different topology" false
+          (k ~mapped g = k ~mapped g'));
+    Alcotest.test_case "ordering fingerprint pins the row order" `Quick
+      (fun () ->
+        let spec = ieee14 () in
+        let g = spec.Grid.Spec.grid in
+        Alcotest.(check string) "deterministic" (C.ordering g) (C.ordering g);
+        for seed = 1 to 5 do
+          let g' = (permute_spec seed spec).Grid.Spec.grid in
+          (* skip a seed that happens to permute nothing *)
+          if g.N.lines <> g'.N.lines || g.N.gens <> g'.N.gens
+             || g.N.loads <> g'.N.loads
+          then
+            Alcotest.(check bool)
+              (Printf.sprintf "permutation %d changes it" seed)
+              false
+              (C.ordering g = C.ordering g')
+        done);
   ]
 
 (* ---- single-field mutation sensitivity ---- *)
