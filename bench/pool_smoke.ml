@@ -44,6 +44,34 @@ let () =
     fail "hammer counter %d, expected exactly 200000 (counters not atomic?)"
       (Obs.Counter.get hammer);
 
+  (* 1b. histogram hammer: 4 domains, 50k observations each, alternating
+     1.0 and 3.0 — count, sum, min/max, and per-bucket totals must all be
+     exact, not approximately merged *)
+  let hhist = Obs.Histogram.make "pool_smoke.hammer_hist" in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Pool.iter pool
+        ~f:(fun () ->
+          for i = 1 to 50_000 do
+            Obs.Histogram.observe hhist (if i land 1 = 0 then 1.0 else 3.0)
+          done)
+        [ (); (); (); () ]);
+  let entry = Obs.Histogram.read hhist in
+  if entry.Obs.h_count <> 200_000 then
+    fail "histogram count %d, expected exactly 200000 (not atomic?)"
+      entry.Obs.h_count;
+  if entry.Obs.h_sum <> 400_000.0 then
+    fail "histogram sum %g, expected exactly 400000" entry.Obs.h_sum;
+  let bucket le =
+    match List.assoc_opt le entry.Obs.h_buckets with Some n -> n | None -> 0
+  in
+  (* 1.0 lands exactly on the le=1 bound; 3.0 in the (2,4] bucket *)
+  if bucket 1.0 <> 100_000 then
+    fail "le=1 bucket %d, expected exactly 100000" (bucket 1.0);
+  if bucket 4.0 <> 100_000 then
+    fail "le=4 bucket %d, expected exactly 100000" (bucket 4.0);
+  if entry.Obs.h_min <> Some 1.0 || entry.Obs.h_max <> Some 3.0 then
+    fail "histogram min/max wrong under parallel observation";
+
   (* 2. the 5-bus sweep, closed form, --jobs 2, vs the sequential run *)
   let scenario0 = Grid.Test_systems.case_study_1 () in
   let base =
@@ -130,6 +158,6 @@ let () =
       | None -> fail "no \"counters\" object in the JSON snapshot")
     [ "pool_smoke.hammer"; "attack.loop.candidates"; "opf.dc_opf.solves" ];
   Printf.printf "pool-smoke: sweep examined %d candidates (%d attacks), \
-                 counters exact under 2 domains\n"
+                 counters and histograms exact under parallelism\n"
     !examined !found;
   print_endline "pool-smoke: OK"

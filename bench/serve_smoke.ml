@@ -185,6 +185,45 @@ let () =
     if int_field "cache_hits" jobs < 1 then fail "serve.jobs.cache_hits = 0"
   | None -> fail "stats missing jobs object");
 
+  (* 2b. metrics exposition after the cached resubmission: every line
+     obeys the Prometheus text grammar, the completed-jobs counter and
+     queue-depth gauge are present, and the service histogram's +Inf
+     bucket equals the completed counter within the one scrape *)
+  let m = expect_ok "metrics" (Serve.Client.request c P.Metrics) in
+  let text = str_field "metrics" m in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' text) in
+  if lines = [] then fail "empty metrics exposition";
+  let samples = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      if line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; _; ("counter" | "gauge" | "histogram") ] -> ()
+        | _ -> fail "bad exposition comment %S" line
+      end
+      else
+        match String.split_on_char ' ' line with
+        | [ name; value ] -> (
+          match float_of_string_opt value with
+          | Some v -> Hashtbl.replace samples name v
+          | None -> fail "unparsable sample value in %S" line)
+        | _ -> fail "bad exposition sample %S" line)
+    lines;
+  let sample name =
+    match Hashtbl.find_opt samples name with
+    | Some v -> v
+    | None -> fail "metric %s missing from the exposition" name
+  in
+  let completed = sample "topoguard_jobs_completed_total" in
+  if completed < 2.0 then
+    fail "topoguard_jobs_completed_total = %g, expected >= 2" completed;
+  ignore (sample "topoguard_queue_depth");
+  ignore (sample "topoguard_jobs_running");
+  ignore (sample "topoguard_uptime_seconds");
+  let inf = sample "topoguard_job_service_seconds_bucket{le=\"+Inf\"}" in
+  if inf <> completed then
+    fail "service histogram +Inf bucket %g <> completed total %g" inf completed;
+
   (* 3. per-job wall-clock timeout: a 57-bus exact analysis cannot finish
      in a millisecond; the deadline probe must end it as "timeout" *)
   let slow_submit increase timeout =
@@ -259,5 +298,6 @@ let () =
     | Ok None -> fail "offline lookup missed after a served job"
     | Error e -> fail "offline lookup: %s" e));
 
-  print_endline "serve-smoke: OK (cache hit with zero new pivots, timeout, \
-                 cancel x2, graceful SIGTERM drain, offline journal lookup)"
+  print_endline "serve-smoke: OK (cache hit with zero new pivots, metrics \
+                 exposition consistent, timeout, cancel x2, graceful SIGTERM \
+                 drain, offline journal lookup)"

@@ -29,6 +29,7 @@ let counter json name =
 let () =
   Obs.Clock.set Unix.gettimeofday;
   Obs.set_enabled true;
+  Obs.Trace.set_enabled true;
   let scenario = Grid.Test_systems.case_study_1 () in
   let base =
     match
@@ -78,4 +79,56 @@ let () =
       | _ -> fail "attack.loop.analyze timer has no calls")
     | None -> fail "attack.loop.analyze timer missing")
   | None -> fail "no \"timers\" object in the JSON snapshot");
+  (* the instrumented solves must have filled at least one histogram
+     (pivots per solve, decisions per check, verification latency) *)
+  (match Obs.Json.member "histograms" json with
+  | Some (Obs.Json.Obj entries) ->
+    let count e =
+      match Obs.Json.member "count" e with
+      | Some (Obs.Json.Int n) -> n
+      | _ -> 0
+    in
+    let nonempty = List.filter (fun (_, e) -> count e > 0) entries in
+    if nonempty = [] then fail "no nonempty histogram in the snapshot";
+    List.iter
+      (fun (name, e) ->
+        Printf.printf "bench-smoke: histogram %-28s n=%d\n" name (count e))
+      nonempty
+  | _ -> fail "no \"histograms\" object in the JSON snapshot");
+  (* the trace of the run exports as well-formed Chrome trace_event JSON:
+     it parses, is nonempty, and every domain's B/E events balance *)
+  Obs.Trace.set_enabled false;
+  let tfile = Filename.temp_file "bench_smoke" ".trace.json" in
+  Obs.Trace.write_file tfile;
+  let tjson =
+    match Obs.Json.of_string (read_file tfile) with
+    | Ok j -> j
+    | Error e -> fail "emitted trace does not parse: %s" e
+  in
+  Sys.remove tfile;
+  (match Obs.Json.member "traceEvents" tjson with
+  | Some (Obs.Json.List events) ->
+    if events = [] then fail "trace has no events";
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun ev ->
+        let tid =
+          match Obs.Json.member "tid" ev with
+          | Some (Obs.Json.Int t) -> t
+          | _ -> fail "trace event without tid"
+        in
+        let b, e = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl tid) in
+        match Obs.Json.member "ph" ev with
+        | Some (Obs.Json.String "B") -> Hashtbl.replace tbl tid (b + 1, e)
+        | Some (Obs.Json.String "E") -> Hashtbl.replace tbl tid (b, e + 1)
+        | Some (Obs.Json.String ("X" | "i")) -> ()
+        | _ -> fail "trace event with unexpected phase: %s" (Obs.Json.to_string ev))
+      events;
+    Hashtbl.iter
+      (fun tid (b, e) ->
+        if b <> e then fail "tid %d: %d B event(s) vs %d E event(s)" tid b e)
+      tbl;
+    Printf.printf "bench-smoke: trace %d event(s), B/E balanced per domain\n"
+      (List.length events)
+  | _ -> fail "trace missing \"traceEvents\"");
   print_endline "bench-smoke: OK"

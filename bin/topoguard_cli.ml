@@ -88,6 +88,34 @@ let with_stats ?(extra = fun () -> []) (show, json_file) f =
   end;
   result
 
+(* ---- tracing (--trace) ---- *)
+
+let trace_term =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record trace spans (whole solves, per-candidate \
+                 verifications, encoded equations) and write Chrome \
+                 trace_event JSON to $(docv) when the command finishes; \
+                 open it in about:tracing or Perfetto.")
+
+(* run [f] with span recording on when --trace was given, then export;
+   composes with [with_stats] (either may install the wall clock) *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Obs.Clock.set Unix.gettimeofday;
+    Obs.Trace.set_enabled true;
+    let result = f () in
+    Obs.Trace.set_enabled false;
+    (try
+       Obs.Trace.write_file path;
+       Format.printf "trace written to %s@." path
+     with Sys_error e ->
+       Format.eprintf "cannot write trace file: %s@." e;
+       exit 1);
+    result
+
 (* ---- shared arguments ---- *)
 
 (* --jobs N: verification/screening parallelism.  0 = the machine's
@@ -265,11 +293,12 @@ let se_cmd =
 (* ---- attack ---- *)
 
 let attack_cmd =
-  let run file mode base check_model ((show, _) as stats) =
+  let run file mode base check_model ((show, _) as stats) trace =
     let spec = load_spec file in
     let b = base_state_of spec base in
     if check_model then run_model_check ~mode spec b;
     let solver_ref = ref None in
+    with_trace trace @@ fun () ->
     with_stats stats
       ~extra:(fun () ->
         match !solver_ref with
@@ -297,7 +326,7 @@ let attack_cmd =
        ~doc:"Search for a stealthy topology-poisoning attack vector.")
     Term.(
       const run $ file_arg $ mode_arg $ base_arg $ check_model_arg
-      $ stats_term)
+      $ stats_term $ trace_term)
 
 (* ---- impact ---- *)
 
@@ -322,7 +351,7 @@ let impact_cmd =
       exit 1
   in
   let run file mode base increase sweep max_candidates single_line check_model
-      jobs stats =
+      jobs stats trace =
     let spec = load_spec file in
     let spec =
       match increase with
@@ -348,6 +377,7 @@ let impact_cmd =
       run_model_check
         ?max_topology_changes:config.Topoguard.Impact.max_topology_changes
         ~mode spec b;
+    with_trace trace @@ fun () ->
     with_stats stats @@ fun () ->
     match sweep with
     | None ->
@@ -403,7 +433,8 @@ let impact_cmd =
              raise the OPF cost by the target percentage?")
     Term.(
       const run $ file_arg $ mode_arg $ base_arg $ increase $ sweep
-      $ max_candidates $ single_line $ check_model_arg $ jobs_arg $ stats_term)
+      $ max_candidates $ single_line $ check_model_arg $ jobs_arg $ stats_term
+      $ trace_term)
 
 (* ---- gen ---- *)
 
@@ -547,7 +578,8 @@ let socket_arg =
            ~doc:"Unix-domain socket the scenario service listens on.")
 
 let serve_cmd =
-  let run socket jobs queue_cap cache_mb journal timeout verbose =
+  let run socket jobs queue_cap cache_mb journal timeout verbose access_log
+      trace =
     let cfg =
       {
         Serve.Server.socket_path = socket;
@@ -560,6 +592,8 @@ let serve_cmd =
           (Serve.Server.default_config ~socket_path:socket).Serve.Server
             .max_terminal_jobs;
         verbose;
+        access_log;
+        trace;
       }
     in
     match Serve.Server.run cfg with
@@ -598,6 +632,14 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "verbose" ] ~doc:"Log job lifecycle events to stderr.")
   in
+  let access_log =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~doc:"Append one JSON object per request and per finished job \
+                   to $(docv) (request id, verb, outcome, cache verdict, \
+                   queue wait, latency).  An unopenable path is a startup \
+                   error.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the resident scenario service: accepts impact-analysis \
@@ -607,7 +649,7 @@ let serve_cmd =
              (socket in use, unreadable journal).")
     Term.(
       const run $ socket_arg $ jobs_arg $ queue_cap $ cache_mb $ journal
-      $ timeout $ verbose)
+      $ timeout $ verbose $ access_log $ trace_term)
 
 let submit_cmd =
   let run file socket mode base increase max_candidates single_line backend

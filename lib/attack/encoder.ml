@@ -237,6 +237,26 @@ let encode_inner ?max_topology_changes ?on_assert solver ~mode
 
 let encode ?max_topology_changes ?on_assert solver ~mode ~scenario ~base =
   Obs.Counter.incr obs_encodings;
+  let mode_str =
+    match mode with
+    | Topology_only -> "topo"
+    | With_state_infection -> "state"
+    | Ufdi_only -> "ufdi"
+  in
+  (* when tracing, mark every asserted paper equation with its tag so the
+     timeline shows which constraint family dominated encoding *)
+  let on_assert =
+    if not (Obs.Trace.enabled ()) then on_assert
+    else begin
+      let notify = match on_assert with Some f -> f | None -> fun _ _ -> () in
+      Some
+        (fun tag f ->
+          Obs.Trace.instant "encode.assert" ~args:[ ("tag", tag) ];
+          notify tag f)
+    end
+  in
+  Obs.Trace.with_span "attack.encode" ~args:[ ("mode", mode_str) ]
+  @@ fun () ->
   Obs.Timer.with_ obs_encode_timer (fun () ->
       encode_inner ?max_topology_changes ?on_assert solver ~mode ~scenario
         ~base)

@@ -13,6 +13,7 @@ let obs_candidates = Obs.Counter.make "attack.loop.candidates"
 let obs_blocked = Obs.Counter.make "attack.loop.blocked"
 let obs_loop_timer = Obs.Timer.make "attack.loop.analyze"
 let obs_verify_timer = Obs.Timer.make "attack.loop.verify_impact"
+let obs_verify_hist = Obs.Histogram.make "attack.verify.seconds"
 let obs_sweep_reused = Obs.Counter.make "attack.sweep.reused_verifications"
 let obs_sweep_targets = Obs.Counter.make "attack.sweep.targets"
 
@@ -150,7 +151,11 @@ let exact_verdict_cached config grid vec =
    the attack achieves the impact iff no dispatch beats the threshold
    (Eq. 37) while the OPF still converges (Eq. 38) *)
 let verify_impact config grid (vec : Attack.Vector.t) ~threshold =
+  Obs.Trace.with_span "impact.verify"
+    ~args:[ ("threshold", Q.to_string threshold) ]
+  @@ fun () ->
   Obs.Timer.with_ obs_verify_timer @@ fun () ->
+  Obs.Histogram.time obs_verify_hist @@ fun () ->
   match config.backend with
   | Lp_exact | Fast_factors -> (
     match exact_verdict_cached config grid vec with
@@ -187,11 +192,14 @@ let base_opf backend grid =
    early exit included. *)
 let analyze_closed_form config ~grid ~candidates ~base_cost ~threshold =
   let examined = Atomic.make 0 in
-  let verify _i (_, _, vec) =
+  let verify i (_, _, vec) =
     check_interrupt config;
     Obs.Counter.incr obs_iterations;
     Obs.Counter.incr obs_candidates;
     Atomic.incr examined;
+    Obs.Trace.with_span "impact.candidate"
+      ~args:[ ("index", string_of_int i) ]
+    @@ fun () ->
     match verify_impact config grid vec ~threshold with
     | `Success poisoned_cost -> Some (vec, poisoned_cost)
     | `Cheaper_dispatch_exists | `No_convergence ->
@@ -234,7 +242,12 @@ let smt_loop config ~scenario ~grid ~solver ~vars ~base_cost ~threshold =
       | `Sat -> (
         Obs.Counter.incr obs_candidates;
         let vec = Attack.Vector.of_model solver vars scenario in
-        match verify_impact config grid vec ~threshold with
+        let verdict =
+          Obs.Trace.with_span "impact.candidate"
+            ~args:[ ("index", string_of_int candidates) ]
+            (fun () -> verify_impact config grid vec ~threshold)
+        in
+        match verdict with
         | `Success poisoned_cost ->
           Attack_found
             {
@@ -279,6 +292,7 @@ let analyze_inner ~config ~(scenario : Grid.Spec.t)
 
 let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
     ~(base : Attack.Base_state.t) () =
+  Obs.Trace.with_span "impact.analyze" @@ fun () ->
   Obs.Timer.with_ obs_loop_timer (fun () -> analyze_inner ~config ~scenario ~base)
 
 (* ---- threshold sweeps (satellite of the serving PR) ----
@@ -324,8 +338,12 @@ let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
         Obs.Counter.incr obs_candidates;
         let _, _, vec = candidates.(i) in
         let v =
-          Obs.Timer.with_ obs_verify_timer (fun () ->
-              exact_verdict_cached config grid vec)
+          Obs.Trace.with_span "impact.candidate"
+            ~args:[ ("index", string_of_int i) ]
+          @@ fun () ->
+          Obs.Timer.with_ obs_verify_timer @@ fun () ->
+          Obs.Histogram.time obs_verify_hist @@ fun () ->
+          exact_verdict_cached config grid vec
         in
         memo.(i) <- Some v;
         (v, true)
@@ -385,6 +403,7 @@ let sweep_smt config ~scenario ~base ~base_cost ~increases =
 
 let analyze_sweep ?(config = default_config) ~(scenario : Grid.Spec.t)
     ~(base : Attack.Base_state.t) ~increases () =
+  Obs.Trace.with_span "impact.sweep" @@ fun () ->
   Obs.Timer.with_ obs_loop_timer @@ fun () ->
   Obs.Counter.add obs_sweep_targets (List.length increases);
   check_interrupt config;

@@ -21,6 +21,10 @@ let c_bounds_tightened = Obs.Counter.make "lp.presolve.bounds_tightened"
 let c_vars_fixed = Obs.Counter.make "lp.presolve.vars_fixed"
 let c_presolve_infeasible = Obs.Counter.make "lp.presolve.infeasible"
 let c_pivots = Obs.Counter.make "lp.float.pivots"
+let h_pivots = Obs.Histogram.make "lp.float.pivots_per_solve"
+
+(* shared with Lp, like the presolve counters *)
+let h_presolve_rows = Obs.Histogram.make "lp.presolve.rows_eliminated_per_solve"
 
 type pending = {
   pterms : (int * float) list;
@@ -138,7 +142,8 @@ let add_slack t terms =
 let report_stats (st : P.stats) =
   Obs.Counter.add c_rows_eliminated st.P.rows_eliminated;
   Obs.Counter.add c_bounds_tightened st.P.bounds_tightened;
-  Obs.Counter.add c_vars_fixed st.P.vars_fixed
+  Obs.Counter.add c_vars_fixed st.P.vars_fixed;
+  Obs.Histogram.observe_int h_presolve_rows st.P.rows_eliminated
 
 let opt_of_lo l = if l = neg_infinity then None else Some l
 let opt_of_hi h = if h = infinity then None else Some h
@@ -386,17 +391,24 @@ let optimize t z =
   loop ()
 
 let minimize t obj ~constant =
-  match build t with
-  | `Infeasible -> Infeasible
-  | `Ok -> (
-    let z = add_slack t obj in
-    if not (feasibility t) then Infeasible
-    else
-      match optimize t z with
-      | `Unbounded -> Unbounded
-      | `Optimal ->
-        Optimal
-          {
-            objective = t.beta.(z) +. constant;
-            values = Array.init t.user_vars (fun v -> t.beta.(v));
-          })
+  let p0 = t.pivots in
+  let finish r =
+    Obs.Histogram.observe_int h_pivots (t.pivots - p0);
+    r
+  in
+  Obs.Trace.with_span "lp.float.minimize" @@ fun () ->
+  finish
+    (match build t with
+    | `Infeasible -> Infeasible
+    | `Ok -> (
+      let z = add_slack t obj in
+      if not (feasibility t) then Infeasible
+      else
+        match optimize t z with
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+          Optimal
+            {
+              objective = t.beta.(z) +. constant;
+              values = Array.init t.user_vars (fun v -> t.beta.(v));
+            }))

@@ -15,6 +15,10 @@ let c_bounds_tightened = Obs.Counter.make "lp.presolve.bounds_tightened"
 let c_vars_fixed = Obs.Counter.make "lp.presolve.vars_fixed"
 let c_presolve_infeasible = Obs.Counter.make "lp.presolve.infeasible"
 let c_pivots = Obs.Counter.make "lp.exact.pivots"
+let h_pivots = Obs.Histogram.make "lp.exact.pivots_per_solve"
+
+(* shared with Flp, like the presolve counters *)
+let h_presolve_rows = Obs.Histogram.make "lp.presolve.rows_eliminated_per_solve"
 
 (* a constraint as recorded before the tableau exists; [<=] and [>=] over
    the same expression merge into one two-sided pending row *)
@@ -170,7 +174,8 @@ let install_row t terms lo hi =
 let report_stats (st : P.stats) =
   Obs.Counter.add c_rows_eliminated st.P.rows_eliminated;
   Obs.Counter.add c_bounds_tightened st.P.bounds_tightened;
-  Obs.Counter.add c_vars_fixed st.P.vars_fixed
+  Obs.Counter.add c_vars_fixed st.P.vars_fixed;
+  Obs.Histogram.observe_int h_presolve_rows st.P.rows_eliminated
 
 (* deferred tableau construction: presolve the pending rows (unless
    disabled), then build slack rows only for the survivors *)
@@ -406,21 +411,28 @@ let optimize t z =
   loop ()
 
 let minimize t obj =
-  match build t with
-  | `Infeasible -> Infeasible
-  | `Ok -> (
-    let z =
-      fresh_slack t
-        (Smt.Linexp.sub obj (Smt.Linexp.const (Smt.Linexp.const_part obj)))
-    in
-    let const = Smt.Linexp.const_part obj in
-    if not (feasibility t) then Infeasible
-    else
-      match optimize t z with
-      | `Unbounded -> Unbounded
-      | `Optimal ->
-        let values = Array.init t.user_vars (fun v -> t.beta.(v)) in
-        Optimal { objective = Q.add t.beta.(z) const; values })
+  let p0 = t.pivots in
+  let finish r =
+    Obs.Histogram.observe_int h_pivots (t.pivots - p0);
+    r
+  in
+  Obs.Trace.with_span "lp.exact.minimize" @@ fun () ->
+  finish
+    (match build t with
+    | `Infeasible -> Infeasible
+    | `Ok -> (
+      let z =
+        fresh_slack t
+          (Smt.Linexp.sub obj (Smt.Linexp.const (Smt.Linexp.const_part obj)))
+      in
+      let const = Smt.Linexp.const_part obj in
+      if not (feasibility t) then Infeasible
+      else
+        match optimize t z with
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+          let values = Array.init t.user_vars (fun v -> t.beta.(v)) in
+          Optimal { objective = Q.add t.beta.(z) const; values }))
 
 let maximize t obj =
   match minimize t (Smt.Linexp.neg obj) with

@@ -1,19 +1,20 @@
-(* Process-wide metrics registry.  Counter/timer handles are records kept
-   by the caller; the registry only maps names to handles so snapshots can
-   enumerate them.
+(* Process-wide metrics registry.  Counter/timer/histogram handles are
+   records kept by the caller; the registry only maps names to handles so
+   snapshots can enumerate them.
 
    Domain-safety: counters are Atomic.t ints (incr is one lock-free
    fetch-and-add, so totals are exact — not approximately merged — when
-   several domains of a Pool instrument the same counter); timer
-   accumulation is guarded by a per-timer mutex; registry lookups are
-   guarded by a global mutex (they happen once per handle at module
-   initialisation, never on a hot path). *)
+   several domains of a Pool instrument the same counter); histograms are
+   arrays of Atomic.t ints with the same discipline; timer accumulation
+   is guarded by a per-timer mutex; registry lookups are guarded by a
+   global mutex (they happen once per handle at module initialisation,
+   never on a hot path). *)
 
 let enabled_flag = Atomic.make false
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
 
-(* one lock for both registries: make/snapshot/reset are cold paths *)
+(* one lock for all registries: make/snapshot/reset are cold paths *)
 let registry_mutex = Mutex.create ()
 
 module Clock = struct
@@ -61,10 +62,15 @@ module Timer = struct
           Hashtbl.add registry name t;
           t)
 
-  let add_seconds t s =
+  let record t s =
     Mutex.protect t.m (fun () ->
         t.seconds <- t.seconds +. s;
         t.calls <- t.calls + 1)
+
+  (* gated like [with_]: a span measured by a caller that did not arm the
+     layer is discarded, so call ratios between [with_]-wrapped and
+     externally measured spans stay consistent *)
+  let add_seconds t s = if Atomic.get enabled_flag then record t s
 
   let with_ t f =
     if not (Atomic.get enabled_flag) then f ()
@@ -72,10 +78,10 @@ module Timer = struct
       let t0 = Clock.now () in
       match f () with
       | v ->
-        add_seconds t (Clock.now () -. t0);
+        record t (Clock.now () -. t0);
         v
       | exception e ->
-        add_seconds t (Clock.now () -. t0);
+        record t (Clock.now () -. t0);
         raise e
     end
 
@@ -85,6 +91,155 @@ module Timer = struct
 
   let read t = Mutex.protect t.m (fun () -> (t.seconds, t.calls))
 end
+
+type hist_entry = {
+  h_count : int;
+  h_sum : float;
+  h_min : float option;
+  h_max : float option;
+  h_buckets : (float * int) list;
+}
+
+module Histogram = struct
+  (* log2 buckets: bounds.(i) = 2^(i-20), i = 0..62 (9.5e-7 .. 4.4e12);
+     bucket 63 is the +Inf overflow.  An observation lands in the first
+     bucket whose upper bound is >= the value; values <= 2^-20 (including
+     zero and negatives) land in bucket 0. *)
+  let n_buckets = 64
+  let bounds = Array.init (n_buckets - 1) (fun i -> 2. ** float_of_int (i - 20))
+
+  type t = {
+    name : string;
+    buckets : int Atomic.t array;
+    count : int Atomic.t;
+    sum_micro : int Atomic.t;
+    min_micro : int Atomic.t;  (* max_int while empty *)
+    max_micro : int Atomic.t;  (* min_int while empty *)
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    Mutex.protect registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some h -> h
+        | None ->
+          let h =
+            {
+              name;
+              buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+              count = Atomic.make 0;
+              sum_micro = Atomic.make 0;
+              min_micro = Atomic.make max_int;
+              max_micro = Atomic.make min_int;
+            }
+          in
+          Hashtbl.add registry name h;
+          h)
+
+  (* first bound >= v, by binary search over the static float array: no
+     allocation, ~6 comparisons.  NaN compares false with everything and
+     falls into the overflow bucket. *)
+  let bucket_index v =
+    if not (v <= bounds.(n_buckets - 2)) then n_buckets - 1
+    else begin
+      let lo = ref 0 and hi = ref (n_buckets - 2) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if v <= bounds.(mid) then hi := mid else lo := mid + 1
+      done;
+      !lo
+    end
+
+  (* sums, min and max are integer micro-units so they share the atomic
+     int machinery with counters: exact under parallelism, ~9.2e12 of
+     headroom in the total, 1e-6 resolution per observation *)
+  let micro v =
+    if v >= 9e12 then max_int / 2
+    else if v <= -9e12 then -(max_int / 2)
+    else int_of_float (Float.round (v *. 1e6))
+
+  let rec cas_min a x =
+    let cur = Atomic.get a in
+    if x < cur && not (Atomic.compare_and_set a cur x) then cas_min a x
+
+  let rec cas_max a x =
+    let cur = Atomic.get a in
+    if x > cur && not (Atomic.compare_and_set a cur x) then cas_max a x
+
+  let observe h v =
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_index v) 1);
+    ignore (Atomic.fetch_and_add h.count 1);
+    let u = micro v in
+    ignore (Atomic.fetch_and_add h.sum_micro u);
+    cas_min h.min_micro u;
+    cas_max h.max_micro u
+
+  let observe_int h n = observe h (float_of_int n)
+
+  let time h f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let t0 = Clock.now () in
+      match f () with
+      | v ->
+        observe h (Clock.now () -. t0);
+        v
+      | exception e ->
+        observe h (Clock.now () -. t0);
+        raise e
+    end
+
+  let count h = Atomic.get h.count
+  let sum h = float_of_int (Atomic.get h.sum_micro) /. 1e6
+  let name h = h.name
+
+  let read h =
+    let count = Atomic.get h.count in
+    let bkts = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      let n = Atomic.get h.buckets.(i) in
+      if n > 0 then begin
+        let le = if i = n_buckets - 1 then Float.infinity else bounds.(i) in
+        bkts := (le, n) :: !bkts
+      end
+    done;
+    {
+      h_count = count;
+      h_sum = float_of_int (Atomic.get h.sum_micro) /. 1e6;
+      h_min =
+        (if count = 0 then None
+         else Some (float_of_int (Atomic.get h.min_micro) /. 1e6));
+      h_max =
+        (if count = 0 then None
+         else Some (float_of_int (Atomic.get h.max_micro) /. 1e6));
+      h_buckets = !bkts;
+    }
+end
+
+let quantile (h : hist_entry) q =
+  if h.h_count <= 0 then None
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = Float.max 1.0 (Float.of_int h.h_count *. q |> Float.ceil) in
+    let minv = Option.value h.h_min ~default:0.0 in
+    let maxv = Option.value h.h_max ~default:0.0 in
+    let clamp v = Float.max minv (Float.min maxv v) in
+    let rec go cum = function
+      | [] -> h.h_max
+      | (le, n) :: rest ->
+        let cum' = cum + n in
+        if float_of_int cum' < rank then go cum' rest
+        else if Float.is_finite le then begin
+          (* interpolate inside the log2 bucket (lower bound = le/2) *)
+          let lower = Float.min le (Float.max minv (le /. 2.0)) in
+          let frac = (rank -. float_of_int cum) /. float_of_int n in
+          Some (clamp (lower +. ((le -. lower) *. frac)))
+        end
+        else Some maxv
+    in
+    go 0 h.h_buckets
+  end
 
 module Json = struct
   type t =
@@ -118,10 +273,15 @@ module Json = struct
       | Null -> Buffer.add_string buf "null"
       | Bool b -> Buffer.add_string buf (if b then "true" else "false")
       | Int n -> Buffer.add_string buf (string_of_int n)
-      | Float f ->
-        if Float.is_integer f && Float.abs f < 1e15 then
-          Buffer.add_string buf (Printf.sprintf "%.1f" f)
-        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      | Float f -> (
+        (* JSON has no NaN/Infinity; [%.17g] would happily print them and
+           corrupt the document, so non-finite floats become null *)
+        match classify_float f with
+        | FP_nan | FP_infinite -> Buffer.add_string buf "null"
+        | FP_zero | FP_subnormal | FP_normal ->
+          if Float.is_integer f && Float.abs f < 1e15 then
+            Buffer.add_string buf (Printf.sprintf "%.1f" f)
+          else Buffer.add_string buf (Printf.sprintf "%.17g" f))
       | String s -> escape_to buf s
       | List xs ->
         Buffer.add_char buf '[';
@@ -307,14 +467,16 @@ type timer_entry = { seconds : float; calls : int }
 type snapshot = {
   counters : (string * int) list;
   timers : (string * timer_entry) list;
+  histograms : (string * hist_entry) list;
 }
 
 let by_name (a, _) (b, _) = compare (a : string) b
 
 let snapshot () =
   (* the registry lock freezes the set of handles; each entry's value is
-     then read atomically (counter) or under its own lock (timer) *)
-  let counters, timers =
+     then read atomically (counter, histogram fields) or under its own
+     lock (timer) *)
+  let counters, timers, histograms =
     Mutex.protect registry_mutex (fun () ->
         ( Hashtbl.fold
             (fun name c acc -> (name, Counter.get c) :: acc)
@@ -323,14 +485,24 @@ let snapshot () =
             (fun name t acc ->
               let seconds, calls = Timer.read t in
               (name, { seconds; calls }) :: acc)
-            Timer.registry [] ))
+            Timer.registry [],
+          Hashtbl.fold
+            (fun name h acc -> (name, Histogram.read h) :: acc)
+            Histogram.registry [] ))
   in
   {
     counters = List.sort by_name counters;
     timers = List.sort by_name timers;
+    histograms = List.sort by_name histograms;
   }
 
+let regressed_marker = "obs.diff.regressed"
+
 let diff ~before ~after =
+  (* a counter that shrank between the snapshots means the registry was
+     reset mid-window; a negative delta is never a real rate, so clamp to
+     zero and say so through the [obs.diff.regressed] marker *)
+  let regressed = ref 0 in
   let counters =
     List.filter_map
       (fun (name, v) ->
@@ -339,7 +511,12 @@ let diff ~before ~after =
           | Some v0 -> v0
           | None -> 0
         in
-        if v - v0 = 0 then None else Some (name, v - v0))
+        if v - v0 < 0 then begin
+          incr regressed;
+          None
+        end
+        else if v - v0 = 0 then None
+        else Some (name, v - v0))
       after.counters
   in
   let timers =
@@ -350,11 +527,65 @@ let diff ~before ~after =
           | Some e0 -> e0
           | None -> { seconds = 0.0; calls = 0 }
         in
-        let d = { seconds = e.seconds -. e0.seconds; calls = e.calls - e0.calls } in
-        if d.calls = 0 && d.seconds = 0.0 then None else Some (name, d))
+        let d =
+          { seconds = e.seconds -. e0.seconds; calls = e.calls - e0.calls }
+        in
+        if d.calls < 0 || d.seconds < 0.0 then begin
+          incr regressed;
+          None
+        end
+        else if d.calls = 0 && d.seconds = 0.0 then None
+        else Some (name, d))
       after.timers
   in
-  { counters; timers }
+  let histograms =
+    List.filter_map
+      (fun (name, (h : hist_entry)) ->
+        let h0 =
+          match List.assoc_opt name before.histograms with
+          | Some h0 -> h0
+          | None ->
+            { h_count = 0; h_sum = 0.0; h_min = None; h_max = None;
+              h_buckets = [] }
+        in
+        let d_count = h.h_count - h0.h_count in
+        let d_buckets =
+          List.filter_map
+            (fun (le, n) ->
+              let n0 =
+                match
+                  List.find_opt (fun (le0, _) -> le0 = le) h0.h_buckets
+                with
+                | Some (_, n0) -> n0
+                | None -> 0
+              in
+              if n - n0 <= 0 then None else Some (le, n - n0))
+            h.h_buckets
+        in
+        if d_count < 0 then begin
+          incr regressed;
+          None
+        end
+        else if d_count = 0 then None
+        else
+          (* min/max are not differencable; report the window's [after]
+             values *)
+          Some
+            ( name,
+              {
+                h_count = d_count;
+                h_sum = h.h_sum -. h0.h_sum;
+                h_min = h.h_min;
+                h_max = h.h_max;
+                h_buckets = d_buckets;
+              } ))
+      after.histograms
+  in
+  let counters =
+    if !regressed = 0 then counters
+    else List.sort by_name ((regressed_marker, !regressed) :: counters)
+  in
+  { counters; timers; histograms }
 
 let reset () =
   Mutex.protect registry_mutex (fun () ->
@@ -365,17 +596,28 @@ let reset () =
           Mutex.protect t.Timer.m (fun () ->
               t.Timer.seconds <- 0.0;
               t.Timer.calls <- 0))
-        Timer.registry)
+        Timer.registry;
+      Hashtbl.iter
+        (fun _ (h : Histogram.t) ->
+          Array.iter (fun b -> Atomic.set b 0) h.Histogram.buckets;
+          Atomic.set h.Histogram.count 0;
+          Atomic.set h.Histogram.sum_micro 0;
+          Atomic.set h.Histogram.min_micro max_int;
+          Atomic.set h.Histogram.max_micro min_int)
+        Histogram.registry)
 
-let to_table { counters; timers } =
+let to_table { counters; timers; histograms } =
   let buf = Buffer.create 256 in
   let live_counters = List.filter (fun (_, v) -> v <> 0) counters in
   let live_timers = List.filter (fun (_, e) -> e.calls <> 0) timers in
+  let live_hists = List.filter (fun (_, h) -> h.h_count <> 0) histograms in
   let width =
     List.fold_left
       (fun w (name, _) -> max w (String.length name))
       24
-      (live_counters @ List.map (fun (n, _) -> (n, 0)) live_timers)
+      (live_counters
+      @ List.map (fun (n, _) -> (n, 0)) live_timers
+      @ List.map (fun (n, _) -> (n, 0)) live_hists)
   in
   if live_counters <> [] then begin
     Buffer.add_string buf "counters:\n";
@@ -394,9 +636,48 @@ let to_table { counters; timers } =
              (if e.calls = 1 then "" else "s")))
       live_timers
   end;
+  if live_hists <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun (name, h) ->
+        let q p =
+          match quantile h p with
+          | Some v -> Printf.sprintf "%g" v
+          | None -> "-"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %-*s n=%d sum=%g min=%g p50=%s p90=%s p99=%s max=%g\n" width
+             name h.h_count h.h_sum
+             (Option.value h.h_min ~default:0.0)
+             (q 0.5) (q 0.9) (q 0.99)
+             (Option.value h.h_max ~default:0.0)))
+      live_hists
+  end;
   Buffer.contents buf
 
-let json_of_snapshot { counters; timers } =
+let json_of_hist_entry (h : hist_entry) =
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float h.h_sum);
+      ("min", match h.h_min with Some v -> Json.Float v | None -> Json.Null);
+      ("max", match h.h_max with Some v -> Json.Float v | None -> Json.Null);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, n) ->
+               Json.Obj
+                 [
+                   ( "le",
+                     if Float.is_finite le then Json.Float le
+                     else Json.String "+Inf" );
+                   ("count", Json.Int n);
+                 ])
+             h.h_buckets) );
+    ]
+
+let json_of_snapshot { counters; timers; histograms } =
   Json.Obj
     [
       ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) counters));
@@ -411,6 +692,9 @@ let json_of_snapshot { counters; timers } =
                      ("calls", Json.Int e.calls);
                    ] ))
              timers) );
+      ( "histograms",
+        Json.Obj (List.map (fun (n, h) -> (n, json_of_hist_entry h)) histograms)
+      );
     ]
 
 let write_json_file path json =
@@ -420,3 +704,255 @@ let write_json_file path json =
     (fun () ->
       output_string oc (Json.to_string json);
       output_char oc '\n')
+
+(* ---- Prometheus text exposition ---- *)
+
+module Prometheus = struct
+  let sanitize name =
+    let b = Bytes.of_string name in
+    Bytes.iteri
+      (fun i c ->
+        let ok =
+          (c >= 'a' && c <= 'z')
+          || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9')
+          || c = '_'
+        in
+        if not ok then Bytes.set b i '_')
+      b;
+    let s = Bytes.to_string b in
+    if s = "" then "_"
+    else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+  let value f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let counter buf ~name v =
+    Printf.bprintf buf "# TYPE %s counter\n%s %s\n" name name (value v)
+
+  let gauge buf ~name v =
+    Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" name name (value v)
+
+  let histogram buf ~name (h : hist_entry) =
+    Printf.bprintf buf "# TYPE %s histogram\n" name;
+    let cum = ref 0 in
+    let saw_inf = ref false in
+    List.iter
+      (fun (le, n) ->
+        cum := !cum + n;
+        if Float.is_finite le then
+          Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" name (value le) !cum
+        else begin
+          saw_inf := true;
+          Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" name !cum
+        end)
+      h.h_buckets;
+    if not !saw_inf then
+      Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" name h.h_count;
+    Printf.bprintf buf "%s_sum %s\n" name (value h.h_sum);
+    Printf.bprintf buf "%s_count %d\n" name h.h_count
+end
+
+let to_prometheus ?(namespace = "topoguard") snap =
+  let buf = Buffer.create 1024 in
+  let full n = Prometheus.sanitize (namespace ^ "_" ^ n) in
+  List.iter
+    (fun (n, v) ->
+      Prometheus.counter buf ~name:(full n ^ "_total") (float_of_int v))
+    snap.counters;
+  List.iter
+    (fun (n, (e : timer_entry)) ->
+      Prometheus.counter buf ~name:(full n ^ "_seconds_total") e.seconds;
+      Prometheus.counter buf
+        ~name:(full n ^ "_calls_total")
+        (float_of_int e.calls))
+    snap.timers;
+  List.iter
+    (fun (n, h) -> Prometheus.histogram buf ~name:(full n) h)
+    snap.histograms;
+  Buffer.contents buf
+
+(* ---- structured trace spans (Chrome trace_event export) ---- *)
+
+module Trace = struct
+  let trace_flag = Atomic.make false
+  let capacity = Atomic.make 16384
+  let dropped = Atomic.make 0
+
+  type ev = {
+    mutable ph : char;  (* 'B' | 'E' | 'X' | 'i' *)
+    mutable ev_name : string;
+    mutable ts : float;  (* raw Clock seconds *)
+    mutable dur : float;  (* seconds, 'X' only *)
+    mutable args : (string * string) list;
+  }
+
+  (* one preallocated ring per domain: recording mutates an existing slot
+     in place (the only per-event allocation is the caller's args list),
+     so hot loops can emit events without contending on any lock.  When a
+     ring wraps, the oldest events are overwritten and counted in
+     [dropped]. *)
+  type ring = {
+    tid : int;
+    evs : ev array;
+    mutable next : int;
+    mutable total : int;
+  }
+
+  let rings : ring list ref = ref []
+
+  let make_ring () =
+    let cap = max 16 (Atomic.get capacity) in
+    let r =
+      {
+        tid = (Domain.self () :> int);
+        evs =
+          Array.init cap (fun _ ->
+              { ph = ' '; ev_name = ""; ts = 0.0; dur = 0.0; args = [] });
+        next = 0;
+        total = 0;
+      }
+    in
+    Mutex.protect registry_mutex (fun () -> rings := r :: !rings);
+    r
+
+  let dls_key = Domain.DLS.new_key make_ring
+
+  let set_enabled b = Atomic.set trace_flag b
+  let enabled () = Atomic.get trace_flag
+  let set_capacity n = Atomic.set capacity (max 16 n)
+  let dropped_events () = Atomic.get dropped
+
+  let record ph name ts dur args =
+    let r = Domain.DLS.get dls_key in
+    let cap = Array.length r.evs in
+    if r.total >= cap then Atomic.incr dropped;
+    let e = r.evs.(r.next) in
+    e.ph <- ph;
+    e.ev_name <- name;
+    e.ts <- ts;
+    e.dur <- dur;
+    e.args <- args;
+    r.next <- (r.next + 1) mod cap;
+    r.total <- r.total + 1
+
+  let begin_ ?(args = []) name =
+    if Atomic.get trace_flag then record 'B' name (Clock.now ()) 0.0 args
+
+  let end_ name =
+    if Atomic.get trace_flag then record 'E' name (Clock.now ()) 0.0 []
+
+  let with_span ?args name f =
+    if not (Atomic.get trace_flag) then f ()
+    else begin
+      begin_ ?args name;
+      match f () with
+      | v ->
+        end_ name;
+        v
+      | exception e ->
+        end_ name;
+        raise e
+    end
+
+  let instant ?(args = []) name =
+    if Atomic.get trace_flag then record 'i' name (Clock.now ()) 0.0 args
+
+  let complete ?(args = []) ~ts ~dur name =
+    if Atomic.get trace_flag then record 'X' name ts dur args
+
+  let clear () =
+    Mutex.protect registry_mutex (fun () ->
+        List.iter
+          (fun r ->
+            r.next <- 0;
+            r.total <- 0)
+          !rings);
+    Atomic.set dropped 0
+
+  (* events of one ring, oldest first, copied out of the mutable slots *)
+  let events_of_ring r =
+    let cap = Array.length r.evs in
+    let count = min r.total cap in
+    let start = if r.total <= cap then 0 else r.next in
+    List.init count (fun i ->
+        let e = r.evs.((start + i) mod cap) in
+        (e.ph, e.ev_name, e.ts, e.dur, e.args))
+
+  (* guarantee balanced B/E per tid: orphan E events (their B was
+     overwritten by a ring wrap) are dropped, unclosed B events get a
+     synthetic E at the latest timestamp seen on that ring *)
+  let balance evs =
+    let last_ts =
+      List.fold_left (fun acc (_, _, ts, _, _) -> Float.max acc ts) 0.0 evs
+    in
+    let stack = ref [] in
+    let out = ref [] in
+    List.iter
+      (fun ev ->
+        let ph, name, ts, _, _ = ev in
+        match ph with
+        | 'B' ->
+          stack := name :: !stack;
+          out := ev :: !out
+        | 'E' -> (
+          match !stack with
+          | [] -> ()  (* orphan: opening B was overwritten *)
+          | top :: rest ->
+            stack := rest;
+            out := ('E', top, ts, 0.0, []) :: !out)
+        | _ -> out := ev :: !out)
+      evs;
+    List.iter
+      (fun name -> out := ('E', name, last_ts, 0.0, []) :: !out)
+      !stack;
+    List.rev !out
+
+  let export_json () =
+    let rs = Mutex.protect registry_mutex (fun () -> !rings) in
+    let per_ring =
+      List.map (fun r -> (r.tid, balance (events_of_ring r))) rs
+    in
+    let t0 =
+      List.fold_left
+        (fun acc (_, evs) ->
+          List.fold_left
+            (fun acc (_, _, ts, _, _) -> Float.min acc ts)
+            acc evs)
+        Float.infinity per_ring
+    in
+    let t0 = if Float.is_finite t0 then t0 else 0.0 in
+    let ev_json tid (ph, name, ts, dur, args) =
+      Json.Obj
+        ([
+           ("name", Json.String name);
+           ("cat", Json.String "topoguard");
+           ("ph", Json.String (String.make 1 ph));
+           ("ts", Json.Float ((ts -. t0) *. 1e6));
+           ("pid", Json.Int 1);
+           ("tid", Json.Int tid);
+         ]
+        @ (if ph = 'X' then [ ("dur", Json.Float (dur *. 1e6)) ] else [])
+        @
+        match args with
+        | [] -> []
+        | _ ->
+          [
+            ( "args",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args) );
+          ])
+    in
+    let events =
+      List.concat_map
+        (fun (tid, evs) -> List.map (ev_json tid) evs)
+        per_ring
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List events);
+        ("displayTimeUnit", Json.String "ms");
+      ]
+
+  let write_file path = write_json_file path (export_json ())
+end

@@ -1,20 +1,23 @@
 (** Zero-dependency observability: monotonic counters, wall-clock timers,
-    and a process-wide registry that snapshots to a human-readable table or
-    machine-readable JSON.
+    lock-free log-bucketed histograms, structured trace spans, and a
+    process-wide registry that snapshots to a human-readable table,
+    machine-readable JSON, or Prometheus text exposition.
 
     Design constraints, in order:
 
-    - Counters sit on solver hot paths (SAT decisions, simplex pivots), so
-      incrementing one is a single lock-free atomic fetch-and-add — no
-      hashtable lookup, no branch on an enabled flag.  Handles are created
-      once at module-initialisation time with {!Counter.make} and kept in
-      module-level bindings.
+    - Counters and histograms sit on solver hot paths (SAT decisions,
+      simplex pivots), so recording is a bounded number of lock-free
+      atomic operations — no hashtable lookup, no lock, no allocation per
+      observation.  Handles are created once at module-initialisation
+      time with [make] and kept in module-level bindings.
     - The layer is domain-safe, because the [Pool] work pool runs
-      instrumented code (candidate verification, contingency screening) on
-      several domains at once: counter totals are {e exact} under
-      parallelism (atomic adds, not per-domain approximations merged
-      later), timer accumulation is serialised by a per-timer mutex, and
-      registry creation/snapshot/reset by a registry mutex.
+      instrumented code (candidate verification, contingency screening)
+      on several domains at once: counter and histogram totals are
+      {e exact} under parallelism (atomic adds, not per-domain
+      approximations merged later), timer accumulation is serialised by a
+      per-timer mutex, and registry creation/snapshot/reset by a registry
+      mutex.  Trace spans go to per-domain ring buffers, so recording
+      never contends on a lock.
     - Timers call the clock twice per span, which is too expensive for
       inner loops but fine around whole solves; they are additionally
       gated on {!set_enabled} so a disabled build pays one branch.
@@ -24,8 +27,9 @@
       anywhere. *)
 
 val set_enabled : bool -> unit
-(** Master switch for timers (counters are always live; they are too cheap
-    to gate).  Off by default. *)
+(** Master switch for timers and clock-reading histogram helpers
+    (counters and direct histogram observations are always live; they are
+    too cheap to gate).  Off by default. *)
 
 val enabled : unit -> bool
 
@@ -62,13 +66,68 @@ module Timer : sig
       call count — when {!enabled}; otherwise just run the thunk. *)
 
   val add_seconds : t -> float -> unit
-  (** Record an externally measured span (always recorded, regardless of
-      the enabled flag). *)
+  (** Record an externally measured span.  Gated on {!enabled} exactly
+      like {!with_}: a span recorded while the layer is disarmed is
+      discarded, so the [calls] ratio between [with_]-wrapped and
+      externally measured sites of one program stays consistent.  (Before
+      this was pinned down, [add_seconds] recorded unconditionally while
+      [with_] did not, silently skewing mixed instrumentation.) *)
 
   val total_seconds : t -> float
   val count : t -> int
   val name : t -> string
 end
+
+type hist_entry = {
+  h_count : int;  (** observations *)
+  h_sum : float;  (** sum of observed values (micro-unit resolution) *)
+  h_min : float option;  (** [None] when empty *)
+  h_max : float option;
+  h_buckets : (float * int) list;
+      (** nonempty buckets only, ascending [(upper_bound, count)];
+          the overflow bucket's bound is [infinity] *)
+}
+(** Snapshot of one histogram.  Counts are per-bucket (not cumulative);
+    {!Prometheus.histogram} derives the cumulative form. *)
+
+(** Lock-free log-bucketed histograms with the same hot-path discipline
+    as {!Counter}: one observation is a binary search over a static
+    64-entry bound array plus a bounded number of atomic operations — no
+    lock, no allocation.  Buckets are powers of two from [2^-20]
+    (≈ 9.5e-7, so microsecond latencies resolve) to [2^42], plus an
+    overflow bucket; values ≤ [2^-20] (including zero) land in the first
+    bucket.  Sum/min/max are kept in integer micro-units, so they are
+    exact under parallelism at 1e-6 resolution.
+
+    A {!read} taken while other domains are observing may be momentarily
+    inconsistent between fields (count vs. bucket totals); quiescent
+    reads are exact. *)
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  (** Create-or-get, like {!Counter.make}. *)
+
+  val observe : t -> float -> unit
+  (** Always live (not gated on {!enabled}), like {!Counter.incr}. *)
+
+  val observe_int : t -> int -> unit
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk and observe its wall-clock duration in seconds —
+      when {!enabled} (it reads the clock); otherwise just run it. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val name : t -> string
+
+  val read : t -> hist_entry
+end
+
+val quantile : hist_entry -> float -> float option
+(** Estimated q-quantile (q in [0,1]), by linear interpolation inside the
+    log2 bucket holding the target rank, clamped to the observed
+    [min,max].  [None] on an empty histogram. *)
 
 (** Minimal JSON tree, emitter and parser — enough to serialise snapshots
     and to validate emitted files without third-party dependencies. *)
@@ -84,11 +143,13 @@ module Json : sig
 
   val to_string : t -> string
   (** Compact serialisation; strings are escaped, floats printed with
-      [%.17g] so they round-trip. *)
+      [%.17g] so they round-trip.  NaN and infinities have no JSON
+      representation and are emitted as [null]. *)
 
   val of_string : string -> (t, string) result
   (** Strict parser for the subset emitted by {!to_string} plus ordinary
-      whitespace; numbers with [.], [e] or [E] parse as [Float]. *)
+      whitespace; numbers with [.], [e] or [E] parse as [Float].  Bare
+      [nan]/[inf] tokens are rejected — they are not JSON. *)
 
   val member : string -> t -> t option
   (** Field lookup in an [Obj]; [None] elsewhere. *)
@@ -99,24 +160,112 @@ type timer_entry = { seconds : float; calls : int }
 type snapshot = {
   counters : (string * int) list;  (** name-sorted *)
   timers : (string * timer_entry) list;  (** name-sorted *)
+  histograms : (string * hist_entry) list;  (** name-sorted *)
 }
 
 val snapshot : unit -> snapshot
-(** Consistent copy of every registered counter and timer. *)
+(** Consistent copy of every registered counter, timer and histogram. *)
 
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** Per-name subtraction ([after - before]); names missing from [before]
-    count from zero, entries that did not move are dropped. *)
+    count from zero, entries that did not move are dropped.  An entry
+    that {e shrank} (the registry was {!reset} between the snapshots)
+    never yields a negative delta: it is clamped out of the result and
+    counted in a synthetic [obs.diff.regressed] counter so the window is
+    visibly unsound rather than silently wrong.  Histogram min/max are
+    not differencable and report the [after] values. *)
 
 val reset : unit -> unit
-(** Zero every registered counter and timer (registrations survive). *)
+(** Zero every registered counter, timer and histogram (registrations
+    survive). *)
 
 val to_table : snapshot -> string
-(** Human-readable two-column table, empty entries omitted. *)
+(** Human-readable table: counters, timers, and histograms with
+    count/sum/min/p50/p90/p99/max; empty entries omitted. *)
 
 val json_of_snapshot : snapshot -> Json.t
 (** [{ "counters": { name: int, ... },
-      "timers": { name: { "seconds": s, "calls": n }, ... } }] *)
+      "timers": { name: { "seconds": s, "calls": n }, ... },
+      "histograms": { name: { "count", "sum", "min", "max",
+                              "buckets": [ { "le", "count" }, ... ] } } }]
+    — bucket counts are per-bucket; the overflow bound serialises as the
+    string ["+Inf"]. *)
 
 val write_json_file : string -> Json.t -> unit
 (** Serialise to a file (trailing newline included). *)
+
+(** Prometheus text-exposition emitters ([# TYPE] line plus samples into
+    a caller's buffer), for composing a metrics endpoint.  Metric names
+    are used as given — pass them through {!Prometheus.sanitize} first
+    when they come from registry names with dots. *)
+module Prometheus : sig
+  val sanitize : string -> string
+  (** Replace every character outside [[a-zA-Z0-9_]] with [_]; prefix
+      with [_] if the result starts with a digit. *)
+
+  val counter : Buffer.t -> name:string -> float -> unit
+  val gauge : Buffer.t -> name:string -> float -> unit
+
+  val histogram : Buffer.t -> name:string -> hist_entry -> unit
+  (** Cumulative [_bucket{le="..."}] samples (always ending with a
+      [le="+Inf"] bucket equal to the count), then [_sum] and [_count]. *)
+end
+
+val to_prometheus : ?namespace:string -> snapshot -> string
+(** The whole snapshot in Prometheus text exposition: every counter as
+    [<ns>_<name>_total], every timer as [<ns>_<name>_seconds_total] and
+    [<ns>_<name>_calls_total], every histogram as [<ns>_<name>] with
+    cumulative buckets.  Names are sanitized (dots become underscores);
+    [namespace] defaults to ["topoguard"]. *)
+
+(** Structured spans exported as Chrome [trace_event] JSON (load the file
+    in [about:tracing] or Perfetto).  Recording goes to a preallocated
+    per-domain ring buffer — allocation-bounded, lock-free, domain-safe —
+    so spans can wrap whole solves or single candidate verifications
+    without perturbing what they measure.  Off by default; independent of
+    {!set_enabled}.
+
+    Timestamps come from {!Clock}, so binaries should install a wall
+    clock before enabling.  When a ring wraps, the oldest events are
+    overwritten (counted in {!dropped_events}); {!export_json} repairs
+    the damage by dropping orphan ends and closing unfinished spans, so
+    the exported stream always has balanced B/E pairs per thread. *)
+module Trace : sig
+  val set_enabled : bool -> unit
+  val enabled : unit -> bool
+
+  val set_capacity : int -> unit
+  (** Events retained per domain ring (default 16384, min 16).  Affects
+      rings created after the call — set it before enabling. *)
+
+  val begin_ : ?args:(string * string) list -> string -> unit
+  (** Open a span on the current domain.  [args] become the Chrome event's
+      [args] object (e.g. candidate index, threshold, equation tag). *)
+
+  val end_ : string -> unit
+  (** Close the innermost open span (the name is informational; nesting
+      is positional, as in Chrome's B/E events). *)
+
+  val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [begin_]/[end_] around the thunk, exception-safe. *)
+
+  val instant : ?args:(string * string) list -> string -> unit
+  (** A zero-duration marker event (phase ["i"]). *)
+
+  val complete : ?args:(string * string) list -> ts:float -> dur:float -> string -> unit
+  (** A complete event (phase ["X"]) with an explicit start (raw {!Clock}
+      seconds) and duration — for spans whose start and end were observed
+      on one domain but cannot nest, e.g. overlapping queue waits. *)
+
+  val clear : unit -> unit
+  val dropped_events : unit -> int
+
+  val export_json : unit -> Json.t
+  (** [{ "traceEvents": [...], "displayTimeUnit": "ms" }] with timestamps
+      in microseconds relative to the earliest recorded event, [pid] 1,
+      and [tid] the domain id.  Call when recording is quiescent (events
+      being written concurrently may be torn). *)
+
+  val write_file : string -> unit
+  (** {!export_json} serialised to a file. *)
+end

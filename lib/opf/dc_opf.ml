@@ -104,6 +104,7 @@ let solve_inner ?loads (topo : Grid.Topology.t) =
 
 let solve ?loads topo =
   Obs.Counter.incr obs_solves;
+  Obs.Trace.with_span "opf.dc_opf.solve" @@ fun () ->
   Obs.Timer.with_ obs_timer (fun () -> solve_inner ?loads topo)
 
 let base_case grid = solve (Grid.Topology.make grid)

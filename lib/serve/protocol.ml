@@ -29,6 +29,7 @@ type request =
   | Result of int
   | Cancel of int
   | Stats
+  | Metrics
   | Shutdown
 
 let json_of_request = function
@@ -53,6 +54,7 @@ let json_of_request = function
   | Result id -> J.Obj [ ("op", J.String "result"); ("id", J.Int id) ]
   | Cancel id -> J.Obj [ ("op", J.String "cancel"); ("id", J.Int id) ]
   | Stats -> J.Obj [ ("op", J.String "stats") ]
+  | Metrics -> J.Obj [ ("op", J.String "metrics") ]
   | Shutdown -> J.Obj [ ("op", J.String "shutdown") ]
 
 let str_field ?default name j =
@@ -129,8 +131,14 @@ let request_of_json j =
     let* id = int_field "id" j in
     Ok (Cancel id)
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
   | "shutdown" -> Ok Shutdown
   | op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* clients may tag any request with a "request_id" of their own; the
+   server echoes it (or a generated one) in the response *)
+let request_id_of_json j =
+  match J.member "request_id" j with Some (J.String s) -> Some s | _ -> None
 
 let job_params s =
   [

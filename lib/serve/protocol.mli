@@ -30,10 +30,15 @@ type request =
   | Result of int
   | Cancel of int
   | Stats
+  | Metrics  (** Prometheus text exposition of the server's metrics *)
   | Shutdown
 
 val json_of_request : request -> Obs.Json.t
 val request_of_json : Obs.Json.t -> (request, string) result
+
+val request_id_of_json : Obs.Json.t -> string option
+(** The optional ["request_id"] a client attached to a request object;
+    the server echoes it verbatim in the response (or generates one). *)
 
 val job_params : submit -> (string * string) list
 (** The key-relevant scenario parameters (mode, base, increase override,

@@ -12,6 +12,8 @@ type config = {
   default_timeout : float;
   max_terminal_jobs : int;
   verbose : bool;
+  access_log : string option;
+  trace : string option;
 }
 
 let default_config ~socket_path =
@@ -24,6 +26,8 @@ let default_config ~socket_path =
     default_timeout = 300.;
     max_terminal_jobs = 1024;
     verbose = false;
+    access_log = None;
+    trace = None;
   }
 
 (* ---- observability ---- *)
@@ -42,6 +46,17 @@ let c_cancelled = Obs.Counter.make "serve.jobs.cancelled"
 let c_depth = Obs.Counter.make "serve.queue.depth"
 let t_wait = Obs.Timer.make "serve.job.wait"
 let t_run = Obs.Timer.make "serve.job.run"
+
+(* jobs that reached ANY terminal state (done, failed, timeout,
+   cancelled — and cache hits, which are born terminal).  Incremented at
+   exactly the points where the wait/service histograms are observed, so
+   the service histogram's +Inf bucket count always equals this counter:
+   a scrape can cross-check the two.  All the observation sites run on
+   the event-loop domain, so a metrics reply sees them consistent. *)
+let c_completed = Obs.Counter.make "serve.jobs.completed"
+let h_wait = Obs.Histogram.make "serve.job.wait_seconds"
+let h_service = Obs.Histogram.make "serve.job.service_seconds"
+let h_request = Obs.Histogram.make "serve.request.seconds"
 
 (* ---- job records ---- *)
 
@@ -213,9 +228,12 @@ type t = {
       (* ids of finished jobs, oldest first; bounds jobs_tbl *)
   mutable running : int list;
   mutable next_id : int;
+  mutable next_rid : int;
   mutable conns : conn list;
   mutable listener : Unix.file_descr option;
   draining : bool Atomic.t;
+  started_at : float;
+  access_log : out_channel option;
 }
 
 let log t fmt =
@@ -224,6 +242,16 @@ let log t fmt =
   else Printf.ksprintf ignore fmt
 
 let now () = Obs.Clock.now ()
+
+(* one JSON object per line; kind "request" for protocol traffic, kind
+   "job" when a job reaches a terminal state *)
+let log_access t fields =
+  match t.access_log with
+  | None -> ()
+  | Some oc ->
+    output_string oc (J.to_string (J.Obj (("ts", J.Float (now ())) :: fields)));
+    output_char oc '\n';
+    flush oc
 
 (* terminal jobs stay queryable by id for a while, but a resident server
    must not grow without bound: only the newest cfg.max_terminal_jobs are
@@ -234,6 +262,25 @@ let remember_terminal t id =
   while Queue.length t.terminal > t.cfg.max_terminal_jobs do
     Hashtbl.remove t.jobs_tbl (Queue.pop t.terminal)
   done
+
+(* single bottleneck for a job reaching a terminal state: the wait and
+   service histograms and the completed counter move in lockstep here
+   (the invariant behind the metrics cross-check), and the access log
+   gets its "job" record *)
+let job_terminal t (job : job) ~wait ~service =
+  Obs.Histogram.observe h_wait wait;
+  Obs.Histogram.observe h_service service;
+  Obs.Counter.incr c_completed;
+  remember_terminal t job.id;
+  log_access t
+    [
+      ("kind", J.String "job");
+      ("id", J.Int job.id);
+      ("key", J.String job.key);
+      ("status", J.String (state_string job.state));
+      ("queue_wait_s", J.Float wait);
+      ("service_s", J.Float service);
+    ]
 
 let queue_depth t =
   Queue.fold
@@ -305,8 +352,9 @@ let handle_submit t (s : Protocol.submit) =
           }
         in
         Hashtbl.replace t.jobs_tbl id job;
-        remember_terminal t id;
         Obs.Counter.incr c_done;
+        (* born terminal: it never waited and never ran *)
+        job_terminal t job ~wait:0. ~service:0.;
         ok_fields
           [
             ("id", J.Int id);
@@ -358,9 +406,9 @@ let handle_cancel t id =
     match job.state with
     | Queued ->
       job.state <- Cancelled;
-      remember_terminal t id;
       Obs.Counter.incr c_cancelled;
       Obs.Counter.add c_depth (-1);
+      job_terminal t job ~wait:(now () -. job.submitted_at) ~service:0.;
       log t "job %d cancelled while queued" id;
       ok_fields (job_status_json job)
     | Running ->
@@ -404,6 +452,55 @@ let stats_json t =
       ("snapshot", Obs.json_of_snapshot (Obs.snapshot ()));
     ]
 
+(* Prometheus text exposition: curated job/request series first (stable
+   names a dashboard can rely on), then the whole registry under the
+   generic mapping.  The generic names all embed their subsystem prefix
+   (topoguard_serve_..., topoguard_smt_...), so nothing collides with
+   the curated names.  One snapshot backs the curated counters and
+   histograms, so the cross-check invariant — the service histogram's
+   +Inf bucket equals topoguard_jobs_completed_total — holds within a
+   single scrape. *)
+let empty_hist =
+  { Obs.h_count = 0; h_sum = 0.; h_min = None; h_max = None; h_buckets = [] }
+
+let metrics_text t =
+  let snap = Obs.snapshot () in
+  let buf = Buffer.create 4096 in
+  let c name =
+    float_of_int (Option.value ~default:0 (List.assoc_opt name snap.Obs.counters))
+  in
+  List.iter
+    (fun (metric, src) -> Obs.Prometheus.counter buf ~name:metric (c src))
+    [
+      ("topoguard_requests_total", "serve.requests");
+      ("topoguard_jobs_submitted_total", "serve.jobs.submitted");
+      ("topoguard_jobs_completed_total", "serve.jobs.completed");
+      ("topoguard_jobs_done_total", "serve.jobs.done");
+      ("topoguard_jobs_failed_total", "serve.jobs.failed");
+      ("topoguard_jobs_timeout_total", "serve.jobs.timeout");
+      ("topoguard_jobs_cancelled_total", "serve.jobs.cancelled");
+      ("topoguard_jobs_rejected_total", "serve.jobs.rejected");
+      ("topoguard_jobs_cache_hits_total", "serve.jobs.cache_hits");
+    ];
+  Obs.Prometheus.gauge buf ~name:"topoguard_queue_depth"
+    (float_of_int (queue_depth t));
+  Obs.Prometheus.gauge buf ~name:"topoguard_jobs_running"
+    (float_of_int (List.length t.running));
+  Obs.Prometheus.gauge buf ~name:"topoguard_uptime_seconds"
+    (now () -. t.started_at);
+  List.iter
+    (fun (metric, src) ->
+      Obs.Prometheus.histogram buf ~name:metric
+        (Option.value ~default:empty_hist
+           (List.assoc_opt src snap.Obs.histograms)))
+    [
+      ("topoguard_job_wait_seconds", "serve.job.wait_seconds");
+      ("topoguard_job_service_seconds", "serve.job.service_seconds");
+      ("topoguard_request_seconds", "serve.request.seconds");
+    ];
+  Buffer.add_string buf (Obs.to_prometheus ~namespace:"topoguard" snap);
+  Buffer.contents buf
+
 let handle_request t (req : Protocol.request) =
   Obs.Counter.incr c_requests;
   match req with
@@ -415,17 +512,65 @@ let handle_request t (req : Protocol.request) =
   | Protocol.Result id -> handle_result t id
   | Protocol.Cancel id -> handle_cancel t id
   | Protocol.Stats -> stats_json t
+  | Protocol.Metrics -> ok_fields [ ("metrics", J.String (metrics_text t)) ]
   | Protocol.Shutdown ->
     Atomic.set t.draining true;
     ok_fields [ ("draining", J.Bool true) ]
 
 let handle_line t line =
-  match J.of_string line with
-  | Error e -> err ("bad json: " ^ e)
-  | Ok j -> (
-    match Protocol.request_of_json j with
-    | Error e -> err e
-    | Ok req -> handle_request t req)
+  let t0 = now () in
+  let rid, verb, resp =
+    match J.of_string line with
+    | Error e -> (None, "invalid", err ("bad json: " ^ e))
+    | Ok j -> (
+      let rid = Protocol.request_id_of_json j in
+      let verb =
+        match J.member "op" j with Some (J.String s) -> s | _ -> "invalid"
+      in
+      match Protocol.request_of_json j with
+      | Error e -> (rid, verb, err e)
+      | Ok req -> (rid, verb, handle_request t req))
+  in
+  (* every response carries a request id: the client's, echoed verbatim,
+     or a server-generated one — either way the access log and the
+     response can be joined on it *)
+  let rid =
+    match rid with
+    | Some r -> r
+    | None ->
+      let r = Printf.sprintf "r%d" t.next_rid in
+      t.next_rid <- t.next_rid + 1;
+      r
+  in
+  let resp =
+    match resp with
+    | J.Obj fields -> J.Obj (fields @ [ ("request_id", J.String rid) ])
+    | other -> other
+  in
+  let latency = now () -. t0 in
+  Obs.Histogram.observe h_request latency;
+  Obs.Trace.complete
+    ~args:[ ("verb", verb); ("request_id", rid) ]
+    ~ts:t0 ~dur:latency "serve.request";
+  let resp_field name =
+    match resp with J.Obj fields -> List.assoc_opt name fields | _ -> None
+  in
+  let outcome =
+    match resp_field "ok" with Some (J.Bool true) -> "ok" | _ -> "error"
+  in
+  let opt name =
+    match resp_field name with Some v -> [ (name, v) ] | None -> []
+  in
+  log_access t
+    ([
+       ("kind", J.String "request");
+       ("request_id", J.String rid);
+       ("verb", J.String verb);
+       ("outcome", J.String outcome);
+     ]
+    @ opt "id" @ opt "key" @ opt "cached"
+    @ [ ("latency_s", J.Float latency) ]);
+  resp
 
 (* ---- scheduling ---- *)
 
@@ -440,11 +585,22 @@ let start_ready_jobs t =
       job.state <- Running;
       job.started_at <- now ();
       Atomic.set job.deadline (job.started_at +. job.timeout);
-      Obs.Timer.add_seconds t_wait (job.started_at -. job.submitted_at);
+      let wait = job.started_at -. job.submitted_at in
+      Obs.Timer.add_seconds t_wait wait;
+      (* queue waits of different jobs overlap freely, so this cannot be
+         a nested B/E span — emit a complete event instead *)
+      Obs.Trace.complete
+        ~args:[ ("id", string_of_int id) ]
+        ~ts:job.submitted_at ~dur:wait "serve.job.queued";
       (* the pool always has >= 2 worker domains (see [run]), and we
          never submit more than cfg.jobs concurrently, so this cannot
          execute on the event-loop domain *)
-      job.future <- Some (Pool.async t.pool (fun () -> execute ~store:t.store job));
+      job.future <-
+        Some
+          (Pool.async t.pool (fun () ->
+               Obs.Trace.with_span "serve.job.run"
+                 ~args:[ ("id", string_of_int job.id); ("key", job.key) ]
+                 (fun () -> execute ~store:t.store job)));
       t.running <- id :: t.running;
       log t "job %d started (timeout %.3fs)" id job.timeout
     | _ -> () (* cancelled while queued: already accounted *)
@@ -464,7 +620,8 @@ let reap_finished t =
           | `Pending -> still_running := id :: !still_running
           | `Done | `Failed ->
             job.future <- None;
-            Obs.Timer.add_seconds t_run (now () -. job.started_at);
+            let service = now () -. job.started_at in
+            Obs.Timer.add_seconds t_run service;
             (match Pool.Future.await fut with
             | result ->
               job.state <- Done;
@@ -487,7 +644,9 @@ let reap_finished t =
               job.state <- Failed (Printexc.to_string e);
               Obs.Counter.incr c_failed;
               log t "job %d failed: %s" job.id (Printexc.to_string e));
-            remember_terminal t job.id)))
+            job_terminal t job
+              ~wait:(job.started_at -. job.submitted_at)
+              ~service)))
     t.running;
   t.running <- !still_running
 
@@ -531,9 +690,27 @@ let run cfg =
         Store.Cache.close store;
         Error
           (Printf.sprintf "bind %s: %s" cfg.socket_path (Unix.error_message e))
-      | () ->
+      | () -> (
         Unix.listen listener 16;
         Unix.set_nonblock listener;
+        let access_log =
+          match cfg.access_log with
+          | None -> Ok None
+          | Some path -> (
+            match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+            | oc -> Ok (Some oc)
+            | exception Sys_error e -> Error ("access log: " ^ e))
+        in
+        match access_log with
+        | Error e ->
+          (* an unwritable access log is a startup error, like an
+             unwritable journal: better to refuse than to serve blind *)
+          Unix.close listener;
+          (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+          Store.Cache.close store;
+          Error e
+        | Ok access_log ->
+        if cfg.trace <> None then Obs.Trace.set_enabled true;
         let t =
           {
             cfg;
@@ -544,9 +721,12 @@ let run cfg =
             terminal = Queue.create ();
             running = [];
             next_id = 1;
+            next_rid = 1;
             conns = [];
             listener = Some listener;
             draining = Atomic.make false;
+            started_at = now ();
+            access_log;
           }
         in
         let prev_term =
@@ -645,5 +825,12 @@ let run cfg =
         (try Sys.remove cfg.socket_path with Sys_error _ -> ());
         Pool.shutdown t.pool;
         Store.Cache.close store;
+        (match cfg.trace with
+        | Some path ->
+          Obs.Trace.set_enabled false;
+          Obs.Trace.write_file path;
+          log t "trace written to %s" path
+        | None -> ());
+        (match t.access_log with Some oc -> close_out oc | None -> ());
         Sys.set_signal Sys.sigterm prev_term;
-        Ok ()))
+        Ok ())))

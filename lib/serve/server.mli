@@ -17,10 +17,20 @@
 
     Every figure is observable: [serve.queue.depth] (a gauge maintained
     with +1/-1 counter updates), [serve.jobs.{submitted,done,failed,
-    timeout,cancelled,rejected,cache_hits}], [serve.requests],
-    [store.{hit,miss,evict,insert}] and the [serve.job.{wait,run}]
-    timers all land in the ordinary [Obs] snapshot, which both the
-    [stats] op and the CLI's [--stats]/[--stats-json] report. *)
+    timeout,cancelled,rejected,cache_hits,completed}], [serve.requests],
+    [store.{hit,miss,evict,insert}], the [serve.job.{wait,run}] timers
+    and the [serve.job.{wait,service}_seconds] / [serve.request.seconds]
+    histograms all land in the ordinary [Obs] snapshot, which both the
+    [stats] op and the CLI's [--stats]/[--stats-json] report.  The
+    [metrics] op returns the same data as Prometheus text exposition
+    (plus queue-depth/running/uptime gauges), with the invariant that
+    the service histogram's [le="+Inf"] bucket count equals
+    [topoguard_jobs_completed_total] within any single scrape.
+
+    Every response carries a [request_id] — echoed from the request when
+    the client set one, generated otherwise — and, when [access_log] is
+    set, each request and each job reaching a terminal state appends one
+    JSON object to that file (see docs/serving.md for the schema). *)
 
 type config = {
   socket_path : string;
@@ -34,11 +44,17 @@ type config = {
           are forgotten (their results remain addressable by key in the
           store), bounding memory on a long-lived server *)
   verbose : bool;  (** log lifecycle events to stderr *)
+  access_log : string option;
+      (** append one JSON object per request and per terminal job to this
+          file; an unopenable path is a startup error *)
+  trace : string option;
+      (** record trace spans while serving and write Chrome
+          [trace_event] JSON here when the server drains *)
 }
 
 val default_config : socket_path:string -> config
 (** jobs 1, queue 64, cache 64 MiB, no journal, 300 s timeout, 1024
-    retained terminal jobs, quiet. *)
+    retained terminal jobs, quiet, no access log, no trace. *)
 
 val run : config -> (unit, string) result
 (** Blocks until drained.  [Error] covers startup failures (socket in

@@ -6,6 +6,8 @@ let obs_atom_misses = Obs.Counter.make "smt.solver.atom_cache_misses"
 let obs_tseitin = Obs.Counter.make "smt.solver.tseitin_clauses"
 let obs_checks = Obs.Counter.make "smt.solver.checks"
 let obs_check_timer = Obs.Timer.make "smt.solver.check"
+let obs_decisions_hist = Obs.Histogram.make "smt.sat.decisions_per_check"
+let obs_pivots_hist = Obs.Histogram.make "smt.simplex.pivots_per_check"
 
 type t = {
   sat : Sat.t;
@@ -284,7 +286,21 @@ let check_inner s =
 
 let check s =
   Obs.Counter.incr obs_checks;
-  Obs.Timer.with_ obs_check_timer (fun () -> check_inner s)
+  (* distribution per check (deltas of the per-solver totals), recorded
+     once per check — not on the SAT/simplex hot paths themselves *)
+  let d0 = Sat.n_decisions s.sat in
+  let p0 = Simplex.n_pivots s.simplex in
+  let finish r =
+    Obs.Histogram.observe_int obs_decisions_hist (Sat.n_decisions s.sat - d0);
+    Obs.Histogram.observe_int obs_pivots_hist (Simplex.n_pivots s.simplex - p0);
+    r
+  in
+  Obs.Trace.with_span "smt.check" (fun () ->
+      match Obs.Timer.with_ obs_check_timer (fun () -> check_inner s) with
+      | r -> finish r
+      | exception e ->
+        ignore (finish ());
+        raise e)
 
 let model_bool s v =
   if not s.has_model then failwith "Solver.model_bool: no model";

@@ -60,11 +60,206 @@ let timer_tests =
           (Obs.Timer.count t));
     Alcotest.test_case "add_seconds accumulates" `Quick (fun () ->
         let t = Obs.Timer.make "test.obs.timer_c" in
+        let was = Obs.enabled () in
+        Obs.set_enabled true;
         let s0 = Obs.Timer.total_seconds t in
         Obs.Timer.add_seconds t 0.25;
         Obs.Timer.add_seconds t 0.25;
+        Obs.set_enabled was;
         Alcotest.(check (float 1e-9)) "half second" (s0 +. 0.5)
           (Obs.Timer.total_seconds t));
+    Alcotest.test_case "add_seconds is gated like with_" `Quick (fun () ->
+        (* regression: add_seconds used to record unconditionally while
+           with_ was gated, skewing call ratios of mixed instrumentation *)
+        let t = Obs.Timer.make "test.obs.timer_gate" in
+        let was = Obs.enabled () in
+        Obs.set_enabled false;
+        let n0 = Obs.Timer.count t in
+        let s0 = Obs.Timer.total_seconds t in
+        Obs.Timer.add_seconds t 1.0;
+        Obs.set_enabled was;
+        Alcotest.(check int) "no call while disarmed" n0 (Obs.Timer.count t);
+        Alcotest.(check (float 1e-9)) "no seconds while disarmed" s0
+          (Obs.Timer.total_seconds t));
+  ]
+
+let histogram_tests =
+  [
+    Alcotest.test_case "bucket boundaries are inclusive powers of two" `Quick
+      (fun () ->
+        let h = Obs.Histogram.make "test.obs.hist_bounds" in
+        (* 1.0 and 0.75 share the le=1 bucket; 1.5 and 2.0 the le=2 bucket;
+           0 lands in the first bucket; a huge value in the overflow *)
+        List.iter (Obs.Histogram.observe h) [ 1.0; 0.75; 1.5; 2.0; 0.0; 1e19 ];
+        let e = Obs.Histogram.read h in
+        let bucket le =
+          match
+            List.find_opt (fun (b, _) -> b = le) e.Obs.h_buckets
+          with
+          | Some (_, n) -> n
+          | None -> 0
+        in
+        Alcotest.(check int) "le=1 holds 1.0 and 0.75" 2 (bucket 1.0);
+        Alcotest.(check int) "le=2 holds 1.5 and 2.0" 2 (bucket 2.0);
+        Alcotest.(check int) "first bucket holds 0" 1 (bucket (2. ** -20.));
+        Alcotest.(check int) "overflow holds 1e19" 1 (bucket Float.infinity);
+        Alcotest.(check int) "count is total" 6 e.Obs.h_count);
+    Alcotest.test_case "count/sum/min/max are exact" `Quick (fun () ->
+        let h = Obs.Histogram.make "test.obs.hist_stats" in
+        List.iter (Obs.Histogram.observe h) [ 3.0; 0.5; 12.25 ];
+        let e = Obs.Histogram.read h in
+        Alcotest.(check int) "count" 3 e.Obs.h_count;
+        Alcotest.(check (float 1e-9)) "sum" 15.75 e.Obs.h_sum;
+        Alcotest.(check (option (float 1e-9))) "min" (Some 0.5) e.Obs.h_min;
+        Alcotest.(check (option (float 1e-9))) "max" (Some 12.25) e.Obs.h_max);
+    Alcotest.test_case "observe_int matches observe of the float" `Quick
+      (fun () ->
+        let h = Obs.Histogram.make "test.obs.hist_int" in
+        Obs.Histogram.observe_int h 7;
+        Obs.Histogram.observe_int h 8;
+        let e = Obs.Histogram.read h in
+        Alcotest.(check int) "both in le=8" 2
+          (match List.find_opt (fun (b, _) -> b = 8.0) e.Obs.h_buckets with
+          | Some (_, n) -> n
+          | None -> 0));
+    Alcotest.test_case "quantiles are ordered and within [min,max]" `Quick
+      (fun () ->
+        let h = Obs.Histogram.make "test.obs.hist_quant" in
+        for i = 1 to 100 do
+          Obs.Histogram.observe_int h i
+        done;
+        let e = Obs.Histogram.read h in
+        let q p =
+          match Obs.quantile e p with
+          | Some v -> v
+          | None -> Alcotest.fail "quantile on nonempty histogram"
+        in
+        let p50 = q 0.5 and p90 = q 0.9 and p99 = q 0.99 in
+        Alcotest.(check bool) "p50 <= p90" true (p50 <= p90);
+        Alcotest.(check bool) "p90 <= p99" true (p90 <= p99);
+        Alcotest.(check bool) "within range" true (p50 >= 1.0 && p99 <= 100.0);
+        Alcotest.(check (option (float 1e-9))) "empty has no quantile" None
+          (Obs.quantile
+             { Obs.h_count = 0; h_sum = 0.0; h_min = None; h_max = None;
+               h_buckets = [] }
+             0.5));
+    Alcotest.test_case "time is gated on enabled" `Quick (fun () ->
+        let h = Obs.Histogram.make "test.obs.hist_time_gate" in
+        let was = Obs.enabled () in
+        Obs.set_enabled false;
+        let n0 = Obs.Histogram.count h in
+        ignore (Obs.Histogram.time h (fun () -> 1));
+        Alcotest.(check int) "not observed while disarmed" n0
+          (Obs.Histogram.count h);
+        Obs.set_enabled true;
+        ignore (Obs.Histogram.time h (fun () -> 1));
+        Obs.set_enabled was;
+        Alcotest.(check int) "observed while armed" (n0 + 1)
+          (Obs.Histogram.count h));
+    Alcotest.test_case "snapshot JSON carries histograms and parses back"
+      `Quick (fun () ->
+        let h = Obs.Histogram.make "test.obs.hist_json" in
+        Obs.Histogram.observe h 2.5;
+        let s = J.to_string (Obs.json_of_snapshot (Obs.snapshot ())) in
+        match J.of_string s with
+        | Error e -> Alcotest.failf "snapshot JSON does not parse: %s" e
+        | Ok j -> (
+          match J.member "histograms" j with
+          | Some (J.Obj fields) ->
+            Alcotest.(check bool) "our histogram present" true
+              (List.mem_assoc "test.obs.hist_json" fields)
+          | _ -> Alcotest.fail "no histograms object"));
+    Alcotest.test_case "prometheus exposition: cumulative buckets, +Inf = count"
+      `Quick (fun () ->
+        let h = Obs.Histogram.make "test.obs.hist_prom" in
+        List.iter (Obs.Histogram.observe h) [ 0.5; 1.0; 4.0 ];
+        let buf = Buffer.create 64 in
+        Obs.Prometheus.histogram buf ~name:"tg_test_hist"
+          (Obs.Histogram.read h);
+        let text = Buffer.contents buf in
+        let contains needle =
+          let n = String.length needle and m = String.length text in
+          let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "TYPE line" true
+          (contains "# TYPE tg_test_hist histogram");
+        Alcotest.(check bool) "+Inf bucket equals count" true
+          (contains "tg_test_hist_bucket{le=\"+Inf\"} 3");
+        Alcotest.(check bool) "count sample" true (contains "tg_test_hist_count 3"));
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "spans balance and export parses back" `Quick (fun () ->
+        Obs.Trace.clear ();
+        Obs.Trace.set_enabled true;
+        Obs.Trace.with_span "outer" (fun () ->
+            Obs.Trace.with_span ~args:[ ("k", "v") ] "inner" (fun () ->
+                Obs.Trace.instant "marker");
+            Obs.Trace.complete ~ts:(Obs.Clock.now ()) ~dur:0.001 "xspan");
+        Obs.Trace.set_enabled false;
+        let s = J.to_string (Obs.Trace.export_json ()) in
+        match J.of_string s with
+        | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+        | Ok j -> (
+          match J.member "traceEvents" j with
+          | Some (J.List evs) ->
+            let phases tid' =
+              List.filter_map
+                (fun ev ->
+                  match (J.member "ph" ev, J.member "tid" ev) with
+                  | Some (J.String ph), Some (J.Int tid) when tid = tid' ->
+                    Some ph
+                  | _ -> None)
+                evs
+            in
+            let tids =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun ev ->
+                     match J.member "tid" ev with
+                     | Some (J.Int t) -> Some t
+                     | _ -> None)
+                   evs)
+            in
+            Alcotest.(check bool) "some events" true (evs <> []);
+            List.iter
+              (fun tid ->
+                let ps = phases tid in
+                Alcotest.(check int)
+                  (Printf.sprintf "balanced B/E on tid %d" tid)
+                  (List.length (List.filter (( = ) "B") ps))
+                  (List.length (List.filter (( = ) "E") ps)))
+              tids
+          | _ -> Alcotest.fail "no traceEvents"));
+    Alcotest.test_case "unclosed spans are closed by export" `Quick (fun () ->
+        Obs.Trace.clear ();
+        Obs.Trace.set_enabled true;
+        Obs.Trace.begin_ "dangling";
+        Obs.Trace.set_enabled false;
+        (match Obs.Trace.export_json () with
+        | J.Obj _ as j -> (
+          match J.member "traceEvents" j with
+          | Some (J.List evs) ->
+            let count ph' =
+              List.length
+                (List.filter
+                   (fun ev -> J.member "ph" ev = Some (J.String ph'))
+                   evs)
+            in
+            Alcotest.(check int) "one B" 1 (count "B");
+            Alcotest.(check int) "one synthetic E" 1 (count "E")
+          | _ -> Alcotest.fail "no traceEvents")
+        | _ -> Alcotest.fail "export not an object");
+        Obs.Trace.clear ());
+    Alcotest.test_case "disabled recording is a no-op" `Quick (fun () ->
+        Obs.Trace.clear ();
+        Obs.Trace.set_enabled false;
+        Obs.Trace.with_span "ghost" (fun () -> ());
+        match J.member "traceEvents" (Obs.Trace.export_json ()) with
+        | Some (J.List evs) -> Alcotest.(check int) "no events" 0 (List.length evs)
+        | _ -> Alcotest.fail "no traceEvents");
   ]
 
 let snapshot_tests =
@@ -91,6 +286,44 @@ let snapshot_tests =
             Alcotest.(check bool) "our counter is present" true
               (List.mem_assoc "test.obs.snap_json" fields)
           | _ -> Alcotest.fail "no counters object"));
+    Alcotest.test_case "diff clamps regressions and marks them" `Quick
+      (fun () ->
+        (* a reset between the snapshots must not surface as a negative
+           delta; the window is flagged via obs.diff.regressed instead *)
+        let before =
+          {
+            Obs.counters = [ ("test.obs.regressing", 10) ];
+            timers = [];
+            histograms = [];
+          }
+        in
+        let after =
+          {
+            Obs.counters = [ ("test.obs.regressing", 3) ];
+            timers = [];
+            histograms = [];
+          }
+        in
+        let d = Obs.diff ~before ~after in
+        Alcotest.(check (option int)) "no negative delta" None
+          (List.assoc_opt "test.obs.regressing" d.Obs.counters);
+        Alcotest.(check (option int)) "regression marker" (Some 1)
+          (List.assoc_opt "obs.diff.regressed" d.Obs.counters));
+    Alcotest.test_case "diff subtracts histograms per bucket" `Quick (fun () ->
+        let h = Obs.Histogram.make "test.obs.hist_diff" in
+        Obs.Histogram.observe h 1.0;
+        let before = Obs.snapshot () in
+        Obs.Histogram.observe h 1.0;
+        Obs.Histogram.observe h 3.0;
+        let d = Obs.diff ~before ~after:(Obs.snapshot ()) in
+        match List.assoc_opt "test.obs.hist_diff" d.Obs.histograms with
+        | None -> Alcotest.fail "histogram delta missing"
+        | Some e ->
+          Alcotest.(check int) "two new observations" 2 e.Obs.h_count;
+          Alcotest.(check int) "one new in le=1" 1
+            (match List.find_opt (fun (b, _) -> b = 1.0) e.Obs.h_buckets with
+            | Some (_, n) -> n
+            | None -> 0));
   ]
 
 let json_tests =
@@ -134,6 +367,28 @@ let json_tests =
             | Ok _ -> Alcotest.failf "accepted %S" s
             | Error _ -> ())
           [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2" ]);
+    Alcotest.test_case "non-finite floats emit as null" `Quick (fun () ->
+        (* %.17g would print nan/inf, which no JSON parser accepts *)
+        List.iter
+          (fun f ->
+            Alcotest.(check string)
+              (Printf.sprintf "%h is null" f)
+              "null"
+              (J.to_string (J.Float f)))
+          [ Float.nan; Float.infinity; Float.neg_infinity ];
+        (* and the containing document still parses back *)
+        let s = J.to_string (J.Obj [ ("v", J.Float Float.nan) ]) in
+        match J.of_string s with
+        | Ok j -> Alcotest.(check bool) "null member" true
+                    (J.member "v" j = Some J.Null)
+        | Error e -> Alcotest.failf "parse: %s" e);
+    Alcotest.test_case "bare nan/inf tokens are rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match J.of_string s with
+            | Ok _ -> Alcotest.failf "accepted %S" s
+            | Error _ -> ())
+          [ "nan"; "inf"; "-inf"; "Infinity"; "NaN"; "{\"a\": nan}" ]);
   ]
 
 (* a small real solve must move the SAT/simplex counters *)
@@ -179,6 +434,8 @@ let () =
     [
       ("counter", counter_tests);
       ("timer", timer_tests);
+      ("histogram", histogram_tests);
+      ("trace", trace_tests);
       ("snapshot", snapshot_tests);
       ("json", json_tests);
       ("solver-stats", solver_stats_tests);

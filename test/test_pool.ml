@@ -186,10 +186,13 @@ let obs_hammer_tests =
         let t = Obs.Timer.make "test.pool.hammer_timer" in
         let n0 = Obs.Timer.count t in
         let s0 = Obs.Timer.total_seconds t in
+        let was = Obs.enabled () in
+        Obs.set_enabled true;
         Pool.with_pool ~jobs:4 (fun pool ->
             Pool.iter pool
               ~f:(fun _ -> Obs.Timer.add_seconds t 0.001)
               (List.init 10_000 Fun.id));
+        Obs.set_enabled was;
         Alcotest.(check int) "10k spans recorded" (n0 + 10_000)
           (Obs.Timer.count t);
         Alcotest.(check (float 1e-6)) "10 accumulated seconds" (s0 +. 10.0)

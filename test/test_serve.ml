@@ -44,7 +44,17 @@ let protocol_tests =
         List.iter
           (fun req ->
             Alcotest.(check bool) "same" true (roundtrip req = req))
-          [ P.Status 7; P.Result 3; P.Cancel 12; P.Stats; P.Shutdown ]);
+          [ P.Status 7; P.Result 3; P.Cancel 12; P.Stats; P.Metrics;
+            P.Shutdown ]);
+    Alcotest.test_case "request_id extraction" `Quick (fun () ->
+        Alcotest.(check (option string)) "present" (Some "abc")
+          (P.request_id_of_json
+             (J.Obj [ ("op", J.String "stats"); ("request_id", J.String "abc") ]));
+        Alcotest.(check (option string)) "absent" None
+          (P.request_id_of_json (J.Obj [ ("op", J.String "stats") ]));
+        Alcotest.(check (option string)) "wrong type" None
+          (P.request_id_of_json
+             (J.Obj [ ("op", J.String "stats"); ("request_id", J.Int 3) ])));
     Alcotest.test_case "invalid enum values are rejected" `Quick (fun () ->
         List.iter
           (fun j ->
@@ -248,6 +258,143 @@ let server_tests =
             match Pool.Future.await server with
             | Ok () -> ()
             | Error e -> Alcotest.failf "server exit: %s" e));
+    Alcotest.test_case "request ids, metrics exposition, access log" `Slow
+      (fun () ->
+        let socket =
+          tmp (Printf.sprintf "tg-serve-m-%d.sock" (Unix.getpid ()))
+        in
+        let access = tmp (Printf.sprintf "tg-serve-m-%d.log" (Unix.getpid ())) in
+        List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
+          [ socket; access ];
+        let cfg =
+          { (Serve.Server.default_config ~socket_path:socket) with
+            Serve.Server.access_log = Some access }
+        in
+        let server = Pool.detached (fun () -> Serve.Server.run cfg) in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
+              [ socket; access ])
+          (fun () ->
+            let c = connect_retry socket in
+            (* a client-supplied request id is echoed verbatim *)
+            (match
+               Serve.Client.rpc c
+                 (J.Obj
+                    [ ("op", J.String "stats"); ("request_id", J.String "abc-1") ])
+             with
+            | Ok resp ->
+              Alcotest.(check string) "echoed" "abc-1"
+                (match J.member "request_id" resp with
+                | Some (J.String s) -> s
+                | _ -> "?")
+            | Error e -> Alcotest.failf "stats rpc: %s" e);
+            (* a request without one gets a generated id *)
+            let r0 = expect_ok (Serve.Client.request c P.Stats) in
+            (match J.member "request_id" r0 with
+            | Some (J.String _) -> ()
+            | _ -> Alcotest.fail "no generated request_id");
+            let sample_of text name =
+              let v = ref None in
+              List.iter
+                (fun line ->
+                  if String.length line > 0 && line.[0] <> '#' then
+                    match String.split_on_char ' ' line with
+                    | [ n; value ] when n = name ->
+                      v := float_of_string_opt value
+                    | _ -> ())
+                (String.split_on_char '\n' text);
+              match !v with
+              | Some f -> f
+              | None -> Alcotest.failf "metric %s not found" name
+            in
+            let scrape () =
+              match
+                J.member "metrics" (expect_ok (Serve.Client.request c P.Metrics))
+              with
+              | Some (J.String s) -> s
+              | _ -> Alcotest.fail "metrics payload missing"
+            in
+            (* the registry is process-global (earlier test cases ran
+               servers too), so counts are asserted as deltas *)
+            let completed0 =
+              sample_of (scrape ()) "topoguard_jobs_completed_total"
+            in
+            (* one computed job, one cached resubmission *)
+            let r1 = expect_ok (Serve.Client.submit c (submit_of 0.)) in
+            let id1 = int_field "id" r1 in
+            (match Serve.Client.await c ~id:id1 ~timeout:60. () with
+            | Ok ("done", Some _) -> ()
+            | Ok (st, _) -> Alcotest.failf "terminal status %s" st
+            | Error e -> Alcotest.failf "await: %s" e);
+            let r2 = expect_ok (Serve.Client.submit c (submit_of 0.)) in
+            Alcotest.(check bool) "cached" true (bool_field "cached" r2);
+            (* metrics exposition: the completed counter matches the
+               service histogram's +Inf bucket within one scrape *)
+            let text = scrape () in
+            let sample = sample_of text in
+            let completed = sample "topoguard_jobs_completed_total" in
+            Alcotest.(check (float 1e-9)) "two jobs completed" 2.
+              (completed -. completed0);
+            ignore (sample "topoguard_queue_depth");
+            ignore (sample "topoguard_jobs_running");
+            let inf_bucket =
+              sample "topoguard_job_service_seconds_bucket{le=\"+Inf\"}"
+            in
+            Alcotest.(check (float 1e-9)) "+Inf bucket = completed" completed
+              inf_bucket;
+            ignore (expect_ok (Serve.Client.request c P.Shutdown));
+            Serve.Client.close c;
+            (match Pool.Future.await server with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "server exit: %s" e);
+            (* every access-log line is one JSON object with the schema *)
+            let ic = open_in access in
+            let lines = ref [] in
+            (try
+               while true do
+                 lines := input_line ic :: !lines
+               done
+             with End_of_file -> close_in ic);
+            let records =
+              List.rev_map
+                (fun line ->
+                  match J.of_string line with
+                  | Ok j -> j
+                  | Error e ->
+                    Alcotest.failf "bad access-log line %S: %s" line e)
+                !lines
+            in
+            let kind j =
+              match J.member "kind" j with Some (J.String s) -> s | _ -> "?"
+            in
+            let requests = List.filter (fun j -> kind j = "request") records in
+            let jobs = List.filter (fun j -> kind j = "job") records in
+            Alcotest.(check bool) "has request records" true (requests <> []);
+            Alcotest.(check int) "two terminal jobs" 2 (List.length jobs);
+            List.iter
+              (fun j ->
+                List.iter
+                  (fun f ->
+                    if J.member f j = None then
+                      Alcotest.failf "request record missing %S: %s" f
+                        (J.to_string j))
+                  [ "ts"; "request_id"; "verb"; "outcome"; "latency_s" ])
+              requests;
+            List.iter
+              (fun j ->
+                List.iter
+                  (fun f ->
+                    if J.member f j = None then
+                      Alcotest.failf "job record missing %S: %s" f
+                        (J.to_string j))
+                  [ "ts"; "id"; "key"; "status"; "queue_wait_s"; "service_s" ])
+              jobs;
+            Alcotest.(check bool) "client-supplied id logged" true
+              (List.exists
+                 (fun j ->
+                   J.member "request_id" j = Some (J.String "abc-1"))
+                 requests)));
   ]
 
 let () =
