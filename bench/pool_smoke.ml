@@ -156,7 +156,9 @@ let () =
           Printf.printf "pool-smoke: %-28s %d\n" name n
         | _ -> fail "counter %s missing or zero in the JSON snapshot" name)
       | None -> fail "no \"counters\" object in the JSON snapshot")
-    [ "pool_smoke.hammer"; "attack.loop.candidates"; "opf.dc_opf.solves" ];
+    (* default backend: candidate verifications run on the certified
+       float OPF *)
+    [ "pool_smoke.hammer"; "attack.loop.candidates"; "opf.float_opf.solves" ];
   Printf.printf "pool-smoke: sweep examined %d candidates (%d attacks), \
                  counters and histograms exact under parallelism\n"
     !examined !found;

@@ -39,11 +39,26 @@ let () =
     | Ok b -> b
     | Error e -> fail "base state: %s" e
   in
+  (* default config: certified float backend *)
   (match Topoguard.Impact.analyze ~scenario ~base () with
   | Topoguard.Impact.Attack_found _ -> ()
   | Topoguard.Impact.No_attack _ ->
     fail "expected an attack on the 5-bus case study"
   | Topoguard.Impact.Base_infeasible e -> fail "base infeasible: %s" e);
+  (* the exact reference backend must agree, and its run arms the
+     exact-simplex counters asserted below *)
+  let exact_config =
+    {
+      Topoguard.Impact.default_config with
+      Topoguard.Impact.backend = Topoguard.Impact.Lp_exact;
+    }
+  in
+  (match Topoguard.Impact.analyze ~config:exact_config ~scenario ~base () with
+  | Topoguard.Impact.Attack_found _ -> ()
+  | Topoguard.Impact.No_attack _ ->
+    fail "exact backend found no attack on the 5-bus case study"
+  | Topoguard.Impact.Base_infeasible e ->
+    fail "exact backend base infeasible: %s" e);
   let file = Filename.temp_file "bench_smoke" ".json" in
   Obs.write_json_file file (Obs.json_of_snapshot (Obs.snapshot ()));
   let json =
@@ -62,6 +77,10 @@ let () =
       "smt.sat.propagations";
       "smt.simplex.pivots";
       "attack.loop.iterations";
+      (* the default run verifies candidates on the certified float
+         backend, the second run on the exact reference backend *)
+      "opf.float_opf.solves";
+      "lp.certify.ok";
       "opf.dc_opf.solves";
       (* LP presolve statistics: the 5-bus OPF solves inside the impact
          loop must show presolve reductions and exact-simplex pivots *)
@@ -70,6 +89,10 @@ let () =
       "lp.presolve.bounds_tightened";
       "lp.presolve.vars_fixed";
     ];
+  (* every certificate on the 5-bus system must validate *)
+  (match counter json "lp.certify.fail" with
+  | 0 -> ()
+  | n -> fail "lp.certify.fail is %d, expected 0" n);
   (match Obs.Json.member "timers" json with
   | Some timers -> (
     match Obs.Json.member "attack.loop.analyze" timers with
@@ -90,6 +113,8 @@ let () =
     in
     let nonempty = List.filter (fun (_, e) -> count e > 0) entries in
     if nonempty = [] then fail "no nonempty histogram in the snapshot";
+    if not (List.mem_assoc "lp.certify.seconds" nonempty) then
+      fail "lp.certify.seconds histogram is empty or missing";
     List.iter
       (fun (name, e) ->
         Printf.printf "bench-smoke: histogram %-28s n=%d\n" name (count e))

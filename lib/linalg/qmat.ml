@@ -23,19 +23,28 @@ let mul_vec m v =
       done;
       !acc)
 
-(* Gaussian elimination with partial (first nonzero) pivoting *)
-let solve m b =
-  if m.r <> m.c then invalid_arg "Qmat.solve: not square";
+(* ---- exact LU factorization ----
+
+   PA = LU with L unit-lower (strict part stored below the diagonal of
+   [f]) and U upper including the diagonal; [perm] maps factor row ->
+   source row.  One factorization serves both [A x = b] and the
+   transposed system [A^T y = c] — the access pattern of a basis
+   certificate check, which runs a primal and a dual solve against the
+   same basis matrix. *)
+
+type lu = { n : int; f : t; perm : int array }
+
+let lu_factor m =
+  if m.r <> m.c then invalid_arg "Qmat.lu_factor: not square";
   let n = m.r in
-  if Array.length b <> n then invalid_arg "Qmat.solve: dimension mismatch";
-  let a = init n n (get m) in
-  let x = Array.copy b in
+  let f = init n n (get m) in
+  let perm = Array.init n (fun i -> i) in
   for k = 0 to n - 1 do
-    (* find pivot *)
+    (* first nonzero pivot: exact arithmetic needs no magnitude pivoting *)
     let pivot = ref (-1) in
     (try
        for i = k to n - 1 do
-         if not (Q.is_zero (get a i k)) then begin
+         if not (Q.is_zero (get f i k)) then begin
            pivot := i;
            raise Exit
          end
@@ -44,31 +53,75 @@ let solve m b =
     if !pivot < 0 then raise Singular;
     if !pivot <> k then begin
       for j = 0 to n - 1 do
-        let t = get a k j in
-        set a k j (get a !pivot j);
-        set a !pivot j t
+        let t = get f k j in
+        set f k j (get f !pivot j);
+        set f !pivot j t
       done;
-      let t = x.(k) in
-      x.(k) <- x.(!pivot);
-      x.(!pivot) <- t
+      let t = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- t
     end;
-    let pkk = get a k k in
+    let pkk = get f k k in
     for i = k + 1 to n - 1 do
-      let f = Q.div (get a i k) pkk in
-      if not (Q.is_zero f) then begin
-        set a i k Q.zero;
+      let l = Q.div (get f i k) pkk in
+      set f i k l;
+      if not (Q.is_zero l) then
         for j = k + 1 to n - 1 do
-          set a i j (Q.sub (get a i j) (Q.mul f (get a k j)))
-        done;
-        x.(i) <- Q.sub x.(i) (Q.mul f x.(k))
-      end
+          set f i j (Q.sub (get f i j) (Q.mul l (get f k j)))
+        done
     done
   done;
-  for i = n - 1 downto 0 do
-    let acc = ref x.(i) in
-    for j = i + 1 to n - 1 do
-      acc := Q.sub !acc (Q.mul (get a i j) x.(j))
+  { n; f; perm }
+
+let lu_solve lu b =
+  if Array.length b <> lu.n then invalid_arg "Qmat.lu_solve: dimension mismatch";
+  let n = lu.n in
+  let y = Array.make n Q.zero in
+  for i = 0 to n - 1 do
+    let acc = ref b.(lu.perm.(i)) in
+    for j = 0 to i - 1 do
+      acc := Q.sub !acc (Q.mul (get lu.f i j) y.(j))
     done;
-    x.(i) <- Q.div !acc (get a i i)
+    y.(i) <- !acc
   done;
-  x
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := Q.sub !acc (Q.mul (get lu.f i j) y.(j))
+    done;
+    y.(i) <- Q.div !acc (get lu.f i i)
+  done;
+  y
+
+(* [A^T y = c] with [PA = LU]: [A^T = U^T L^T P], so solve [U^T w = c]
+   (forward, dividing by the diagonal), then [L^T v = w] (backward, unit
+   diagonal), then [P y = v], i.e. [y.(perm.(i)) = v.(i)]. *)
+let lu_solve_transpose lu c =
+  if Array.length c <> lu.n then
+    invalid_arg "Qmat.lu_solve_transpose: dimension mismatch";
+  let n = lu.n in
+  let w = Array.make n Q.zero in
+  for i = 0 to n - 1 do
+    let acc = ref c.(i) in
+    for j = 0 to i - 1 do
+      acc := Q.sub !acc (Q.mul (get lu.f j i) w.(j))
+    done;
+    w.(i) <- Q.div !acc (get lu.f i i)
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref w.(i) in
+    for j = i + 1 to n - 1 do
+      acc := Q.sub !acc (Q.mul (get lu.f j i) w.(j))
+    done;
+    w.(i) <- !acc
+  done;
+  let y = Array.make n Q.zero in
+  for i = 0 to n - 1 do
+    y.(lu.perm.(i)) <- w.(i)
+  done;
+  y
+
+let solve m b =
+  if m.r <> m.c then invalid_arg "Qmat.solve: not square";
+  if Array.length b <> m.r then invalid_arg "Qmat.solve: dimension mismatch";
+  lu_solve (lu_factor m) b

@@ -19,3 +19,21 @@ val solve : t -> Numeric.Rat.t array -> Numeric.Rat.t array
 (** Solve [A x = b] exactly; @raise Singular on singular systems. *)
 
 val mul_vec : t -> Numeric.Rat.t array -> Numeric.Rat.t array
+
+(** {2 Exact LU}
+
+    One factorization answers both [A x = b] and [A{^T} y = c] — the
+    shape of a basis-certificate check, which needs a primal and a dual
+    solve against the same basis matrix. *)
+
+type lu
+
+val lu_factor : t -> lu
+(** Exact [PA = LU] with first-nonzero pivoting; @raise Singular.
+    @raise Invalid_argument on non-square input. *)
+
+val lu_solve : lu -> Numeric.Rat.t array -> Numeric.Rat.t array
+(** Solve [A x = b] from the factorization. *)
+
+val lu_solve_transpose : lu -> Numeric.Rat.t array -> Numeric.Rat.t array
+(** Solve [A{^T} y = c] from the same factorization. *)

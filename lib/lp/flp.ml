@@ -12,6 +12,11 @@ type result =
   | Optimal of { objective : float; values : float array }
   | Infeasible
   | Unbounded
+  | Stall of { values : float array }
+
+type var_status = Basic | At_lower | At_upper | Between of float
+
+type certificate = { statuses : var_status array }
 
 let presolve_default = ref true
 
@@ -21,6 +26,7 @@ let c_bounds_tightened = Obs.Counter.make "lp.presolve.bounds_tightened"
 let c_vars_fixed = Obs.Counter.make "lp.presolve.vars_fixed"
 let c_presolve_infeasible = Obs.Counter.make "lp.presolve.infeasible"
 let c_pivots = Obs.Counter.make "lp.float.pivots"
+let c_stall = Obs.Counter.make "lp.float.stall"
 let h_pivots = Obs.Histogram.make "lp.float.pivots_per_solve"
 
 (* shared with Lp, like the presolve counters *)
@@ -122,6 +128,7 @@ let record_constraint t ?(lo = neg_infinity) ?(hi = infinity) terms =
 let add_le t terms b = record_constraint t ~hi:b terms
 let add_ge t terms b = record_constraint t ~lo:b terms
 let add_eq t terms b = record_constraint t ~lo:b ~hi:b terms
+let add_range t terms ~lo ~hi = record_constraint t ~lo ~hi terms
 
 let install_row t terms lo hi =
   let row = normalize_terms t terms in
@@ -252,7 +259,7 @@ let feasibility t =
   let bland = ref false in
   let rec loop () =
     incr steps;
-    if !steps > 200000 then false
+    if !steps > 200000 then `Stall
     else begin
       if !steps > 5000 then bland := true;
       let violated =
@@ -264,7 +271,7 @@ let feasibility t =
           t.rows None
       in
       match violated with
-      | None -> true
+      | None -> `Feasible
       | Some xi -> (
         let row = Imap.find xi t.rows in
         let too_low = below_lo t xi in
@@ -291,7 +298,7 @@ let feasibility t =
             |> Option.map fst
         in
         match xj with
-        | None -> false
+        | None -> `Infeasible
         | Some xj ->
           let target = if too_low then t.lo.(xi) else t.hi.(xi) in
           pivot_and_update t xi xj target;
@@ -316,7 +323,7 @@ let optimize t z =
   let bland = ref false in
   let rec loop () =
     incr steps;
-    if !steps > 200000 then `Optimal (* numeric stall: accept current point *)
+    if !steps > 200000 then `Stall
     else begin
       if !steps > 5000 then bland := true;
       let row_z = Imap.find z t.rows in
@@ -390,7 +397,23 @@ let optimize t z =
   in
   loop ()
 
-let minimize t obj ~constant =
+(* Basis certificate: position of every variable except the objective
+   slack [z] (which enters basic and never leaves — neither loop ever
+   selects it as entering).  Nonbasic variables sitting strictly inside
+   their box (free variables, presolve-fixed values) are reported as
+   [Between] so the exact check can pin them to the float point. *)
+let certificate t z =
+  let statuses =
+    Array.init z (fun v ->
+        if Imap.mem v t.rows then Basic
+        else if t.lo.(v) = t.hi.(v) then At_lower
+        else if Float.abs (t.beta.(v) -. t.lo.(v)) <= eps then At_lower
+        else if Float.abs (t.beta.(v) -. t.hi.(v)) <= eps then At_upper
+        else Between t.beta.(v))
+  in
+  { statuses }
+
+let minimize_cert t obj ~constant =
   let p0 = t.pivots in
   let finish r =
     Obs.Histogram.observe_int h_pivots (t.pivots - p0);
@@ -399,16 +422,23 @@ let minimize t obj ~constant =
   Obs.Trace.with_span "lp.float.minimize" @@ fun () ->
   finish
     (match build t with
-    | `Infeasible -> Infeasible
+    | `Infeasible -> (Infeasible, None)
     | `Ok -> (
       let z = add_slack t obj in
-      if not (feasibility t) then Infeasible
-      else
+      let user_values () = Array.init t.user_vars (fun v -> t.beta.(v)) in
+      match feasibility t with
+      | `Infeasible -> (Infeasible, None)
+      | `Stall ->
+        Obs.Counter.incr c_stall;
+        (Stall { values = user_values () }, None)
+      | `Feasible -> (
         match optimize t z with
-        | `Unbounded -> Unbounded
+        | `Unbounded -> (Unbounded, None)
+        | `Stall ->
+          Obs.Counter.incr c_stall;
+          (Stall { values = user_values () }, None)
         | `Optimal ->
-          Optimal
-            {
-              objective = t.beta.(z) +. constant;
-              values = Array.init t.user_vars (fun v -> t.beta.(v));
-            }))
+          ( Optimal { objective = t.beta.(z) +. constant; values = user_values () },
+            Some (certificate t z) ))))
+
+let minimize t obj ~constant = fst (minimize_cert t obj ~constant)

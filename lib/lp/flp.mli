@@ -19,6 +19,25 @@ type result =
   | Optimal of { objective : float; values : float array }
   | Infeasible
   | Unbounded
+  | Stall of { values : float array }
+      (** Step-limit hit before termination (numeric cycling).  The carried
+          point is the solver's last iterate — possibly infeasible, never
+          trusted; callers must re-solve exactly (see {!Certify}), at best
+          warm-started from [values].  Counted by [lp.float.stall]. *)
+
+(** {2 Basis certificates}
+
+    Where each variable sat when phase II declared optimality: in the
+    basis, at a bound, or (for nonbasic variables whose box allows it)
+    strictly between bounds.  Indices cover user variables first, then one
+    slack per constraint row in insertion order — the layout used when the
+    solver is created with [~presolve:false]; under presolve the row set is
+    reduced and only {!Certify} (which presolves exactly up front) should
+    interpret the slack tail. *)
+
+type var_status = Basic | At_lower | At_upper | Between of float
+
+type certificate = { statuses : var_status array }
 
 val presolve_default : bool ref
 (** Whether newly created solvers presolve (default [true]); [create]'s
@@ -37,8 +56,18 @@ val add_le : t -> (int * float) list -> float -> unit
 val add_ge : t -> (int * float) list -> float -> unit
 val add_eq : t -> (int * float) list -> float -> unit
 
+val add_range : t -> (int * float) list -> lo:float -> hi:float -> unit
+(** Two-sided row [lo <= terms . x <= hi] ([neg_infinity]/[infinity] for a
+    free side) recorded as a single constraint — one slack, which keeps the
+    certificate's slack indices aligned with row order (see {!Certify}). *)
+
 val minimize : t -> (int * float) list -> constant:float -> result
 (** Builds the tableau (one-shot: adding constraints afterwards raises
     [Invalid_argument]) and solves. *)
+
+val minimize_cert :
+  t -> (int * float) list -> constant:float -> result * certificate option
+(** Like {!minimize}, additionally returning the basis certificate —
+    present exactly when the result is [Optimal]. *)
 
 val n_pivots : t -> int

@@ -382,5 +382,22 @@ let shift_left x s =
 
 let pow2 n = shift_left one n
 
+let bit_length x =
+  match Array.length x.mag with
+  | 0 -> 0
+  | n -> ((n - 1) * base_bits) + bit_length_limb x.mag.(n - 1)
+
+let shift_right x s =
+  if s < 0 then invalid_arg "Bigint.shift_right: negative shift";
+  if s = 0 || x.sign = 0 then x
+  else begin
+    let limbs = s / base_bits and bits = s mod base_bits in
+    let n = Array.length x.mag in
+    if limbs >= n then zero
+    else
+      make x.sign
+        (mag_shift_right_bits (Array.sub x.mag limbs (n - limbs)) bits)
+  end
+
 let hash x = Hashtbl.hash (x.sign, x.mag)
 let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -60,6 +60,14 @@ val shift_left : t -> int -> t
 val pow2 : int -> t
 (** [pow2 n] is [2{^n}], via {!shift_left}. *)
 
+val bit_length : t -> int
+(** Bits in the magnitude: [0] for zero, else the [k] with
+    [2^(k-1) <= |x| < 2^k]. *)
+
+val shift_right : t -> int -> t
+(** Drops [s] low bits of the magnitude (truncates toward zero;
+    sign preserved). *)
+
 val hash : t -> int
 
 val pp : Format.formatter -> t -> unit

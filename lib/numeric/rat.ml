@@ -96,7 +96,22 @@ let of_float f =
     else make num (B.pow2 (-e))
   end
 
-let to_float x = B.to_float x.num /. B.to_float x.den
+(* The naive [num /. den] turns into [inf /. inf = nan] when both
+   magnitudes overflow the double range even though the quotient itself is
+   representable.  Past ~1020 bits, rescale both sides by a shared power
+   of two (keeping 64-bit mantissas) and reapply the exponent difference
+   with [ldexp], which saturates to [infinity]/[0.] exactly when the true
+   value does. *)
+let to_float x =
+  let bn = B.bit_length x.num and bd = B.bit_length x.den in
+  if bn <= 1020 && bd <= 1020 then B.to_float x.num /. B.to_float x.den
+  else begin
+    let kn = Stdlib.max 0 (bn - 64) and kd = Stdlib.max 0 (bd - 64) in
+    let m =
+      B.to_float (B.shift_right x.num kn) /. B.to_float (B.shift_right x.den kd)
+    in
+    Float.ldexp m (kn - kd)
+  end
 
 let compare a b =
   match (small a, small b) with

@@ -165,6 +165,9 @@ let sc_opf ?(emergency_factor = 1.2) ?contingencies ?loads
     (match Flp.minimize lp obj ~constant with
     | Flp.Infeasible -> Dc_opf.Infeasible
     | Flp.Unbounded -> Dc_opf.Unbounded
+    (* A stalled float solve proves nothing; for an N-1 security screen the
+       conservative reading is "no secure dispatch demonstrated". *)
+    | Flp.Stall _ -> Dc_opf.Infeasible
     | Flp.Optimal { objective; values } ->
       let q4 f = Q.of_ints (int_of_float (Float.round (f *. 1e4))) 10_000 in
       let pg_v = Array.map (fun v -> q4 values.(v)) pg in

@@ -1,7 +1,16 @@
+(* PTDF-formulation OPF on the certified float path: the LP is posed over
+   exact rationals (dyadic images of the float PTDFs via [Rat.of_float]),
+   solved by the float simplex, and the verdict is proved or repaired by
+   [Certify] — so the reported cost and dispatch are exact optima of the
+   stated problem at every system size. *)
+
 module Q = Numeric.Rat
 module N = Grid.Network
 
-let solve ?loads (topo : Grid.Topology.t) =
+let obs_solves = Obs.Counter.make "opf.float_opf.solves"
+let obs_timer = Obs.Timer.make "opf.float_opf.solve"
+
+let solve_inner ?loads (topo : Grid.Topology.t) =
   let grid = topo.Grid.Topology.grid in
   let b = grid.N.n_buses in
   let loads =
@@ -15,98 +24,102 @@ let solve ?loads (topo : Grid.Topology.t) =
   match Factors.make topo with
   | exception Failure _ -> Dc_opf.Infeasible
   | factors ->
-    let loads_f = Array.map Q.to_float loads in
-    let lp = Flp.create () in
+    let qp = Certify.create () in
     let pg =
       Array.map
-        (fun (g : N.gen) ->
-          Flp.add_var ~lo:(Q.to_float g.N.pmin) ~hi:(Q.to_float g.N.pmax) lp)
+        (fun (g : N.gen) -> Certify.add_var ~lo:g.N.pmin ~hi:g.N.pmax qp)
         grid.N.gens
     in
-    let total_load = Array.fold_left ( +. ) 0.0 loads_f in
+    let total_load = Array.fold_left Q.add Q.zero loads in
     (* warm start at the balanced proportional dispatch: phase I then only
        repairs the few lines the optimum actually stresses *)
     let cap_total =
-      Array.fold_left (fun acc (g : N.gen) -> acc +. Q.to_float g.N.pmax) 0.0
+      Array.fold_left (fun acc (g : N.gen) -> Q.add acc g.N.pmax) Q.zero
         grid.N.gens
     in
-    if cap_total > 0.0 then
+    if Q.sign cap_total > 0 then
       Array.iteri
         (fun k (g : N.gen) ->
-          Flp.set_initial lp pg.(k)
-            (total_load *. Q.to_float g.N.pmax /. cap_total))
+          Certify.set_initial qp pg.(k)
+            (Q.div (Q.mul total_load g.N.pmax) cap_total))
         grid.N.gens;
-    Flp.add_eq lp
-      (Array.to_list (Array.map (fun v -> (v, 1.0)) pg))
+    Certify.add_eq qp
+      (Array.to_list (Array.map (fun v -> (v, Q.one)) pg))
       total_load;
+    let ptdf i j = Q.of_float (Factors.ptdf factors ~line:i ~bus:j) in
     Array.iteri
       (fun i (ln : N.line) ->
         if topo.Grid.Topology.mapped.(i) then begin
           let gen_terms =
             Array.to_list
               (Array.mapi
-                 (fun k (g : N.gen) ->
-                   (pg.(k), Factors.ptdf factors ~line:i ~bus:g.N.gbus))
+                 (fun k (g : N.gen) -> (pg.(k), ptdf i g.N.gbus))
                  grid.N.gens)
           in
-          let load_part = ref 0.0 in
+          let load_part = ref Q.zero in
           for j = 0 to b - 1 do
-            if loads_f.(j) <> 0.0 then
-              load_part :=
-                !load_part +. (Factors.ptdf factors ~line:i ~bus:j *. loads_f.(j))
+            if not (Q.is_zero loads.(j)) then
+              load_part := Q.add !load_part (Q.mul (ptdf i j) loads.(j))
           done;
-          let cap = Q.to_float ln.N.capacity in
-          (* constraint screening: skip lines that cannot bind anywhere in
-             the generation box (standard OPF preprocessing) *)
-          let lo_flow = ref (-. !load_part) and hi_flow = ref (-. !load_part) in
+          let cap = ln.N.capacity in
+          (* exact constraint screening: a side is dropped only when the
+             generation box provably keeps the flow inside the limit, so
+             the reduced LP has the same feasible set *)
+          let lo_flow = ref (Q.neg !load_part)
+          and hi_flow = ref (Q.neg !load_part) in
           List.iteri
             (fun k (_, c) ->
               let g = grid.N.gens.(k) in
-              let a = c *. Q.to_float g.N.pmin
-              and bb = c *. Q.to_float g.N.pmax in
-              lo_flow := !lo_flow +. Float.min a bb;
-              hi_flow := !hi_flow +. Float.max a bb)
+              let a = Q.mul c g.N.pmin and bb = Q.mul c g.N.pmax in
+              lo_flow := Q.add !lo_flow (Q.min a bb);
+              hi_flow := Q.add !hi_flow (Q.max a bb))
             gen_terms;
-          (* per-side screening: only add the directions that can bind *)
-          if !hi_flow > cap +. 1e-9 then
-            Flp.add_le lp gen_terms (cap +. !load_part);
-          if !lo_flow < -.cap -. 1e-9 then
-            Flp.add_ge lp gen_terms (-.cap +. !load_part)
+          if Q.( > ) !hi_flow cap then
+            Certify.add_le qp gen_terms (Q.add cap !load_part);
+          if Q.( < ) !lo_flow (Q.neg cap) then
+            Certify.add_ge qp gen_terms (Q.add (Q.neg cap) !load_part)
         end)
       grid.N.lines;
     let obj =
       Array.to_list
-        (Array.mapi (fun k (g : N.gen) -> (pg.(k), Q.to_float g.N.beta))
-           grid.N.gens)
+        (Array.mapi (fun k (g : N.gen) -> (pg.(k), g.N.beta)) grid.N.gens)
     in
     let constant =
-      Array.fold_left (fun acc (g : N.gen) -> acc +. Q.to_float g.N.alpha) 0.0
+      Array.fold_left (fun acc (g : N.gen) -> Q.add acc g.N.alpha) Q.zero
         grid.N.gens
     in
-    (match Flp.minimize lp obj ~constant with
-    | Flp.Infeasible -> Dc_opf.Infeasible
-    | Flp.Unbounded -> Dc_opf.Unbounded
-    | Flp.Optimal { objective; values } ->
-      let q4 f = Q.of_ints (int_of_float (Float.round (f *. 1e4))) 10_000 in
-      let pg_v = Array.map (fun v -> q4 values.(v)) pg in
+    (match Certify.minimize qp obj ~constant with
+    | Certify.Infeasible -> Dc_opf.Infeasible
+    | Certify.Unbounded -> Dc_opf.Unbounded
+    | Certify.Optimal { objective; values; certified = _ } ->
+      let pg_v = Array.map (fun v -> values.(v)) pg in
+      (* recover angles/flows from a float power flow at the exact optimum;
+         [Rat.of_float] keeps the recovered values exactly as computed
+         rather than rounding them to 4 decimals *)
       let gen_bus = Array.make b 0.0 in
       Array.iteri
-        (fun k (g : N.gen) -> gen_bus.(g.N.gbus) <- values.(pg.(k)))
+        (fun k (g : N.gen) -> gen_bus.(g.N.gbus) <- Q.to_float pg_v.(k))
         grid.N.gens;
+      let loads_f = Array.map Q.to_float loads in
+      let q_exact f = if Float.is_finite f then Q.of_float f else Q.zero in
       (match Grid.Powerflow.solve_float topo ~gen:gen_bus ~load:loads_f with
       | Ok (theta_f, flows_f) ->
         Dc_opf.Dispatch
           {
-            cost = q4 objective;
+            cost = objective;
             pg = pg_v;
-            theta = Array.map q4 theta_f;
-            flows = Array.map q4 flows_f;
+            theta = Array.map q_exact theta_f;
+            flows = Array.map q_exact flows_f;
           }
       | Error _ ->
         Dc_opf.Dispatch
           {
-            cost = q4 objective;
+            cost = objective;
             pg = pg_v;
             theta = Array.make b Q.zero;
             flows = Array.make (N.n_lines grid) Q.zero;
           }))
+
+let solve ?loads topo =
+  Obs.Counter.incr obs_solves;
+  Obs.Timer.with_ obs_timer (fun () -> solve_inner ?loads topo)

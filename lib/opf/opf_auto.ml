@@ -1,9 +1,10 @@
-let solve_factors ?loads (topo : Grid.Topology.t) =
-  if topo.Grid.Topology.grid.Grid.Network.n_buses <= 60 then
-    Fast_opf.solve ?loads topo
-  else Float_opf.solve ?loads topo
+(* Backend selection for callers that don't care which solver runs.
 
-let solve ?loads (topo : Grid.Topology.t) =
-  if topo.Grid.Topology.grid.Grid.Network.n_buses <= 20 then
-    Dc_opf.solve ?loads topo
-  else solve_factors ?loads topo
+   Historically this escalated by system size (exact angle formulation up
+   to 20 buses, exact PTDF formulation up to 60, raw float simplex above)
+   because only the small-system solvers were sound.  Now that
+   [Float_opf] certifies its float verdicts exactly ([Certify]), the
+   fastest path is also the soundest one, at every size. *)
+
+let solve_factors ?loads (topo : Grid.Topology.t) = Float_opf.solve ?loads topo
+let solve ?loads (topo : Grid.Topology.t) = Float_opf.solve ?loads topo

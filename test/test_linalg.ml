@@ -111,6 +111,97 @@ let lu_tests =
         Float.abs (d2 -. (d *. d)) < (1e-6 *. Float.max 1.0 (Float.abs (d *. d))));
   ]
 
+(* ---- exact rational LU (Qmat) ---- *)
+
+module Q = Numeric.Rat
+module Qmat = Linalg.Qmat
+
+let qvec_testable =
+  Alcotest.testable
+    (Format.pp_print_list Q.pp)
+    (fun a b -> List.for_all2 Q.equal a b)
+
+let check_qvec msg expected got =
+  Alcotest.check qvec_testable msg (Array.to_list expected) (Array.to_list got)
+
+(* random nonsingular rational matrix: unit lower times unit upper with a
+   random nonzero diagonal, so nonsingularity holds by construction *)
+let gen_qsystem =
+  QCheck2.Gen.(
+    let* n = int_range 1 6 in
+    let entry = map (fun (a, b) -> Q.of_ints a b) (pair (int_range (-9) 9) (int_range 1 9)) in
+    let* l = array_size (return (n * n)) entry in
+    let* u = array_size (return (n * n)) entry in
+    let* d = array_size (return n) (int_range 1 9) in
+    let* b = array_size (return n) entry in
+    let lm =
+      Qmat.init n n (fun i j ->
+          if i = j then Q.one else if i > j then l.((i * n) + j) else Q.zero)
+    in
+    let um =
+      Qmat.init n n (fun i j ->
+          if i = j then Q.of_int d.(i)
+          else if i < j then u.((i * n) + j)
+          else Q.zero)
+    in
+    let prod =
+      Qmat.init n n (fun i j ->
+          let acc = ref Q.zero in
+          for k = 0 to n - 1 do
+            acc := Q.add !acc (Q.mul (Qmat.get lm i k) (Qmat.get um k j))
+          done;
+          !acc)
+    in
+    return (prod, b))
+
+let qmat_transpose m =
+  Qmat.init (Qmat.cols m) (Qmat.rows m) (fun i j -> Qmat.get m j i)
+
+let qlu_tests =
+  [
+    Alcotest.test_case "exact solve known 2x2" `Quick (fun () ->
+        let a =
+          Qmat.init 2 2 (fun i j ->
+              Q.of_int [| [| 2; 1 |]; [| 1; 3 |] |].(i).(j))
+        in
+        let lu = Qmat.lu_factor a in
+        check_qvec "solution"
+          [| Q.one; Q.of_int 3 |]
+          (Qmat.lu_solve lu [| Q.of_int 5; Q.of_int 10 |]));
+    Alcotest.test_case "pivoting required" `Quick (fun () ->
+        let a =
+          Qmat.init 2 2 (fun i j -> if i = j then Q.zero else Q.one)
+        in
+        let lu = Qmat.lu_factor a in
+        check_qvec "swap solve"
+          [| Q.of_int 3; Q.of_int 2 |]
+          (Qmat.lu_solve lu [| Q.of_int 2; Q.of_int 3 |]));
+    Alcotest.test_case "singular raises" `Quick (fun () ->
+        let a =
+          Qmat.init 2 2 (fun i j ->
+              Q.of_int [| [| 1; 2 |]; [| 2; 4 |] |].(i).(j))
+        in
+        Alcotest.check_raises "raise" Qmat.Singular (fun () ->
+            ignore (Qmat.lu_factor a)));
+    prop "lu_solve reproduces the rhs exactly" gen_qsystem (fun (m, b) ->
+        let x = Qmat.lu_solve (Qmat.lu_factor m) b in
+        Array.for_all2 Q.equal (Qmat.mul_vec m x) b);
+    prop "lu_solve agrees with Qmat.solve" gen_qsystem (fun (m, b) ->
+        let x1 = Qmat.lu_solve (Qmat.lu_factor m) b in
+        let x2 = Qmat.solve m b in
+        Array.for_all2 Q.equal x1 x2);
+    prop "transpose solve matches solving the transposed matrix"
+      gen_qsystem (fun (m, c) ->
+        let y1 = Qmat.lu_solve_transpose (Qmat.lu_factor m) c in
+        let y2 = Qmat.solve (qmat_transpose m) c in
+        Array.for_all2 Q.equal y1 y2);
+  ]
+
 let () =
   Alcotest.run "linalg"
-    [ ("vec", vec_tests); ("mat", mat_tests); ("lu", lu_tests) ]
+    [
+      ("vec", vec_tests);
+      ("mat", mat_tests);
+      ("lu", lu_tests);
+      ("qlu", qlu_tests);
+    ]

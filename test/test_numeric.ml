@@ -103,6 +103,20 @@ let bigint_unit_tests =
           (B.gcd (B.of_int 12) (B.of_int (-18)));
         Alcotest.check bigint_testable "gcd(0,5)=5" (B.of_int 5)
           (B.gcd B.zero (B.of_int 5)));
+    Alcotest.test_case "bit_length / shift_right" `Quick (fun () ->
+        Alcotest.(check int) "zero" 0 (B.bit_length B.zero);
+        Alcotest.(check int) "one" 1 (B.bit_length B.one);
+        Alcotest.(check int) "2^100" 101 (B.bit_length (B.pow2 100));
+        Alcotest.(check int) "-(2^100)" 101 (B.bit_length (B.neg (B.pow2 100)));
+        Alcotest.check bigint_testable "2^100 >> 40" (B.pow2 60)
+          (B.shift_right (B.pow2 100) 40);
+        Alcotest.check bigint_testable "shift past width" B.zero
+          (B.shift_right (B.of_int 12345) 64);
+        Alcotest.check bigint_testable "truncates low bits" (B.of_int 5)
+          (B.shift_right (B.of_int 23) 2);
+        Alcotest.check bigint_testable "negative truncates toward zero"
+          (B.of_int (-5))
+          (B.shift_right (B.of_int (-23)) 2));
   ]
 
 let bigint_prop_tests =
@@ -142,6 +156,14 @@ let bigint_prop_tests =
       QCheck2.Gen.(triple gen_bigint gen_bigint gen_bigint)
       (fun (a, b, c) ->
         B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    prop "shift_right inverts shift_left"
+      QCheck2.Gen.(pair gen_bigint (int_range 0 200))
+      (fun (a, s) -> B.equal a (B.shift_right (B.shift_left a s) s));
+    prop "bit_length brackets the magnitude" gen_bigint (fun a ->
+        QCheck2.assume (not (B.is_zero a));
+        let k = B.bit_length a in
+        let m = B.abs a in
+        B.compare m (B.pow2 k) < 0 && B.compare m (B.pow2 (k - 1)) >= 0);
   ]
 
 (* ---- Rat ---- *)
@@ -220,6 +242,25 @@ let rat_unit_tests =
     Alcotest.test_case "division by zero rational" `Quick (fun () ->
         Alcotest.check_raises "raise" Division_by_zero (fun () ->
             ignore (Q.div Q.one Q.zero)));
+    Alcotest.test_case "to_float survives huge numerator and denominator"
+      `Quick (fun () ->
+        (* regression: both magnitudes overflow the double range, so the
+           naive num/.den was inf/inf = nan even though the quotient is
+           representable *)
+        let x = Q.make (B.pow2 1100) (B.pow2 1103) in
+        Alcotest.(check (float 0.0)) "2^1100/2^1103" 0.125 (Q.to_float x);
+        let y = Q.make (B.add (B.pow2 1100) B.one) (B.pow2 1103) in
+        Alcotest.(check bool) "not nan" false (Float.is_nan (Q.to_float y));
+        Alcotest.(check (float 1e-12)) "~0.125" 0.125 (Q.to_float y);
+        Alcotest.(check (float 1e-12)) "sign preserved" (-0.125)
+          (Q.to_float (Q.neg y));
+        (* saturation still behaves at the extremes *)
+        Alcotest.(check (float 0.0)) "huge -> inf" infinity
+          (Q.to_float (Q.make (B.pow2 1100) B.one));
+        Alcotest.(check (float 0.0)) "-huge -> -inf" neg_infinity
+          (Q.to_float (Q.make (B.neg (B.pow2 1100)) B.one));
+        Alcotest.(check (float 0.0)) "1/huge -> 0" 0.0
+          (Q.to_float (Q.make B.one (B.pow2 1100))));
   ]
 
 let rat_prop_tests =
@@ -258,6 +299,21 @@ let rat_prop_tests =
     prop "round_to_digits within half ulp" gen_rat (fun a ->
         let r = Q.round_to_digits 2 a in
         Q.( <= ) (Q.abs (Q.sub r a)) (Q.of_ints 1 200));
+    prop "to_float accurate when both sides overflow the float range"
+      QCheck2.Gen.(
+        quad (int_range 1030 1200) (int_range 1030 1200)
+          (int_range 0 1_000_000) (int_range 0 1_000_000))
+      (fun (k, j, r1, r2) ->
+        let x =
+          Q.make
+            (B.add (B.pow2 k) (B.of_int r1))
+            (B.add (B.pow2 j) (B.of_int r2))
+        in
+        let f = Q.to_float x in
+        Float.is_finite f && f > 0.0
+        &&
+        let err = Q.abs (Q.sub (Q.of_float f) x) in
+        Q.( <= ) err (Q.mul x (Q.make B.one (B.pow2 48))));
     prop "decimal-string roundtrip on exact decimals"
       QCheck2.Gen.(pair (int_range (-1_000_000) 1_000_000) (int_range 0 6))
       (fun (n, d) ->
