@@ -439,16 +439,27 @@ let impact_cmd =
 (* ---- gen ---- *)
 
 let gen_cmd =
-  let run system out =
+  let bundled = [ 5; 14; 30; 57; 118 ] in
+  let run system out seed degree gens =
+    let synthesize n =
+      match Grid.Gen.make ?seed ~avg_degree:degree ?gens n with
+      | spec -> spec
+      | exception (Invalid_argument m | Failure m) ->
+        Format.eprintf "gen: %s@." m;
+        exit 2
+    in
     let spec =
       match system with
       | "cs1" -> Grid.Test_systems.case_study_1 ()
       | "cs2" -> Grid.Test_systems.case_study_2 ()
       | s -> (
         match int_of_string_opt s with
-        | Some n -> Grid.Test_systems.ieee n
+        | Some n when List.mem n bundled && seed = None && gens = None ->
+          Grid.Test_systems.ieee n
+        | Some n -> synthesize n
         | None ->
-          Format.eprintf "unknown system %S (use cs1, cs2, 5, 14, 30, 57, 118)@." s;
+          Format.eprintf
+            "unknown system %S (use cs1, cs2, or a bus count)@." s;
           exit 2)
     in
     Grid.Spec.write_file out spec;
@@ -456,15 +467,35 @@ let gen_cmd =
   in
   let system =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM"
-           ~doc:"cs1, cs2, or a bus count (5/14/30/57/118).")
+           ~doc:"cs1, cs2, a bundled bus count (5/14/30/57/118), or any \
+                 other bus count $(b,>= 3) to synthesize a deterministic \
+                 grid of that size.")
   in
   let out =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT"
            ~doc:"Output path.")
   in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Generation seed (default: the bus count).  Same size and \
+                 seed always write the same bytes.  Forces synthesis even \
+                 for bundled sizes.")
+  in
+  let degree =
+    Arg.(value & opt float 2.8 & info [ "degree" ] ~docv:"D"
+           ~doc:"Average bus degree of the synthesized mesh (>= 2; the \
+                 ring backbone alone is 2).")
+  in
+  let gens =
+    Arg.(value & opt (some int) None & info [ "gens" ] ~docv:"N"
+           ~doc:"Generator count (default: bus count / 8, at least 3).  \
+                 Forces synthesis even for bundled sizes.")
+  in
   Cmd.v
-    (Cmd.info "gen" ~doc:"Write a bundled test system in the input format.")
-    Term.(const run $ system $ out)
+    (Cmd.info "gen"
+       ~doc:"Write a bundled test system, or synthesize a seeded grid of \
+             any size, in the input format.")
+    Term.(const run $ system $ out $ seed $ degree $ gens)
 
 (* ---- defend ---- *)
 

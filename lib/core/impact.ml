@@ -71,6 +71,15 @@ let check_interrupt config =
   | Some probe -> if probe () then raise Interrupted
   | None -> ()
 
+(* Installs the interrupt hook as this domain's solver probe for the
+   duration of an analysis: simplex pivot loops and sparse LU steps call
+   [Obs.Probe.poll], so a cooperative cancel lands inside a long solve
+   (e.g. the exact base OPF of a large case) rather than after it. *)
+let with_interrupt_probe config body =
+  match config.interrupt with
+  | None -> body ()
+  | Some _ -> Obs.Probe.with_ (fun () -> check_interrupt config) body
+
 let threshold_of ~base_cost pct =
   Q.mul base_cost (Q.add Q.one (Q.div pct (Q.of_int 100)))
 
@@ -196,7 +205,19 @@ let base_opf backend grid =
    past a success are cancelled through the pool's shared best-index
    flag).  With jobs <= 1 the pool degrades to the plain sequential loop,
    early exit included. *)
+let truncate_candidates config candidates =
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | c :: rest -> c :: take (n - 1) rest
+  in
+  take config.max_candidates candidates
+
 let analyze_closed_form config ~grid ~candidates ~base_cost ~threshold =
+  (* the enumeration budget applies on this path too: the SMT loop stops
+     after [max_candidates] queries, so the closed-form enumeration is
+     cut to the same prefix of the ranked candidate list *)
+  let candidates = truncate_candidates config candidates in
   let examined = Atomic.make 0 in
   let verify i (_, _, vec) =
     check_interrupt config;
@@ -299,7 +320,8 @@ let analyze_inner ~config ~(scenario : Grid.Spec.t)
 let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
     ~(base : Attack.Base_state.t) () =
   Obs.Trace.with_span "impact.analyze" @@ fun () ->
-  Obs.Timer.with_ obs_loop_timer (fun () -> analyze_inner ~config ~scenario ~base)
+  Obs.Timer.with_ obs_loop_timer @@ fun () ->
+  with_interrupt_probe config (fun () -> analyze_inner ~config ~scenario ~base)
 
 (* ---- threshold sweeps (satellite of the serving PR) ----
 
@@ -318,7 +340,10 @@ let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
 
 let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
   let grid = scenario.Grid.Spec.grid in
-  let candidates = Array.of_list (Attack.Single_line.all_feasible ~scenario ~base) in
+  let candidates =
+    Array.of_list
+      (truncate_candidates config (Attack.Single_line.all_feasible ~scenario ~base))
+  in
   match config.backend with
   | Smt_bounded ->
     (* the bounded-feasibility verdict depends on the threshold: only the
@@ -411,6 +436,7 @@ let analyze_sweep ?(config = default_config) ~(scenario : Grid.Spec.t)
     ~(base : Attack.Base_state.t) ~increases () =
   Obs.Trace.with_span "impact.sweep" @@ fun () ->
   Obs.Timer.with_ obs_loop_timer @@ fun () ->
+  with_interrupt_probe config @@ fun () ->
   Obs.Counter.add obs_sweep_targets (List.length increases);
   check_interrupt config;
   let grid = scenario.Grid.Spec.grid in
@@ -427,6 +453,7 @@ let analyze_sweep ?(config = default_config) ~(scenario : Grid.Spec.t)
 
 let max_achievable_increase ?(config = default_config)
     ~(scenario : Grid.Spec.t) ~(base : Attack.Base_state.t) () =
+  with_interrupt_probe config @@ fun () ->
   let grid = scenario.Grid.Spec.grid in
   match base_opf config.backend grid with
   | Opf.Dc_opf.Infeasible | Opf.Dc_opf.Unbounded -> None

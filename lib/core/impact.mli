@@ -24,6 +24,10 @@ type config = {
   mode : Attack.Encoder.mode;
   precision : int;  (** blocking-clause discretisation digits *)
   max_candidates : int;
+      (** enumeration budget, honored on both paths: the SMT loop stops
+          after this many queries, and the closed-form path verifies at
+          most this long a prefix of the ranked single-line candidate
+          list *)
   backend : opf_backend;
   max_topology_changes : int option;
       (** cap on simultaneous line exclusions/inclusions; the paper uses 1

@@ -1,0 +1,51 @@
+(** Deterministic synthetic grid generation — the scaling substrate past
+    the bundled IEEE sizes.
+
+    A generated system is a ring backbone (connectivity by construction)
+    plus mostly short-range chords, loads with plausibility bounds on
+    most buses, and a generator fleet with 1.8x capacity headroom; line
+    capacities are then calibrated from one base power flow on the
+    sparse float backend, so the attack-free OPF is feasible and a few
+    lines are deliberately tight.  Identical [(size, seed)] inputs yield
+    byte-identical [Spec.print] output, and every drawn quantity is a
+    small decimal rational, so a generated file re-parses exactly and
+    passes [topoguard lint] with zero errors (see docs/linalg.md for why
+    generation stays cheap at thousands of buses). *)
+
+module Rng : sig
+  (** Self-contained xorshift64* stream: deterministic across runs and
+      platforms, unaffected by [Stdlib.Random] state. *)
+
+  type t
+
+  val make : int -> t
+  val next : t -> int
+
+  val int : t -> int -> int
+  (** [int t bound] in [\[0, bound)]. *)
+
+  val rat : t -> float -> float -> Numeric.Rat.t
+  (** Rational in [\[lo, hi\]] on a step of 1/100 — exact under
+      print/parse round-trips. *)
+end
+
+val calibrate_capacities : Network.t -> Network.t
+(** Set line capacities to ~1.25-1.3x the flows of a proportional-dispatch
+    base power flow (a few lines deliberately tighter, for congestion).
+    @raise Failure when the base power flow fails (islanded input). *)
+
+val default_meas : Network.t -> Network.meas array
+(** The default measurement plan: every potential measurement taken;
+    injection measurements at generator-only buses secured, everything
+    else accessible. *)
+
+val synthetic :
+  buses:int -> lines:int -> gens:int -> seed:int -> Spec.t
+(** Fully explicit generation; [Test_systems.ieee] uses this for the
+    30/57/118-bus stand-ins. *)
+
+val make : ?avg_degree:float -> ?gens:int -> ?seed:int -> int -> Spec.t
+(** [make n] generates an [n]-bus system ([n >= 3]).  [avg_degree]
+    (default 2.8, must be >= 2) sets the mesh density as average bus
+    degree; [gens] defaults to [max 3 (n / 8)]; [seed] defaults to [n].
+    @raise Invalid_argument on out-of-range parameters. *)

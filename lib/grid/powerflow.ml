@@ -1,5 +1,6 @@
 module Q = Numeric.Rat
-module Qmat = Linalg.Qmat
+module Sf = Linalg.Sparse.F
+module Sq = Linalg.Sparse.Q
 
 type solution = {
   theta : Q.t array;
@@ -31,12 +32,13 @@ let solve_float (t : Topology.t) ~gen ~load =
   if Array.length gen <> b || Array.length load <> b then
     invalid_arg "Powerflow.solve_float: per-bus vectors required";
   let slack = t.Topology.slack in
-  let reduced = Topology.b_reduced t in
   let idx = Array.of_list (List.filter (fun j -> j <> slack) (List.init b Fun.id)) in
   let rhs = Array.map (fun j -> gen.(j) -. load.(j)) idx in
-  match Linalg.Lu.solve_vec reduced rhs with
-  | exception Linalg.Lu.Singular ->
-    Error "singular susceptance matrix (islanded?)"
+  let reduced =
+    Sf.of_triplets ~rows:(b - 1) ~cols:(b - 1) (Topology.b_reduced_triplets t)
+  in
+  match Sf.solve (Sf.lu_factor reduced) rhs with
+  | exception Sf.Singular -> Error "singular susceptance matrix (islanded?)"
   | x ->
     let theta = Array.make b 0.0 in
     Array.iteri (fun r j -> theta.(j) <- x.(r)) idx;
@@ -63,36 +65,16 @@ let solve (t : Topology.t) ~gen ~load =
     Error
       (Format.asprintf "generation/load imbalance: %a" Q.pp imbalance)
   else begin
-    (* reduced susceptance system: exclude the slack bus *)
+    (* reduced susceptance system, assembled and factored sparsely; the
+       exact-rational sparse LU keeps the solution bit-identical to the
+       dense [Qmat] path it replaced *)
     let slack = t.Topology.slack in
     let idx = Array.of_list (List.filter (fun j -> j <> slack) (List.init b Fun.id)) in
     let n = b - 1 in
-    let bm = Qmat.create n n in
-    Array.iteri
-      (fun i (ln : Network.line) ->
-        if t.Topology.mapped.(i) then begin
-          let d = ln.Network.admittance in
-          let f = ln.Network.from_bus and e = ln.Network.to_bus in
-          let find j =
-            if j = slack then None
-            else Some (if j < slack then j else j - 1)
-          in
-          (match find f with
-          | Some rf -> Qmat.set bm rf rf (Q.add (Qmat.get bm rf rf) d)
-          | None -> ());
-          (match find e with
-          | Some re -> Qmat.set bm re re (Q.add (Qmat.get bm re re) d)
-          | None -> ());
-          match (find f, find e) with
-          | Some rf, Some re ->
-            Qmat.set bm rf re (Q.sub (Qmat.get bm rf re) d);
-            Qmat.set bm re rf (Q.sub (Qmat.get bm re rf) d)
-          | _ -> ()
-        end)
-      t.Topology.grid.Network.lines;
+    let bm = Sq.of_triplets ~rows:n ~cols:n (Topology.b_reduced_qtriplets t) in
     let rhs = Array.map (fun j -> net j) idx in
-    match Qmat.solve bm rhs with
-    | exception Qmat.Singular -> Error "singular susceptance matrix (islanded?)"
+    match Sq.solve (Sq.lu_factor bm) rhs with
+    | exception Sq.Singular -> Error "singular susceptance matrix (islanded?)"
     | reduced ->
       let theta = Array.make b Q.zero in
       Array.iteri (fun r j -> theta.(j) <- reduced.(r)) idx;

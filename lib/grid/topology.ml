@@ -69,6 +69,33 @@ let b_reduced t =
     (M.cols without_col)
     (fun i j -> M.get without_col (if i < t.slack then i else i + 1) j)
 
+(* Sparse assembly of the reduced [B = A^T D A]: each mapped line (f, e)
+   contributes [+d] to both diagonal entries and [-d] off-diagonal, with
+   the slack row/column skipped.  Duplicate triplets are summed by the
+   sparse constructor, so parallel circuits fold exactly as in the dense
+   build. *)
+let b_reduced_qtriplets t =
+  let slack = t.slack in
+  let reduced j = if j = slack then None else Some (if j < slack then j else j - 1) in
+  let trips = ref [] in
+  Array.iteri
+    (fun i (ln : Network.line) ->
+      if t.mapped.(i) then begin
+        let d = ln.Network.admittance in
+        let rf = reduced ln.Network.from_bus and re = reduced ln.Network.to_bus in
+        (match rf with Some r -> trips := (r, r, d) :: !trips | None -> ());
+        (match re with Some r -> trips := (r, r, d) :: !trips | None -> ());
+        match (rf, re) with
+        | Some r1, Some r2 ->
+          trips := (r1, r2, Q.neg d) :: (r2, r1, Q.neg d) :: !trips
+        | _ -> ()
+      end)
+    t.grid.Network.lines;
+  !trips
+
+let b_reduced_triplets t =
+  List.map (fun (i, j, v) -> (i, j, Q.to_float v)) (b_reduced_qtriplets t)
+
 let taken_rows t =
   let m = Network.n_meas t.grid in
   List.filter

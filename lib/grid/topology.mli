@@ -34,6 +34,16 @@ val b_matrix : t -> Linalg.Mat.t
 val b_reduced : t -> Linalg.Mat.t
 (** [B] with the slack row/column removed ([b-1] x [b-1]). *)
 
+val b_reduced_qtriplets : t -> (int * int * Numeric.Rat.t) list
+(** Sparse triplets of the reduced [B] in exact rationals, duplicates
+    unsummed (feed them to {!Linalg.Sparse.Q.of_triplets}, which sums).
+    The reduced index of bus [j] is [j] below the slack and [j - 1]
+    above it, matching {!b_reduced}. *)
+
+val b_reduced_triplets : t -> (int * int * float) list
+(** {!b_reduced_qtriplets} with admittances converted to float, for
+    {!Linalg.Sparse.F}. *)
+
 val taken_rows : t -> int list
 (** Indices of measurements with [t_i] true. *)
 

@@ -1,0 +1,118 @@
+(* Fraction-free exact solve of a dense rational system.
+
+   The exact LP certificate check reduces its basis to a small dense core
+   (one row per binding constraint, one column per basic structural
+   variable).  Eliminating that core in rational arithmetic is dominated
+   by gcd normalization: every intermediate entry is a ratio of minors,
+   and keeping it in lowest terms means gcds of numbers that grow with
+   every step.  Bareiss's one-step condensation sidesteps the problem by
+   clearing denominators up front and keeping every intermediate an
+   *integer* minor of the scaled matrix: the update
+       a'(i,j) = (p * a(i,j) - a(i,k) * a(k,j)) / p_prev
+   divides exactly (Sylvester's identity), so the whole elimination is
+   big-integer multiply/subtract/exact-divide with no gcd at all.  Entry
+   bit-sizes grow linearly in the step count (Hadamard), not
+   exponentially as in division-free schoolbook elimination.
+
+   Back substitution stays fraction-free too: with det the last pivot of
+   the triangularized system, Cramer's rule makes det * x_i an integer,
+   and  num_i = (b_i * det - sum_{j>i} a(i,j) * num_j) / a(i,i)  is again
+   an exact division.  {!solve_raw} exposes the numerators together with
+   the common denominator so callers can keep downstream accumulations
+   over one shared denominator instead of re-reducing per entry. *)
+
+module B = Numeric.Bigint
+module Q = Numeric.Rat
+
+exception Singular
+
+let obs_solves = Obs.Counter.make "linalg.bareiss.solves"
+
+let lcm a b =
+  if B.equal a B.one then b
+  else if B.equal b B.one then a
+  else B.mul (B.div a (B.gcd a b)) b
+
+let solve_raw (m : Q.t array array) (rhs : Q.t array) =
+  let n = Array.length m in
+  if Array.length rhs <> n then invalid_arg "Bareiss.solve_raw: rhs length";
+  Obs.Counter.incr obs_solves;
+  if n = 0 then ([||], B.one)
+  else begin
+    (* clear matrix denominators row by row (row scaling leaves the
+       solution unchanged); the rhs picks up the same row factors and is
+       then put over one common denominator [dd] *)
+    let a = Array.make_matrix n n B.zero in
+    let bq = Array.make n Q.zero in
+    for i = 0 to n - 1 do
+      if Array.length m.(i) <> n then invalid_arg "Bareiss.solve_raw: ragged";
+      let d =
+        Array.fold_left (fun acc (x : Q.t) -> lcm acc x.Q.den) B.one m.(i)
+      in
+      for j = 0 to n - 1 do
+        let x = m.(i).(j) in
+        if not (Q.is_zero x) then a.(i).(j) <- B.mul x.Q.num (B.div d x.Q.den)
+      done;
+      bq.(i) <- Q.mul rhs.(i) (Q.make d B.one)
+    done;
+    let dd =
+      Array.fold_left (fun acc (x : Q.t) -> lcm acc x.Q.den) B.one bq
+    in
+    let b =
+      Array.map (fun (x : Q.t) -> B.mul x.Q.num (B.div dd x.Q.den)) bq
+    in
+    (* one-step condensation; row swaps only permute equations *)
+    let prev = ref B.one in
+    for k = 0 to n - 1 do
+      (* big-integer elimination steps are a slow unit of work at
+         thousand-bus core sizes; keep cancellation responsive *)
+      Obs.Probe.poll ();
+      let piv = ref (-1) in
+      for i = k to n - 1 do
+        if
+          (not (B.is_zero a.(i).(k)))
+          && (!piv < 0 || B.bit_length a.(i).(k) < B.bit_length a.(!piv).(k))
+        then piv := i
+      done;
+      if !piv < 0 then raise Singular;
+      if !piv <> k then begin
+        let t = a.(k) in
+        a.(k) <- a.(!piv);
+        a.(!piv) <- t;
+        let t = b.(k) in
+        b.(k) <- b.(!piv);
+        b.(!piv) <- t
+      end;
+      let p = a.(k).(k) in
+      for i = k + 1 to n - 1 do
+        let aik = a.(i).(k) in
+        for j = k + 1 to n - 1 do
+          a.(i).(j) <-
+            B.div (B.sub (B.mul p a.(i).(j)) (B.mul aik a.(k).(j))) !prev
+        done;
+        b.(i) <- B.div (B.sub (B.mul p b.(i)) (B.mul aik b.(k))) !prev;
+        a.(i).(k) <- B.zero
+      done;
+      prev := p
+    done;
+    (* det x_i is an integer; peel it off bottom-up with exact divisions *)
+    let det = a.(n - 1).(n - 1) in
+    let num = Array.make n B.zero in
+    for i = n - 1 downto 0 do
+      let s = ref (B.mul b.(i) det) in
+      for j = i + 1 to n - 1 do
+        s := B.sub !s (B.mul a.(i).(j) num.(j))
+      done;
+      num.(i) <- B.div !s a.(i).(i)
+    done;
+    (num, B.mul det dd)
+  end
+
+let solve m rhs =
+  let num, den = solve_raw m rhs in
+  Array.map (fun n -> Q.make n den) num
+
+let solve_transpose m rhs =
+  let n = Array.length m in
+  let mt = Array.init n (fun i -> Array.init n (fun j -> m.(j).(i))) in
+  solve mt rhs

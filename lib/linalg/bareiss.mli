@@ -1,0 +1,32 @@
+(** Fraction-free (Bareiss) exact solve of a dense rational system.
+
+    Complements {!Sparse.Q} at the opposite end of the structure
+    spectrum: the sparse LU wins when the matrix has exploitable
+    sparsity, while a dense core of ratio-of-minors entries drowns it in
+    gcd normalization.  Bareiss condensation keeps every intermediate an
+    integer minor — multiply, subtract, exact divide, no gcds — so dense
+    exact solves scale to the basis cores of thousand-bus certificates
+    (see docs/linalg.md). *)
+
+exception Singular
+
+val solve :
+  Numeric.Rat.t array array -> Numeric.Rat.t array -> Numeric.Rat.t array
+(** [solve m rhs] returns the exact [x] with [m x = rhs] for a square
+    [m].  Inputs are not mutated.
+    @raise Singular when [m] is rank-deficient.
+    @raise Invalid_argument on non-square or mismatched inputs. *)
+
+val solve_raw :
+  Numeric.Rat.t array array ->
+  Numeric.Rat.t array ->
+  Numeric.Bigint.t array * Numeric.Bigint.t
+(** [solve_raw m rhs] is [solve] in unreduced form: [(num, den)] with
+    [x_i = num_i / den] (den may be negative, entries need not be in
+    lowest terms).  Callers accumulating many downstream products keep
+    them over the one shared denominator instead of paying a gcd per
+    entry. *)
+
+val solve_transpose :
+  Numeric.Rat.t array array -> Numeric.Rat.t array -> Numeric.Rat.t array
+(** [solve_transpose m rhs] solves [m^T x = rhs]. *)

@@ -5,9 +5,9 @@
    every answer leaving this module is exact. *)
 
 module Q = Numeric.Rat
+module B = Numeric.Bigint
 module Imap = Map.Make (Int)
 module P = Analysis.Presolve.Exact
-module Qmat = Linalg.Qmat
 
 let c_ok = Obs.Counter.make "lp.certify.ok"
 let c_fail = Obs.Counter.make "lp.certify.fail"
@@ -81,7 +81,18 @@ exception Reject of string
    variable to its claimed bound (exactly), solve the square basic system
    for the basic values, and check primal bounds plus the dual sign
    conditions.  All in rationals — if it passes, the point is a true
-   optimum of the exact problem, not merely of its float shadow. *)
+   optimum of the exact problem, not merely of its float shadow.
+
+   The basic system is never materialized at size m.  A basic slack is a
+   cost-free singleton column (-1 in its own row only): its row
+   determines the slack value after the structural variables are known,
+   and its dual multiplier is pinned to zero.  What remains is a dense
+   core with one row per *binding* row (slack nonbasic) and one column
+   per basic user variable — at most one per generator in the OPF
+   encoding — which goes to the fraction-free {!Linalg.Bareiss} kernel.
+   Primal and dual core solves come back as integer numerators over one
+   shared denominator, so the O(m) slack recovery and dual accumulation
+   below stay gcd-free (docs/linalg.md walks through the sizes). *)
 let validate ~n ~lo ~hi ~(rows : P.row array) ~obj (cert : Flp.certificate) =
   let m = Array.length rows in
   let nv = n + m in
@@ -89,24 +100,27 @@ let validate ~n ~lo ~hi ~(rows : P.row array) ~obj (cert : Flp.certificate) =
   if Array.length st <> nv then raise (Reject "certificate arity");
   let bound_lo v = if v < n then lo.(v) else rows.(v - n).P.lo in
   let bound_hi v = if v < n then hi.(v) else rows.(v - n).P.hi in
-  (* slack columns first: a basic slack is a singleton column (-1 in its
-     own row only), so the LU eliminates it with zero fill-in and no
-     rational growth, and the dense user-variable columns reduce to a
-     small trailing block over the binding rows.  Id order would put the
-     dense columns first and fill the whole factor in — on the 118-bus
-     OPF that is minutes of bignum swell instead of milliseconds. *)
-  let user = ref [] in
+  (* basic user variables = columns of the core *)
+  let users = ref [] in
   for v = n - 1 downto 0 do
-    match st.(v) with Flp.Basic -> user := v :: !user | _ -> ()
+    match st.(v) with Flp.Basic -> users := v :: !users | _ -> ()
   done;
-  let slacks = ref [] in
-  for v = nv - 1 downto n do
-    match st.(v) with Flp.Basic -> slacks := v :: !slacks | _ -> ()
+  let users = Array.of_list !users in
+  let u = Array.length users in
+  (* binding rows (slack nonbasic) = rows of the core *)
+  let binding = ref [] in
+  let basic_slacks = ref 0 in
+  for k = m - 1 downto 0 do
+    match st.(n + k) with
+    | Flp.Basic -> incr basic_slacks
+    | _ -> binding := k :: !binding
   done;
-  let basics = Array.of_list (List.rev_append (List.rev !slacks) !user) in
-  if Array.length basics <> m then raise (Reject "basis size");
-  let bpos = Hashtbl.create (2 * m) in
-  Array.iteri (fun i v -> Hashtbl.replace bpos v i) basics;
+  let binding = Array.of_list !binding in
+  (* basis squareness; #binding = m - #basic slacks = u, so the core is
+     square exactly when the full basis is *)
+  if !basic_slacks + u <> m then raise (Reject "basis size");
+  let ucol = Array.make n (-1) in
+  Array.iteri (fun i v -> ucol.(v) <- i) users;
   (* exact values for the nonbasic variables *)
   let clamp v x =
     let x =
@@ -131,54 +145,85 @@ let validate ~n ~lo ~hi ~(rows : P.row array) ~obj (cert : Flp.certificate) =
         if not (Float.is_finite x) then raise (Reject "between not finite");
         nb_val.(v) <- clamp v (Q.of_float x))
     st;
-  (* basic system: row k over basic columns = rhs from the nonbasic part *)
-  let mat = Qmat.create m m in
-  let rhs = Array.make m Q.zero in
+  (* core system: binding row k over basic user columns = rhs from the
+     pinned nonbasic part (including that row's own slack) *)
+  let core = Array.make_matrix u u Q.zero in
+  let rhs = Array.make u Q.zero in
   Array.iteri
-    (fun k (r : P.row) ->
+    (fun r k ->
       List.iter
         (fun (j, a) ->
-          match Hashtbl.find_opt bpos j with
-          | Some i -> Qmat.set mat k i (Q.add (Qmat.get mat k i) a)
-          | None -> rhs.(k) <- Q.sub rhs.(k) (Q.mul a nb_val.(j)))
-        r.P.terms;
-      let s = n + k in
-      match Hashtbl.find_opt bpos s with
-      | Some i -> Qmat.set mat k i (Q.sub (Qmat.get mat k i) Q.one)
-      | None -> rhs.(k) <- Q.add rhs.(k) nb_val.(s))
-    rows;
-  let lu =
-    try Qmat.lu_factor mat
-    with Qmat.Singular -> raise (Reject "singular basis")
+          let c = ucol.(j) in
+          if c >= 0 then core.(r).(c) <- Q.add core.(r).(c) a
+          else rhs.(r) <- Q.sub rhs.(r) (Q.mul a nb_val.(j)))
+        rows.(k).P.terms;
+      rhs.(r) <- Q.add rhs.(r) nb_val.(n + k))
+    binding;
+  let xnum, xden =
+    try Linalg.Bareiss.solve_raw core rhs
+    with Linalg.Bareiss.Singular -> raise (Reject "singular basis")
   in
-  let xb = Qmat.lu_solve lu rhs in
-  (* primal feasibility of the basic values *)
+  let xu = Array.map (fun nm -> Q.make nm xden) xnum in
+  (* primal feasibility: basic users against their boxes *)
   Array.iteri
     (fun i v ->
-      let x = xb.(i) in
+      let x = xu.(i) in
       (match bound_lo v with
       | Some l when Q.compare x l < 0 -> raise (Reject "primal below lower")
       | _ -> ());
       match bound_hi v with
       | Some h when Q.compare x h > 0 -> raise (Reject "primal above upper")
       | _ -> ())
-    basics;
-  (* duals from the same factorization, then reduced-cost signs *)
+    users;
+  (* primal feasibility: each basic slack is its row's activity; the
+     basic-user part accumulates integer numerators over the shared
+     Bareiss denominator, one big gcd per row at the final division *)
+  let qxden = Q.make xden B.one in
+  Array.iteri
+    (fun k (r : P.row) ->
+      match st.(n + k) with
+      | Flp.Basic ->
+        let big = ref Q.zero and small = ref Q.zero in
+        List.iter
+          (fun (j, a) ->
+            let c = ucol.(j) in
+            if c >= 0 then big := Q.add !big (Q.mul a (Q.make xnum.(c) B.one))
+            else small := Q.add !small (Q.mul a nb_val.(j)))
+          r.P.terms;
+        let s = Q.add (Q.div !big qxden) !small in
+        (match r.P.lo with
+        | Some l when Q.compare s l < 0 ->
+          raise (Reject "primal below lower")
+        | _ -> ());
+        (match r.P.hi with
+        | Some h when Q.compare s h > 0 ->
+          raise (Reject "primal above upper")
+        | _ -> ())
+      | _ -> ())
+    rows;
+  (* duals: basic-slack rows have multiplier zero, the rest solve the
+     transposed core against the basic users' costs *)
   let cost v =
     if v < n then match Imap.find_opt v obj with Some c -> c | None -> Q.zero
     else Q.zero
   in
-  let y = Qmat.lu_solve_transpose lu (Array.map cost basics) in
-  let ya = Array.make nv Q.zero in
+  let coret = Array.init u (fun i -> Array.init u (fun j -> core.(j).(i))) in
+  let ynum, yden =
+    try Linalg.Bareiss.solve_raw coret (Array.map cost users)
+    with Linalg.Bareiss.Singular -> raise (Reject "singular basis")
+  in
+  let qyden = Q.make yden B.one in
+  let ya_num = Array.make nv Q.zero in
   Array.iteri
-    (fun k (r : P.row) ->
-      if not (Q.is_zero y.(k)) then begin
+    (fun r k ->
+      if not (B.is_zero ynum.(r)) then begin
+        let yq = Q.make ynum.(r) B.one in
         List.iter
-          (fun (j, a) -> ya.(j) <- Q.add ya.(j) (Q.mul y.(k) a))
-          r.P.terms;
-        ya.(n + k) <- Q.sub ya.(n + k) y.(k)
+          (fun (j, a) -> ya_num.(j) <- Q.add ya_num.(j) (Q.mul yq a))
+          rows.(k).P.terms;
+        ya_num.(n + k) <- Q.sub ya_num.(n + k) yq
       end)
-    rows;
+    binding;
   Array.iteri
     (fun v s ->
       match s with
@@ -190,7 +235,7 @@ let validate ~n ~lo ~hi ~(rows : P.row array) ~obj (cert : Flp.certificate) =
           | _ -> false
         in
         if not fixed then begin
-          let d = Q.sub (cost v) ya.(v) in
+          let d = Q.sub (cost v) (Q.div ya_num.(v) qyden) in
           match s with
           | Flp.At_lower ->
             if Q.sign d < 0 then raise (Reject "reduced cost at lower")
@@ -202,9 +247,7 @@ let validate ~n ~lo ~hi ~(rows : P.row array) ~obj (cert : Flp.certificate) =
         end)
     st;
   Array.init n (fun v ->
-      match Hashtbl.find_opt bpos v with
-      | Some i -> xb.(i)
-      | None -> nb_val.(v))
+      if ucol.(v) >= 0 then xu.(ucol.(v)) else nb_val.(v))
 
 (* ---- exact fallback ---- *)
 

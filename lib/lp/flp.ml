@@ -202,59 +202,94 @@ let above_hi t x = t.beta.(x) > t.hi.(x) +. eps
 let can_increase t x = t.beta.(x) < t.hi.(x) -. eps
 let can_decrease t x = t.beta.(x) > t.lo.(x) +. eps
 
-let pivot t xi xj =
+(* Pivoting runs on a mutable dense tableau rather than the persistent
+   maps used during construction.  OPF-style LPs have dense columns
+   (every generator appears in every flow row), so a map-of-maps pivot
+   rewrites nearly every row functionally — allocation and log factors
+   on each of millions of entries.  The dense form updates in place.
+   Rows are indexed by position; [basis]/[rowof] carry the
+   basic-variable correspondence both ways, and every scan that used to
+   fold a map in ascending key order iterates variable ids ascending, so
+   Bland/Dantzig tie-breaking picks the same pivots. *)
+type tab = {
+  nv : int;
+  basis : int array; (* row index -> basic variable *)
+  rowof : int array; (* variable -> row index, -1 when nonbasic *)
+  mat : float array array; (* row -> coefficients over every variable *)
+}
+
+let tab_of t =
+  let nv = t.nvars in
+  let m = Imap.cardinal t.rows in
+  let basis = Array.make m 0 in
+  let rowof = Array.make nv (-1) in
+  let mat = Array.make m [||] in
+  let r = ref 0 in
+  Imap.iter
+    (fun b row ->
+      let a = Array.make nv 0.0 in
+      Imap.iter (fun v c -> a.(v) <- c) row;
+      basis.(!r) <- b;
+      rowof.(b) <- !r;
+      mat.(!r) <- a;
+      incr r)
+    t.rows;
+  { nv; basis; rowof; mat }
+
+let pivot t tb xi xj =
+  Obs.Probe.poll ();
   t.pivots <- t.pivots + 1;
   Obs.Counter.incr c_pivots;
-  let row_i = Imap.find xi t.rows in
-  let a = Imap.find xj row_i in
-  let inv_a = 1.0 /. a in
-  let row_j =
-    Imap.fold
-      (fun v c acc -> if v = xj then acc else Imap.add v (-.c *. inv_a) acc)
-      row_i
-      (Imap.singleton xi inv_a)
-  in
-  let rows = Imap.remove xi t.rows in
-  let rows =
-    Imap.map
-      (fun row ->
-        match Imap.find_opt xj row with
-        | None -> row
-        | Some c ->
-          let row = Imap.remove xj row in
-          Imap.fold
-            (fun v cv acc ->
-              Imap.update v
-                (function
-                  | None -> Some (c *. cv)
-                  | Some c0 ->
-                    let s = c0 +. (c *. cv) in
-                    if Float.abs s < eps then None else Some s)
-                acc)
-            row_j row)
-      rows
-  in
-  t.rows <- Imap.add xj row_j rows
+  let r = tb.rowof.(xi) in
+  let row = tb.mat.(r) in
+  let inv_a = 1.0 /. row.(xj) in
+  (* the departing variable's row becomes the entering variable's row *)
+  for v = 0 to tb.nv - 1 do
+    row.(v) <- -.row.(v) *. inv_a
+  done;
+  row.(xj) <- 0.0;
+  row.(xi) <- inv_a;
+  for r2 = 0 to Array.length tb.mat - 1 do
+    if r2 <> r then begin
+      let row2 = tb.mat.(r2) in
+      let c = row2.(xj) in
+      if c <> 0.0 then begin
+        row2.(xj) <- 0.0;
+        for v = 0 to tb.nv - 1 do
+          let cv = row.(v) in
+          if cv <> 0.0 then begin
+            let c0 = row2.(v) in
+            let s = c0 +. (c *. cv) in
+            (* accumulations cancelling below eps are dropped to zero;
+               fresh fill is kept however small *)
+            row2.(v) <- (if c0 <> 0.0 && Float.abs s < eps then 0.0 else s)
+          end
+        done
+      end
+    end
+  done;
+  tb.basis.(r) <- xj;
+  tb.rowof.(xi) <- -1;
+  tb.rowof.(xj) <- r
 
-let pivot_and_update t xi xj v =
-  let row_i = Imap.find xi t.rows in
-  let a = Imap.find xj row_i in
+let pivot_and_update t tb xi xj v =
+  let a = tb.mat.(tb.rowof.(xi)).(xj) in
   let theta = (v -. t.beta.(xi)) /. a in
   t.beta.(xi) <- v;
   t.beta.(xj) <- t.beta.(xj) +. theta;
-  Imap.iter
-    (fun b row ->
-      if b <> xi then
-        match Imap.find_opt xj row with
-        | None -> ()
-        | Some c -> t.beta.(b) <- t.beta.(b) +. (c *. theta))
-    t.rows;
-  pivot t xi xj
+  for r = 0 to Array.length tb.mat - 1 do
+    let b = tb.basis.(r) in
+    if b <> xi then begin
+      let c = tb.mat.(r).(xj) in
+      if c <> 0.0 then t.beta.(b) <- t.beta.(b) +. (c *. theta)
+    end
+  done;
+  pivot t tb xi xj
 
 (* Phase I.  Entering-variable choice: largest eligible coefficient
    (Dantzig-like) while progress is made, falling back to Bland's
    smallest-index rule after a stall to guarantee termination. *)
-let feasibility t =
+let feasibility t tb =
   let steps = ref 0 in
   let bland = ref false in
   let rec loop () =
@@ -262,63 +297,62 @@ let feasibility t =
     if !steps > 200000 then `Stall
     else begin
       if !steps > 5000 then bland := true;
-      let violated =
-        Imap.fold
-          (fun b _ acc ->
-            match acc with
-            | Some _ -> acc
-            | None -> if below_lo t b || above_hi t b then Some b else None)
-          t.rows None
-      in
-      match violated with
-      | None -> `Feasible
-      | Some xi -> (
-        let row = Imap.find xi t.rows in
+      let violated = ref (-1) in
+      (let v = ref 0 in
+       while !violated < 0 && !v < tb.nv do
+         if tb.rowof.(!v) >= 0 && (below_lo t !v || above_hi t !v) then
+           violated := !v;
+         incr v
+       done);
+      if !violated < 0 then `Feasible
+      else begin
+        let xi = !violated in
+        let row = tb.mat.(tb.rowof.(xi)) in
         let too_low = below_lo t xi in
         let eligible v c =
           if too_low = (c > 0.0) then can_increase t v else can_decrease t v
         in
-        let xj =
-          if !bland then
-            Imap.fold
-              (fun v c acc ->
-                match acc with
-                | Some _ -> acc
-                | None -> if eligible v c then Some v else None)
-              row None
-          else
-            Imap.fold
-              (fun v c acc ->
-                if eligible v c then
-                  match acc with
-                  | Some (_, best) when Float.abs best >= Float.abs c -> acc
-                  | _ -> Some (v, c)
-                else acc)
-              row None
-            |> Option.map fst
-        in
-        match xj with
-        | None -> `Infeasible
-        | Some xj ->
+        let xj = ref (-1) in
+        if !bland then begin
+          let v = ref 0 in
+          while !xj < 0 && !v < tb.nv do
+            let c = row.(!v) in
+            if c <> 0.0 && eligible !v c then xj := !v;
+            incr v
+          done
+        end
+        else begin
+          let best = ref 0.0 in
+          for v = 0 to tb.nv - 1 do
+            let c = row.(v) in
+            if c <> 0.0 && Float.abs c > !best && eligible v c then begin
+              best := Float.abs c;
+              xj := v
+            end
+          done
+        end;
+        if !xj < 0 then `Infeasible
+        else begin
           let target = if too_low then t.lo.(xi) else t.hi.(xi) in
-          pivot_and_update t xi xj target;
-          loop ())
+          pivot_and_update t tb xi !xj target;
+          loop ()
+        end
+      end
     end
   in
   loop ()
 
-let shift_nonbasic t xj step =
+let shift_nonbasic t tb xj step =
   if Float.abs step > 0.0 then begin
-    Imap.iter
-      (fun b row ->
-        match Imap.find_opt xj row with
-        | None -> ()
-        | Some c -> t.beta.(b) <- t.beta.(b) +. (c *. step))
-      t.rows;
+    for r = 0 to Array.length tb.mat - 1 do
+      let c = tb.mat.(r).(xj) in
+      if c <> 0.0 then
+        t.beta.(tb.basis.(r)) <- t.beta.(tb.basis.(r)) +. (c *. step)
+    done;
     t.beta.(xj) <- t.beta.(xj) +. step
   end
 
-let optimize t z =
+let optimize t tb z =
   let steps = ref 0 in
   let bland = ref false in
   let rec loop () =
@@ -326,73 +360,90 @@ let optimize t z =
     if !steps > 200000 then `Stall
     else begin
       if !steps > 5000 then bland := true;
-      let row_z = Imap.find z t.rows in
-      let entering =
-        if !bland then
-          Imap.fold
-            (fun v c acc ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                if Float.abs c < eps then None
-                else if c < 0.0 && can_increase t v then Some (v, 1.0)
-                else if c > 0.0 && can_decrease t v then Some (v, -1.0)
-                else None)
-            row_z None
-        else
-          (* Dantzig: most-improving reduced cost *)
-          Imap.fold
-            (fun v c acc ->
-              let candidate =
-                if Float.abs c < eps then None
-                else if c < 0.0 && can_increase t v then Some (v, 1.0, -.c)
-                else if c > 0.0 && can_decrease t v then Some (v, -1.0, c)
-                else None
-              in
-              match (candidate, acc) with
-              | None, acc -> acc
-              | Some _, None -> candidate
-              | Some (_, _, score), Some (_, _, best) ->
-                if score > best then candidate else acc)
-            row_z None
-          |> Option.map (fun (v, d, _) -> (v, d))
-      in
-      match entering with
-      | None -> `Optimal
-      | Some (xj, dir) -> (
-        let best = ref None in
+      let row_z = tb.mat.(tb.rowof.(z)) in
+      let exj = ref (-1) in
+      let edir = ref 1.0 in
+      if !bland then begin
+        let v = ref 0 in
+        while !exj < 0 && !v < tb.nv do
+          let c = row_z.(!v) in
+          if Float.abs c >= eps then
+            if c < 0.0 && can_increase t !v then begin
+              exj := !v;
+              edir := 1.0
+            end
+            else if c > 0.0 && can_decrease t !v then begin
+              exj := !v;
+              edir := -1.0
+            end;
+          incr v
+        done
+      end
+      else begin
+        (* Dantzig: most-improving reduced cost, first index on ties *)
+        let best = ref 0.0 in
+        for v = 0 to tb.nv - 1 do
+          let c = row_z.(v) in
+          if Float.abs c >= eps then
+            if c < 0.0 && -.c > !best && can_increase t v then begin
+              best := -.c;
+              exj := v;
+              edir := 1.0
+            end
+            else if c > 0.0 && c > !best && can_decrease t v then begin
+              best := c;
+              exj := v;
+              edir := -1.0
+            end
+        done
+      end;
+      if !exj < 0 then `Optimal
+      else begin
+        let xj = !exj and dir = !edir in
+        let found = ref false in
+        let best = ref infinity in
+        let who = ref (-1) in
+        (* -1 = the entering variable's own bound *)
         (let own =
            if dir > 0.0 then t.hi.(xj) -. t.beta.(xj)
            else t.beta.(xj) -. t.lo.(xj)
          in
-         if own < infinity then best := Some (own, `Own));
-        Imap.iter
-          (fun xi row ->
-            if xi <> z then
-              match Imap.find_opt xj row with
-              | None -> ()
-              | Some c ->
-                let rate = c *. dir in
-                let limit =
-                  if rate > eps then (t.hi.(xi) -. t.beta.(xi)) /. rate
-                  else if rate < -.eps then (t.lo.(xi) -. t.beta.(xi)) /. rate
-                  else infinity
-                in
-                if limit < infinity then
-                  match !best with
-                  | Some (b, _) when b <= limit -> ()
-                  | _ -> best := Some (limit, `Basic xi))
-          t.rows;
-        match !best with
-        | None -> `Unbounded
-        | Some (step, `Own) ->
-          shift_nonbasic t xj (dir *. step);
+         if own < infinity then begin
+           found := true;
+           best := own
+         end);
+        for v = 0 to tb.nv - 1 do
+          let r = tb.rowof.(v) in
+          if r >= 0 && v <> z then begin
+            let c = tb.mat.(r).(xj) in
+            if c <> 0.0 then begin
+              let rate = c *. dir in
+              let limit =
+                if rate > eps then (t.hi.(v) -. t.beta.(v)) /. rate
+                else if rate < -.eps then (t.lo.(v) -. t.beta.(v)) /. rate
+                else infinity
+              in
+              if limit < infinity && ((not !found) || limit < !best) then begin
+                found := true;
+                best := limit;
+                who := v
+              end
+            end
+          end
+        done;
+        if not !found then `Unbounded
+        else if !who < 0 then begin
+          shift_nonbasic t tb xj (dir *. !best);
           loop ()
-        | Some (_, `Basic xi) ->
-          let rate = Imap.find xj (Imap.find xi t.rows) *. dir in
+        end
+        else begin
+          let xi = !who in
+          let rate = tb.mat.(tb.rowof.(xi)).(xj) *. dir in
           let blocked = if rate > 0.0 then t.hi.(xi) else t.lo.(xi) in
-          pivot_and_update t xi xj blocked;
-          loop ())
+          pivot_and_update t tb xi xj blocked;
+          loop ()
+        end
+      end
     end
   in
   loop ()
@@ -402,10 +453,10 @@ let optimize t z =
    selects it as entering).  Nonbasic variables sitting strictly inside
    their box (free variables, presolve-fixed values) are reported as
    [Between] so the exact check can pin them to the float point. *)
-let certificate t z =
+let certificate t tb z =
   let statuses =
     Array.init z (fun v ->
-        if Imap.mem v t.rows then Basic
+        if tb.rowof.(v) >= 0 then Basic
         else if t.lo.(v) = t.hi.(v) then At_lower
         else if Float.abs (t.beta.(v) -. t.lo.(v)) <= eps then At_lower
         else if Float.abs (t.beta.(v) -. t.hi.(v)) <= eps then At_upper
@@ -425,20 +476,21 @@ let minimize_cert t obj ~constant =
     | `Infeasible -> (Infeasible, None)
     | `Ok -> (
       let z = add_slack t obj in
+      let tb = tab_of t in
       let user_values () = Array.init t.user_vars (fun v -> t.beta.(v)) in
-      match feasibility t with
+      match feasibility t tb with
       | `Infeasible -> (Infeasible, None)
       | `Stall ->
         Obs.Counter.incr c_stall;
         (Stall { values = user_values () }, None)
       | `Feasible -> (
-        match optimize t z with
+        match optimize t tb z with
         | `Unbounded -> (Unbounded, None)
         | `Stall ->
           Obs.Counter.incr c_stall;
           (Stall { values = user_values () }, None)
         | `Optimal ->
           ( Optimal { objective = t.beta.(z) +. constant; values = user_values () },
-            Some (certificate t z) ))))
+            Some (certificate t tb z) ))))
 
 let minimize t obj ~constant = fst (minimize_cert t obj ~constant)

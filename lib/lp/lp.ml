@@ -240,6 +240,9 @@ let can_increase t x = match t.hi.(x) with Some b -> Q.( < ) t.beta.(x) b | None
 let can_decrease t x = match t.lo.(x) with Some b -> Q.( > ) t.beta.(x) b | None -> true
 
 let pivot t xi xj =
+  (* exact pivots are the expensive unit of work; polling here lets a
+     cooperative cancel land mid-solve instead of after it *)
+  Obs.Probe.poll ();
   t.pivots <- t.pivots + 1;
   Obs.Counter.incr c_pivots;
   let row_i = Imap.find xi t.rows in

@@ -124,25 +124,61 @@ let is_zero x = B.is_zero x.num
 let neg x = { num = B.neg x.num; den = x.den }
 let abs x = if sign x < 0 then neg x else x
 
+(* Multi-limb add/mul avoid the one big normalizing gcd of [make] with
+   Knuth's 4.5.1 identities.  Operands are already in lowest terms, so
+   for a sum only a factor of gcd(a.den, b.den) can survive into the
+   result, and for a product cross-cancelling gcd(a.num, b.den) and
+   gcd(b.num, a.den) leaves nothing to reduce.  In elimination-style
+   workloads (exact LU refactorization of LP bases), entries share huge
+   pivot-product denominators, and this replaces gcds of minor-sized
+   numbers by gcds of their small uncommon parts — the difference
+   between certificates that scale to 1000-bus systems and ones that
+   drown in bignum gcd (docs/linalg.md). *)
 let add a b =
   match (small a, small b) with
   | Some (an, ad), Some (bn, bd) -> make_ints ((an * bd) + (bn * ad)) (ad * bd)
   | _ ->
-    make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+    let g = B.gcd a.den b.den in
+    if B.equal g B.one then
+      {
+        num = B.add (B.mul a.num b.den) (B.mul b.num a.den);
+        den = B.mul a.den b.den;
+      }
+    else begin
+      let ad = B.div a.den g and bd = B.div b.den g in
+      let num = B.add (B.mul a.num bd) (B.mul b.num ad) in
+      if B.is_zero num then zero
+      else begin
+        let g2 = B.gcd num g in
+        if B.equal g2 B.one then { num; den = B.mul a.den bd }
+        else { num = B.div num g2; den = B.mul (B.div a.den g2) bd }
+      end
+    end
 
 let sub a b = add a (neg b)
 
 let mul a b =
   match (small a, small b) with
   | Some (an, ad), Some (bn, bd) -> make_ints (an * bn) (ad * bd)
-  | _ -> make (B.mul a.num b.num) (B.mul a.den b.den)
+  | _ ->
+    if B.is_zero a.num || B.is_zero b.num then zero
+    else begin
+      let g1 = B.gcd a.num b.den and g2 = B.gcd b.num a.den in
+      {
+        num = B.mul (B.div a.num g1) (B.div b.num g2);
+        den = B.mul (B.div a.den g2) (B.div b.den g1);
+      }
+    end
+
+let inv x =
+  if B.is_zero x.num then raise Division_by_zero;
+  if B.sign x.num < 0 then { num = B.neg x.den; den = B.neg x.num }
+  else { num = x.den; den = x.num }
 
 let div a b =
   match (small a, small b) with
   | Some (an, ad), Some (bn, bd) -> make_ints (an * bd) (ad * bn)
-  | _ -> make (B.mul a.num b.den) (B.mul a.den b.num)
-
-let inv x = make x.den x.num
+  | _ -> mul a (inv b)
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 

@@ -23,6 +23,22 @@ module Clock = struct
   let now () = !clock ()
 end
 
+(* Domain-local cooperative-interruption poll point.  Long uninterruptible
+   kernels (simplex pivot loops, sparse LU elimination) call [poll] so a
+   cancellation installed by the orchestration layer (Impact's interrupt
+   hook, the serve worker's cancel flag) can reach inside a single solve
+   instead of waiting for it to finish.  Domain-local on purpose: a probe
+   installed on one worker domain never fires a solve running on another. *)
+module Probe = struct
+  let key = Domain.DLS.new_key (fun () : (unit -> unit) option -> None)
+  let poll () = match Domain.DLS.get key with None -> () | Some f -> f ()
+
+  let with_ f body =
+    let prev = Domain.DLS.get key in
+    Domain.DLS.set key (Some f);
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) body
+end
+
 module Counter = struct
   type t = { name : string; v : int Atomic.t }
 

@@ -40,6 +40,20 @@ module Clock : sig
   val now : unit -> float
 end
 
+module Probe : sig
+  val poll : unit -> unit
+  (** Run this domain's installed probe, if any.  Called from inside
+      long-running kernels (simplex pivots, sparse LU steps); the probe
+      interrupts by raising.  A few nanoseconds when nothing is
+      installed. *)
+
+  val with_ : (unit -> unit) -> (unit -> 'a) -> 'a
+  (** [with_ f body] installs [f] as the current domain's probe for the
+      duration of [body] (restoring the previous probe after, also on
+      exceptions).  The probe is domain-local: solves running on other
+      domains are not affected. *)
+end
+
 module Counter : sig
   type t
 

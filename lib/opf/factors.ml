@@ -1,48 +1,134 @@
-module M = Linalg.Mat
-module Lu = Linalg.Lu
+(* Linear distribution factors over the sparse susceptance factorization.
+
+   Instead of materializing the dense inverse [X = B^-1] (cubic work,
+   quadratic memory — the binding constraint past the IEEE cases), the
+   reduced [B] is factored once sparsely and every factor is derived
+   on demand:
+
+   - the PTDF row of line i = d_i (e_f - e_t)^T B^-1 is one transposed
+     solve against the factorization, cached per line;
+   - the column x_j = B^-1 e_j (needed for Thevenin reactances of
+     candidate closures) is one forward solve, cached per bus.
+
+   An OPF or screening pass touching L lines therefore costs L sparse
+   solves on a fill-reduced factor, not a dense inverse. *)
+
+module Sf = Linalg.Sparse.F
 module Q = Numeric.Rat
 module N = Grid.Network
 
+let c_ptdf_rows = Obs.Counter.make "opf.ptdf.rows_computed"
+
 type t = {
   topo : Grid.Topology.t;
-  xmat : M.t; (* inverse of reduced susceptance matrix *)
+  lu : Sf.lu;
+  n : int; (* reduced dimension: buses - 1 *)
+  ptdf_rows : (int, float array) Hashtbl.t; (* line -> slack-padded PTDF row *)
+  x_cols : (int, float array) Hashtbl.t; (* bus -> slack-padded column of B^-1 *)
+  lock : Mutex.t;
+      (* the caches fill lazily and [t] is shared across pool domains
+         (parallel N-1 screening), so memoization must be mutual-excluded *)
 }
 
 let make topo =
-  let reduced = Grid.Topology.b_reduced topo in
-  match Lu.inverse reduced with
-  | exception Lu.Singular -> failwith "Factors.make: islanded topology"
-  | xmat -> { topo; xmat }
+  let b = topo.Grid.Topology.grid.N.n_buses in
+  let n = b - 1 in
+  let bm = Sf.of_triplets ~rows:n ~cols:n (Grid.Topology.b_reduced_triplets topo) in
+  match Sf.lu_factor bm with
+  | exception Sf.Singular -> failwith "Factors.make: islanded topology"
+  | lu ->
+    {
+      topo;
+      lu;
+      n;
+      ptdf_rows = Hashtbl.create 16;
+      x_cols = Hashtbl.create 16;
+      lock = Mutex.create ();
+    }
+
+let reduced_index t j =
+  let slack = t.topo.Grid.Topology.slack in
+  if j = slack then None else Some (if j < slack then j else j - 1)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+(* slack-padded PTDF row of a line: d_i * ((e_f - e_t)^T B^-1), one
+   transposed solve per line, computed on first use *)
+let ptdf_row t ~line =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.ptdf_rows line with
+  | Some row -> row
+  | None ->
+    let b = t.topo.Grid.Topology.grid.N.n_buses in
+    let row =
+      if not t.topo.Grid.Topology.mapped.(line) then Array.make b 0.0
+      else begin
+        let ln = t.topo.Grid.Topology.grid.N.lines.(line) in
+        let d = Q.to_float ln.N.admittance in
+        let rhs = Array.make t.n 0.0 in
+        (match reduced_index t ln.N.from_bus with
+        | Some r -> rhs.(r) <- rhs.(r) +. 1.0
+        | None -> ());
+        (match reduced_index t ln.N.to_bus with
+        | Some r -> rhs.(r) <- rhs.(r) -. 1.0
+        | None -> ());
+        let y = Sf.solve_transpose t.lu rhs in
+        Array.init b (fun j ->
+            match reduced_index t j with
+            | None -> 0.0
+            | Some r -> d *. y.(r))
+      end
+    in
+    Obs.Counter.incr c_ptdf_rows;
+    Hashtbl.replace t.ptdf_rows line row;
+    row
+
+(* slack-padded column of X = B^-1, for Thevenin reactances *)
+let x_col t j =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.x_cols j with
+  | Some col -> col
+  | None ->
+    let b = t.topo.Grid.Topology.grid.N.n_buses in
+    let col =
+      match reduced_index t j with
+      | None -> Array.make b 0.0
+      | Some rj ->
+        let rhs = Array.make t.n 0.0 in
+        rhs.(rj) <- 1.0;
+        let x = Sf.solve t.lu rhs in
+        Array.init b (fun i ->
+            match reduced_index t i with None -> 0.0 | Some r -> x.(r))
+    in
+    Hashtbl.replace t.x_cols j col;
+    col
 
 (* entry of the full (slack-padded) inverse *)
-let x t i j =
-  let slack = t.topo.Grid.Topology.slack in
-  if i = slack || j = slack then 0.0
-  else
-    let r = if i < slack then i else i - 1 in
-    let c = if j < slack then j else j - 1 in
-    M.get t.xmat r c
+let x t i j = (x_col t j).(i)
 
-let ptdf t ~line ~bus =
-  if not t.topo.Grid.Topology.mapped.(line) then 0.0
-  else begin
-    let ln = t.topo.Grid.Topology.grid.N.lines.(line) in
-    let d = Q.to_float ln.N.admittance in
-    d *. (x t ln.N.from_bus bus -. x t ln.N.to_bus bus)
-  end
+let ptdf t ~line ~bus = (ptdf_row t ~line).(bus)
 
 let ptdf_pair t ~line ~from_bus ~to_bus =
-  ptdf t ~line ~bus:from_bus -. ptdf t ~line ~bus:to_bus
+  let row = ptdf_row t ~line in
+  row.(from_bus) -. row.(to_bus)
 
 let flows_from_injections t injections =
   let grid = t.topo.Grid.Topology.grid in
   Array.init (N.n_lines grid) (fun i ->
       if not t.topo.Grid.Topology.mapped.(i) then 0.0
       else begin
+        let row = ptdf_row t ~line:i in
         let acc = ref 0.0 in
         for j = 0 to grid.N.n_buses - 1 do
-          if injections.(j) <> 0.0 then
-            acc := !acc +. (ptdf t ~line:i ~bus:j *. injections.(j))
+          if injections.(j) <> 0.0 then acc := !acc +. (row.(j) *. injections.(j))
         done;
         !acc
       end)

@@ -7,16 +7,29 @@
     - LCDF (line closure distribution factors): flow of a newly closed
       line and its effect on the rest, for the inclusion attacks.
 
-    All factors are floats, as in production contingency analysis. *)
+    All factors are floats, as in production contingency analysis.
+
+    Since the sparse refactor the factors are computed on demand: {!make}
+    runs one sparse LU of the reduced susceptance matrix
+    ({!Linalg.Sparse.F}), and each line's PTDF row is one transposed
+    solve against it, cached on first use — no dense inverse is ever
+    formed (see [docs/linalg.md]).  The caches are mutex-guarded, so one
+    [t] may be shared across pool domains (parallel N-1 screening). *)
 
 type t
 
 val make : Grid.Topology.t -> t
-(** Factorises the reduced susceptance matrix of the mapped topology.
+(** Sparsely factorises the reduced susceptance matrix of the mapped
+    topology.
     @raise Failure when it is singular (islanded topology). *)
 
 val ptdf : t -> line:int -> bus:int -> float
 (** Zero for the slack bus and for unmapped lines. *)
+
+val ptdf_row : t -> line:int -> float array
+(** The whole slack-padded PTDF row of a line (entry per bus), computed
+    by one transposed sparse solve on first use and cached.  The
+    returned array is the cache entry itself: treat it as read-only. *)
 
 val ptdf_pair : t -> line:int -> from_bus:int -> to_bus:int -> float
 (** [ptdf line f - ptdf line e]: sensitivity to a transfer f -> e. *)

@@ -1,11 +1,22 @@
 (* PTDF-formulation OPF on the certified float path: the LP is posed over
-   exact rationals (dyadic images of the float PTDFs via [Rat.of_float]),
-   solved by the float simplex, and the verdict is proved or repaired by
-   [Certify] — so the reported cost and dispatch are exact optima of the
-   stated problem at every system size. *)
+   exact rationals (float PTDFs rounded to 1e-6 steps), solved by the
+   float simplex, and the verdict is proved or repaired by [Certify] — so
+   the reported cost and dispatch are exact optima of the stated problem
+   at every system size.
+
+   The rounding is what keeps the exact side scalable: full dyadic images
+   of the floats ([Rat.of_float], denominators ~2^52) make every exact
+   operation downstream — constraint screening, the certificate's basis
+   refactorization, the reported cost — grow thousand-digit rationals at
+   hundreds of buses.  A 1e-6 step keeps them small, and the certificate
+   is exact for the stated (rounded) LP either way; the float PTDFs were
+   already approximations of the true factors. *)
 
 module Q = Numeric.Rat
 module N = Grid.Network
+
+(* |PTDF| <= ~2, so the scaled value fits a native int comfortably *)
+let q_of_ptdf f = Q.of_ints (int_of_float (Float.round (f *. 1e6)) ) 1_000_000
 
 let obs_solves = Obs.Counter.make "opf.float_opf.solves"
 let obs_timer = Obs.Timer.make "opf.float_opf.solve"
@@ -46,20 +57,23 @@ let solve_inner ?loads (topo : Grid.Topology.t) =
     Certify.add_eq qp
       (Array.to_list (Array.map (fun v -> (v, Q.one)) pg))
       total_load;
-    let ptdf i j = Q.of_float (Factors.ptdf factors ~line:i ~bus:j) in
     Array.iteri
       (fun i (ln : N.line) ->
         if topo.Grid.Topology.mapped.(i) then begin
+          (* one cached PTDF row per screened line (a single transposed
+             sparse solve), indexed per bus below *)
+          let row = Factors.ptdf_row factors ~line:i in
+          let ptdf j = q_of_ptdf row.(j) in
           let gen_terms =
             Array.to_list
               (Array.mapi
-                 (fun k (g : N.gen) -> (pg.(k), ptdf i g.N.gbus))
+                 (fun k (g : N.gen) -> (pg.(k), ptdf g.N.gbus))
                  grid.N.gens)
           in
           let load_part = ref Q.zero in
           for j = 0 to b - 1 do
             if not (Q.is_zero loads.(j)) then
-              load_part := Q.add !load_part (Q.mul (ptdf i j) loads.(j))
+              load_part := Q.add !load_part (Q.mul (ptdf j) loads.(j))
           done;
           let cap = ln.N.capacity in
           (* exact constraint screening: a side is dropped only when the

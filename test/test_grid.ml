@@ -312,6 +312,84 @@ let data_tests =
               "57.grid"; "118.grid" ]);
     ]
 
+(* ---- synthetic generator (Gen.make): the scaling substrate ---- *)
+
+let gen_tests =
+  let sizes = [ 100; 500; 1000 ] in
+  [
+    Alcotest.test_case "identical (size, seed) means byte-identical specs"
+      `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let a = Grid.Spec.print (Grid.Gen.make ~seed:7 n) in
+            let b = Grid.Spec.print (Grid.Gen.make ~seed:7 n) in
+            Alcotest.(check string)
+              (Printf.sprintf "%d buses deterministic" n)
+              a b)
+          sizes);
+    Alcotest.test_case "different seeds draw different systems" `Quick
+      (fun () ->
+        let a = Grid.Spec.print (Grid.Gen.make ~seed:1 100) in
+        let b = Grid.Spec.print (Grid.Gen.make ~seed:2 100) in
+        Alcotest.(check bool) "differ" true (not (String.equal a b)));
+    Alcotest.test_case "generated specs re-parse exactly" `Quick (fun () ->
+        let spec = Grid.Gen.make ~seed:11 100 in
+        let text = Grid.Spec.print spec in
+        match Grid.Spec.parse text with
+        | Error e -> Alcotest.fail e
+        | Ok reparsed ->
+          Alcotest.(check string)
+            "print/parse/print fixed point" text
+            (Grid.Spec.print reparsed));
+    Alcotest.test_case "connected and lint-clean at every size" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            let spec = Grid.Gen.make ~seed:n n in
+            let grid = spec.Grid.Spec.grid in
+            Alcotest.(check bool)
+              (Printf.sprintf "%d buses connected" n)
+              true
+              (T.is_connected (T.make grid));
+            let diags = Analysis.Grid_lint.check spec in
+            Alcotest.(check int)
+              (Printf.sprintf "%d buses lint errors" n)
+              0
+              (Analysis.Diagnostic.count_errors diags))
+          sizes);
+    Alcotest.test_case "mesh density tracks the requested average degree"
+      `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let spec = Grid.Gen.make ~seed:3 n in
+            let grid = spec.Grid.Spec.grid in
+            let degree =
+              2.0 *. float_of_int (N.n_lines grid) /. float_of_int n
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%d buses degree %.2f in [2.5, 3.1]" n degree)
+              true
+              (degree >= 2.5 && degree <= 3.1))
+          sizes);
+    Alcotest.test_case "base power flow is within line capacities" `Quick
+      (fun () ->
+        (* capacity calibration leaves headroom on every line, so the
+           attack-free dispatch the scenarios start from is feasible *)
+        let spec = Grid.Gen.make ~seed:5 200 in
+        let grid = spec.Grid.Spec.grid in
+        match Attack.Base_state.proportional grid with
+        | Error e -> Alcotest.fail e
+        | Ok _ -> ());
+    Alcotest.test_case "out-of-range parameters raise" `Quick (fun () ->
+        let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+        Alcotest.(check bool) "2 buses" true
+          (bad (fun () -> Grid.Gen.make 2));
+        Alcotest.(check bool) "degree below ring" true
+          (bad (fun () -> Grid.Gen.make ~avg_degree:1.5 50));
+        Alcotest.(check bool) "generator count" true
+          (bad (fun () -> Grid.Gen.make ~gens:0 50)));
+  ]
+
 let () =
   Alcotest.run "grid"
     [
@@ -321,4 +399,5 @@ let () =
       ("spec", spec_tests);
       ("systems", systems_tests);
       ("data-files", data_tests);
+      ("gen", gen_tests);
     ]

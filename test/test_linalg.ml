@@ -197,6 +197,137 @@ let qlu_tests =
         Array.for_all2 Q.equal y1 y2);
   ]
 
+(* ---- sparse CSR/CSC LU vs the dense backends ---- *)
+
+module Sf = Linalg.Sparse.F
+module Sq = Linalg.Sparse.Q
+
+let triplets_of_mat m =
+  let acc = ref [] in
+  for i = M.rows m - 1 downto 0 do
+    for j = M.cols m - 1 downto 0 do
+      let v = M.get m i j in
+      if v <> 0.0 then acc := (i, j, v) :: !acc
+    done
+  done;
+  !acc
+
+let qtriplets_of_qmat m =
+  let acc = ref [] in
+  for i = Qmat.rows m - 1 downto 0 do
+    for j = Qmat.cols m - 1 downto 0 do
+      let v = Qmat.get m i j in
+      if not (Q.is_zero v) then acc := (i, j, v) :: !acc
+    done
+  done;
+  !acc
+
+(* random sparse diagonally-dominant system: ~30% off-diagonal density,
+   dominance restores nonsingularity whatever the pattern *)
+let gen_sparse_system =
+  QCheck2.Gen.(
+    let* n = int_range 1 12 in
+    let* mask = array_size (return (n * n)) (float_range 0.0 1.0) in
+    let* entries = array_size (return (n * n)) (float_range (-10.0) 10.0) in
+    let* rhs = array_size (return n) (float_range (-10.0) 10.0) in
+    let m =
+      M.init n n (fun i j ->
+          if i <> j && mask.((i * n) + j) < 0.7 then 0.0
+          else entries.((i * n) + j))
+    in
+    for i = 0 to n - 1 do
+      let s = ref 0.0 in
+      for j = 0 to n - 1 do
+        s := !s +. Float.abs (M.get m i j)
+      done;
+      M.set m i i (!s +. 1.0)
+    done;
+    return (m, rhs))
+
+let mat_transpose_vec m v = M.mul_vec (M.transpose m) v
+
+let sparse_tests =
+  [
+    Alcotest.test_case "structurally singular raises" `Quick (fun () ->
+        (* column 1 is entirely absent *)
+        let s = Sf.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.0); (1, 0, 2.0) ] in
+        Alcotest.check_raises "raise" Sf.Singular (fun () ->
+            ignore (Sf.lu_factor s)));
+    Alcotest.test_case "duplicate triplets are summed" `Quick (fun () ->
+        let s =
+          Sf.of_triplets ~rows:1 ~cols:1 [ (0, 0, 1.5); (0, 0, 2.5) ]
+        in
+        Alcotest.(check bool) "summed" true (close (Sf.get s 0 0) 4.0);
+        Alcotest.(check int) "nnz" 1 (Sf.nnz s));
+    prop "F: solve matches the dense LU" gen_sparse_system (fun (m, b) ->
+        let s = Sf.of_triplets ~rows:(M.rows m) ~cols:(M.cols m) (triplets_of_mat m) in
+        let xs = Sf.solve (Sf.lu_factor s) b in
+        let xd = Lu.solve_vec m b in
+        Array.for_all2 (fun a c -> close ~eps:1e-6 a c) xs xd);
+    prop "F: solve_transpose matches solving the transposed matrix"
+      gen_sparse_system (fun (m, c) ->
+        let s = Sf.of_triplets ~rows:(M.rows m) ~cols:(M.cols m) (triplets_of_mat m) in
+        let ys = Sf.solve_transpose (Sf.lu_factor s) c in
+        let r = V.sub (mat_transpose_vec m ys) c in
+        V.norm_inf r < 1e-6);
+    prop "F: fill-in is what the factorization reports" gen_sparse_system
+      (fun (m, _) ->
+        let s = Sf.of_triplets ~rows:(M.rows m) ~cols:(M.cols m) (triplets_of_mat m) in
+        Sf.fill_in (Sf.lu_factor s) >= 0);
+    prop "Q: solve equals Qmat.solve exactly" gen_qsystem (fun (m, b) ->
+        let s =
+          Sq.of_triplets ~rows:(Qmat.rows m) ~cols:(Qmat.cols m)
+            (qtriplets_of_qmat m)
+        in
+        let xs = Sq.solve (Sq.lu_factor s) b in
+        Array.for_all2 Q.equal xs (Qmat.solve m b));
+    prop "Q: solve_transpose equals the dense transposed solve exactly"
+      gen_qsystem (fun (m, c) ->
+        let s =
+          Sq.of_triplets ~rows:(Qmat.rows m) ~cols:(Qmat.cols m)
+            (qtriplets_of_qmat m)
+        in
+        let ys = Sq.solve_transpose (Sq.lu_factor s) c in
+        Array.for_all2 Q.equal ys (Qmat.solve (qmat_transpose m) c));
+  ]
+
+(* ---- fraction-free Bareiss solve vs the exact dense LU ---- *)
+
+module Bareiss = Linalg.Bareiss
+module B = Numeric.Bigint
+
+let qrows m =
+  Array.init (Qmat.rows m) (fun i ->
+      Array.init (Qmat.cols m) (fun j -> Qmat.get m i j))
+
+let bareiss_tests =
+  [
+    Alcotest.test_case "singular raises" `Quick (fun () ->
+        let m =
+          [| [| Q.one; Q.of_int 2 |]; [| Q.of_int 2; Q.of_int 4 |] |]
+        in
+        Alcotest.check_raises "raise" Bareiss.Singular (fun () ->
+            ignore (Bareiss.solve m [| Q.one; Q.one |])));
+    Alcotest.test_case "empty system" `Quick (fun () ->
+        Alcotest.(check int) "no solution entries" 0
+          (Array.length (Bareiss.solve [||] [||])));
+    prop "solve equals Qmat.solve exactly" gen_qsystem (fun (m, b) ->
+        let x = Bareiss.solve (qrows m) b in
+        Array.for_all2 Q.equal x (Qmat.solve m b));
+    prop "solve_transpose equals the dense transposed solve exactly"
+      gen_qsystem (fun (m, c) ->
+        let y = Bareiss.solve_transpose (qrows m) c in
+        Array.for_all2 Q.equal y (Qmat.solve (qmat_transpose m) c));
+    prop "solve_raw numerators over the shared denominator are the solution"
+      gen_qsystem (fun (m, b) ->
+        let num, den = Bareiss.solve_raw (qrows m) b in
+        (not (B.is_zero den))
+        && Array.for_all2
+             (fun n x -> Q.equal (Q.make n den) x)
+             num
+             (Qmat.solve m b));
+  ]
+
 let () =
   Alcotest.run "linalg"
     [
@@ -204,4 +335,6 @@ let () =
       ("mat", mat_tests);
       ("lu", lu_tests);
       ("qlu", qlu_tests);
+      ("sparse", sparse_tests);
+      ("bareiss", bareiss_tests);
     ]

@@ -194,6 +194,44 @@ let factor_tests =
           | Error _ -> false
           | Ok (_, actual) ->
             Array.for_all2 (fun a b -> close ~eps:1e-6 a b) predicted actual));
+    Alcotest.test_case "PTDF rows match a dense-inverse reference" `Quick
+      (fun () ->
+        (* the on-demand rows come from one transposed sparse solve per
+           line; check them against the dense road not taken — the
+           explicit Lu.inverse of the reduced susceptance matrix *)
+        List.iter
+          (fun size ->
+            let grid = (TS.ieee size).Grid.Spec.grid in
+            let topo = T.make grid in
+            let f = Opf.Factors.make topo in
+            let x = Linalg.Lu.inverse (T.b_reduced topo) in
+            let slack = topo.T.slack in
+            let reduced j =
+              if j = slack then None else Some (if j < slack then j else j - 1)
+            in
+            for line = 0 to N.n_lines grid - 1 do
+              let row = Opf.Factors.ptdf_row f ~line in
+              let ln = grid.N.lines.(line) in
+              let d = Q.to_float ln.N.admittance in
+              for j = 0 to grid.N.n_buses - 1 do
+                let reference =
+                  match reduced j with
+                  | None -> 0.0
+                  | Some c ->
+                    let at bus =
+                      match reduced bus with
+                      | None -> 0.0
+                      | Some r -> Linalg.Mat.get x r c
+                    in
+                    d *. (at ln.N.from_bus -. at ln.N.to_bus)
+                in
+                if not (close ~eps:1e-8 row.(j) reference) then
+                  Alcotest.failf
+                    "IEEE-%d line %d bus %d: sparse %.12f vs dense %.12f"
+                    size line j row.(j) reference
+              done
+            done)
+          [ 14; 30 ]);
     Alcotest.test_case "radial outage has no distribution factor" `Quick
       (fun () ->
         (* islanding outage: LODF is NaN by construction *)

@@ -1,0 +1,178 @@
+(* docs-check: the documentation link checker behind `dune build @docs-check`.
+
+   Scans README.md and docs/*.md for two kinds of references and fails
+   when any of them dangles:
+
+   - markdown links `[text](target)`: relative targets (anything not an
+     absolute URL or a bare #fragment) must exist on disk, resolved
+     against the directory of the file containing the link;
+   - inline-code path references `` `lib/foo/bar.ml` `` (optionally with
+     a `:LINE` suffix): spans that start with a known top-level source
+     directory must name an existing file or directory, and a `:LINE`
+     suffix must not exceed the file's line count.  `X.exe` spans are
+     resolved as the matching `X.ml` source (the binary only exists in
+     _build).  Globs (`data/*.grid`), absolute paths, and spans outside
+     the source tree are ignored.
+
+   Exit 0 when everything resolves, 1 with one line per broken
+   reference otherwise. *)
+
+let roots =
+  [ "lib"; "bin"; "bench"; "test"; "examples"; "data"; "docs"; "tools" ]
+
+let errors = ref 0
+let links = ref 0
+let paths = ref 0
+
+let broken file line fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr errors;
+      Printf.eprintf "docs-check: %s:%d: %s\n" file line s)
+    fmt
+
+let line_count path =
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !n
+
+let strip_suffix ~suffix s =
+  if Filename.check_suffix s suffix then
+    Some (Filename.chop_suffix s suffix)
+  else None
+
+(* a code span names a source path when its first component is a known
+   top-level directory; everything else (counter names, CLI snippets,
+   temp paths) is prose *)
+let is_path_span s =
+  (not (String.contains s '*'))
+  && String.contains s '/'
+  && s.[0] <> '/'
+  &&
+  match String.index_opt s '/' with
+  | None -> false
+  | Some i -> List.mem (String.sub s 0 i) roots
+
+let check_path_span file line span =
+  let span, line_ref =
+    match String.index_opt span ':' with
+    | Some i -> (
+      let tail = String.sub span (i + 1) (String.length span - i - 1) in
+      match int_of_string_opt tail with
+      | Some n -> (String.sub span 0 i, Some n)
+      | None -> (span, None))
+    | None -> (span, None)
+  in
+  let span =
+    match strip_suffix ~suffix:"/" span with Some s -> s | None -> span
+  in
+  let target =
+    match strip_suffix ~suffix:".exe" span with
+    | Some stem -> stem ^ ".ml"
+    | None -> span
+  in
+  incr paths;
+  if not (Sys.file_exists target) then
+    broken file line "`%s` does not exist%s" target
+      (if target = span then "" else Printf.sprintf " (from `%s`)" span)
+  else
+    match line_ref with
+    | None -> ()
+    | Some n ->
+      if Sys.is_directory target then
+        broken file line "`%s:%d` refers to a directory" target n
+      else
+        let count = line_count target in
+        if n < 1 || n > count then
+          broken file line "`%s:%d` is out of range (%d lines)" target n count
+
+let check_link file line target =
+  let is_prefix p = String.length target >= String.length p
+                    && String.sub target 0 (String.length p) = p in
+  if
+    target = "" || is_prefix "http://" || is_prefix "https://"
+    || is_prefix "mailto:" || is_prefix "#"
+  then ()
+  else begin
+    incr links;
+    let target =
+      match String.index_opt target '#' with
+      | Some i -> String.sub target 0 i
+      | None -> target
+    in
+    let resolved = Filename.concat (Filename.dirname file) target in
+    if not (Sys.file_exists resolved) then
+      broken file line "link target %s does not exist" resolved
+  end
+
+(* markdown links: every "](...)" occurrence on the line *)
+let scan_links file lineno s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i + 1 < n do
+    if s.[!i] = ']' && s.[!i + 1] = '(' then begin
+      match String.index_from_opt s (!i + 2) ')' with
+      | Some close ->
+        check_link file lineno (String.sub s (!i + 2) (close - !i - 2));
+        i := close
+      | None -> i := n
+    end;
+    incr i
+  done
+
+(* inline code: the odd fields of a backtick split are code spans (an
+   unterminated backtick spills to end of line, which is harmless — the
+   spilled text will not look like a path) *)
+let scan_code_spans file lineno s =
+  let fields = String.split_on_char '`' s in
+  List.iteri
+    (fun idx field ->
+      if idx mod 2 = 1 && is_path_span field then
+        check_path_span file lineno field)
+    fields
+
+let scan_file file =
+  let ic = open_in file in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       scan_links file !lineno line;
+       scan_code_spans file !lineno line
+     done
+   with End_of_file -> ());
+  close_in ic
+
+let () =
+  let inputs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> [ "README.md"; "docs" ]
+  in
+  let files =
+    List.concat_map
+      (fun input ->
+        if Sys.is_directory input then
+          Sys.readdir input |> Array.to_list |> List.sort compare
+          |> List.filter_map (fun f ->
+                 if Filename.check_suffix f ".md" then
+                   Some (Filename.concat input f)
+                 else None)
+        else [ input ])
+      inputs
+  in
+  List.iter scan_file files;
+  if !errors > 0 then begin
+    Printf.eprintf "docs-check: FAIL: %d broken reference(s)\n" !errors;
+    exit 1
+  end;
+  Printf.printf "docs-check: OK (%d files, %d links, %d path refs)\n"
+    (List.length files) !links !paths
