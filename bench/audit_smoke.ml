@@ -1,0 +1,189 @@
+(* audit-smoke: CI gate for the solver-free attack-surface audit.
+
+   1. Audit.run over every bundled grid file: zero error diagnostics,
+      deterministic (sorted) output, and the audit.* counters move.
+   2. The CLI surface: `topoguard audit --json` over the bundled grids
+      exits 0 and emits one JSON object per line.
+   3. Prune parity on the 118-bus single-line sweep: with the audit on,
+      at least one candidate is statically pruned and the number of
+      certified LP solves strictly drops, while the outcome per target
+      is identical to the --no-audit run; cross-check mode re-solves
+      every pruned candidate and audit.prune.unsound must stay 0.
+
+   CI entry point: dune build @audit-smoke *)
+
+module Q = Numeric.Rat
+module D = Analysis.Diagnostic
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("audit-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let grids =
+  [ "5.grid"; "14.grid"; "30.grid"; "57.grid"; "118.grid"; "cs1.grid";
+    "cs2.grid" ]
+
+let data file = Filename.concat "../data" file
+
+let load file =
+  match Grid.Spec.parse_file (data file) with
+  | Ok spec -> spec
+  | Error e -> fail "%s: parse error: %s" file e
+
+let c_runs = Obs.Counter.make "audit.runs"
+let c_pruned = Obs.Counter.make "audit.pruned"
+let c_unsound = Obs.Counter.make "audit.prune.unsound"
+let c_solves = Obs.Counter.make "opf.float_opf.solves"
+let c_certify_ok = Obs.Counter.make "lp.certify.ok"
+
+(* ---- 1: every bundled grid audits without errors ---- *)
+
+let audit_all () =
+  List.iter
+    (fun file ->
+      let diags = Audit.run (load file) in
+      if D.has_errors diags then
+        fail "%s: audit reports error diagnostics:\n%s" file
+          (Format.asprintf "%a" D.pp_list diags);
+      if D.sorted diags <> diags then
+        fail "%s: Audit.run output is not in Diagnostic.sorted order" file;
+      (* run twice: the passes are pure, so the findings are stable *)
+      if Audit.run (load file) <> diags then
+        fail "%s: audit output is not deterministic" file)
+    grids;
+  if Obs.Counter.get c_runs = 0 then fail "audit.runs counter never moved"
+
+(* ---- 2: the CLI's machine-readable surface ---- *)
+
+let cli_json cli =
+  let cmd =
+    Filename.quote_command cli
+      (("audit" :: "--json" :: List.map data grids))
+  in
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> fail "audit --json exited %d" n
+  | _ -> fail "audit --json killed by signal");
+  let lines = List.rev !lines in
+  if lines = [] then fail "audit --json produced no output";
+  List.iter
+    (fun line ->
+      let n = String.length line in
+      if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then
+        fail "audit --json line is not a JSON object: %s" line;
+      if not (String.length line > 9 && String.sub line 0 9 = "{\"file\":\"")
+      then fail "audit --json line lacks the leading file field: %s" line)
+    lines
+
+(* ---- 3: prune parity on the 118-bus sweep ---- *)
+
+let outcome_repr (pct, outcome) =
+  Format.asprintf "%s => %s"
+    (Q.to_decimal_string ~digits:2 pct)
+    (match outcome with
+    | Topoguard.Impact.Attack_found s ->
+      Format.asprintf "found %a cost=%s after %d"
+        Attack.Vector.pp s.Topoguard.Impact.vector
+        (match s.Topoguard.Impact.poisoned_cost with
+        | Some c -> Q.to_decimal_string ~digits:6 c
+        | None -> "-")
+        s.Topoguard.Impact.candidates
+    | Topoguard.Impact.No_attack { candidates } ->
+      Printf.sprintf "none after %d" candidates
+    | Topoguard.Impact.Base_infeasible e -> "infeasible: " ^ e)
+
+let sweep_118 ~audit ~cross ~increases =
+  let spec = load "118.grid" in
+  let base =
+    match Attack.Base_state.of_opf spec.Grid.Spec.grid with
+    | Ok b -> b
+    | Error e -> fail "118-bus base state: %s" e
+  in
+  let config =
+    {
+      Topoguard.Impact.default_config with
+      Topoguard.Impact.mode = Attack.Encoder.Topology_only;
+      use_closed_form = true;
+      max_topology_changes = Some 1;
+      max_candidates = 40;
+      audit;
+      audit_cross_check = cross;
+    }
+  in
+  let solves0 = Obs.Counter.get c_solves in
+  let certs0 = Obs.Counter.get c_certify_ok in
+  let pruned0 = Obs.Counter.get c_pruned in
+  let unsound0 = Obs.Counter.get c_unsound in
+  let results =
+    Topoguard.Impact.analyze_sweep ~config ~scenario:spec ~base
+      ~increases:(List.map Q.of_int increases) ()
+  in
+  ( List.map outcome_repr results,
+    Obs.Counter.get c_solves - solves0,
+    Obs.Counter.get c_certify_ok - certs0,
+    Obs.Counter.get c_pruned - pruned0,
+    Obs.Counter.get c_unsound - unsound0 )
+
+let prune_parity () =
+  (* low + high targets: parity of the reported outcomes when the audit
+     can and cannot prune, and a clean cross-check on every prune *)
+  let low = [ 2; 100 ] in
+  let on, _, _, pruned_low, _ = sweep_118 ~audit:true ~cross:false ~increases:low in
+  let off, _, _, pruned_off, _ =
+    sweep_118 ~audit:false ~cross:false ~increases:low
+  in
+  let checked, _, _, _, unsound =
+    sweep_118 ~audit:true ~cross:true ~increases:low
+  in
+  if on <> off then
+    fail "outcome differs audit-on vs --no-audit:\n  on : %s\n  off: %s"
+      (String.concat " | " on) (String.concat " | " off);
+  if on <> checked then fail "outcome differs under --audit-cross-check";
+  if pruned_low = 0 then fail "audit pruned no candidate on the 118-bus sweep";
+  if pruned_off <> 0 then fail "audit.pruned moved with the audit disabled";
+  if unsound <> 0 then
+    fail "audit.prune.unsound = %d: a pruned candidate verified as a success"
+      unsound;
+  (* all-high targets (above the ~36%% static cost ceiling): the prunes
+     now save actual solves, so the solve counts must strictly drop *)
+  let high = [ 40; 100 ] in
+  let hi_on, solves_on, certs_on, pruned_hi, _ =
+    sweep_118 ~audit:true ~cross:false ~increases:high
+  in
+  let hi_off, solves_off, certs_off, _, _ =
+    sweep_118 ~audit:false ~cross:false ~increases:high
+  in
+  if hi_on <> hi_off then
+    fail "outcome differs audit-on vs --no-audit on the high sweep:\n  \
+          on : %s\n  off: %s"
+      (String.concat " | " hi_on) (String.concat " | " hi_off);
+  if pruned_hi = 0 then fail "audit pruned nothing above the cost ceiling";
+  if solves_on >= solves_off then
+    fail "float OPF solves did not drop: %d audited vs %d unaudited"
+      solves_on solves_off;
+  if certs_on >= certs_off then
+    fail "certified solves did not drop: %d audited vs %d unaudited"
+      certs_on certs_off;
+  Printf.printf
+    "audit-smoke: 118-bus sweep pruned %d+%d candidate(s), %d -> %d \
+     solves above the ceiling, cross-check clean\n"
+    pruned_low pruned_hi solves_off solves_on
+
+let () =
+  let cli = Sys.argv.(1) in
+  Obs.Clock.set Unix.gettimeofday;
+  Obs.set_enabled true;
+  audit_all ();
+  cli_json cli;
+  prune_parity ();
+  print_endline "audit-smoke: OK"

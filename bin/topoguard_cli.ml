@@ -188,25 +188,47 @@ let run_model_check ?max_topology_changes ~mode spec b =
 
 (* ---- lint ---- *)
 
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Machine-readable output: one JSON object per diagnostic \
+                 per line (fields $(b,file), $(b,severity), $(b,code), \
+                 optional $(b,tag)/$(b,loc), $(b,message)), in the same \
+                 deterministic order as the human output.")
+
+(* shared by lint/audit: print sorted diagnostics for one file, either as
+   human-readable lines or as one JSON object per line *)
+let print_diags ~json file diags =
+  let diags = Analysis.Diagnostic.sorted diags in
+  if json then
+    List.iter
+      (fun d ->
+        print_endline (Analysis.Diagnostic.to_json_string ~file d))
+      diags
+  else
+    List.iter
+      (fun d -> Format.printf "%s: %a@." file Analysis.Diagnostic.pp d)
+      diags;
+  diags
+
 let lint_cmd =
-  let run files =
+  let run files json =
     let parse_failures = ref 0 and lint_errors = ref 0 in
     List.iter
       (fun file ->
         match Grid.Spec.parse_file ~validate:false file with
         | Error e ->
           incr parse_failures;
-          Format.printf "%s: parse error: %s@." file e
+          Format.eprintf "%s: parse error: %s@." file e
         | Ok spec ->
-          let diags = Analysis.Grid_lint.check spec in
+          let diags =
+            print_diags ~json file (Analysis.Grid_lint.check spec)
+          in
           lint_errors := !lint_errors + Analysis.Diagnostic.count_errors diags;
-          List.iter
-            (fun d ->
-              Format.printf "%s: %a@." file Analysis.Diagnostic.pp d)
-            diags;
-          Format.printf "%s: %d finding(s), %d error(s)@." file
-            (List.length diags)
-            (Analysis.Diagnostic.count_errors diags))
+          if not json then
+            Format.printf "%s: %d finding(s), %d error(s)@." file
+              (List.length diags)
+              (Analysis.Diagnostic.count_errors diags))
       files;
     if !parse_failures > 0 then exit 2 else if !lint_errors > 0 then exit 1
   in
@@ -220,7 +242,7 @@ let lint_cmd =
              admittances and capacities, generator and load bounds, \
              measurement-vector shape, reference bus, generation/load \
              balance.  Exits 1 on lint errors, 2 on parse failures.")
-    Term.(const run $ files)
+    Term.(const run $ files $ json_flag)
 
 (* ---- opf ---- *)
 
@@ -350,8 +372,8 @@ let impact_cmd =
       Format.printf "base case infeasible: %s@." e;
       exit 1
   in
-  let run file mode base increase sweep max_candidates single_line check_model
-      jobs stats trace =
+  let run file mode base increase sweep max_candidates single_line no_audit
+      audit_cross_check check_model jobs stats trace =
     let spec = load_spec file in
     let spec =
       match increase with
@@ -371,6 +393,8 @@ let impact_cmd =
            else Topoguard.Impact.default_config.Topoguard.Impact
                   .max_topology_changes);
         jobs = resolve_jobs jobs;
+        audit = not no_audit;
+        audit_cross_check;
       }
     in
     if check_model then
@@ -427,14 +451,32 @@ let impact_cmd =
                    closed form (no SMT; paper Section IV-A).  Candidate \
                    verification then parallelises with $(b,--jobs).")
   in
+  let no_audit =
+    Arg.(value & flag
+         & info [ "no-audit" ]
+             ~doc:"Disable the solver-free static pre-pass that prunes \
+                   candidates which provably cannot reach the threshold \
+                   (bridge islanding, interval cost bounds).  The outcome \
+                   is identical either way; only the number of OPF solves \
+                   changes (counters $(b,audit.pruned*) under \
+                   $(b,--stats)).")
+  in
+  let audit_cross_check =
+    Arg.(value & flag
+         & info [ "audit-cross-check" ]
+             ~doc:"Solve every statically pruned candidate anyway and \
+                   assert the prune verdict against the solver's \
+                   (counter $(b,audit.prune.unsound)); costs what \
+                   $(b,--no-audit) costs.  For CI parity gates.")
+  in
   Cmd.v
     (Cmd.info "impact"
        ~doc:"Full impact analysis (paper Fig. 2): can a stealthy attack \
              raise the OPF cost by the target percentage?")
     Term.(
       const run $ file_arg $ mode_arg $ base_arg $ increase $ sweep
-      $ max_candidates $ single_line $ check_model_arg $ jobs_arg $ stats_term
-      $ trace_term)
+      $ max_candidates $ single_line $ no_audit $ audit_cross_check
+      $ check_model_arg $ jobs_arg $ stats_term $ trace_term)
 
 (* ---- gen ---- *)
 
@@ -846,14 +888,42 @@ let submit_cmd =
 (* ---- audit ---- *)
 
 let audit_cmd =
-  let run file =
-    let spec = load_spec file in
-    Estimation.Criticality.summary Format.std_formatter spec
+  let run files json stats =
+    with_stats stats @@ fun () ->
+    let parse_failures = ref 0 and audit_errors = ref 0 in
+    List.iter
+      (fun file ->
+        match Grid.Spec.parse_file file with
+        | Error e ->
+          incr parse_failures;
+          Format.eprintf "%s: parse error: %s@." file e
+        | Ok spec ->
+          let diags = print_diags ~json file (Audit.run spec) in
+          audit_errors := !audit_errors + Analysis.Diagnostic.count_errors diags;
+          if not json then begin
+            Format.printf "%s: %d finding(s), %d error(s)@." file
+              (List.length diags)
+              (Analysis.Diagnostic.count_errors diags);
+            Estimation.Criticality.summary Format.std_formatter spec
+          end)
+      files;
+    if !parse_failures > 0 then exit 2 else if !audit_errors > 0 then exit 1
+  in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Input file(s) in the paper's text format (Tables II/III).")
   in
   Cmd.v
     (Cmd.info "audit"
-       ~doc:"Security metrics: critical measurements, redundancy, attack              surface, per-bus exposure.")
-    Term.(const run $ file_arg)
+       ~doc:"Solver-free attack-surface audit: graph structure (bridge \
+             lines are statically islanding attacks, articulation buses, \
+             radial chains), exact interval bounds on any attack's \
+             achievable dispatch cost, and measurement criticality \
+             (critical measurements are the stealthy attack surface) — \
+             no LP or SMT solve is issued.  Follows with the \
+             human-readable security report unless $(b,--json).  Exits \
+             1 on audit errors, 2 on parse failures.")
+    Term.(const run $ files $ json_flag $ stats_term)
 
 let () =
   let doc = "impact analysis of topology poisoning attacks on OPF" in

@@ -4,20 +4,45 @@ type t = {
   severity : severity;
   code : string;
   tag : string option;
+  loc : string option;
   message : string;
 }
 
-let make severity ?tag ~code fmt =
-  Format.kasprintf (fun message -> { severity; code; tag; message }) fmt
+let make severity ?tag ?loc ~code fmt =
+  Format.kasprintf (fun message -> { severity; code; tag; loc; message }) fmt
 
-let error ?tag ~code fmt = make Error ?tag ~code fmt
-let warning ?tag ~code fmt = make Warning ?tag ~code fmt
-let info ?tag ~code fmt = make Info ?tag ~code fmt
+let error ?tag ?loc ~code fmt = make Error ?tag ?loc ~code fmt
+let warning ?tag ?loc ~code fmt = make Warning ?tag ?loc ~code fmt
+let info ?tag ?loc ~code fmt = make Info ?tag ?loc ~code fmt
 
 let severity_label = function
   | Error -> "error"
   | Warning -> "warning"
   | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_opt a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some a, Some b -> String.compare a b
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = compare_opt a.loc b.loc in
+      if c <> 0 then c
+      else
+        let c = compare_opt a.tag b.tag in
+        if c <> 0 then c else String.compare a.message b.message
+
+let sorted ds = List.stable_sort compare ds
 
 let count_errors ds =
   List.length (List.filter (fun d -> d.severity = Error) ds)
@@ -26,12 +51,50 @@ let has_errors ds = List.exists (fun d -> d.severity = Error) ds
 let by_code code ds = List.filter (fun d -> d.code = code) ds
 
 let pp fmt d =
+  let loc_suffix = match d.loc with Some l -> " @ " ^ l | None -> "" in
   match d.tag with
   | Some tag ->
-    Format.fprintf fmt "%s[%s](%s): %s" (severity_label d.severity) d.code tag
-      d.message
+    Format.fprintf fmt "%s[%s](%s)%s: %s" (severity_label d.severity) d.code tag
+      loc_suffix d.message
   | None ->
-    Format.fprintf fmt "%s[%s]: %s" (severity_label d.severity) d.code d.message
+    Format.fprintf fmt "%s[%s]%s: %s" (severity_label d.severity) d.code
+      loc_suffix d.message
 
 let pp_list fmt ds =
   List.iter (fun d -> Format.fprintf fmt "%a@." pp d) ds
+
+(* hand-rolled JSON so the analysis layer stays dependency-free *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json_string ?file d =
+  let buf = Buffer.create 128 in
+  let field ?(first = false) name value =
+    if not first then Buffer.add_char buf ',';
+    Buffer.add_string buf (Printf.sprintf "\"%s\":\"%s\"" name (json_escape value))
+  in
+  Buffer.add_char buf '{';
+  (match file with
+  | Some f ->
+    field ~first:true "file" f;
+    field "severity" (severity_label d.severity)
+  | None -> field ~first:true "severity" (severity_label d.severity));
+  field "code" d.code;
+  (match d.tag with Some t -> field "tag" t | None -> ());
+  (match d.loc with Some l -> field "loc" l | None -> ());
+  field "message" d.message;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

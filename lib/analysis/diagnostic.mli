@@ -1,10 +1,12 @@
 (** Structured findings produced by the static analyzers ({!Form_lint},
-    {!Grid_lint}, and the presolve layer).
+    {!Grid_lint}, {!Audit}, and the presolve layer).
 
     A diagnostic carries a machine-readable [code] (stable across
     releases, suitable for tests and CI filters), an optional [tag]
     naming the paper equation the offending constraint encodes (threaded
-    from the attack encoder), a severity, and a human-readable message. *)
+    from the attack encoder), an optional [loc] naming the grid element
+    the finding is anchored to (e.g. ["line 12"] or ["bus 4"]), a
+    severity, and a human-readable message. *)
 
 type severity = Error | Warning | Info
 
@@ -12,19 +14,40 @@ type t = {
   severity : severity;
   code : string;  (** stable kebab-case identifier, e.g. ["islanded-bus"] *)
   tag : string option;  (** encoder equation tag, e.g. ["eq36"] *)
+  loc : string option;  (** grid location, e.g. ["line 12"]; 1-based ids *)
   message : string;
 }
 
 val error :
-  ?tag:string -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+  ?tag:string ->
+  ?loc:string ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
 
 val warning :
-  ?tag:string -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+  ?tag:string ->
+  ?loc:string ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
 
 val info :
-  ?tag:string -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+  ?tag:string ->
+  ?loc:string ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
 
 val severity_label : severity -> string
+
+val compare : t -> t -> int
+(** Deterministic ordering: severity ([Error] first), then [code], then
+    [loc], then [tag], then [message].  [None] sorts before [Some _]. *)
+
+val sorted : t list -> t list
+(** Stable sort under {!compare} — what the CLI surfaces emit so output
+    is reproducible regardless of pass ordering. *)
 
 val count_errors : t list -> int
 (** Number of [Error]-severity diagnostics in the list. *)
@@ -35,6 +58,14 @@ val by_code : string -> t list -> t list
 (** Diagnostics carrying the given code. *)
 
 val pp : Format.formatter -> t -> unit
-(** [severity[code](tag): message] on one line. *)
+(** [severity[code](tag) @ loc: message] on one line ([tag]/[loc] parts
+    omitted when absent). *)
 
 val pp_list : Format.formatter -> t list -> unit
+
+val to_json_string : ?file:string -> t -> string
+(** One-line JSON object: [{"severity":...,"code":...,"tag":...,
+    "loc":...,"message":...}] with absent optional fields omitted; a
+    leading ["file"] field is prepended when [?file] is given (the CLI's
+    [--json] modes name the input file this way).  Strings are escaped;
+    the output parses with [Obs.Json]. *)

@@ -44,30 +44,42 @@ let normalize_atom ~polarity op e =
         strict;
       }
 
-(* interval state per monic key; each side remembers the tag that set it *)
+(* interval state per monic key; each side remembers the tags that set it
+   (one tag for a directly asserted bound, several when a bound was
+   derived by combining per-variable bounds) *)
+type bound = { b : Q.t; strict : bool; tags : string list }
+
 type interval = {
-  mutable lo : (Q.t * bool * string) option;
-  mutable hi : (Q.t * bool * string) option;
+  mutable lo : bound option;
+  mutable hi : bound option;
 }
 
 let tighter_lo cur (b, strict) =
   match cur with
   | None -> true
-  | Some (b0, s0, _) ->
+  | Some { b = b0; strict = s0; _ } ->
     Q.(b > b0) || (Q.equal b b0 && strict && not s0)
 
 let tighter_hi cur (b, strict) =
   match cur with
   | None -> true
-  | Some (b0, s0, _) ->
+  | Some { b = b0; strict = s0; _ } ->
     Q.(b < b0) || (Q.equal b b0 && strict && not s0)
 
 let empty_interval iv =
   match (iv.lo, iv.hi) with
-  | Some (l, sl, tl), Some (h, sh, th) when Q.(l > h) || (Q.equal l h && (sl || sh))
-    ->
-    Some ((l, sl, tl), (h, sh, th))
+  | Some lo, Some hi
+    when Q.(lo.b > hi.b) || (Q.equal lo.b hi.b && (lo.strict || hi.strict)) ->
+    Some (lo, hi)
   | _ -> None
+
+(* the minimal set of equation tags responsible for a conflict: the tags
+   behind both sides, deduplicated and sorted for stable output *)
+let tag_set tagss =
+  let all = List.concat tagss in
+  List.sort_uniq String.compare all
+
+let pp_tags tags = String.concat ", " tags
 
 (* conjuncts of a formula (flattening nested And) *)
 let conjuncts f =
@@ -159,6 +171,7 @@ let check ?n_bools ?n_reals tagged =
   List.iter (fun (tag, f) -> scan_trivial tag f) tagged;
   (* 3. conjunct-level analysis: the assertion set is one conjunction *)
   let intervals : (string, interval) Hashtbl.t = Hashtbl.create 64 in
+  let multi_atoms : (string * norm_atom) list ref = ref [] in
   let seen_atoms : (string, string) Hashtbl.t = Hashtbl.create 64 in
   let pos_lits : (int, string) Hashtbl.t = Hashtbl.create 64 in
   let neg_lits : (int, string) Hashtbl.t = Hashtbl.create 64 in
@@ -206,24 +219,28 @@ let check ?n_bools ?n_reals tagged =
           Hashtbl.replace intervals na.nkey iv;
           iv
       in
+      (match L.terms na.nterm with
+      | _ :: _ :: _ -> multi_atoms := (tag, na) :: !multi_atoms
+      | _ -> ());
       (match na.side with
       | Upper ->
         if tighter_hi iv.hi (na.bound, na.strict) then
-          iv.hi <- Some (na.bound, na.strict, tag)
+          iv.hi <- Some { b = na.bound; strict = na.strict; tags = [ tag ] }
       | Lower ->
         if tighter_lo iv.lo (na.bound, na.strict) then
-          iv.lo <- Some (na.bound, na.strict, tag));
+          iv.lo <- Some { b = na.bound; strict = na.strict; tags = [ tag ] });
       (match empty_interval iv with
-      | Some ((l, sl, tl), (h, sh, th)) ->
+      | Some (lo, hi) ->
         emit
           (Diagnostic.error ~tag ~code:"contradictory-bounds"
              "empty interval for %a: %s %s (from %s) contradicts %s %s (from \
-              %s)"
+              %s); minimal tag set: {%s}"
              pp_term na.nterm
-             (if sl then ">" else ">=")
-             (Q.to_string l) tl
-             (if sh then "<" else "<=")
-             (Q.to_string h) th);
+             (if lo.strict then ">" else ">=")
+             (Q.to_string lo.b) (pp_tags lo.tags)
+             (if hi.strict then "<" else "<=")
+             (Q.to_string hi.b) (pp_tags hi.tags)
+             (pp_tags (tag_set [ lo.tags; hi.tags ])));
         (* avoid cascading reports for the same key *)
         Hashtbl.remove intervals na.nkey
       | None -> ())
@@ -244,6 +261,77 @@ let check ?n_bools ?n_reals tagged =
           | _ -> ())
         (conjuncts f))
     tagged;
+  (* 4. derived bounds for general (multi-variable) linear atoms: combine
+     the per-variable intervals accumulated above into a box bound on the
+     atom's monic term (pairwise bound combination) and check it against
+     the asserted side.  Exact rational arithmetic, so any conflict found
+     here is a real unsatisfiability; the reported tag set is minimal —
+     dropping any contributing per-variable bound leaves the box side
+     unbounded, and dropping the atom removes the conflict. *)
+  let var_interval v = Hashtbl.find_opt intervals (L.key (L.var v)) in
+  let derived_seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let exception Unbounded in
+  (* sup (want_sup = true) or inf of the monic term over the per-variable
+     box; raises [Unbounded] when some needed side is missing *)
+  let box_bound ~want_sup nterm =
+    List.fold_left
+      (fun (acc, s, tagss) (v, c) ->
+        let iv = match var_interval v with
+          | Some iv -> iv
+          | None -> raise Unbounded
+        in
+        let pick_hi = Q.sign c > 0 = want_sup in
+        match if pick_hi then iv.hi else iv.lo with
+        | None -> raise Unbounded
+        | Some bnd ->
+          (Q.add acc (Q.mul c bnd.b), s || bnd.strict, bnd.tags :: tagss))
+      (Q.zero, false, []) (L.terms nterm)
+  in
+  List.iter
+    (fun (tag, na) ->
+      let atom_id =
+        Printf.sprintf "%s|%s|%s|%b" na.nkey
+          (match na.side with Upper -> "<=" | Lower -> ">=")
+          (Q.to_string na.bound) na.strict
+      in
+      if not (Hashtbl.mem derived_seen atom_id) then begin
+        Hashtbl.add derived_seen atom_id ();
+        let conflict ~derived_op (db, ds, tagss) =
+          emit
+            (Diagnostic.error ~tag ~code:"contradictory-bounds"
+               "empty interval for %a: derived bound %s %s (from per-variable \
+                bounds of %s) contradicts asserted %s %s (from %s); minimal \
+                tag set: {%s}"
+               pp_term na.nterm derived_op (Q.to_string db)
+               (pp_tags (tag_set tagss))
+               (match na.side with
+               | Lower -> if na.strict then ">" else ">="
+               | Upper -> if na.strict then "<" else "<=")
+               (Q.to_string na.bound) tag
+               (pp_tags (tag_set ([ tag ] :: tagss))));
+          ignore ds
+        in
+        match na.side with
+        | Lower -> (
+          (* t >= bound contradicts sup(t) < bound *)
+          match box_bound ~want_sup:true na.nterm with
+          | exception Unbounded -> ()
+          | (sup, ssup, tagss) ->
+            if Q.(sup < na.bound)
+               || (Q.equal sup na.bound && (ssup || na.strict)) then
+              conflict ~derived_op:(if ssup then "<" else "<=")
+                (sup, ssup, tagss))
+        | Upper -> (
+          (* t <= bound contradicts inf(t) > bound *)
+          match box_bound ~want_sup:false na.nterm with
+          | exception Unbounded -> ()
+          | (inf, sinf, tagss) ->
+            if Q.(inf > na.bound)
+               || (Q.equal inf na.bound && (sinf || na.strict)) then
+              conflict ~derived_op:(if sinf then ">" else ">=")
+                (inf, sinf, tagss))
+      end)
+    (List.rev !multi_atoms);
   List.rev !diags
 
 (* ---- interval-propagation constant folding ---- *)
@@ -255,23 +343,23 @@ let decide iv na =
   match na.side with
   | Upper -> (
     match iv.hi with
-    | Some (h, sh, _)
+    | Some { b = h; strict = sh; _ }
       when Q.(h < na.bound) || (Q.equal h na.bound && (sh || not na.strict)) ->
       `Implied
     | _ -> (
       match iv.lo with
-      | Some (l, sl, _)
+      | Some { b = l; strict = sl; _ }
         when Q.(l > na.bound) || (Q.equal l na.bound && (sl || na.strict)) ->
         `Contradicts
       | _ -> `Record))
   | Lower -> (
     match iv.lo with
-    | Some (l, sl, _)
+    | Some { b = l; strict = sl; _ }
       when Q.(l > na.bound) || (Q.equal l na.bound && (sl || not na.strict)) ->
       `Implied
     | _ -> (
       match iv.hi with
-      | Some (h, sh, _)
+      | Some { b = h; strict = sh; _ }
         when Q.(h < na.bound) || (Q.equal h na.bound && (sh || na.strict)) ->
         `Contradicts
       | _ -> `Record))
@@ -318,8 +406,10 @@ and fold_conjunction gs =
               | `Contradicts -> raise Contradiction
               | `Record ->
                 (match na.side with
-                | Upper -> iv.hi <- Some (na.bound, na.strict, "")
-                | Lower -> iv.lo <- Some (na.bound, na.strict, ""));
+                | Upper ->
+                  iv.hi <- Some { b = na.bound; strict = na.strict; tags = [] }
+                | Lower ->
+                  iv.lo <- Some { b = na.bound; strict = na.strict; tags = [] });
                 true)
           in
           match conj with

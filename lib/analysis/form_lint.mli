@@ -15,7 +15,12 @@
       raw formula indicates a hand-built encoding bug);
     - [contradictory-bounds] (error): interval propagation over
       conjunct-level atoms derives an empty interval for some linear
-      term, e.g. [x <= a] and [x >= b] with [a < b];
+      term, e.g. [x <= a] and [x >= b] with [a < b].  Atoms are
+      normalised (monic) first, and a second pass combines the
+      per-variable intervals into box bounds on general multi-variable
+      atoms (so [x >= 1], [y >= 1], [x + y <= 1] is caught even though
+      no two atoms share a term).  The message ends with the minimal set
+      of equation tags responsible for the empty interval;
     - [duplicate-atom] (warning): the same atom asserted twice under the
       same polarity in conjunct position;
     - [unconstrained-var] (info): declared variables that appear in no

@@ -16,6 +16,11 @@ let obs_verify_timer = Obs.Timer.make "attack.loop.verify_impact"
 let obs_verify_hist = Obs.Histogram.make "attack.verify.seconds"
 let obs_sweep_reused = Obs.Counter.make "attack.sweep.reused_verifications"
 let obs_sweep_targets = Obs.Counter.make "attack.sweep.targets"
+let obs_audit_pruned = Obs.Counter.make "audit.pruned"
+let obs_audit_pruned_islanding = Obs.Counter.make "audit.pruned.islanding"
+let obs_audit_pruned_interval = Obs.Counter.make "audit.pruned.interval"
+let obs_audit_pruned_ceiling = Obs.Counter.make "audit.pruned.ceiling"
+let obs_audit_unsound = Obs.Counter.make "audit.prune.unsound"
 
 type config = {
   mode : Attack.Encoder.mode;
@@ -36,6 +41,13 @@ type config = {
          iterations and candidate verifications *)
   store : Store.Cache.t option;
       (* content-addressed cache for the per-candidate OPF verifications *)
+  audit : bool;
+      (* solver-free static pre-pass on the closed-form path: bridge
+         exclusions and candidates whose poisoned optimum provably stays
+         below the threshold are pruned before any OPF solve *)
+  audit_cross_check : bool;
+      (* solve statically pruned candidates anyway and assert the prune
+         was right (counter audit.prune.unsound); for soundness testing *)
 }
 
 let default_config =
@@ -51,6 +63,8 @@ let default_config =
     jobs = 1;
     interrupt = None;
     store = None;
+    audit = true;
+    audit_cross_check = false;
   }
 
 type success = {
@@ -213,12 +227,102 @@ let truncate_candidates config candidates =
   in
   take config.max_candidates candidates
 
-let analyze_closed_form config ~grid ~candidates ~base_cost ~threshold =
+(* ---- the solver-free audit pre-pass (closed-form path) ----
+
+   Static verdicts per candidate, before any OPF runs:
+
+   - [`Islanding]: the excluded line is a bridge, so the poisoned
+     shift-factor OPF cannot converge.  Only claimed for Fast_factors —
+     the angle formulation can remain feasible per-island.
+   - [`Interval]: the attack-free dispatch still fits every line
+     capacity on the poisoned instance (PTDF/LODF check with a margin
+     covering the certified backend's 1e-6 PTDF rounding), so the
+     poisoned optimum is at most [base_cost] — claimed only when the
+     threshold is strictly above it.
+   - [`Ceiling]: the threshold exceeds the exact box-and-balance cost
+     ceiling, which no total-preserving dispatch can beat on any
+     topology — every candidate is statically blocked.
+
+   Each claim implies the candidate cannot verify as a success, so
+   pruning never changes the outcome, the winning vector or the
+   poisoned cost; [audit_cross_check] solves anyway and asserts that. *)
+
+type static_verdict = [ `Islanding | `Interval | `Ceiling ]
+
+let audit_verdicts config ~grid ~base_dispatch ~threshold ~base_cost
+    candidates : static_verdict option array =
+  let n = List.length candidates in
+  if not (config.audit && n > 0) then Array.make n None
+  else begin
+    let above_ceiling =
+      match Audit.cost_ceiling grid with
+      | Some u -> Q.( > ) threshold u
+      | None -> false
+    in
+    if above_ceiling then begin
+      Obs.Counter.add obs_audit_pruned n;
+      Obs.Counter.add obs_audit_pruned_ceiling n;
+      Array.make n (Some `Ceiling)
+    end
+    else
+      Audit.classify ~grid ~base_dispatch:base_dispatch.Opf.Dc_opf.pg
+        ~islanding_sound:(config.backend = Fast_factors)
+        ~interval_active:(Q.( > ) threshold base_cost)
+        ~candidates
+      |> List.map (function
+           | Audit.Solve -> None
+           | Audit.Prune_islanding ->
+             Obs.Counter.incr obs_audit_pruned;
+             Obs.Counter.incr obs_audit_pruned_islanding;
+             Some `Islanding
+           | Audit.Prune_interval ->
+             Obs.Counter.incr obs_audit_pruned;
+             Obs.Counter.incr obs_audit_pruned_interval;
+             Some `Interval)
+      |> Array.of_list
+  end
+
+(* cross-check mode: solve a pruned candidate after all and verify the
+   static claim.  Only meaningful for the exact backends (the SMT
+   verdict is threshold-bound); a disagreement — the solver finding a
+   success the audit pruned — bumps audit.prune.unsound. *)
+let audit_cross_check config ~grid ~threshold vec (claim : static_verdict) =
+  if config.audit_cross_check && config.backend <> Smt_bounded then begin
+    let verdict = exact_verdict_cached config grid vec in
+    let agree =
+      match (claim, verdict) with
+      | `Islanding, `NoConv -> true
+      | `Islanding, `Cost _ -> false
+      | (`Interval | `Ceiling), `NoConv -> true
+      | (`Interval | `Ceiling), `Cost c -> Q.( < ) c threshold
+    in
+    if not agree then Obs.Counter.incr obs_audit_unsound
+  end
+
+let analyze_closed_form config ~grid ~base_dispatch ~candidates ~base_cost
+    ~threshold =
   (* the enumeration budget applies on this path too: the SMT loop stops
      after [max_candidates] queries, so the closed-form enumeration is
      cut to the same prefix of the ranked candidate list *)
   let candidates = truncate_candidates config candidates in
+  let statics =
+    audit_verdicts config ~grid ~base_dispatch ~threshold ~base_cost candidates
+  in
   let examined = Atomic.make 0 in
+  let survivors =
+    List.filteri
+      (fun i c ->
+        match statics.(i) with
+        | None -> true
+        | Some claim ->
+          (* a statically pruned candidate still counts as examined, so
+             the reported outcome is identical with the audit on or off *)
+          Atomic.incr examined;
+          let _, _, vec = c in
+          audit_cross_check config ~grid ~threshold vec claim;
+          false)
+      candidates
+  in
   let verify i (_, _, vec) =
     check_interrupt config;
     Obs.Counter.incr obs_iterations;
@@ -235,7 +339,7 @@ let analyze_closed_form config ~grid ~candidates ~base_cost ~threshold =
   in
   let found =
     Pool.with_pool ~jobs:config.jobs (fun pool ->
-        Pool.find_mapi_first pool ~f:verify candidates)
+        Pool.find_mapi_first pool ~f:verify survivors)
   in
   match found with
   | Some (vec, poisoned_cost) ->
@@ -307,7 +411,8 @@ let analyze_inner ~config ~(scenario : Grid.Spec.t)
     in
     if closed_form_applies config then
       let candidates = Attack.Single_line.all_feasible ~scenario ~base in
-      analyze_closed_form config ~grid ~candidates ~base_cost ~threshold
+      analyze_closed_form config ~grid ~base_dispatch ~candidates ~base_cost
+        ~threshold
     else begin
       let solver = Solver.create () in
       let vars =
@@ -338,12 +443,13 @@ let analyze ?(config = default_config) ~(scenario : Grid.Spec.t)
      clauses remain valid (blocked at T means the poisoned optimum is
      below T, hence below any larger T'). *)
 
-let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
+let sweep_closed_form config ~scenario ~base ~base_dispatch ~base_cost
+    ~increases =
   let grid = scenario.Grid.Spec.grid in
-  let candidates =
-    Array.of_list
-      (truncate_candidates config (Attack.Single_line.all_feasible ~scenario ~base))
+  let candidate_list =
+    truncate_candidates config (Attack.Single_line.all_feasible ~scenario ~base)
   in
+  let candidates = Array.of_list candidate_list in
   match config.backend with
   | Smt_bounded ->
     (* the bounded-feasibility verdict depends on the threshold: only the
@@ -352,10 +458,47 @@ let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
       (fun pct ->
         let threshold = threshold_of ~base_cost pct in
         ( pct,
-          analyze_closed_form config ~grid
-            ~candidates:(Array.to_list candidates) ~base_cost ~threshold ))
+          analyze_closed_form config ~grid ~base_dispatch
+            ~candidates:candidate_list ~base_cost ~threshold ))
       increases
   | Lp_exact | Fast_factors ->
+    (* audit pre-pass, threshold-independent pieces computed once: the
+       islanding/interval verdicts hold for every target (the interval
+       claim — poisoned optimum <= base_cost — is applied only at
+       thresholds strictly above the base cost, i.e. every positive
+       impact target), the cost ceiling is compared per threshold.
+       Counters are bumped lazily, on the first target that actually
+       skips a candidate, so [audit.pruned] counts solves avoided — not
+       classifications that no target ever used. *)
+    let statics =
+      if not (config.audit && Array.length candidates > 0) then
+        Array.make (Array.length candidates) None
+      else
+        Audit.classify ~grid ~base_dispatch:base_dispatch.Opf.Dc_opf.pg
+          ~islanding_sound:(config.backend = Fast_factors)
+          ~interval_active:true ~candidates:candidate_list
+        |> List.map (function
+             | Audit.Solve -> None
+             | Audit.Prune_islanding -> Some `Islanding
+             | Audit.Prune_interval -> Some `Interval)
+        |> Array.of_list
+    in
+    let ceiling =
+      if config.audit then Audit.cost_ceiling grid else None
+    in
+    let prune_counted = Array.make (Array.length candidates) false in
+    let count_prune i (claim : static_verdict) =
+      if not prune_counted.(i) then begin
+        prune_counted.(i) <- true;
+        Obs.Counter.incr obs_audit_pruned;
+        Obs.Counter.incr
+          (match claim with
+          | `Islanding -> obs_audit_pruned_islanding
+          | `Interval -> obs_audit_pruned_interval
+          | `Ceiling -> obs_audit_pruned_ceiling)
+      end
+    in
+    let cross_checked = Array.make (Array.length candidates) false in
     let memo = Array.make (Array.length candidates) None in
     (* verdict plus whether this call actually solved (fresh) or reused *)
     let verdict i =
@@ -382,9 +525,34 @@ let sweep_closed_form config ~scenario ~base ~base_cost ~increases =
     List.map
       (fun pct ->
         let threshold = threshold_of ~base_cost pct in
+        let interval_applies = Q.( > ) threshold base_cost in
+        let above_ceiling =
+          match ceiling with Some u -> Q.( > ) threshold u | None -> false
+        in
+        let pruned i =
+          match statics.(i) with
+          | Some `Islanding -> true
+          | Some `Interval -> interval_applies
+          | None -> above_ceiling
+        in
         let rec scan i =
           if i >= Array.length candidates then
             No_attack { candidates = Array.length candidates }
+          else if pruned i then begin
+            let claim =
+              match statics.(i) with
+              | Some `Islanding -> `Islanding
+              | Some `Interval -> `Interval
+              | None -> `Ceiling
+            in
+            count_prune i claim;
+            (if not cross_checked.(i) then begin
+               cross_checked.(i) <- true;
+               let _, _, vec = candidates.(i) in
+               audit_cross_check config ~grid ~threshold vec claim
+             end);
+            scan (i + 1)
+          end
           else
             match verdict i with
             | `Cost c, _ when Q.( >= ) c threshold ->
@@ -448,7 +616,8 @@ let analyze_sweep ?(config = default_config) ~(scenario : Grid.Spec.t)
   | Opf.Dc_opf.Dispatch base_dispatch ->
     let base_cost = base_dispatch.Opf.Dc_opf.cost in
     if closed_form_applies config then
-      sweep_closed_form config ~scenario ~base ~base_cost ~increases
+      sweep_closed_form config ~scenario ~base ~base_dispatch ~base_cost
+        ~increases
     else sweep_smt config ~scenario ~base ~base_cost ~increases
 
 let max_achievable_increase ?(config = default_config)

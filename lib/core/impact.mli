@@ -66,6 +66,29 @@ type config = {
           row-indexed bitstring, so row-permuted copies of a [.grid]
           file share entries soundly.  The [Smt_bounded] backend
           bypasses the store (its verdict depends on the threshold). *)
+  audit : bool;
+      (** solver-free static pre-pass on the closed-form path (default
+          true): before any verification, {!Audit.classify} prunes
+          candidates that provably cannot succeed — bridge exclusions
+          (statically islanding, [Fast_factors] only) and candidates
+          whose poisoned optimum is provably at or below the base cost
+          while the threshold is strictly above it; a threshold above
+          the exact dispatch-cost ceiling prunes everything.  The
+          outcome, winning vector and poisoned cost are identical with
+          the audit on or off — only the number of OPF solves drops
+          (counters [audit.pruned], [audit.pruned.islanding],
+          [audit.pruned.interval], [audit.pruned.ceiling]; bumped per
+          solve actually avoided).  Pruned candidates still count as
+          examined, with the same caveat as [jobs]: when an attack is
+          found, prunes past the winner may already be counted.  The
+          SMT enumeration path is model-driven and ignores this
+          field. *)
+  audit_cross_check : bool;
+      (** solve every statically pruned candidate anyway (exact
+          backends only) and assert the prune verdict against the
+          solver's: a pruned candidate that verifies as a success bumps
+          [audit.prune.unsound].  Costs what the un-audited run costs;
+          meant for CI parity gates, default false. *)
 }
 
 val default_config : config

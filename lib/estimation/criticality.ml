@@ -1,22 +1,36 @@
 module N = Grid.Network
+module M = Linalg.Mat
+module V = Linalg.Vec
+module Lu = Linalg.Lu
 
-let without_measurement grid idx =
-  let meas =
-    Array.mapi
-      (fun j (m : N.meas) -> if j = idx then { m with N.taken = false } else m)
-      grid.N.meas
-  in
-  { grid with N.meas }
+(* Residual-sensitivity method: factor the gain G = H^T H once; for taken
+   row i the leverage is K_ii = h_i^T G^-1 h_i, and removing row i drops
+   rank(H) exactly when K_ii = 1 (equivalently, the residual sensitivity
+   S_ii = 1 - K_ii is zero — the measurement's residual is structurally
+   pinned to 0, the classic criticality condition).  One O(n^3)
+   factorisation plus one O(n^2) solve per measurement replaces the old
+   per-measurement topology rebuild + refactorisation (O(m n^3)), which
+   took ~44 s on the 118-bus system. *)
+let criticality_eps = 1e-6
 
 let critical_measurements (topo : Grid.Topology.t) =
-  let grid = topo.Grid.Topology.grid in
-  Grid.Topology.taken_rows topo
-  |> List.filter (fun i ->
-         let reduced =
-           Grid.Topology.make ~slack:topo.Grid.Topology.slack
-             ~mapped:topo.Grid.Topology.mapped (without_measurement grid i)
-         in
-         not (Estimator.is_observable reduced))
+  match Grid.Topology.taken_rows topo with
+  | [] -> []
+  | rows -> (
+    let h = Grid.Topology.h_reduced topo ~rows in
+    let w = Array.make (List.length rows) 1.0 in
+    match Lu.decompose (Estimator.gain_matrix h w) with
+    | exception Lu.Singular ->
+      (* already unobservable: dropping any taken measurement leaves a
+         subset of an unobservable set, so every one is critical *)
+      rows
+    | gain ->
+      List.filteri
+        (fun i _ ->
+          let hrow = M.row h i in
+          let y = Lu.solve gain hrow in
+          Float.abs (1.0 -. V.dot hrow y) <= criticality_eps)
+        rows)
 
 let redundancy (topo : Grid.Topology.t) =
   let b = topo.Grid.Topology.grid.N.n_buses in

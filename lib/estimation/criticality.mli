@@ -10,7 +10,11 @@
       attacker of Section III can actually use. *)
 
 val critical_measurements : Grid.Topology.t -> int list
-(** Taken measurements whose individual removal breaks observability. *)
+(** Taken measurements whose individual removal breaks observability.
+    Computed by residual sensitivity: with the gain [G = H^T H] factored
+    once, row [i] is critical iff its leverage [h_i^T G^-1 h_i] equals 1
+    (one factorisation total instead of one per measurement).  When the
+    system is already unobservable every taken measurement is returned. *)
 
 val redundancy : Grid.Topology.t -> float
 (** Ratio of taken measurements to the [b - 1] states; below 1.0 the

@@ -27,6 +27,12 @@ val estimate : t -> z:float array -> result
 
 val is_observable : Grid.Topology.t -> bool
 
+val gain_matrix : Linalg.Mat.t -> float array -> Linalg.Mat.t
+(** [gain_matrix h w] is the gain [H^T W H] of a reduced design matrix —
+    exposed for the criticality analysis, which factors it once and
+    probes residual sensitivities instead of refactoring per
+    measurement. *)
+
 val detects_bad_data : t -> z:float array -> tau:float -> bool
 (** Residual test: true when [||z - H x|| > tau]. *)
 

@@ -274,6 +274,285 @@ let form_lint_tests =
             (List.exists (fun d -> d.D.tag = Some "eq36") bad));
   ]
 
+(* ---- formula lint: derived (non-monic) bounds and simplify ---- *)
+
+let y = L.var 1
+
+let prop ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* random conjunctions of single- and two-variable atoms over 3 reals *)
+let gen_conjunction =
+  QCheck2.Gen.(
+    let atom =
+      let* v = int_range 0 2 in
+      let* c = int_range (-3) 3 in
+      let c = if c = 0 then 1 else c in
+      let* k = int_range (-4) 4 in
+      let* shape = int_range 0 4 in
+      let e =
+        if shape = 4 then L.add (L.var v) (L.var ((v + 1) mod 3))
+        else L.scale (Q.of_int c) (L.var v)
+      in
+      let k = L.const (Q.of_int k) in
+      return
+        (match shape with
+        | 0 -> F.le e k
+        | 1 -> F.ge e k
+        | 2 -> F.lt e k
+        | 3 -> F.eq e k
+        | _ -> F.ge e k)
+    in
+    let* atoms = list_size (int_range 1 7) atom in
+    return (F.and_ atoms))
+
+let derived_bound_tests =
+  [
+    test "per-variable bounds refute a sum atom" (fun () ->
+        (* x >= 1, y >= 1 force x + y >= 2, contradicting x + y <= 1 *)
+        let ds =
+          Analysis.Form_lint.check
+            [
+              ("a", F.ge x (L.const Q.one));
+              ("b", F.ge y (L.const Q.one));
+              ("c", F.le (L.add x y) (L.const Q.one));
+            ]
+        in
+        check_code "x+y<=1" "contradictory-bounds" ds;
+        let d = List.hd (D.by_code "contradictory-bounds" ds) in
+        Alcotest.(check bool) "minimal tag set pinned" true
+          (contains d.D.message "minimal tag set: {a, b, c}"));
+    test "strictness decides the borderline sum" (fun () ->
+        let bounds =
+          [ ("a", F.ge x (L.const Q.one)); ("b", F.ge y (L.const Q.one)) ]
+        in
+        (* x + y < 2 is empty against inf = 2; x + y <= 2 is satisfiable *)
+        check_code "strict" "contradictory-bounds"
+          (Analysis.Form_lint.check
+             (bounds @ [ ("c", F.lt (L.add x y) (L.const (Q.of_int 2))) ]));
+        Alcotest.(check int) "non-strict borderline is feasible" 0
+          (D.count_errors
+             (Analysis.Form_lint.check
+                (bounds @ [ ("c", F.le (L.add x y) (L.const (Q.of_int 2))) ]))));
+    test "negative coefficients pick the opposite interval side" (fun () ->
+        (* x >= 1 and y <= -1 force x - y >= 2, refuting x - y <= 1 *)
+        let ds =
+          Analysis.Form_lint.check
+            [
+              ("p", F.ge x (L.const Q.one));
+              ("q", F.le y (L.const (Q.of_int (-1))));
+              ("r", F.le (L.sub x y) (L.const Q.one));
+            ]
+        in
+        check_code "x-y<=1" "contradictory-bounds" ds);
+    test "unbounded partner variable blocks the derivation" (fun () ->
+        (* y has no upper bound, so no sup for x + y exists: stay quiet *)
+        let ds =
+          Analysis.Form_lint.check
+            [
+              ("a", F.le x (L.const Q.one));
+              ("b", F.ge (L.add x y) (L.const (Q.of_int 100)));
+            ]
+        in
+        Alcotest.(check int) "no errors" 0 (D.count_errors ds));
+    prop "simplify is idempotent" gen_conjunction (fun f ->
+        let s = Analysis.Form_lint.simplify f in
+        Analysis.Form_lint.simplify s = s);
+    prop "simplify preserves models at the all-zero point" ~count:300
+      gen_conjunction (fun f ->
+        (* simplify may only drop implied atoms or fold the whole
+           conjunction to false; a satisfying point stays satisfying *)
+        let value _ = Q.zero in
+        let rec eval = function
+          | F.And fs -> List.for_all eval fs
+          | F.True -> true
+          | F.False -> false
+          | F.Atom (op, e) ->
+            let v = L.eval value e in
+            (match op with
+            | F.Le -> Q.( <= ) v Q.zero
+            | F.Lt -> Q.( < ) v Q.zero)
+          | F.Not f -> not (eval f)
+          | F.Or fs -> List.exists eval fs
+          | F.Bvar _ -> true
+        in
+        (not (eval f)) || eval (Analysis.Form_lint.simplify f));
+  ]
+
+(* ---- the solver-free audit ---- *)
+
+let brute_force_bridges (topo : Grid.Topology.t) =
+  let grid = topo.Grid.Topology.grid in
+  let mapped = topo.Grid.Topology.mapped in
+  let n = grid.N.n_buses in
+  let components skip =
+    let adj = Array.make n [] in
+    Array.iteri
+      (fun i (ln : N.line) ->
+        if mapped.(i) && i <> skip then begin
+          adj.(ln.N.from_bus) <- ln.N.to_bus :: adj.(ln.N.from_bus);
+          adj.(ln.N.to_bus) <- ln.N.from_bus :: adj.(ln.N.to_bus)
+        end)
+      grid.N.lines;
+    let seen = Array.make n false in
+    let rec dfs u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        List.iter dfs adj.(u)
+      end
+    in
+    let c = ref 0 in
+    for u = 0 to n - 1 do
+      if not seen.(u) then begin
+        incr c;
+        dfs u
+      end
+    done;
+    !c
+  in
+  let base = components (-1) in
+  (base, Array.init (N.n_lines grid) (fun i -> mapped.(i) && components i > base))
+
+let audit_structure_systems () =
+  List.map (fun n -> (string_of_int n, Grid.Test_systems.ieee n))
+    Grid.Test_systems.sizes
+  @ [
+      ("cs1", Grid.Test_systems.case_study_1 ());
+      ("cs2", Grid.Test_systems.case_study_2 ());
+      ("gen40", Grid.Gen.make ~seed:7 40);
+    ]
+
+let relax_caps mult spec =
+  with_grid
+    (fun g ->
+      {
+        g with
+        N.lines =
+          Array.map
+            (fun (ln : N.line) ->
+              { ln with N.capacity = Q.mul ln.N.capacity (Q.of_int mult) })
+            g.N.lines;
+      })
+    spec
+
+let audit_tests =
+  [
+    test "bridges and components match leave-one-out removal" (fun () ->
+        List.iter
+          (fun (name, spec) ->
+            let topo = Grid.Topology.make spec.Grid.Spec.grid in
+            let s = Audit.Structure.analyze topo in
+            let base, ref_bridges = brute_force_bridges topo in
+            Alcotest.(check int) (name ^ " components") base s.Audit.Structure.components;
+            Alcotest.(check (array bool)) (name ^ " bridges") ref_bridges
+              s.Audit.Structure.bridge;
+            (* every radial line is a bridge, never conversely stronger *)
+            Array.iteri
+              (fun i r ->
+                if r then
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s radial line %d is a bridge" name (i + 1))
+                    true s.Audit.Structure.bridge.(i))
+              s.Audit.Structure.radial)
+          (audit_structure_systems ()));
+    test "parallel circuits are never bridges" (fun () ->
+        let spec = Grid.Test_systems.ieee 5 in
+        let g = spec.Grid.Spec.grid in
+        let doubled =
+          { g with N.lines = Array.append g.N.lines [| g.N.lines.(0) |] }
+        in
+        (* meas vector is now short, but Topology.make only reads lines *)
+        let topo = Grid.Topology.make { doubled with N.meas = [||] } in
+        let s = Audit.Structure.analyze topo in
+        Alcotest.(check bool) "first copy" false s.Audit.Structure.bridge.(0);
+        Alcotest.(check bool) "second copy" false
+          s.Audit.Structure.bridge.(N.n_lines g));
+    test "cost interval brackets the exact optimum" (fun () ->
+        List.iter
+          (fun n ->
+            let spec = Grid.Test_systems.ieee n in
+            let grid = spec.Grid.Spec.grid in
+            let topo = Grid.Topology.make grid in
+            match
+              ( Audit.cost_floor grid,
+                Audit.cost_ceiling grid,
+                Opf.Dc_opf.solve topo )
+            with
+            | Some lo, Some hi, Opf.Dc_opf.Dispatch d ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%d-bus floor <= T*" n)
+                true
+                (Q.( <= ) lo d.Opf.Dc_opf.cost);
+              Alcotest.(check bool)
+                (Printf.sprintf "%d-bus T* <= ceiling" n)
+                true
+                (Q.( <= ) d.Opf.Dc_opf.cost hi)
+            | _ -> Alcotest.fail (Printf.sprintf "%d-bus: missing bound" n))
+          [ 5; 14; 30 ]);
+    test "audit run is sorted, deterministic, error-free on bundled systems"
+      (fun () ->
+        List.iter
+          (fun n ->
+            let spec = Grid.Test_systems.ieee n in
+            let ds = Audit.run spec in
+            Alcotest.(check int)
+              (Printf.sprintf "%d-bus audit errors" n)
+              0 (D.count_errors ds);
+            Alcotest.(check bool) "sorted" true (D.sorted ds = ds);
+            check_code "structure summary present" "graph-structure" ds;
+            if n = 14 then check_code "14-bus bridge" "bridge-line" ds)
+          [ 5; 14; 30 ]);
+    slow "interval prune fires on an uncongested system and stays sound"
+      (fun () ->
+        (* 10x line capacities: the base optimum leaves every line slack,
+           so the lone single-line candidate is statically prunable; the
+           cross-check solves it anyway and must agree *)
+        let spec = relax_caps 10 (Grid.Test_systems.ieee 14) in
+        let grid = spec.Grid.Spec.grid in
+        match Attack.Base_state.of_opf grid with
+        | Error e -> Alcotest.fail e
+        | Ok base ->
+          let cands = Attack.Single_line.all_feasible ~scenario:spec ~base in
+          Alcotest.(check bool) "has candidates" true (cands <> []);
+          let dispatch =
+            match Opf.Opf_auto.solve_factors (Grid.Topology.make grid) with
+            | Opf.Dc_opf.Dispatch d -> d
+            | _ -> Alcotest.fail "base infeasible"
+          in
+          let verdicts =
+            Audit.classify ~grid ~base_dispatch:dispatch.Opf.Dc_opf.pg
+              ~islanding_sound:true ~interval_active:true ~candidates:cands
+          in
+          Alcotest.(check bool) "interval prune fires" true
+            (List.mem Audit.Prune_interval verdicts);
+          (* parity with cross-check: outcomes identical, no unsound prune *)
+          let c_pruned = Obs.Counter.make "audit.pruned.interval" in
+          let c_unsound = Obs.Counter.make "audit.prune.unsound" in
+          Obs.set_enabled true;
+          let run audit audit_cross_check =
+            let config =
+              {
+                Topoguard.Impact.default_config with
+                Topoguard.Impact.mode = Attack.Encoder.Topology_only;
+                use_closed_form = true;
+                max_topology_changes = Some 1;
+                audit;
+                audit_cross_check;
+              }
+            in
+            Topoguard.Impact.analyze ~config ~scenario:spec ~base ()
+          in
+          let pruned0 = Obs.Counter.get c_pruned in
+          let unsound0 = Obs.Counter.get c_unsound in
+          let on = run true true in
+          let off = run false false in
+          Alcotest.(check bool) "interval prune counted" true
+            (Obs.Counter.get c_pruned > pruned0);
+          Alcotest.(check int) "cross-check agrees" unsound0
+            (Obs.Counter.get c_unsound);
+          Alcotest.(check bool) "outcome parity" true (on = off));
+  ]
+
 (* ---- presolve rules ---- *)
 
 let qi = Q.of_int
@@ -661,6 +940,8 @@ let () =
     [
       ("grid-lint", grid_lint_tests);
       ("form-lint", form_lint_tests);
+      ("form-lint-derived", derived_bound_tests);
+      ("audit", audit_tests);
       ("presolve-rules", presolve_rule_tests);
       ("presolve-equivalence", equivalence_tests);
       ("opf-equivalence", opf_tests);

@@ -178,5 +178,75 @@ let ufdi_tests =
           (U.feasible topo ~c:[| 0.0; 0.0; 0.0; 0.0 |]));
   ]
 
+(* ---- measurement criticality: residual sensitivity vs leave-one-out ---- *)
+
+(* the O(m) definition the fast path must reproduce: drop each taken
+   measurement in turn and re-test observability *)
+let leave_one_out_critical (topo : T.t) =
+  let grid = topo.T.grid in
+  T.taken_rows topo
+  |> List.filter (fun i ->
+         let meas =
+           Array.mapi
+             (fun j (m : N.meas) ->
+               if j = i then { m with N.taken = false } else m)
+             grid.N.meas
+         in
+         let reduced =
+           T.make ~slack:topo.T.slack ~mapped:topo.T.mapped
+             { grid with N.meas }
+         in
+         not (E.is_observable reduced))
+
+let take_first k grid =
+  {
+    grid with
+    N.meas = Array.mapi (fun j (m : N.meas) -> { m with N.taken = j < k }) grid.N.meas;
+  }
+
+let criticality_tests =
+  [
+    Alcotest.test_case "fast path agrees with leave-one-out" `Quick (fun () ->
+        let systems =
+          List.concat_map
+            (fun n ->
+              let g = (TS.ieee n).Grid.Spec.grid in
+              let l = N.n_lines g in
+              [
+                (Printf.sprintf "%d full" n, g);
+                (* sparse plans: forward flows only, then both directions *)
+                (Printf.sprintf "%d fwd-only" n, take_first l g);
+                (Printf.sprintf "%d flows-only" n, take_first (2 * l) g);
+              ])
+            [ 5; 14; 30 ]
+        in
+        List.iter
+          (fun (name, grid) ->
+            let topo = T.make grid in
+            Alcotest.(check (list int)) name
+              (leave_one_out_critical topo)
+              (Estimation.Criticality.critical_measurements topo))
+          systems);
+    Alcotest.test_case "14-bus forward-only plan has a critical measurement"
+      `Quick (fun () ->
+        let g = (TS.ieee 14).Grid.Spec.grid in
+        let topo = T.make (take_first (N.n_lines g) g) in
+        Alcotest.(check bool) "nonempty" true
+          (Estimation.Criticality.critical_measurements topo <> []));
+    Alcotest.test_case "unobservable system: every taken row is critical"
+      `Quick (fun () ->
+        let g = (TS.ieee 5).Grid.Spec.grid in
+        let topo = T.make (take_first 2 g) in
+        Alcotest.(check bool) "unobservable" false (E.is_observable topo);
+        Alcotest.(check (list int)) "all rows"
+          (T.taken_rows topo)
+          (Estimation.Criticality.critical_measurements topo));
+  ]
+
 let () =
-  Alcotest.run "estimation" [ ("wls", wls_tests); ("ufdi", ufdi_tests) ]
+  Alcotest.run "estimation"
+    [
+      ("wls", wls_tests);
+      ("ufdi", ufdi_tests);
+      ("criticality", criticality_tests);
+    ]
