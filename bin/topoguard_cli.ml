@@ -650,12 +650,40 @@ let socket_arg =
        & info [ "socket" ] ~docv:"PATH"
            ~doc:"Unix-domain socket the scenario service listens on.")
 
+(* transport addresses: tcp:HOST:PORT | unix:PATH | bare path = unix *)
+let endpoint_conv =
+  let parse s =
+    match Serve.Transport.endpoint_of_string s with
+    | Ok e -> Ok e
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf e =
+    Format.pp_print_string ppf (Serve.Transport.endpoint_to_string e)
+  in
+  Arg.conv (parse, print)
+
+(* inclusive hash ranges, "LO-HI" over Store.Canonical.point *)
+let range_conv =
+  let parse s =
+    match String.index_opt s '-' with
+    | Some i -> (
+      let lo = String.sub s 0 i
+      and hi = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo >= 0 && hi >= lo -> Ok (lo, hi)
+      | _ -> Error (`Msg (Printf.sprintf "bad range %S (want LO-HI)" s)))
+    | None -> Error (`Msg (Printf.sprintf "bad range %S (want LO-HI)" s))
+  in
+  let print ppf (lo, hi) = Format.fprintf ppf "%d-%d" lo hi in
+  Arg.conv (parse, print)
+
 let serve_cmd =
-  let run socket jobs queue_cap cache_mb journal timeout verbose access_log
-      trace =
+  let run socket listen jobs queue_cap cache_mb journal timeout verbose
+      access_log trace sync_peers sync_ranges =
     let cfg =
       {
         Serve.Server.socket_path = socket;
+        listen;
         jobs = max 1 (resolve_jobs jobs);
         queue_capacity = queue_cap;
         cache_bytes = cache_mb * 1024 * 1024;
@@ -667,6 +695,9 @@ let serve_cmd =
         verbose;
         access_log;
         trace;
+        sync_peers;
+        sync_ranges;
+        max_line = Serve.Protocol.Frame.default_max_line;
       }
     in
     match Serve.Server.run cfg with
@@ -713,21 +744,50 @@ let serve_cmd =
                    queue wait, latency).  An unopenable path is a startup \
                    error.")
   in
+  let listen =
+    Arg.(value & opt (some endpoint_conv) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Listen on $(docv) ($(b,tcp:HOST:PORT) or \
+                   $(b,unix:PATH)) instead of the $(b,--socket) path; \
+                   fleet shards listen on loopback TCP.")
+  in
+  let sync_peers =
+    Arg.(value & opt_all endpoint_conv []
+         & info [ "sync-peer" ] ~docv:"ADDR"
+             ~doc:"Before accepting connections, pull cached results from \
+                   this running peer (repeatable): a restarted shard \
+                   rejoins the fleet warm.  A peer that is down only \
+                   costs cache warmth, never startup.")
+  in
+  let sync_ranges =
+    Arg.(value & opt_all range_conv []
+         & info [ "sync-range" ] ~docv:"LO-HI"
+             ~doc:"Restrict $(b,--sync-peer) pulls to keys whose hash \
+                   point falls in the inclusive range $(docv) \
+                   (repeatable; the shard's ring arcs).  No ranges pulls \
+                   everything.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the resident scenario service: accepts impact-analysis \
-             jobs over a Unix-domain socket (line-delimited JSON), answers \
-             repeats from a content-addressed result cache, and drains \
-             gracefully on SIGTERM (exit 0).  Exits 1 on startup failure \
-             (socket in use, unreadable journal).")
+             jobs over a Unix-domain or TCP stream socket (line-delimited \
+             JSON), answers repeats from a content-addressed result \
+             cache, and drains gracefully on SIGTERM (exit 0).  Exits 1 \
+             on startup failure (socket in use, unreadable journal).")
     Term.(
-      const run $ socket_arg $ jobs_arg $ queue_cap $ cache_mb $ journal
-      $ timeout $ verbose $ access_log $ trace_term)
+      const run $ socket_arg $ listen $ jobs_arg $ queue_cap $ cache_mb
+      $ journal $ timeout $ verbose $ access_log $ trace_term $ sync_peers
+      $ sync_ranges)
 
 let submit_cmd =
-  let run file socket mode base increase max_candidates single_line backend
-      timeout journal wait_timeout =
-    let grid =
+  let run files connect socket batch mode base increase max_candidates
+      single_line backend timeout journal wait_timeout =
+    let endpoint =
+      match connect with
+      | Some e -> e
+      | None -> Serve.Transport.Unix_sock socket
+    in
+    let read_grid file =
       try
         let ic = open_in_bin file in
         let n = in_channel_length ic in
@@ -738,7 +798,7 @@ let submit_cmd =
         Format.eprintf "error: %s@." e;
         exit 2
     in
-    let sub =
+    let sub_of grid =
       {
         Serve.Protocol.grid;
         mode;
@@ -751,6 +811,74 @@ let submit_cmd =
       }
     in
     let print_result j = print_endline (Obs.Json.to_string j) in
+    if batch then begin
+      (* one submit_batch round trip for every file, then await each *)
+      let items = List.map (fun f -> (f, sub_of (read_grid f))) files in
+      match Serve.Client.connect_endpoint endpoint with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        exit 1
+      | Ok client -> (
+        let fail e =
+          Serve.Client.close client;
+          Format.eprintf "error: %s@." e;
+          exit 1
+        in
+        match Serve.Client.submit_batch client (List.map snd items) with
+        | Error e -> fail e
+        | Ok resp -> (
+          match
+            (Obs.Json.member "ok" resp, Obs.Json.member "results" resp)
+          with
+          | Some (Obs.Json.Bool true), Some (Obs.Json.List results)
+            when List.length results = List.length items ->
+            let failures = ref 0 in
+            List.iter2
+              (fun (file, _) item ->
+                match
+                  (Obs.Json.member "ok" item, Obs.Json.member "id" item)
+                with
+                | Some (Obs.Json.Bool true), Some (Obs.Json.Int id) -> (
+                  let cached =
+                    match Obs.Json.member "cached" item with
+                    | Some (Obs.Json.Bool b) -> b
+                    | _ -> false
+                  in
+                  match
+                    Serve.Client.await client ~id ~timeout:wait_timeout ()
+                  with
+                  | Ok ("done", Some result) ->
+                    Format.printf "%s: done%s@." file
+                      (if cached then " (cached)" else "");
+                    print_result result
+                  | Ok (status, _) ->
+                    incr failures;
+                    Format.printf "%s: %s@." file status
+                  | Error e ->
+                    incr failures;
+                    Format.eprintf "%s: error: %s@." file e)
+                | _ ->
+                  incr failures;
+                  let reason =
+                    match Obs.Json.member "error" item with
+                    | Some (Obs.Json.String e) -> e
+                    | _ -> "malformed batch item response"
+                  in
+                  Format.eprintf "%s: error: %s@." file reason)
+              items results;
+            Serve.Client.close client;
+            if !failures > 0 then exit 1
+          | _ -> fail "malformed batch response"))
+    end
+    else begin
+    let file =
+      match files with
+      | [ f ] -> f
+      | _ ->
+        Format.eprintf "error: multiple FILEs need --batch@.";
+        exit 2
+    in
+    let sub = sub_of (read_grid file) in
     let offline reason =
       match journal with
       | None ->
@@ -758,7 +886,7 @@ let submit_cmd =
         exit 1
       | Some journal -> (
         (* no server: answer from the warm cache on disk if we can *)
-        match Grid.Spec.parse grid with
+        match Grid.Spec.parse sub.Serve.Protocol.grid with
         | Error e ->
           Format.eprintf "error: %s@." e;
           exit 2
@@ -775,7 +903,7 @@ let submit_cmd =
             Format.eprintf "error: %s@." e;
             exit 1))
     in
-    match Serve.Client.connect socket with
+    match Serve.Client.connect_endpoint endpoint with
     | Error e -> offline e
     | Ok client -> (
       let fail e =
@@ -783,7 +911,9 @@ let submit_cmd =
         Format.eprintf "error: %s@." e;
         exit 1
       in
-      match Serve.Client.submit client sub with
+      (* queue-full rejections are retried (honouring retry_after)
+         until the wait budget runs out *)
+      match Serve.Client.submit_retry client sub ~timeout:wait_timeout () with
       | Error e -> fail e
       | Ok resp -> (
         match Obs.Json.member "ok" resp with
@@ -821,6 +951,7 @@ let submit_cmd =
             fail ("server queue full" ^ hint)
           | Some (Obs.Json.String e) -> fail e
           | _ -> fail "malformed response")))
+    end
   in
   let enum_str l = Arg.enum (List.map (fun s -> (s, s)) l) in
   let mode =
@@ -873,17 +1004,153 @@ let submit_cmd =
          & info [ "wait" ] ~docv:"SECONDS"
              ~doc:"Give up polling for the result after $(docv) seconds.")
   in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Grid file(s) in the paper's text format; more than one \
+                 needs $(b,--batch).")
+  in
+  let connect =
+    Arg.(value & opt (some endpoint_conv) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Reach the server at $(docv) ($(b,tcp:HOST:PORT) or \
+                   $(b,unix:PATH)) instead of the $(b,--socket) path — \
+                   e.g. a fleet coordinator.")
+  in
+  let batch =
+    Arg.(value & flag
+         & info [ "batch" ]
+             ~doc:"Submit every $(i,FILE) in one $(b,submit_batch) round \
+                   trip (per-item results in file order), then await each \
+                   job.  Exits 1 if any item fails.")
+  in
   Cmd.v
     (Cmd.info "submit"
-       ~doc:"Submit an impact-analysis job to a running $(b,topoguard \
-             serve) instance and wait for the result.  Exits 0 when the \
-             job completes, 1 when it fails, times out, is cancelled, or \
-             no server (and no cached result) is available, 2 on input \
-             errors.")
+       ~doc:"Submit impact-analysis job(s) to a running $(b,topoguard \
+             serve) or $(b,topoguard fleet) instance and wait for the \
+             result(s).  Exits 0 when every job completes, 1 when any \
+             fails, times out, is cancelled, or no server (and no cached \
+             result) is available, 2 on input errors.")
     Term.(
-      const run $ file_arg $ socket_arg $ mode $ base $ increase
-      $ max_candidates $ single_line $ backend $ timeout $ journal
-      $ wait_timeout)
+      const run $ files $ connect $ socket_arg $ batch $ mode $ base
+      $ increase $ max_candidates $ single_line $ backend $ timeout
+      $ journal $ wait_timeout)
+
+(* ---- fleet ---- *)
+
+let fleet_cmd =
+  let run listen shards host base_port jobs cache_mb journal_dir vnodes
+      verbose stats =
+    with_stats stats @@ fun () ->
+    let cfg =
+      {
+        Cluster.Fleet.exe = Sys.executable_name;
+        listen;
+        shards;
+        host;
+        base_port;
+        jobs_per_shard = max 1 (resolve_jobs jobs);
+        cache_mb;
+        journal_dir;
+        vnodes;
+        verbose;
+      }
+    in
+    match Cluster.Fleet.run cfg with
+    | Ok () -> ()
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 1
+  in
+  let listen =
+    Arg.(value
+         & opt endpoint_conv (Serve.Transport.Unix_sock "/tmp/topoguard-fleet.sock")
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Coordinator endpoint clients connect to \
+                   ($(b,tcp:HOST:PORT) or $(b,unix:PATH)).")
+  in
+  let shards =
+    Arg.(value & opt int 3
+         & info [ "shards" ] ~docv:"N" ~doc:"Shard servers to fork.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST"
+             ~doc:"Interface the shard servers listen on.")
+  in
+  let base_port =
+    Arg.(value & opt int 7601
+         & info [ "base-port" ] ~docv:"PORT"
+             ~doc:"Shard $(i,i) listens on TCP port $(docv)+$(i,i).")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64
+         & info [ "cache-mb" ] ~docv:"MB"
+             ~doc:"Result-store byte budget (MiB) of each shard.")
+  in
+  let journal_dir =
+    Arg.(value & opt (some string) None
+         & info [ "journal-dir" ] ~docv:"DIR"
+             ~doc:"Persist each shard's result store to \
+                   $(docv)/shard-$(i,i).journal, so bounced shards \
+                   restart warm.")
+  in
+  let vnodes =
+    Arg.(value & opt int Cluster.Ring.default_vnodes
+         & info [ "vnodes" ] ~docv:"N"
+             ~doc:"Virtual nodes per shard on the consistent-hash ring.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ]
+             ~doc:"Log routing and rebalance events to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Run a sharded fleet of scenario servers: forks $(b,--shards) \
+             copies of $(b,topoguard serve) on loopback TCP, then routes \
+             each submission to the shard owning its canonical key on a \
+             consistent-hash ring (shard affinity = cache affinity).  \
+             Batches fan out per shard; a dead shard is dropped from the \
+             ring and its jobs re-routed; SIGTERM (or the shutdown verb) \
+             drains every shard and exits 0.  Exits 1 on startup failure \
+             (a shard that never came up, endpoint in use).")
+    Term.(
+      const run $ listen $ shards $ host $ base_port $ jobs_arg $ cache_mb
+      $ journal_dir $ vnodes $ verbose $ stats_term)
+
+(* ---- journal ---- *)
+
+let journal_cmd =
+  let compact =
+    let run file =
+      match Store.Journal.compact file with
+      | Ok c ->
+        Format.printf
+          "%s: %d live entr(y/ies) kept, %d superseded record(s) dropped, \
+           %d byte(s) reclaimed@."
+          file c.Store.Journal.live c.Store.Journal.dropped
+          c.Store.Journal.reclaimed_bytes
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        exit 1
+    in
+    let file =
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL"
+             ~doc:"Store journal file to compact in place.")
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:"Rewrite a store journal keeping only the live (last-write) \
+               record of each key, via a temporary file and atomic \
+               rename — run it on a journal no live server has open.  \
+               Exits 1 on an unreadable journal.")
+      Term.(const run $ file)
+  in
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:"Maintenance of store journal files ($(b,topoguard serve \
+             --journal)).")
+    [ compact ]
 
 (* ---- audit ---- *)
 
@@ -933,5 +1200,5 @@ let () =
           [
             lint_cmd; opf_cmd; se_cmd; attack_cmd; impact_cmd; gen_cmd;
             defend_cmd; contingency_cmd; acpf_cmd; audit_cmd; serve_cmd;
-            submit_cmd;
+            submit_cmd; fleet_cmd; journal_cmd;
           ]))

@@ -1,0 +1,505 @@
+module J = Obs.Json
+module P = Serve.Protocol
+
+(* The fleet's front door: one process that speaks the same
+   line-delimited JSON protocol as a shard, owns no store and no
+   solver, and only decides *where* each request runs.
+
+   Placement is the consistent-hash ring over the same canonical job
+   keys the shards cache under, so a scenario always lands on the shard
+   whose LRU/journal already holds it — shard affinity is cache
+   affinity.  Job ids are rewritten at the boundary: clients hold
+   coordinator ids, the coordinator retains each job's payload and
+   placement, and shard-local ids never escape.  That retention is also
+   the failover story: when a shard dies mid-conversation, the
+   coordinator drops it from the ring (counting how many tracked keys
+   changed owner) and transparently resubmits the retained payload to
+   the new owner on the next status/result touch. *)
+
+type config = {
+  listen : Serve.Transport.endpoint;
+  shards : (string * Serve.Transport.endpoint) list;
+  vnodes : int;
+  verbose : bool;
+  max_line : int;
+}
+
+let default_config ~listen ~shards =
+  {
+    listen;
+    shards;
+    vnodes = Ring.default_vnodes;
+    verbose = false;
+    max_line = P.Frame.default_max_line;
+  }
+
+let c_requests = Obs.Counter.make "cluster.requests"
+let c_batch_submitted = Obs.Counter.make "cluster.batch.submitted"
+let c_batch_failed = Obs.Counter.make "cluster.batch.failed"
+let c_keys_moved = Obs.Counter.make "cluster.ring.keys_moved"
+let c_rebalances = Obs.Counter.make "cluster.ring.rebalances"
+let h_route = Obs.Histogram.make "cluster.route.seconds"
+
+(* a routed job: enough to answer id-addressed verbs and to resubmit
+   after a shard death *)
+type job = {
+  payload : P.submit;
+  point : int option;  (* None when the grid did not parse *)
+  mutable shard : string;
+  mutable remote_id : int;
+}
+
+type t = {
+  cfg : config;
+  mutable ring : Ring.t;
+  shards : (string, Shard.t) Hashtbl.t;
+  jobs : (int, job) Hashtbl.t;
+  mutable next_id : int;
+  mutable next_rid : int;
+  draining : bool Atomic.t;
+}
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.cfg.verbose then Printf.eprintf "[fleet] %s\n%!" s)
+    fmt
+
+let ok_fields fields = J.Obj (("ok", J.Bool true) :: fields)
+
+let err ?retry_after msg =
+  J.Obj
+    ([ ("ok", J.Bool false); ("error", J.String msg) ]
+    @
+    match retry_after with
+    | Some s -> [ ("retry_after", J.Float s) ]
+    | None -> [])
+
+(* ---- placement ---- *)
+
+let point_of_submit s =
+  match Grid.Spec.parse s.P.grid with
+  | Ok spec -> Some (Store.Canonical.point (P.job_key spec s))
+  | Error _ -> None (* the owning shard will report the parse error *)
+
+let owner_name t point =
+  match point with
+  | Some p -> Ring.owner_point t.ring p
+  | None -> ( match Ring.shards t.ring with [] -> None | s :: _ -> Some s)
+
+(* drop a failed shard from the ring, counting how many of the
+   currently tracked job keys changed owner — the rebalance metric the
+   fleet smoke asserts on *)
+let shard_down t sh =
+  let name = Shard.name sh in
+  Shard.mark_dead sh;
+  if Ring.mem t.ring name then begin
+    let before = t.ring in
+    t.ring <- Ring.remove t.ring name;
+    Obs.Counter.incr c_rebalances;
+    let moved =
+      Hashtbl.fold
+        (fun _ job n ->
+          match job.point with
+          | Some p when Ring.owner_point before p <> Ring.owner_point t.ring p
+            ->
+            n + 1
+          | _ -> n)
+        t.jobs 0
+    in
+    Obs.Counter.add c_keys_moved moved;
+    log t "shard %s dropped from ring (%d tracked key(s) moved, %d left)"
+      name moved
+      (List.length (Ring.shards t.ring))
+  end
+
+(* route one request to the owner of [point], failing over (and
+   shrinking the ring) until a shard answers or none are left *)
+let rec route_rpc t point req =
+  match owner_name t point with
+  | None -> Error "no live shards"
+  | Some name -> (
+    match Hashtbl.find_opt t.shards name with
+    | None -> Error (Printf.sprintf "unknown shard %s" name)
+    | Some sh -> (
+      match Shard.request sh req with
+      | Ok resp -> Ok (name, resp)
+      | Error e ->
+        log t "shard %s failed: %s" name e;
+        shard_down t sh;
+        route_rpc t point req))
+
+(* ---- verbs ---- *)
+
+let rewrite_id resp id =
+  match resp with
+  | J.Obj fields ->
+    J.Obj
+      (List.map (fun (k, v) -> if k = "id" then (k, J.Int id) else (k, v)) fields)
+  | other -> other
+
+(* a successful submit response names a shard-local id; retain the
+   mapping and hand the client a coordinator id instead *)
+let register t ~point ~payload ~shard resp =
+  match (J.member "ok" resp, J.member "id" resp) with
+  | Some (J.Bool true), Some (J.Int remote_id) ->
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.jobs id { payload; point; shard; remote_id };
+    rewrite_id resp id
+  | _ -> resp (* parse error, queue_full, ... pass through untouched *)
+
+let handle_submit t s =
+  Obs.Histogram.time h_route @@ fun () ->
+  let point = point_of_submit s in
+  match route_rpc t point (P.Submit s) with
+  | Error e -> err e
+  | Ok (shard, resp) -> register t ~point ~payload:s ~shard resp
+
+(* fan a batch out one sub-batch per owning shard, gather, and
+   reassemble the per-item responses in submission order.  A shard that
+   dies mid-batch has its items re-grouped under the shrunk ring and
+   redispatched, so a batch only loses items when no shards remain. *)
+let handle_batch t items =
+  Obs.Counter.add c_batch_submitted (List.length items);
+  let slots = Array.make (List.length items) (err "unrouted") in
+  let rec dispatch pending =
+    if pending <> [] then begin
+      match Ring.shards t.ring with
+      | [] ->
+        List.iter
+          (fun (i, _, _) -> slots.(i) <- err "no live shards")
+          pending
+      | ring_shards ->
+        let groups = Hashtbl.create (List.length ring_shards) in
+        List.iter
+          (fun ((_, _, point) as item) ->
+            match owner_name t point with
+            | Some name ->
+              Hashtbl.replace groups name
+                (item
+                :: (match Hashtbl.find_opt groups name with
+                   | Some l -> l
+                   | None -> []))
+            | None -> ())
+          pending;
+        List.iter
+          (fun name ->
+            match Hashtbl.find_opt groups name with
+            | None -> ()
+            | Some rev_group -> (
+              let group = List.rev rev_group in
+              let sh = Hashtbl.find t.shards name in
+              match
+                Shard.request sh
+                  (P.Submit_batch (List.map (fun (_, s, _) -> s) group))
+              with
+              | Error e ->
+                log t "batch to shard %s failed: %s" name e;
+                shard_down t sh;
+                dispatch group
+              | Ok resp -> (
+                match (J.member "ok" resp, J.member "results" resp) with
+                | Some (J.Bool true), Some (J.List results)
+                  when List.length results = List.length group ->
+                  List.iter2
+                    (fun (i, s, point) item_resp ->
+                      slots.(i) <-
+                        register t ~point ~payload:s ~shard:name item_resp)
+                    group results
+                | _ ->
+                  (* a draining shard rejects the whole batch: treat it
+                     like a death and re-place its items *)
+                  log t "batch to shard %s rejected; re-routing" name;
+                  shard_down t sh;
+                  dispatch group)))
+          ring_shards
+    end
+  in
+  dispatch (List.mapi (fun i s -> (i, s, point_of_submit s)) items);
+  let results = Array.to_list slots in
+  let failed =
+    List.fold_left
+      (fun n r ->
+        match J.member "ok" r with Some (J.Bool true) -> n | _ -> n + 1)
+      0 results
+  in
+  Obs.Counter.add c_batch_failed failed;
+  ok_fields [ ("results", J.List results) ]
+
+(* id-addressed verbs (status/result/cancel): forward to the job's
+   shard, translating ids both ways.  A dead shard triggers transparent
+   resubmission of the retained payload to the current owner — the job
+   restarts (losing any progress) but the client's polling loop never
+   sees the seam. *)
+let forward_job t id make_req =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> err (Printf.sprintf "unknown job %d" id)
+  | Some job ->
+    let rec forward () =
+      match Hashtbl.find_opt t.shards job.shard with
+      | Some sh when Shard.alive sh && Ring.mem t.ring job.shard -> (
+        match Shard.request sh (make_req job.remote_id) with
+        | Ok resp -> rewrite_id resp id
+        | Error e ->
+          log t "shard %s failed: %s" job.shard e;
+          shard_down t sh;
+          reroute ())
+      | _ -> reroute ()
+    and reroute () =
+      log t "job %d: shard %s is gone, resubmitting" id job.shard;
+      match route_rpc t job.point (P.Submit job.payload) with
+      | Error e -> err e
+      | Ok (name, resp) -> (
+        match (J.member "ok" resp, J.member "id" resp) with
+        | Some (J.Bool true), Some (J.Int remote_id) ->
+          job.shard <- name;
+          job.remote_id <- remote_id;
+          forward ()
+        | _ -> rewrite_id resp id)
+    in
+    forward ()
+
+let handle_stats t =
+  let shard_stats =
+    List.map
+      (fun (name, _) ->
+        let sh = Hashtbl.find t.shards name in
+        let stats =
+          if not (Shard.alive sh) then err "shard is dead"
+          else
+            match Shard.request sh P.Stats with
+            | Ok resp -> resp
+            | Error e -> err e
+        in
+        (name, stats))
+      t.cfg.shards
+  in
+  ok_fields
+    [
+      ( "ring",
+        J.Obj
+          [
+            ( "shards",
+              J.List (List.map (fun s -> J.String s) (Ring.shards t.ring)) );
+            ("vnodes", J.Int (Ring.vnodes t.ring));
+          ] );
+      ("shards", J.Obj shard_stats);
+      ("snapshot", Obs.json_of_snapshot (Obs.snapshot ()));
+    ]
+
+(* aggregate scrape: every live shard's exposition relabeled under
+   shard="name" (comment lines dropped — the same # TYPE would repeat
+   per shard), then the coordinator's own registry (cluster.* series)
+   unlabeled *)
+let handle_metrics t =
+  let buf = Buffer.create 8192 in
+  List.iter
+    (fun (name, _) ->
+      let sh = Hashtbl.find t.shards name in
+      if Shard.alive sh then
+        match Shard.request sh P.Metrics with
+        | Ok resp -> (
+          match J.member "metrics" resp with
+          | Some (J.String text) ->
+            let labeled = Obs.Prometheus.add_label ~name:"shard" ~value:name text in
+            List.iter
+              (fun line ->
+                if line <> "" && line.[0] <> '#' then begin
+                  Buffer.add_string buf line;
+                  Buffer.add_char buf '\n'
+                end)
+              (String.split_on_char '\n' labeled)
+          | _ -> ())
+        | Error e -> log t "metrics from shard %s failed: %s" name e)
+    t.cfg.shards;
+  Buffer.add_string buf (Obs.to_prometheus ~namespace:"topoguard" (Obs.snapshot ()));
+  ok_fields [ ("metrics", J.String (Buffer.contents buf)) ]
+
+let handle_shutdown t =
+  Hashtbl.iter
+    (fun _ sh -> if Shard.alive sh then ignore (Shard.request sh P.Shutdown))
+    t.shards;
+  Atomic.set t.draining true;
+  ok_fields [ ("draining", J.Bool true) ]
+
+let handle_request t (req : P.request) =
+  Obs.Counter.incr c_requests;
+  match req with
+  | P.Submit s ->
+    if Atomic.get t.draining then err "draining" else handle_submit t s
+  | P.Submit_batch items ->
+    if Atomic.get t.draining then err "draining" else handle_batch t items
+  | P.Status id -> forward_job t id (fun rid -> P.Status rid)
+  | P.Result id -> forward_job t id (fun rid -> P.Result rid)
+  | P.Cancel id -> forward_job t id (fun rid -> P.Cancel rid)
+  | P.Sync _ -> err "the coordinator holds no store; sync a shard directly"
+  | P.Stats -> handle_stats t
+  | P.Metrics -> handle_metrics t
+  | P.Shutdown -> handle_shutdown t
+
+let handle_line t line =
+  let rid, resp =
+    match J.of_string line with
+    | Error e -> (None, err ("bad json: " ^ e))
+    | Ok j -> (
+      let rid = P.request_id_of_json j in
+      match P.request_of_json j with
+      | Error e -> (rid, err e)
+      | Ok req -> (rid, handle_request t req))
+  in
+  let rid =
+    match rid with
+    | Some r -> r
+    | None ->
+      let r = Printf.sprintf "c%d" t.next_rid in
+      t.next_rid <- t.next_rid + 1;
+      r
+  in
+  match resp with
+  | J.Obj fields ->
+    J.Obj
+      (fields @ [ ("request_id", J.String rid); ("v", J.Int P.version) ])
+  | other -> other
+
+(* ---- event loop (same shape as the shard server's, minus jobs) ---- *)
+
+exception Closed
+
+type conn = { fd : Unix.file_descr; mutable carry : string }
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go ofs =
+    if ofs < n then
+      match Unix.single_write fd b ofs (n - ofs) with
+      | w -> go (ofs + w)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ignore (Unix.select [] [ fd ] [] 1.0);
+        go ofs
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Closed
+  in
+  go 0
+
+let run (cfg : config) =
+  Obs.Clock.set Unix.gettimeofday;
+  Obs.set_enabled true;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let names = List.map fst cfg.shards in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then Error "duplicate shard names"
+  else if names = [] then Error "a fleet needs at least one shard"
+  else
+    match Serve.Transport.listen cfg.listen with
+    | Error e -> Error e
+    | Ok listener ->
+      Unix.set_nonblock listener;
+      let shards = Hashtbl.create (List.length cfg.shards) in
+      List.iter
+        (fun (name, ep) -> Hashtbl.replace shards name (Shard.make ~name ep))
+        cfg.shards;
+      let t =
+        {
+          cfg;
+          ring = Ring.create ~vnodes:cfg.vnodes names;
+          shards;
+          jobs = Hashtbl.create 256;
+          next_id = 1;
+          next_rid = 1;
+          draining = Atomic.make false;
+        }
+      in
+      let prev_term =
+        Sys.signal Sys.sigterm
+          (Sys.Signal_handle (fun _ -> Atomic.set t.draining true))
+      in
+      log t "coordinator on %s routing to %d shard(s)"
+        (Serve.Transport.endpoint_to_string cfg.listen)
+        (List.length names);
+      let conns = ref [] in
+      let close_conn c =
+        (try Unix.close c.fd with Unix.Unix_error _ -> ());
+        conns := List.filter (fun c' -> c' != c) !conns
+      in
+      let feed conn chunk =
+        (* oversized lines (complete or accumulating) close the
+           connection, as in the shard server *)
+        let oversized conn =
+          write_all conn.fd
+            (J.to_string
+               (err (Printf.sprintf "line exceeds %d bytes" cfg.max_line))
+            ^ "\n");
+          raise Closed
+        in
+        let data = conn.carry ^ chunk in
+        let lines = String.split_on_char '\n' data in
+        let rec go = function
+          | [] -> conn.carry <- ""
+          | [ last ] ->
+            if String.length last > cfg.max_line then oversized conn
+            else conn.carry <- last
+          | line :: rest ->
+            if String.length line > cfg.max_line then oversized conn;
+            (if String.trim line <> "" then
+               let resp = handle_line t line in
+               write_all conn.fd (J.to_string resp ^ "\n"));
+            go rest
+        in
+        go lines
+      in
+      let read_conn conn =
+        let buf = Bytes.create 65536 in
+        match Unix.read conn.fd buf 0 (Bytes.length buf) with
+        | 0 -> close_conn conn
+        | n -> (
+          match feed conn (Bytes.sub_string buf 0 n) with
+          | () -> ()
+          | exception Closed -> close_conn conn)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          close_conn conn
+      in
+      while not (Atomic.get t.draining) do
+        let read_fds = listener :: List.map (fun c -> c.fd) !conns in
+        let readable, _, _ =
+          match Unix.select read_fds [] [] 0.05 with
+          | r -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        if List.mem listener readable then begin
+          let continue = ref true in
+          while !continue do
+            match Unix.accept listener with
+            | fd, _ ->
+              Unix.set_nonblock fd;
+              conns := { fd; carry = "" } :: !conns
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              continue := false
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          done
+        end;
+        List.iter
+          (fun conn -> if List.mem conn.fd readable then read_conn conn)
+          !conns
+      done;
+      (* drain: make sure every shard got the word (a SIGTERM sets the
+         flag without passing through handle_shutdown), then tear down *)
+      Hashtbl.iter
+        (fun _ sh ->
+          if Shard.alive sh then ignore (Shard.request sh P.Shutdown);
+          Shard.close sh)
+        t.shards;
+      log t "draining: %d job(s) routed" (t.next_id - 1);
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        !conns;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      Serve.Transport.cleanup cfg.listen;
+      Sys.set_signal Sys.sigterm prev_term;
+      Ok ()

@@ -1,0 +1,39 @@
+(** Fleet lifecycle: fork/exec N shard servers (the same binary's
+    [serve] subcommand on loopback TCP ports [base_port] ...
+    [base_port + shards - 1]), wait until every shard accepts, run the
+    {!Coordinator} in this process until it drains, then reap the
+    children (SIGTERM after [30 s] for a shard that ignores its drain).
+
+    Shard names are ["shard-0"] ... ["shard-N-1"]; the ring hashes
+    names, so a shard restarted under its old name and port keeps
+    exactly its old arcs — the invariant the journal warm-start relies
+    on. *)
+
+type config = {
+  exe : string;  (** the topoguard binary ([Sys.executable_name]) *)
+  listen : Serve.Transport.endpoint;  (** the coordinator's endpoint *)
+  shards : int;
+  host : string;
+  base_port : int;
+  jobs_per_shard : int;  (** worker domains per shard *)
+  cache_mb : int;  (** store budget per shard (MiB) *)
+  journal_dir : string option;
+      (** when set, shard [i] journals to [dir/shard-i.journal], so a
+          bounced shard replays its own results on restart *)
+  vnodes : int;
+  verbose : bool;
+}
+
+val default_config :
+  exe:string -> listen:Serve.Transport.endpoint -> config
+(** 3 shards on 127.0.0.1:7601..., 1 job and 64 MiB each, no journals,
+    default vnodes, quiet. *)
+
+val shard_name : int -> string
+val shard_endpoint : config -> int -> Serve.Transport.endpoint
+
+val run : config -> (unit, string) result
+(** Blocks until the fleet drains ([shutdown] verb or SIGTERM; exit is
+    clean even if a shard was killed externally mid-run).  [Error] =
+    startup failure: a shard that never accepted, or the coordinator
+    endpoint in use — any children already running are terminated. *)

@@ -1,0 +1,46 @@
+(** Consistent-hash ring with virtual nodes: the fleet's placement
+    function.  Each shard contributes [vnodes] points (hashes of
+    ["name#i"] through {!Store.Canonical.point}, the same function that
+    places keys); a key belongs to the shard of the first point at or
+    clockwise after the key's point, wrapping at the top.
+
+    Placement is deterministic across processes — any two rings built
+    from the same shard names agree — and incremental: adding or
+    removing one shard of N moves only ~1/N of the keyspace, so a
+    rebalance does not cold-start every shard's cache.  Rings are
+    immutable; {!add}/{!remove} return new rings, and {!moved} diffs
+    ownership across two rings to report actual key movement. *)
+
+type t
+
+val default_vnodes : int
+(** 256 — a shard's keyspace share spreads like [1/sqrt vnodes], and
+    256 keeps small fleets (3–8 shards) within a few percent of fair. *)
+
+val create : ?vnodes:int -> string list -> t
+(** Build a ring over distinct shard names (duplicates are dropped,
+    order is irrelevant: two builders always agree). *)
+
+val add : t -> string -> t
+val remove : t -> string -> t
+val mem : t -> string -> bool
+
+val shards : t -> string list
+(** Sorted, distinct. *)
+
+val vnodes : t -> int
+
+val owner : t -> string -> string option
+(** The shard owning this key ([None] only on an empty ring). *)
+
+val owner_point : t -> int -> string option
+(** Ownership of a precomputed {!Store.Canonical.point}. *)
+
+val ranges : t -> string -> (int * int) list
+(** The inclusive [(lo, hi)] point arcs this shard owns, ascending —
+    what a restarted shard passes to the [sync] verb to pull exactly
+    its keys from peers.  The arc crossing the top of the ring splits
+    in two. *)
+
+val moved : before:t -> after:t -> string list -> int
+(** How many of [keys] changed owner between two rings. *)

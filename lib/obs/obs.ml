@@ -768,6 +768,42 @@ module Prometheus = struct
       Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" name h.h_count;
     Printf.bprintf buf "%s_sum %s\n" name (value h.h_sum);
     Printf.bprintf buf "%s_count %d\n" name h.h_count
+
+  (* inject one label into every sample line of an exposition text: a
+     fleet coordinator aggregates per-shard scrapes under shard="..."
+     labels.  Comment lines pass through; the sample value is whatever
+     follows the last space, so label values containing spaces survive. *)
+  let add_label ~name ~value:lv text =
+    let quote s =
+      let b = Buffer.create (String.length s) in
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string b "\\\""
+          | '\\' -> Buffer.add_string b "\\\\"
+          | '\n' -> Buffer.add_string b "\\n"
+          | c -> Buffer.add_char b c)
+        s;
+      Buffer.contents b
+    in
+    let label = Printf.sprintf "%s=\"%s\"" (sanitize name) (quote lv) in
+    let relabel line =
+      if line = "" || line.[0] = '#' then line
+      else
+        match String.rindex_opt line ' ' with
+        | None -> line
+        | Some sp -> (
+          let metric = String.sub line 0 sp in
+          let v = String.sub line sp (String.length line - sp) in
+          match String.index_opt metric '{' with
+          | Some brace ->
+            String.sub metric 0 (brace + 1)
+            ^ label ^ ","
+            ^ String.sub metric (brace + 1) (String.length metric - brace - 1)
+            ^ v
+          | None -> metric ^ "{" ^ label ^ "}" ^ v)
+    in
+    String.concat "\n" (List.map relabel (String.split_on_char '\n' text))
 end
 
 let to_prometheus ?(namespace = "topoguard") snap =

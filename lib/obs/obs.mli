@@ -223,6 +223,14 @@ module Prometheus : sig
   val histogram : Buffer.t -> name:string -> hist_entry -> unit
   (** Cumulative [_bucket{le="..."}] samples (always ending with a
       [le="+Inf"] bucket equal to the count), then [_sum] and [_count]. *)
+
+  val add_label : name:string -> value:string -> string -> string
+  (** Inject [name="value"] into every sample line of an exposition text
+      (prepended inside an existing [{...}] label set, or wrapping a bare
+      metric name); comment lines pass through unchanged.  The fleet
+      coordinator uses this to aggregate per-shard scrapes under
+      [shard="..."] labels.  The label name is {!sanitize}d and the value
+      backslash-escaped. *)
 end
 
 val to_prometheus : ?namespace:string -> snapshot -> string

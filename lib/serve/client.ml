@@ -1,47 +1,56 @@
 module J = Obs.Json
 
-type t = { fd : Unix.file_descr; ic : in_channel }
+type t = { fd : Unix.file_descr; reader : Protocol.Frame.reader }
 
-let connect path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
-  | () -> Ok { fd; ic = Unix.in_channel_of_descr fd }
-  | exception Unix.Unix_error (e, _, _) ->
-    Unix.close fd;
-    Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+let of_fd fd = { fd; reader = Protocol.Frame.reader fd }
 
-let close t = try close_in t.ic (* closes the fd *) with Sys_error _ -> ()
+let connect_endpoint endpoint =
+  match Transport.dial endpoint with
+  | Error e -> Error e
+  | Ok fd -> Ok (of_fd fd)
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  let rec go ofs =
-    if ofs < n then
-      match Unix.single_write fd b ofs (n - ofs) with
-      | w -> go (ofs + w)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
-  in
-  go 0
+let connect path = connect_endpoint (Transport.Unix_sock path)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let rpc t json =
-  match write_all t.fd (J.to_string json ^ "\n") with
+  match Protocol.Frame.write_line t.fd (J.to_string json) with
   | exception Unix.Unix_error (e, _, _) ->
     Error (Printf.sprintf "send: %s" (Unix.error_message e))
   | () -> (
-    match input_line t.ic with
-    | exception End_of_file -> Error "server closed the connection"
-    | exception Sys_error e -> Error ("receive: " ^ e)
-    | line -> (
+    match Protocol.Frame.read_line t.reader with
+    | `Eof -> Error "server closed the connection"
+    | `Oversized -> Error "response line exceeds the frame cap"
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "receive: %s" (Unix.error_message e))
+    | `Line line -> (
       match J.of_string line with
       | Ok j -> Ok j
       | Error e -> Error ("malformed response: " ^ e)))
 
 let request t req = rpc t (Protocol.json_of_request req)
 let submit t s = request t (Protocol.Submit s)
+let submit_batch t items = request t (Protocol.Submit_batch items)
 
-let await t ~id ?(poll_interval = 0.02) ?(timeout = 600.) () =
+(* jittered exponential backoff: the poll interval grows 1.6x per round
+   with a uniform ±25% jitter (so a fleet of clients polling one server
+   desynchronises), capped at [max_interval] *)
+let backoff_state = lazy (Random.State.make_self_init ())
+
+let jitter v =
+  let st = Lazy.force backoff_state in
+  v *. (0.75 +. Random.State.float st 0.5)
+
+let retry_after_of resp =
+  match J.member "retry_after" resp with
+  | Some (J.Float s) when s > 0. -> Some s
+  | Some (J.Int s) when s > 0 -> Some (float_of_int s)
+  | _ -> None
+
+let await t ~id ?(poll_interval = 0.02) ?(max_interval = 0.5) ?(timeout = 600.)
+    () =
   let deadline = Unix.gettimeofday () +. timeout in
-  let rec loop () =
+  let rec loop interval =
     if Unix.gettimeofday () > deadline then Error "await: timed out"
     else
       match request t (Protocol.Status id) with
@@ -49,8 +58,8 @@ let await t ~id ?(poll_interval = 0.02) ?(timeout = 600.) () =
       | Ok resp -> (
         match J.member "status" resp with
         | Some (J.String ("queued" | "running")) ->
-          Unix.sleepf poll_interval;
-          loop ()
+          Unix.sleepf (jitter (Float.min interval max_interval));
+          loop (Float.min (interval *. 1.6) max_interval)
         | Some (J.String "done") -> (
           match request t (Protocol.Result id) with
           | Error e -> Error e
@@ -61,7 +70,46 @@ let await t ~id ?(poll_interval = 0.02) ?(timeout = 600.) () =
           | Some (J.String e) -> Error e
           | _ -> Error "await: malformed status response"))
   in
+  loop poll_interval
+
+(* a queue-full rejection carries ["retry_after"]: honour it (sleeping
+   what the server asked, jittered) instead of hammering the socket *)
+let submit_retry t s ?(timeout = 60.) () =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    match submit t s with
+    | Error _ as e -> e
+    | Ok resp -> (
+      match (J.member "ok" resp, retry_after_of resp) with
+      | Some (J.Bool false), Some after ->
+        if Unix.gettimeofday () +. after > deadline then
+          Error "submit: queue full past the deadline"
+        else begin
+          Unix.sleepf (jitter after);
+          loop ()
+        end
+      | _ -> Ok resp)
+  in
   loop ()
+
+let sync t ~ranges =
+  match request t (Protocol.Sync ranges) with
+  | Error _ as e -> e
+  | Ok resp -> (
+    match (J.member "ok" resp, J.member "entries" resp) with
+    | Some (J.Bool true), Some (J.List entries) ->
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | J.List [ J.String k; J.String v ] :: rest ->
+          parse ((k, v) :: acc) rest
+        | _ -> Error "sync: malformed entries list"
+      in
+      parse [] entries
+    | Some (J.Bool false), _ -> (
+      match J.member "error" resp with
+      | Some (J.String e) -> Error ("sync: " ^ e)
+      | _ -> Error "sync: rejected")
+    | _ -> Error "sync: malformed response")
 
 let offline_lookup ~journal ~spec ~submit =
   match Store.Journal.scan journal with

@@ -1,34 +1,66 @@
 (** Client side of the scenario service: a blocking request/response
-    connection over the Unix-domain socket, plus an offline mode that
-    answers submissions straight from a warm store journal when no
-    server is running. *)
+    connection over any {!Transport} endpoint (Unix-domain socket or
+    TCP), plus an offline mode that answers submissions straight from a
+    warm store journal when no server is running. *)
 
 type t
 
 val connect : string -> (t, string) result
-(** Connect to a server socket path. *)
+(** Connect to a Unix-domain server socket path (the original API;
+    equivalent to [connect_endpoint (Unix_sock path)]). *)
+
+val connect_endpoint : Transport.endpoint -> (t, string) result
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an already-connected stream descriptor (the fleet coordinator
+    uses this for shard channels it dialed itself). *)
 
 val close : t -> unit
 
 val rpc : t -> Obs.Json.t -> (Obs.Json.t, string) result
 (** Send one request line, read one response line.  [Error] covers
-    transport failures (server went away, malformed response); protocol
-    errors come back as [Ok] responses with ["ok"] = false. *)
+    transport failures (server went away, malformed or oversized
+    response); protocol errors come back as [Ok] responses with ["ok"]
+    = false. *)
 
 val request : t -> Protocol.request -> (Obs.Json.t, string) result
 
 val submit : t -> Protocol.submit -> (Obs.Json.t, string) result
 
+val submit_batch :
+  t -> Protocol.submit list -> (Obs.Json.t, string) result
+(** One [submit_batch] round trip; the response's ["results"] list
+    carries a per-item submit response in submission order. *)
+
+val submit_retry :
+  t -> Protocol.submit -> ?timeout:float -> unit -> (Obs.Json.t, string) result
+(** {!submit}, but a queue-full rejection (["retry_after"] present) is
+    retried after sleeping the server-requested interval (jittered)
+    instead of being returned — until acceptance, a different error, or
+    [timeout] seconds (default 60) elapse. *)
+
 val await :
   t ->
   id:int ->
   ?poll_interval:float ->
+  ?max_interval:float ->
   ?timeout:float ->
   unit ->
   (string * Obs.Json.t option, string) result
 (** Poll [status] until the job leaves the queued/running states (or
     [timeout] seconds elapse — default 600); returns the terminal status
-    string and, for ["done"], the result object. *)
+    string and, for ["done"], the result object.  Polling backs off
+    exponentially from [poll_interval] (default 20 ms, growing 1.6x per
+    round with ±25% jitter) up to [max_interval] (default 0.5 s), so a
+    fleet of waiting clients neither hammers the server nor
+    synchronises. *)
+
+val sync :
+  t -> ranges:(int * int) list -> ((string * string) list, string) result
+(** Pull the server's resident [job:]/[verify:] entries whose
+    {!Store.Canonical.point} falls in the inclusive [ranges] (empty =
+    all), as [(key, value)] pairs — the warm-restart path of a fleet
+    shard. *)
 
 val offline_lookup :
   journal:string ->

@@ -1,5 +1,82 @@
 module J = Obs.Json
 
+(* wire protocol version: requests and responses both carry ["v"]; a
+   request whose version is newer than ours is rejected up front instead
+   of being half-understood.  Absent = 1 (the pre-versioned wire). *)
+let version = 1
+
+(* ---- transport-agnostic framing ----
+
+   One JSON object per line in both directions, over any stream
+   transport (Unix-domain or TCP).  Newlines inside payloads are
+   JSON-escaped by construction, so framing is a newline scan — the only
+   policy the framing layer adds is a cap on the line length, so one
+   malformed (or hostile) peer cannot balloon a server's carry buffer. *)
+module Frame = struct
+  (* generous: a submit_batch line carries whole grid files for every
+     item, and a sync response carries a shard's journal slice *)
+  let default_max_line = 64 * 1024 * 1024
+
+  type reader = {
+    fd : Unix.file_descr;
+    max_line : int;
+    buf : Buffer.t;
+    chunk : Bytes.t;
+    mutable eof : bool;
+  }
+
+  let reader ?(max_line = default_max_line) fd =
+    { fd; max_line; buf = Buffer.create 4096; chunk = Bytes.create 65536; eof = false }
+
+  (* blocking: read until one full line, EOF, or the cap is exceeded.
+     After [`Oversized] the stream is out of sync — callers must close. *)
+  let read_line r =
+    let take_line () =
+      let data = Buffer.contents r.buf in
+      match String.index_opt data '\n' with
+      | None -> None
+      | Some nl ->
+        Buffer.clear r.buf;
+        Buffer.add_string r.buf
+          (String.sub data (nl + 1) (String.length data - nl - 1));
+        Some (String.sub data 0 nl)
+    in
+    let rec go () =
+      match take_line () with
+      | Some line -> `Line line
+      | None ->
+        if Buffer.length r.buf > r.max_line then `Oversized
+        else if r.eof then `Eof
+        else (
+          match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+          | 0 ->
+            r.eof <- true;
+            `Eof
+          | n ->
+            Buffer.add_subbytes r.buf r.chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            r.eof <- true;
+            `Eof)
+    in
+    go ()
+
+  let write_line fd s =
+    let b = Bytes.of_string (s ^ "\n") in
+    let n = Bytes.length b in
+    let rec go ofs =
+      if ofs < n then
+        match Unix.single_write fd b ofs (n - ofs) with
+        | w -> go (ofs + w)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ignore (Unix.select [] [ fd ] [] 1.0);
+          go ofs
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+    in
+    go 0
+end
+
 type submit = {
   grid : string;
   mode : string;
@@ -25,37 +102,51 @@ let default_submit =
 
 type request =
   | Submit of submit
+  | Submit_batch of submit list
   | Status of int
   | Result of int
   | Cancel of int
+  | Sync of (int * int) list
   | Stats
   | Metrics
   | Shutdown
 
+let submit_fields s =
+  [
+    ("grid", J.String s.grid);
+    ("mode", J.String s.mode);
+    ("base", J.String s.base);
+  ]
+  @ (match s.increase with
+    | Some i -> [ ("increase", J.String i) ]
+    | None -> [])
+  @ [
+      ("max_candidates", J.Int s.max_candidates);
+      ("single_line", J.Bool s.single_line);
+      ("backend", J.String s.backend);
+      ("timeout", J.Float s.timeout);
+    ]
+
+let with_op op fields = J.Obj (("op", J.String op) :: ("v", J.Int version) :: fields)
+
 let json_of_request = function
-  | Submit s ->
-    J.Obj
-      ([
-         ("op", J.String "submit");
-         ("grid", J.String s.grid);
-         ("mode", J.String s.mode);
-         ("base", J.String s.base);
-       ]
-      @ (match s.increase with
-        | Some i -> [ ("increase", J.String i) ]
-        | None -> [])
-      @ [
-          ("max_candidates", J.Int s.max_candidates);
-          ("single_line", J.Bool s.single_line);
-          ("backend", J.String s.backend);
-          ("timeout", J.Float s.timeout);
-        ])
-  | Status id -> J.Obj [ ("op", J.String "status"); ("id", J.Int id) ]
-  | Result id -> J.Obj [ ("op", J.String "result"); ("id", J.Int id) ]
-  | Cancel id -> J.Obj [ ("op", J.String "cancel"); ("id", J.Int id) ]
-  | Stats -> J.Obj [ ("op", J.String "stats") ]
-  | Metrics -> J.Obj [ ("op", J.String "metrics") ]
-  | Shutdown -> J.Obj [ ("op", J.String "shutdown") ]
+  | Submit s -> with_op "submit" (submit_fields s)
+  | Submit_batch items ->
+    with_op "submit_batch"
+      [ ("items", J.List (List.map (fun s -> J.Obj (submit_fields s)) items)) ]
+  | Status id -> with_op "status" [ ("id", J.Int id) ]
+  | Result id -> with_op "result" [ ("id", J.Int id) ]
+  | Cancel id -> with_op "cancel" [ ("id", J.Int id) ]
+  | Sync ranges ->
+    with_op "sync"
+      [
+        ( "ranges",
+          J.List
+            (List.map (fun (lo, hi) -> J.List [ J.Int lo; J.Int hi ]) ranges) );
+      ]
+  | Stats -> with_op "stats" []
+  | Metrics -> with_op "metrics" []
+  | Shutdown -> with_op "shutdown" []
 
 let str_field ?default name j =
   match J.member name j with
@@ -116,11 +207,43 @@ let submit_of_json j =
       }
 
 let request_of_json j =
+  let* () =
+    match J.member "v" j with
+    | None -> Ok () (* pre-versioned wire = version 1 *)
+    | Some (J.Int v) when v >= 1 && v <= version -> Ok ()
+    | Some (J.Int v) ->
+      Error (Printf.sprintf "unsupported protocol version %d (speaking %d)" v version)
+    | Some _ -> Error "field \"v\" must be an integer"
+  in
   let* op = str_field "op" j in
   match op with
   | "submit" ->
     let* s = submit_of_json j in
     Ok (Submit s)
+  | "submit_batch" -> (
+    match J.member "items" j with
+    | Some (J.List items) ->
+      let rec parse acc = function
+        | [] -> Ok (Submit_batch (List.rev acc))
+        | item :: rest ->
+          let* s = submit_of_json item in
+          parse (s :: acc) rest
+      in
+      parse [] items
+    | Some _ -> Error "field \"items\" must be a list"
+    | None -> Error "missing field \"items\"")
+  | "sync" -> (
+    match J.member "ranges" j with
+    | None -> Ok (Sync [])
+    | Some (J.List ranges) ->
+      let rec parse acc = function
+        | [] -> Ok (Sync (List.rev acc))
+        | J.List [ J.Int lo; J.Int hi ] :: rest when lo >= 0 && hi >= lo ->
+          parse ((lo, hi) :: acc) rest
+        | _ -> Error "field \"ranges\" must be a list of [lo, hi] pairs"
+      in
+      parse [] ranges
+    | Some _ -> Error "field \"ranges\" must be a list")
   | "status" ->
     let* id = int_field "id" j in
     Ok (Status id)

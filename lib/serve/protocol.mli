@@ -1,11 +1,38 @@
 (** The scenario service's wire protocol: one JSON object per line, both
-    directions, over a Unix-domain stream socket (newlines inside grid
-    payloads are JSON-escaped by construction, so framing is trivial).
+    directions, over any stream transport ({!Transport}: Unix-domain or
+    TCP — newlines inside grid payloads are JSON-escaped by construction,
+    so framing is a newline scan bounded by {!Frame}'s line cap).
 
-    Requests carry an ["op"] discriminator; responses always carry
-    ["ok"] — [true] with op-specific fields, or [false] with ["error"]
-    (and ["retry_after"] seconds when the job queue is full).  See
-    docs/serving.md for the full specification and an example session. *)
+    Requests carry an ["op"] discriminator and a protocol ["v"]ersion
+    (absent = 1; newer-than-ours is rejected up front); responses always
+    carry ["ok"] — [true] with op-specific fields, or [false] with
+    ["error"] (and ["retry_after"] seconds when the job queue is full) —
+    plus the server's ["v"].  See docs/serving.md for the full
+    specification and an example session. *)
+
+val version : int
+(** The protocol version this build speaks (1). *)
+
+(** Transport-agnostic line framing: blocking reads with a cap on line
+    length, so a malformed or hostile peer cannot balloon the receive
+    buffer.  The non-blocking server event loop enforces the same cap on
+    its own carry buffer; this module is the client/coordinator side. *)
+module Frame : sig
+  val default_max_line : int
+  (** 64 MiB — a [submit_batch] line carries whole grid files per item,
+      and a [sync] response a shard's journal slice. *)
+
+  type reader
+
+  val reader : ?max_line:int -> Unix.file_descr -> reader
+
+  val read_line : reader -> [ `Line of string | `Eof | `Oversized ]
+  (** Blocking.  After [`Oversized] the stream is desynchronised and
+      must be closed. *)
+
+  val write_line : Unix.file_descr -> string -> unit
+  (** Write [s ^ "\n"], retrying partial writes. *)
+end
 
 type submit = {
   grid : string;  (** grid-file content, paper text format *)
@@ -26,9 +53,19 @@ val default_submit : submit
 
 type request =
   | Submit of submit
+  | Submit_batch of submit list
+      (** one connection, many scenarios: the response carries a
+          ["results"] list with one per-item submit response (id/cached/
+          error) in submission order *)
   | Status of int
   | Result of int
   | Cancel of int
+  | Sync of (int * int) list
+      (** journal warm-start pull: return every resident [job:]/[verify:]
+          store entry whose {!Store.Canonical.point} falls inside one of
+          the inclusive [(lo, hi)] ranges (empty list = the whole
+          keyspace), as [entries: [[key, value], ...]].  A restarted
+          shard asks its peers for its ring ranges and rejoins warm. *)
   | Stats
   | Metrics  (** Prometheus text exposition of the server's metrics *)
   | Shutdown

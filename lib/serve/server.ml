@@ -5,6 +5,7 @@ module N = Grid.Network
 
 type config = {
   socket_path : string;
+  listen : Transport.endpoint option;
   jobs : int;
   queue_capacity : int;
   cache_bytes : int;
@@ -14,11 +15,15 @@ type config = {
   verbose : bool;
   access_log : string option;
   trace : string option;
+  sync_peers : Transport.endpoint list;
+  sync_ranges : (int * int) list;
+  max_line : int;
 }
 
 let default_config ~socket_path =
   {
     socket_path;
+    listen = None;
     jobs = 1;
     queue_capacity = 64;
     cache_bytes = 64 * 1024 * 1024;
@@ -28,7 +33,15 @@ let default_config ~socket_path =
     verbose = false;
     access_log = None;
     trace = None;
+    sync_peers = [];
+    sync_ranges = [];
+    max_line = Protocol.Frame.default_max_line;
   }
+
+let endpoint_of cfg =
+  match cfg.listen with
+  | Some e -> e
+  | None -> Transport.Unix_sock cfg.socket_path
 
 (* ---- observability ---- *)
 
@@ -54,6 +67,10 @@ let t_run = Obs.Timer.make "serve.job.run"
    a scrape can cross-check the two.  All the observation sites run on
    the event-loop domain, so a metrics reply sees them consistent. *)
 let c_completed = Obs.Counter.make "serve.jobs.completed"
+let c_batch_items = Obs.Counter.make "serve.batch.items"
+let c_sync_served = Obs.Counter.make "serve.sync.entries_served"
+let c_sync_pulled = Obs.Counter.make "serve.sync.entries_pulled"
+let c_oversized = Obs.Counter.make "serve.requests.oversized"
 let h_wait = Obs.Histogram.make "serve.job.wait_seconds"
 let h_service = Obs.Histogram.make "serve.job.service_seconds"
 let h_request = Obs.Histogram.make "serve.request.seconds"
@@ -501,10 +518,41 @@ let metrics_text t =
   Buffer.add_string buf (Obs.to_prometheus ~namespace:"topoguard" snap);
   Buffer.contents buf
 
+(* the export side of a peer's warm-start pull: every resident job:/
+   verify: entry whose ring point falls inside the requested ranges
+   (inclusive; empty = everything).  Values are opaque — the peer inserts
+   them into its own store (journaling them) without decoding. *)
+let handle_sync t ranges =
+  let in_ranges key =
+    ranges = []
+    || (let p = Store.Canonical.point key in
+        List.exists (fun (lo, hi) -> lo <= p && p <= hi) ranges)
+  in
+  let wanted key =
+    (String.length key >= 4 && String.sub key 0 4 = "job:")
+    || (String.length key >= 7 && String.sub key 0 7 = "verify:")
+  in
+  let entries =
+    Store.Cache.fold t.store ~init:[] ~f:(fun acc ~key ~value ->
+        if wanted key && in_ranges key then
+          J.List [ J.String key; J.String value ] :: acc
+        else acc)
+  in
+  Obs.Counter.add c_sync_served (List.length entries);
+  ok_fields [ ("entries", J.List (List.rev entries)) ]
+
 let handle_request t (req : Protocol.request) =
   Obs.Counter.incr c_requests;
   match req with
   | Protocol.Submit s -> handle_submit t s
+  | Protocol.Submit_batch items ->
+    (* one connection, many scenarios: each item gets its own submit
+       response (id/cached or error) in submission order; the batch
+       itself only fails on transport problems *)
+    Obs.Counter.add c_batch_items (List.length items);
+    ok_fields
+      [ ("results", J.List (List.map (fun s -> handle_submit t s) items)) ]
+  | Protocol.Sync ranges -> handle_sync t ranges
   | Protocol.Status id -> (
     match Hashtbl.find_opt t.jobs_tbl id with
     | None -> err (Printf.sprintf "unknown job %d" id)
@@ -544,7 +592,10 @@ let handle_line t line =
   in
   let resp =
     match resp with
-    | J.Obj fields -> J.Obj (fields @ [ ("request_id", J.String rid) ])
+    | J.Obj fields ->
+      J.Obj
+        (fields
+        @ [ ("request_id", J.String rid); ("v", J.Int Protocol.version) ])
     | other -> other
   in
   let latency = now () -. t0 in
@@ -650,48 +701,49 @@ let reap_finished t =
     t.running;
   t.running <- !still_running
 
-(* ---- socket lifecycle ---- *)
+(* ---- warm start: pull this shard's key ranges from peer journals ---- *)
 
-let bind_listener path =
-  (* a leftover socket file from a dead server must not block restart;
-     a live server must *)
-  if Sys.file_exists path then begin
-    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let live =
-      match Unix.connect probe (Unix.ADDR_UNIX path) with
-      | () -> true
-      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> false
-      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false
-      | exception Unix.Unix_error _ -> false
-    in
-    Unix.close probe;
-    if live then Error (Printf.sprintf "socket %s: server already running" path)
-    else begin
-      (try Sys.remove path with Sys_error _ -> ());
-      Ok ()
-    end
-  end
-  else Ok ()
+(* a restarted shard rejoins warm: after replaying its own journal it
+   asks each peer for the job:/verify: entries of its ring ranges and
+   inserts them (journaling them locally, so the next restart needs no
+   peers).  Peer failures are logged and skipped — a missing peer only
+   costs cache warmth, never startup. *)
+let warm_from_peers ~log store cfg =
+  List.iter
+    (fun peer ->
+      let peer_name = Transport.endpoint_to_string peer in
+      match Client.connect_endpoint peer with
+      | Error e -> log (Printf.sprintf "sync peer %s: %s" peer_name e)
+      | Ok c ->
+        (match Client.sync c ~ranges:cfg.sync_ranges with
+        | Error e ->
+          log (Printf.sprintf "sync pull from %s failed: %s" peer_name e)
+        | Ok entries ->
+          List.iter
+            (fun (key, value) -> Store.Cache.add store ~key ~value)
+            entries;
+          Obs.Counter.add c_sync_pulled (List.length entries);
+          log
+            (Printf.sprintf "warmed %d entr(y/ies) from %s"
+               (List.length entries) peer_name));
+        Client.close c)
+    cfg.sync_peers
+
+(* ---- socket lifecycle ---- *)
 
 let run cfg =
   Obs.Clock.set Unix.gettimeofday;
   Obs.set_enabled true;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  match bind_listener cfg.socket_path with
+  let endpoint = endpoint_of cfg in
+  match Store.Cache.create ~max_bytes:cfg.cache_bytes ?journal:cfg.journal () with
   | Error e -> Error e
-  | Ok () -> (
-    match Store.Cache.create ~max_bytes:cfg.cache_bytes ?journal:cfg.journal () with
-    | Error e -> Error e
-    | Ok store -> (
-      let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      match Unix.bind listener (Unix.ADDR_UNIX cfg.socket_path) with
-      | exception Unix.Unix_error (e, _, _) ->
-        Unix.close listener;
-        Store.Cache.close store;
-        Error
-          (Printf.sprintf "bind %s: %s" cfg.socket_path (Unix.error_message e))
-      | () -> (
-        Unix.listen listener 16;
+  | Ok store -> (
+    match Transport.listen endpoint with
+    | Error e ->
+      Store.Cache.close store;
+      Error e
+    | Ok listener -> (
         Unix.set_nonblock listener;
         let access_log =
           match cfg.access_log with
@@ -706,7 +758,7 @@ let run cfg =
           (* an unwritable access log is a startup error, like an
              unwritable journal: better to refuse than to serve blind *)
           Unix.close listener;
-          (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+          Transport.cleanup endpoint;
           Store.Cache.close store;
           Error e
         | Ok access_log ->
@@ -733,7 +785,10 @@ let run cfg =
           Sys.signal Sys.sigterm
             (Sys.Signal_handle (fun _ -> Atomic.set t.draining true))
         in
-        log t "listening on %s (%d worker(s), queue %d)" cfg.socket_path
+        if cfg.sync_peers <> [] then
+          warm_from_peers ~log:(fun m -> log t "%s" m) store cfg;
+        log t "listening on %s (%d worker(s), queue %d)"
+          (Transport.endpoint_to_string endpoint)
           cfg.jobs cfg.queue_capacity;
         let close_conn c =
           (try Unix.close c.fd with Unix.Unix_error _ -> ());
@@ -756,12 +811,34 @@ let run cfg =
             done
         in
         let feed conn chunk =
+          (* a line past the cap — complete or still accumulating — is
+             either a protocol error or hostile; reply once and close
+             (the stream cannot be resynchronised) *)
+          let oversized conn =
+            Obs.Counter.incr c_oversized;
+            write_all conn.fd
+              (J.to_string
+                 (J.Obj
+                    [
+                      ("ok", J.Bool false);
+                      ( "error",
+                        J.String
+                          (Printf.sprintf "line exceeds %d bytes"
+                             cfg.max_line) );
+                      ("v", J.Int Protocol.version);
+                    ])
+              ^ "\n");
+            raise Closed
+          in
           let data = conn.carry ^ chunk in
           let lines = String.split_on_char '\n' data in
           let rec go = function
             | [] -> conn.carry <- ""
-            | [ last ] -> conn.carry <- last
+            | [ last ] ->
+              if String.length last > cfg.max_line then oversized conn
+              else conn.carry <- last
             | line :: rest ->
+              if String.length line > cfg.max_line then oversized conn;
               (if String.trim line <> "" then
                  let resp = handle_line t line in
                  write_all conn.fd (J.to_string resp ^ "\n"));
@@ -822,7 +899,7 @@ let run cfg =
         (match t.listener with
         | Some l -> ( try Unix.close l with Unix.Unix_error _ -> ())
         | None -> ());
-        (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+        Transport.cleanup endpoint;
         Pool.shutdown t.pool;
         Store.Cache.close store;
         (match cfg.trace with
@@ -833,4 +910,4 @@ let run cfg =
         | None -> ());
         (match t.access_log with Some oc -> close_out oc | None -> ());
         Sys.set_signal Sys.sigterm prev_term;
-        Ok ())))
+        Ok ()))

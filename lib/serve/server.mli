@@ -1,6 +1,7 @@
 (** The resident scenario service.
 
-    One process owns a Unix-domain listening socket and a {!Pool} of
+    One process owns a listening stream socket ({!Transport}: the
+    Unix-domain default, or TCP for fleet shards) and a {!Pool} of
     worker domains; clients speak the line-delimited JSON protocol of
     {!Protocol}.  Submissions are keyed through {!Store.Canonical} and
     answered from the content-addressed store when possible — a cache hit
@@ -34,6 +35,9 @@
 
 type config = {
   socket_path : string;
+  listen : Transport.endpoint option;
+      (** where to listen; [None] = [Unix_sock socket_path] (the
+          original single-server shape) *)
   jobs : int;  (** concurrent analyses (worker domains; min 1) *)
   queue_capacity : int;  (** bound on queued-not-yet-running jobs *)
   cache_bytes : int;  (** LRU byte budget of the result store *)
@@ -50,11 +54,25 @@ type config = {
   trace : string option;
       (** record trace spans while serving and write Chrome
           [trace_event] JSON here when the server drains *)
+  sync_peers : Transport.endpoint list;
+      (** peers to pull a journal warm-start from before accepting
+          connections: after replaying its own journal, the server asks
+          each peer to [sync] the [job:]/[verify:] entries of
+          [sync_ranges] and inserts them.  A peer that is down only
+          costs cache warmth, never startup. *)
+  sync_ranges : (int * int) list;
+      (** inclusive {!Store.Canonical.point} ranges this server owns
+          (its ring arcs); empty = pull everything *)
+  max_line : int;
+      (** reject (and close) connections whose buffered partial line
+          exceeds this many bytes — {!Protocol.Frame.default_max_line}
+          by default *)
 }
 
 val default_config : socket_path:string -> config
 (** jobs 1, queue 64, cache 64 MiB, no journal, 300 s timeout, 1024
-    retained terminal jobs, quiet, no access log, no trace. *)
+    retained terminal jobs, quiet, no access log, no trace, Unix-domain
+    listener, no sync peers, default line cap. *)
 
 val run : config -> (unit, string) result
 (** Blocks until drained.  [Error] covers startup failures (socket in

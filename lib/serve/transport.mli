@@ -1,0 +1,37 @@
+(** Stream-transport endpoints for the scenario service: the original
+    Unix-domain socket, plus TCP so shard fleets and remote submitters
+    can reach a server across process and host boundaries.  The wire
+    protocol above the stream is identical either way ({!Protocol}'s
+    line-delimited JSON) — the transport only decides how bytes travel.
+
+    Address syntax (CLI flags, peer lists):
+    {v
+    tcp:HOST:PORT    e.g. tcp:127.0.0.1:7601
+    unix:PATH        e.g. unix:/tmp/topoguard.sock
+    PATH             bare paths mean unix: for backward compatibility
+    v} *)
+
+type endpoint =
+  | Unix_sock of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host (name or dotted quad), port *)
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** Parse the address syntax above.  [Error] on an empty address, a
+    malformed [tcp:] triple, or an out-of-range port. *)
+
+val endpoint_to_string : endpoint -> string
+(** Inverse of {!endpoint_of_string} (always prefixed, never bare). *)
+
+val listen : ?backlog:int -> endpoint -> (Unix.file_descr, string) result
+(** Bind and listen.  Unix sockets probe a pre-existing file first: a
+    live server is a startup error, a stale file from a dead server is
+    removed.  TCP sockets set [SO_REUSEADDR] so a drained fleet can
+    restart without waiting out TIME_WAIT.  The returned descriptor is
+    in blocking mode; callers set non-blocking as needed. *)
+
+val dial : endpoint -> (Unix.file_descr, string) result
+(** Connect (blocking).  [Error] includes the resolved address and the
+    errno text; name resolution failures are [Error], not exceptions. *)
+
+val cleanup : endpoint -> unit
+(** Remove a Unix socket's file (no-op for TCP, or if already gone). *)

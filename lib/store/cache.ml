@@ -55,6 +55,12 @@ let add t ~key ~value =
 
 let remove t key = locked t @@ fun () -> Lru.remove t.lru key
 
+let fold t ~init ~f =
+  locked t @@ fun () ->
+  let acc = ref init in
+  Lru.iter t.lru (fun ~key ~value -> acc := f !acc ~key ~value);
+  !acc
+
 let length t = locked t @@ fun () -> Lru.length t.lru
 let bytes t = locked t @@ fun () -> Lru.bytes t.lru
 let recovered t = t.recovered

@@ -39,6 +39,13 @@ val remove : t -> string -> unit
     on restart until a later insert of the same key supersedes it during
     replay. *)
 
+val fold : t -> init:'a -> f:('a -> key:string -> value:string -> 'a) -> 'a
+(** Fold over every resident entry (most recently used first) under the
+    store mutex, without promoting anything.  This is the export side of
+    the fleet's [sync] verb: a peer answers a restarted shard's key-range
+    pull by filtering this enumeration.  [f] must not call back into the
+    same store (the mutex is held). *)
+
 val length : t -> int
 val bytes : t -> int
 val recovered : t -> int

@@ -16,6 +16,25 @@ let fingerprint s =
     (fnv64 ~basis:0xcbf29ce484222325L s)
     (fnv64 ~basis:0x84222325cbf29ce4L s)
 
+(* murmur3's 64-bit finalizer: FNV-1a's last byte only sees one
+   multiply, so its high bits barely move across short, similar strings
+   ("s0#0".."s0#255") — and ring order is decided by high bits.  Two
+   xor-shift-multiply rounds give every input bit ~50% influence on
+   every output bit *)
+let fmix64 h =
+  let ( * ) = Int64.mul and ( ^ ) = Int64.logxor in
+  let ( >>> ) = Int64.shift_right_logical in
+  let h = (h ^ (h >>> 33)) * 0xff51afd7ed558ccdL in
+  let h = (h ^ (h >>> 33)) * 0xc4ceb9fe1a85ec53L in
+  h ^ (h >>> 33)
+
+(* a key's position on the consistent-hash ring: the standard-basis FNV
+   pass, avalanche-finalized, folded into a non-negative OCaml int.
+   Every party that needs to agree on placement (ring, coordinator,
+   shard sync filters) derives the point through this one function *)
+let point s =
+  Int64.to_int (fmix64 (fnv64 ~basis:0xcbf29ce484222325L s)) land max_int
+
 (* ---- canonical serialisation ---- *)
 
 let q = Q.to_string

@@ -20,6 +20,13 @@
 val fingerprint : string -> string
 (** 32-hex-digit stable hash of an arbitrary byte string. *)
 
+val point : string -> int
+(** Position of an arbitrary key on the consistent-hash ring: the first
+    FNV-1a pass of {!fingerprint} masked to a non-negative int (uniform
+    over [[0, max_int]]).  The hash ring, the fleet coordinator, and the
+    shard-side [sync] key-range filter all agree on placement because
+    they all derive points through this one function. *)
+
 val of_network : Grid.Network.t -> string
 (** Canonical byte serialisation of the grid alone (topology, flow and
     injection measurements, generators, loads) — reordering-invariant. *)

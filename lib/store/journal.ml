@@ -1,5 +1,7 @@
 let magic = "topoguard-journal v1\n"
 
+let c_compacted = Obs.Counter.make "journal.compacted_bytes"
+
 type t = { fd : Unix.file_descr; mutable closed : bool }
 
 type recovery = { records : (string * string) list; dropped_bytes : int }
@@ -127,3 +129,59 @@ let close t =
     t.closed <- true;
     Unix.close t.fd
   end
+
+type compaction = { live : int; dropped : int; reclaimed_bytes : int }
+
+(* rewrite the journal keeping only the winning record per key (replay is
+   last-write-wins, so everything a superseded record contributes is dead
+   weight), in the order of each key's *last* occurrence — replaying the
+   compacted file reproduces the exact final store state, including the
+   recency order the LRU budget resolves ties by.  The rewrite goes to a
+   sibling temp file that is fsynced and atomically renamed over the
+   original: a crash at any point leaves either the old journal or the
+   complete new one, never a torn file. *)
+let compact path =
+  match scan_internal path with
+  | Error e -> Error e
+  | Ok (recovery, valid) -> (
+    let seen = Hashtbl.create 256 in
+    let keep =
+      (* walk newest-first, keep the first (= newest) record per key *)
+      List.fold_left
+        (fun acc (key, value) ->
+          if Hashtbl.mem seen key then acc
+          else begin
+            Hashtbl.add seen key ();
+            (key, value) :: acc
+          end)
+        []
+        (List.rev recovery.records)
+    in
+    let tmp = path ^ ".compact" in
+    try
+      let fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      write_all fd magic;
+      List.iter (fun (key, value) -> write_all fd (encode ~key ~value)) keep;
+      Unix.fsync fd;
+      Unix.close fd;
+      Unix.rename tmp path;
+      let new_size =
+        List.fold_left
+          (fun acc (key, value) ->
+            acc + String.length (encode ~key ~value))
+          (String.length magic) keep
+      in
+      let old_size = valid + recovery.dropped_bytes in
+      let reclaimed = max 0 (old_size - new_size) in
+      Obs.Counter.add c_compacted reclaimed;
+      Ok
+        {
+          live = List.length keep;
+          dropped = List.length recovery.records - List.length keep;
+          reclaimed_bytes = reclaimed;
+        }
+    with Unix.Unix_error (e, _, _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))

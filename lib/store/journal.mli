@@ -39,3 +39,20 @@ val append : t -> key:string -> value:string -> unit
 (** Write one record (flushed to the fd with a single [write]). *)
 
 val close : t -> unit
+
+type compaction = {
+  live : int;  (** distinct keys kept *)
+  dropped : int;  (** superseded records removed *)
+  reclaimed_bytes : int;  (** on-disk bytes recovered *)
+}
+
+val compact : string -> (compaction, string) result
+(** Rewrite the journal keeping only the newest record per key, ordered
+    by each key's last occurrence — replaying the compacted file yields
+    the exact store state (values {e and} recency order) the original
+    would, in one record per key.  The rewrite is crash-safe: it goes to
+    a fsynced sibling temp file atomically renamed over the original.
+    Any corrupt tail is dropped in the process.  Counts the recovered
+    bytes on [journal.compacted_bytes].  Must not race a live server
+    appending to the same file — compact offline (the CLI's
+    [topoguard journal compact]) or during startup. *)

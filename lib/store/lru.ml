@@ -73,6 +73,17 @@ let add t ~key ~value =
     List.rev !evicted
   end
 
+(* most-recent first, following the intrusive list (deterministic, unlike
+   hash-table order); does not promote *)
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some e ->
+      f ~key:e.key ~value:e.value;
+      go e.next
+  in
+  go t.head
+
 let length t = Hashtbl.length t.table
 let bytes t = t.bytes
 let max_bytes t = t.max_bytes

@@ -22,6 +22,9 @@ val add : t -> key:string -> value:string -> string list
 val remove : t -> string -> unit
 (** Drop one entry; absent keys are a no-op. *)
 
+val iter : t -> (key:string -> value:string -> unit) -> unit
+(** Visit every entry, most recently used first.  Does not promote. *)
+
 val length : t -> int
 val bytes : t -> int
 val max_bytes : t -> int
