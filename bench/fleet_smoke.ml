@@ -235,7 +235,9 @@ let () =
   let c = connect_retry (Serve.Transport.Unix_sock fleet_sock) fleet_log in
 
   (* cold: answers must be byte-identical to the single server's *)
+  let cold_t0 = Unix.gettimeofday () in
   let cold, _ = run_batch "cold batch" c in
+  let cold_wall = Unix.gettimeofday () -. cold_t0 in
   List.iteri
     (fun k (a, b) ->
       if a <> b then
@@ -256,7 +258,9 @@ let () =
   in
 
   (* warm: every item served by the shards' stores, no solver work *)
+  let warm_t0 = Unix.gettimeofday () in
   let warm, warm_cached = run_batch "warm batch" c in
+  let warm_wall = Unix.gettimeofday () -. warm_t0 in
   if warm_cached <> List.length scenarios then
     fail "warm batch: %d of %d items cached" warm_cached
       (List.length scenarios);
@@ -278,6 +282,28 @@ let () =
   if coord_counter stats_warm "cluster.batch.submitted"
      < 2 * List.length scenarios
   then fail "cluster.batch.submitted did not count both batches";
+
+  (* the measured figures are the artifact: BENCH_fleet.json pairs the
+     cold (solver) and warm (store) batch wall-clocks with where the
+     warm hits landed *)
+  Obs.write_json_file "BENCH_fleet.json"
+    (J.Obj
+       [
+         ("scenarios", J.Int (List.length scenarios));
+         ("shards", J.Int n_shards);
+         ("cold_batch_s", J.Float cold_wall);
+         ("warm_batch_s", J.Float warm_wall);
+         ("warm_cached", J.Int warm_cached);
+         ( "per_shard_store_hits",
+           J.Obj
+             (List.map
+                (fun name ->
+                  ( name,
+                    J.Int
+                      (counter_of (shard_snapshot name stats_warm) "store.hit")
+                  ))
+                shard_names) );
+       ]);
 
   (* aggregated scrape: per-shard labels plus the coordinator's own
      cluster.* series in one exposition *)
@@ -353,6 +379,8 @@ let () =
 
   Printf.printf
     "fleet-smoke: OK (50-scenario batch byte-identical to single server, \
-     warm resubmit 100%% cached with zero new pivots, per-shard metrics \
-     labels, shard death survived with rebalance, graceful drain) in %.1fs\n"
+     cold %.1fs vs warm %.1fs resubmit 100%% cached with zero new pivots, \
+     per-shard metrics labels, shard death survived with rebalance, \
+     graceful drain; BENCH_fleet.json written) in %.1fs\n"
+    cold_wall warm_wall
     (Unix.gettimeofday () -. t0)

@@ -105,6 +105,8 @@ let with_trace trace f =
   | None -> f ()
   | Some path ->
     Obs.Clock.set Unix.gettimeofday;
+    (* real pid, so this file merges cleanly with server-side traces *)
+    Obs.Trace.set_pid (Unix.getpid ());
     Obs.Trace.set_enabled true;
     let result = f () in
     Obs.Trace.set_enabled false;
@@ -781,7 +783,20 @@ let serve_cmd =
 
 let submit_cmd =
   let run files connect socket batch mode base increase max_candidates
-      single_line backend timeout journal wait_timeout =
+      single_line backend timeout journal wait_timeout trace =
+    with_trace trace @@ fun () ->
+    (* one client-minted trace context rides the request envelope, so the
+       server (or coordinator and shard) records its spans under an id
+       this side chose — the merged timeline correlates on it *)
+    let trace_ctx =
+      if Obs.Trace.enabled () then
+        Some (Obs.Trace.new_trace_id (), Obs.Trace.new_span_id ())
+      else None
+    in
+    let client_span f =
+      Obs.Trace.with_context trace_ctx (fun () ->
+          Obs.Trace.with_span "client.submit" f)
+    in
     let endpoint =
       match connect with
       | Some e -> e
@@ -824,7 +839,11 @@ let submit_cmd =
           Format.eprintf "error: %s@." e;
           exit 1
         in
-        match Serve.Client.submit_batch client (List.map snd items) with
+        match
+          client_span (fun () ->
+              Serve.Client.submit_batch ?trace:trace_ctx client
+                (List.map snd items))
+        with
         | Error e -> fail e
         | Ok resp -> (
           match
@@ -913,7 +932,11 @@ let submit_cmd =
       in
       (* queue-full rejections are retried (honouring retry_after)
          until the wait budget runs out *)
-      match Serve.Client.submit_retry client sub ~timeout:wait_timeout () with
+      client_span @@ fun () ->
+      match
+        Serve.Client.submit_retry ?trace:trace_ctx client sub
+          ~timeout:wait_timeout ()
+      with
       | Error e -> fail e
       | Ok resp -> (
         match Obs.Json.member "ok" resp with
@@ -1033,13 +1056,13 @@ let submit_cmd =
     Term.(
       const run $ files $ connect $ socket_arg $ batch $ mode $ base
       $ increase $ max_candidates $ single_line $ backend $ timeout
-      $ journal $ wait_timeout)
+      $ journal $ wait_timeout $ trace_term)
 
 (* ---- fleet ---- *)
 
 let fleet_cmd =
   let run listen shards host base_port jobs cache_mb journal_dir vnodes
-      verbose stats =
+      verbose access_log trace stats =
     with_stats stats @@ fun () ->
     let cfg =
       {
@@ -1053,6 +1076,8 @@ let fleet_cmd =
         journal_dir;
         vnodes;
         verbose;
+        access_log;
+        trace;
       }
     in
     match Cluster.Fleet.run cfg with
@@ -1104,6 +1129,23 @@ let fleet_cmd =
          & info [ "verbose" ]
              ~doc:"Log routing and rebalance events to stderr.")
   in
+  let access_log =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~doc:"Coordinator access log: one JSON object per request \
+                   (request id, verb, outcome, routed shard, trace id, \
+                   latency) appended to $(docv); shard $(i,i) appends its \
+                   own to $(docv).shard-$(i,i).  An unopenable path is a \
+                   startup error.")
+  in
+  let fleet_trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write the coordinator's Chrome trace to $(docv) on \
+                   drain; shard $(i,i) writes its own to \
+                   $(docv).shard-$(i,i).  Stitch them with \
+                   $(b,tools/trace_merge.exe).")
+  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Run a sharded fleet of scenario servers: forks $(b,--shards) \
@@ -1116,7 +1158,190 @@ let fleet_cmd =
              (a shard that never came up, endpoint in use).")
     Term.(
       const run $ listen $ shards $ host $ base_port $ jobs_arg $ cache_mb
-      $ journal_dir $ vnodes $ verbose $ stats_term)
+      $ journal_dir $ vnodes $ verbose $ access_log $ fleet_trace
+      $ stats_term)
+
+(* ---- loadgen ---- *)
+
+let loadgen_cmd =
+  let run files connect socket rate duration clients warm_pct gens
+      max_candidates full sample_every wait report stats =
+    with_stats stats @@ fun () ->
+    let endpoint =
+      match connect with
+      | Some e -> e
+      | None -> Serve.Transport.Unix_sock socket
+    in
+    let read_grid file =
+      try
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error e ->
+        Format.eprintf "error: %s@." e;
+        exit 2
+    in
+    let bundled = [ 5; 14; 30; 57; 118 ] in
+    let synth n =
+      let spec =
+        if List.mem n bundled then Grid.Test_systems.ieee n
+        else
+          match Grid.Gen.make ~avg_degree:2.8 n with
+          | spec -> spec
+          | exception (Invalid_argument m | Failure m) ->
+            Format.eprintf "error: --gen %d: %s@." n m;
+            exit 2
+      in
+      Grid.Spec.print spec
+    in
+    let pool = List.map read_grid files @ List.map synth gens in
+    if pool = [] then begin
+      Format.eprintf "error: need at least one FILE or --gen BUSES@.";
+      exit 2
+    end;
+    let sub_of ?increase grid =
+      {
+        Serve.Protocol.grid;
+        mode = "topo";
+        base = "proportional";
+        increase;
+        max_candidates;
+        single_line = not full;
+        backend = "lp";
+        timeout = 0.;
+      }
+    in
+    let warm = List.map (fun g -> sub_of g) pool in
+    let npool = List.length pool in
+    let total = max 1 (int_of_float ((rate *. duration) +. 0.5)) in
+    (* a distinct cost-increase target per cold arrival gives each its
+       own job key, so the cold share really exercises the solver path
+       instead of warming up after one cycle through the pool *)
+    let cold =
+      List.init total (fun i ->
+          sub_of
+            ~increase:(Printf.sprintf "%d.%03d" (5 + (i mod 40)) (i mod 997))
+            (List.nth pool (i mod npool)))
+    in
+    let cfg =
+      {
+        (Cluster.Loadgen.default_config ~endpoint ~warm ~cold) with
+        Cluster.Loadgen.rate;
+        duration;
+        clients;
+        warm_pct;
+        sample_every;
+        await_timeout = wait;
+      }
+    in
+    match Cluster.Loadgen.run cfg with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 2
+    | Ok r ->
+      let json = Cluster.Loadgen.json_of_report r in
+      (match report with
+      | None -> print_endline (Obs.Json.to_string json)
+      | Some path ->
+        Obs.write_json_file path json;
+        Format.printf "report written to %s@." path);
+      Format.eprintf
+        "offered %d, accepted %d (%.1f/s achieved), completed %d (%d \
+         cached), failed %d, errors %d, lost %d@."
+        r.Cluster.Loadgen.offered r.Cluster.Loadgen.accepted
+        r.Cluster.Loadgen.achieved_rate r.Cluster.Loadgen.completed
+        r.Cluster.Loadgen.cached r.Cluster.Loadgen.failed
+        r.Cluster.Loadgen.errors r.Cluster.Loadgen.lost;
+      if r.Cluster.Loadgen.lost > 0 then exit 1
+  in
+  let files =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"FILE" ~doc:"Grid file(s) forming the scenario pool.")
+  in
+  let connect =
+    Arg.(value & opt (some endpoint_conv) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Drive the server at $(docv) ($(b,tcp:HOST:PORT) or \
+                   $(b,unix:PATH)) instead of the $(b,--socket) path — \
+                   e.g. a fleet coordinator.")
+  in
+  let rate =
+    Arg.(value & opt float 20.
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Target arrival rate, submissions per second.  The \
+                   schedule is open loop: arrival $(i,k) fires at \
+                   $(i,k)/$(docv) seconds whether or not earlier arrivals \
+                   have been answered, so a server falling behind faces a \
+                   growing backlog instead of slowing the generator down.")
+  in
+  let duration =
+    Arg.(value & opt float 5.
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:"Seconds of offered load.")
+  in
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Concurrent client connections (one domain each) \
+                   sharing the arrival schedule.")
+  in
+  let warm_pct =
+    Arg.(value & opt int 80
+         & info [ "warm-pct" ] ~docv:"PCT"
+             ~doc:"Share of arrivals drawn from the warm (repeating, \
+                   cache-hit) set, 0-100; the rest cycle through distinct \
+                   cold scenarios that must be solved.")
+  in
+  let gens =
+    Arg.(value & opt_all int []
+         & info [ "gen" ] ~docv:"BUSES"
+             ~doc:"Add a bundled or synthesized $(docv)-bus grid to the \
+                   scenario pool (repeatable).")
+  in
+  let max_candidates =
+    Arg.(value & opt int 40
+         & info [ "max-candidates" ] ~docv:"N"
+             ~doc:"Candidate bound carried by every submission.")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Submit full searches instead of the single-line \
+                   closed form (heavier jobs).")
+  in
+  let sample_every =
+    Arg.(value & opt float 0.25
+         & info [ "sample-every" ] ~docv:"SECONDS"
+             ~doc:"Queue-depth scrape period (a sampler connection polls \
+                   the $(b,metrics) verb); 0 disables sampling.")
+  in
+  let wait =
+    Arg.(value & opt float 60.
+         & info [ "wait" ] ~docv:"SECONDS"
+             ~doc:"Per-answer deadline; an accepted job with no terminal \
+                   status by then counts as $(b,lost).")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Write the JSON report to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Open-loop sustained-load generator against a running \
+             $(b,topoguard serve) or $(b,topoguard fleet) endpoint: fires \
+             submissions at a fixed target rate from several client \
+             connections, mixes repeating (warm) and distinct (cold) \
+             scenarios, samples queue depth over time, and reports \
+             achieved rate, per-verb latency quantiles, and error/lost \
+             counts as JSON.  Exits 1 when any accepted job was lost, 2 \
+             on input or endpoint errors.")
+    Term.(
+      const run $ files $ connect $ socket_arg $ rate $ duration $ clients
+      $ warm_pct $ gens $ max_candidates $ full $ sample_every $ wait
+      $ report $ stats_term)
 
 (* ---- journal ---- *)
 
@@ -1200,5 +1425,5 @@ let () =
           [
             lint_cmd; opf_cmd; se_cmd; attack_cmd; impact_cmd; gen_cmd;
             defend_cmd; contingency_cmd; acpf_cmd; audit_cmd; serve_cmd;
-            submit_cmd; fleet_cmd; journal_cmd;
+            submit_cmd; fleet_cmd; loadgen_cmd; journal_cmd;
           ]))

@@ -22,6 +22,8 @@ type config = {
   vnodes : int;
   verbose : bool;
   max_line : int;
+  access_log : string option;
+  trace : string option;
 }
 
 let default_config ~listen ~shards =
@@ -31,6 +33,8 @@ let default_config ~listen ~shards =
     vnodes = Ring.default_vnodes;
     verbose = false;
     max_line = P.Frame.default_max_line;
+    access_log = None;
+    trace = None;
   }
 
 let c_requests = Obs.Counter.make "cluster.requests"
@@ -39,6 +43,7 @@ let c_batch_failed = Obs.Counter.make "cluster.batch.failed"
 let c_keys_moved = Obs.Counter.make "cluster.ring.keys_moved"
 let c_rebalances = Obs.Counter.make "cluster.ring.rebalances"
 let h_route = Obs.Histogram.make "cluster.route.seconds"
+let h_request = Obs.Histogram.make "cluster.request.seconds"
 
 (* a routed job: enough to answer id-addressed verbs and to resubmit
    after a shard death *)
@@ -57,12 +62,32 @@ type t = {
   mutable next_id : int;
   mutable next_rid : int;
   draining : bool Atomic.t;
+  access_log : out_channel option;
+  mutable fwd_trace : (string * string) option;
+      (* the trace context forwarded to shard calls of the request being
+         handled: the incoming trace id with the coordinator's own span
+         id as the new parent (single event-loop domain, so a plain
+         mutable field is race-free) *)
+  mutable last_shard : string option;
+      (* the shard the current request was routed to, for the access log *)
 }
 
 let log t fmt =
   Printf.ksprintf
     (fun s -> if t.cfg.verbose then Printf.eprintf "[fleet] %s\n%!" s)
     fmt
+
+let now () = Obs.Clock.now ()
+
+(* one JSON object per request, like the shard server's access log, plus
+   the shard the request was routed to *)
+let log_access t fields =
+  match t.access_log with
+  | None -> ()
+  | Some oc ->
+    output_string oc (J.to_string (J.Obj (("ts", J.Float (now ())) :: fields)));
+    output_char oc '\n';
+    flush oc
 
 let ok_fields fields = J.Obj (("ok", J.Bool true) :: fields)
 
@@ -121,8 +146,10 @@ let rec route_rpc t point req =
     match Hashtbl.find_opt t.shards name with
     | None -> Error (Printf.sprintf "unknown shard %s" name)
     | Some sh -> (
-      match Shard.request sh req with
-      | Ok resp -> Ok (name, resp)
+      match Shard.request ?trace:t.fwd_trace sh req with
+      | Ok resp ->
+        t.last_shard <- Some name;
+        Ok (name, resp)
       | Error e ->
         log t "shard %s failed: %s" name e;
         shard_down t sh;
@@ -190,7 +217,7 @@ let handle_batch t items =
               let group = List.rev rev_group in
               let sh = Hashtbl.find t.shards name in
               match
-                Shard.request sh
+                Shard.request ?trace:t.fwd_trace sh
                   (P.Submit_batch (List.map (fun (_, s, _) -> s) group))
               with
               | Error e ->
@@ -238,8 +265,10 @@ let forward_job t id make_req =
     let rec forward () =
       match Hashtbl.find_opt t.shards job.shard with
       | Some sh when Shard.alive sh && Ring.mem t.ring job.shard -> (
-        match Shard.request sh (make_req job.remote_id) with
-        | Ok resp -> rewrite_id resp id
+        match Shard.request ?trace:t.fwd_trace sh (make_req job.remote_id) with
+        | Ok resp ->
+          t.last_shard <- Some job.shard;
+          rewrite_id resp id
         | Error e ->
           log t "shard %s failed: %s" job.shard e;
           shard_down t sh;
@@ -338,14 +367,37 @@ let handle_request t (req : P.request) =
   | P.Shutdown -> handle_shutdown t
 
 let handle_line t line =
-  let rid, resp =
+  let t0 = now () in
+  t.last_shard <- None;
+  t.fwd_trace <- None;
+  let rid, verb, ctx, resp =
     match J.of_string line with
-    | Error e -> (None, err ("bad json: " ^ e))
+    | Error e -> (None, "invalid", None, err ("bad json: " ^ e))
     | Ok j -> (
       let rid = P.request_id_of_json j in
+      let verb =
+        match J.member "op" j with Some (J.String s) -> s | _ -> "invalid"
+      in
+      (* a request without a trace context is minted one at the front
+         door (when tracing is on), so a whole fleet run correlates even
+         for v0 clients; either way the forwarded context carries the
+         coordinator's own span id as the new parent *)
+      let ctx =
+        match P.trace_of_json j with
+        | Some _ as c -> c
+        | None ->
+          if Obs.Trace.enabled () then Some (Obs.Trace.new_trace_id (), "")
+          else None
+      in
+      t.fwd_trace <-
+        Option.map (fun (id, _) -> (id, Obs.Trace.new_span_id ())) ctx;
       match P.request_of_json j with
-      | Error e -> (rid, err e)
-      | Ok req -> (rid, handle_request t req))
+      | Error e -> (rid, verb, ctx, err e)
+      | Ok req ->
+        ( rid,
+          verb,
+          ctx,
+          Obs.Trace.with_context ctx (fun () -> handle_request t req) ))
   in
   let rid =
     match rid with
@@ -355,11 +407,50 @@ let handle_line t line =
       t.next_rid <- t.next_rid + 1;
       r
   in
-  match resp with
-  | J.Obj fields ->
-    J.Obj
-      (fields @ [ ("request_id", J.String rid); ("v", J.Int P.version) ])
-  | other -> other
+  let resp =
+    match resp with
+    | J.Obj fields ->
+      J.Obj
+        (fields @ [ ("request_id", J.String rid); ("v", J.Int P.version) ])
+    | other -> other
+  in
+  let latency = now () -. t0 in
+  Obs.Histogram.observe h_request latency;
+  Obs.Trace.with_context ctx (fun () ->
+      Obs.Trace.complete
+        ~args:
+          ([ ("verb", verb); ("request_id", rid) ]
+          @ (match t.last_shard with
+            | Some s -> [ ("shard", s) ]
+            | None -> [])
+          @
+          match t.fwd_trace with
+          | Some (_, span) -> [ ("span", span) ]
+          | None -> [])
+        ~ts:t0 ~dur:latency "cluster.request");
+  let outcome =
+    match resp with
+    | J.Obj fields -> (
+      match List.assoc_opt "ok" fields with
+      | Some (J.Bool true) -> "ok"
+      | _ -> "error")
+    | _ -> "error"
+  in
+  log_access t
+    ([
+       ("kind", J.String "request");
+       ("request_id", J.String rid);
+       ("verb", J.String verb);
+       ("outcome", J.String outcome);
+     ]
+    @ (match t.last_shard with
+      | Some s -> [ ("shard", J.String s) ]
+      | None -> [])
+    @ (match ctx with
+      | Some (trace_id, _) -> [ ("trace", J.String trace_id) ]
+      | None -> [])
+    @ [ ("latency_s", J.Float latency) ]);
+  resp
 
 (* ---- event loop (same shape as the shard server's, minus jobs) ---- *)
 
@@ -394,8 +485,27 @@ let run (cfg : config) =
   else
     match Serve.Transport.listen cfg.listen with
     | Error e -> Error e
-    | Ok listener ->
+    | Ok listener -> (
       Unix.set_nonblock listener;
+      let access_log =
+        match cfg.access_log with
+        | None -> Ok None
+        | Some path -> (
+          match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+          | oc -> Ok (Some oc)
+          | exception Sys_error e -> Error ("access log: " ^ e))
+      in
+      match access_log with
+      | Error e ->
+        (* refuse to route blind, like the shard server *)
+        (try Unix.close listener with Unix.Unix_error _ -> ());
+        Serve.Transport.cleanup cfg.listen;
+        Error e
+      | Ok access_log ->
+      if cfg.trace <> None then begin
+        Obs.Trace.set_pid (Unix.getpid ());
+        Obs.Trace.set_enabled true
+      end;
       let shards = Hashtbl.create (List.length cfg.shards) in
       List.iter
         (fun (name, ep) -> Hashtbl.replace shards name (Shard.make ~name ep))
@@ -409,6 +519,9 @@ let run (cfg : config) =
           next_id = 1;
           next_rid = 1;
           draining = Atomic.make false;
+          access_log;
+          fwd_trace = None;
+          last_shard = None;
         }
       in
       let prev_term =
@@ -501,5 +614,12 @@ let run (cfg : config) =
         !conns;
       (try Unix.close listener with Unix.Unix_error _ -> ());
       Serve.Transport.cleanup cfg.listen;
+      (match cfg.trace with
+      | Some path ->
+        Obs.Trace.set_enabled false;
+        Obs.Trace.write_file path;
+        log t "trace written to %s" path
+      | None -> ());
+      (match t.access_log with Some oc -> close_out oc | None -> ());
       Sys.set_signal Sys.sigterm prev_term;
-      Ok ()
+      Ok ())

@@ -27,6 +27,17 @@ type config = {
   vnodes : int;  (** ring points per shard ({!Ring.default_vnodes}) *)
   verbose : bool;
   max_line : int;  (** per-connection carry cap, as in the server *)
+  access_log : string option;
+      (** append one JSON object per routed request to this file —
+          [ts]/[request_id]/[verb]/[outcome]/[latency_s] like the shard
+          server's log, plus the routed [shard] name and the request's
+          [trace] id; an unopenable path is a startup error *)
+  trace : string option;
+      (** record [cluster.request] spans while routing and write Chrome
+          [trace_event] JSON here on drain.  While tracing, a request
+          arriving without a trace context is minted one at the front
+          door; either way shard calls forward the trace id with the
+          coordinator's span as the new parent. *)
 }
 
 val default_config :

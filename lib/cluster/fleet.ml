@@ -19,6 +19,8 @@ type config = {
   journal_dir : string option;  (* per-shard journals live here *)
   vnodes : int;
   verbose : bool;
+  access_log : string option;  (* coordinator log; shard i appends .shard-i *)
+  trace : string option;  (* coordinator trace; shard i appends .shard-i *)
 }
 
 let default_config ~exe ~listen =
@@ -33,6 +35,8 @@ let default_config ~exe ~listen =
     journal_dir = None;
     vnodes = Ring.default_vnodes;
     verbose = false;
+    access_log = None;
+    trace = None;
   }
 
 let shard_name i = Printf.sprintf "shard-%d" i
@@ -44,14 +48,22 @@ let journal_path cfg i =
     (fun dir -> Filename.concat dir (shard_name i ^ ".journal"))
     cfg.journal_dir
 
+(* per-shard derivative of a coordinator-level file: --trace t.json
+   gives the coordinator t.json and shard i t.json.shard-i, which is
+   exactly the file set tools/trace_merge.ml stitches back together *)
+let shard_file path i = path ^ "." ^ shard_name i
+let trace_path cfg i = Option.map (fun p -> shard_file p i) cfg.trace
+let access_log_path cfg i = Option.map (fun p -> shard_file p i) cfg.access_log
+
 let shard_argv cfg i =
   let ep = Serve.Transport.endpoint_to_string (shard_endpoint cfg i) in
+  let opt flag = function Some v -> [ flag; v ] | None -> [] in
   [ cfg.exe; "serve"; "--listen"; ep ]
   @ [ "--jobs"; string_of_int cfg.jobs_per_shard ]
   @ [ "--cache-mb"; string_of_int cfg.cache_mb ]
-  @ (match journal_path cfg i with
-    | Some j -> [ "--journal"; j ]
-    | None -> [])
+  @ opt "--journal" (journal_path cfg i)
+  @ opt "--trace" (trace_path cfg i)
+  @ opt "--access-log" (access_log_path cfg i)
   @ if cfg.verbose then [ "--verbose" ] else []
 
 let spawn_shard cfg i =
@@ -138,6 +150,8 @@ let run cfg =
           vnodes = cfg.vnodes;
           verbose = cfg.verbose;
           max_line = Serve.Protocol.Frame.default_max_line;
+          access_log = cfg.access_log;
+          trace = cfg.trace;
         }
       in
       let result = Coordinator.run coord in

@@ -22,6 +22,13 @@ type config = {
           bounced shard replays its own results on restart *)
   vnodes : int;
   verbose : bool;
+  access_log : string option;
+      (** when set, the coordinator appends its routed-request log (with
+          shard names) to this file and shard [i] to [FILE.shard-i] *)
+  trace : string option;
+      (** when set, the coordinator writes its Chrome trace to this file
+          on drain and shard [i] to [FILE.shard-i] — the file set
+          [tools/trace_merge.ml] stitches into one cross-process trace *)
 }
 
 val default_config :

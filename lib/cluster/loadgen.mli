@@ -1,0 +1,81 @@
+(** Open-loop load generation against a scenario service or fleet
+    endpoint — the sustained-load half of the observability story.
+
+    Open-loop: arrival [k] fires at [t0 + k/rate] regardless of how
+    earlier arrivals fared, so a server falling behind faces a growing
+    backlog instead of the generator slowing down with it (which is what
+    makes the measured queue depth and p99 honest).  [clients] domains
+    share the schedule through one atomic arrival counter; each owns its
+    own connection, draws scenarios from the warm/cold mix, submits
+    (honouring [retry_after]), and awaits the answer.  A detached
+    sampler domain scrapes the [metrics] verb for queue depth over time.
+
+    The run leaves its figures in the ordinary [Obs] registry
+    ([loadgen.{offered,accepted,completed,cached,failed,errors,retries,
+    lost}] counters, [loadgen.{submit,e2e,sample}.seconds] histograms,
+    plus the [client.await.backoff.seconds] the awaits feed) and the
+    report is the {!Obs.diff} window over them. *)
+
+type config = {
+  endpoint : Serve.Transport.endpoint;
+  rate : float;  (** target arrivals per second (> 0) *)
+  duration : float;  (** seconds of offered load (> 0) *)
+  clients : int;  (** concurrent client domains (>= 1) *)
+  warm_pct : int;
+      (** share of arrivals drawn from the warm set, 0..100 — warm
+          scenarios repeat (the cache-hit path), cold ones cycle through
+          distinct grids (the solver path) *)
+  warm : Serve.Protocol.submit list;
+  cold : Serve.Protocol.submit list;
+  sample_every : float;  (** queue-depth scrape period; [<= 0] disables *)
+  await_timeout : float;  (** per-answer deadline, seconds *)
+  trace : bool;
+      (** mint a fresh [(trace id, span id)] per submission, so a traced
+          server/fleet records its spans under client-chosen ids *)
+}
+
+val default_config :
+  endpoint:Serve.Transport.endpoint ->
+  warm:Serve.Protocol.submit list ->
+  cold:Serve.Protocol.submit list ->
+  config
+(** 20/s for 5 s on 4 clients, 80% warm, 250 ms sampling, 60 s answer
+    deadline, tracing on. *)
+
+type sample = { at : float;  (** seconds since the run started *) depth : int }
+
+type report = {
+  offered : int;  (** arrivals fired *)
+  accepted : int;  (** submits the service accepted *)
+  completed : int;  (** answers received (including cache hits) *)
+  cached : int;
+  failed : int;  (** terminal but not done: failed/timeout/cancelled *)
+  errors : int;  (** transport failures and non-retryable rejections *)
+  retries : int;  (** [retry_after] rounds honoured *)
+  lost : int;
+      (** accepted but no terminal answer within the deadline — the
+          count a load gate must hold at zero *)
+  wall : float;
+  achieved_rate : float;  (** accepted submissions per wall second *)
+  latency : (string * Obs.hist_entry) list;
+      (** the window's [loadgen.*.seconds] histograms plus
+          [client.await.backoff.seconds] *)
+  samples : sample list;  (** queue depth over time, oldest first *)
+  per_shard : (string * int) list;
+      (** submitted-jobs balance from a final [stats] call: one entry
+          per shard behind a coordinator, [("self", n)] against a
+          single server *)
+  window : Obs.snapshot;  (** the full {!Obs.diff} over the run *)
+}
+
+val run : config -> (report, string) result
+(** Drive the endpoint until the schedule is exhausted and every
+    accepted job answered (or deadlined).  [Error] = invalid config
+    only; endpoint failures during the run are counted, not raised. *)
+
+val json_of_report : report -> Obs.Json.t
+(** The report as JSON: scalar counts, per-histogram
+    count/sum/p50/p90/p99, [queue_depth] samples, [per_shard] balance,
+    and the raw [window] snapshot ({!Obs.json_of_snapshot}).  This is
+    the schema documented in docs/observability.md and written to
+    [BENCH_load.json] by the load smoke. *)

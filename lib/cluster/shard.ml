@@ -74,4 +74,5 @@ let rpc t json =
         Error e)
   end
 
-let request t req = rpc t (Serve.Protocol.json_of_request req)
+let request ?trace t req =
+  rpc t (Serve.Protocol.with_trace trace (Serve.Protocol.json_of_request req))

@@ -16,7 +16,14 @@ val rpc : t -> Obs.Json.t -> (Obs.Json.t, string) result
 (** One request/response round trip; dials on first use.  [Error] =
     transport failure (and the shard is now marked dead). *)
 
-val request : t -> Serve.Protocol.request -> (Obs.Json.t, string) result
+val request :
+  ?trace:string * string ->
+  t ->
+  Serve.Protocol.request ->
+  (Obs.Json.t, string) result
+(** [?trace] forwards a [(trace id, parent span id)] context on the
+    request envelope ({!Serve.Protocol.with_trace}), so the shard's
+    spans for this request join the originating trace. *)
 
 val mark_dead : t -> unit
 val revive : t -> unit

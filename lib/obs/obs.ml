@@ -832,12 +832,46 @@ module Trace = struct
   let capacity = Atomic.make 16384
   let dropped = Atomic.make 0
 
+  (* the exported pid: 1 until a binary installs its real process id.
+     Real pids are what let a cross-process merge keep each process's
+     spans on distinct rows (and its B/E nesting intact). *)
+  let pid = Atomic.make 1
+  let set_pid p = Atomic.set pid p
+  let span_counter = Atomic.make 0
+
+  let new_span_id () =
+    Printf.sprintf "s%d-%d" (Atomic.get pid)
+      (Atomic.fetch_and_add span_counter 1)
+
+  let new_trace_id () =
+    Printf.sprintf "t%d-%d" (Atomic.get pid)
+      (Atomic.fetch_and_add span_counter 1)
+
+  (* the current trace context of this domain: (trace id, parent span
+     id), attached to every event recorded while installed.  Purely
+     domain-local — propagation across domains or processes is the
+     caller's job (the serve/cluster layers carry it in the protocol's
+     ["trace"] field). *)
+  let context_key : (string * string) option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let set_context ctx = Domain.DLS.get context_key := ctx
+  let get_context () = !(Domain.DLS.get context_key)
+
+  let with_context ctx f =
+    let cell = Domain.DLS.get context_key in
+    let saved = !cell in
+    cell := ctx;
+    Fun.protect ~finally:(fun () -> cell := saved) f
+
   type ev = {
     mutable ph : char;  (* 'B' | 'E' | 'X' | 'i' *)
     mutable ev_name : string;
     mutable ts : float;  (* raw Clock seconds *)
     mutable dur : float;  (* seconds, 'X' only *)
     mutable args : (string * string) list;
+    mutable trace_id : string;  (* "" = no trace context *)
+    mutable parent_id : string;  (* "" = no parent span *)
   }
 
   (* one preallocated ring per domain: recording mutates an existing slot
@@ -861,7 +895,15 @@ module Trace = struct
         tid = (Domain.self () :> int);
         evs =
           Array.init cap (fun _ ->
-              { ph = ' '; ev_name = ""; ts = 0.0; dur = 0.0; args = [] });
+              {
+                ph = ' ';
+                ev_name = "";
+                ts = 0.0;
+                dur = 0.0;
+                args = [];
+                trace_id = "";
+                parent_id = "";
+              });
         next = 0;
         total = 0;
       }
@@ -881,11 +923,18 @@ module Trace = struct
     let cap = Array.length r.evs in
     if r.total >= cap then Atomic.incr dropped;
     let e = r.evs.(r.next) in
+    let tid, pid =
+      match get_context () with
+      | Some (t, p) -> (t, p)
+      | None -> ("", "")
+    in
     e.ph <- ph;
     e.ev_name <- name;
     e.ts <- ts;
     e.dur <- dur;
     e.args <- args;
+    e.trace_id <- tid;
+    e.parent_id <- pid;
     r.next <- (r.next + 1) mod cap;
     r.total <- r.total + 1
 
@@ -923,14 +972,21 @@ module Trace = struct
           !rings);
     Atomic.set dropped 0
 
-  (* events of one ring, oldest first, copied out of the mutable slots *)
+  (* events of one ring, oldest first, copied out of the mutable slots;
+     the trace context folds into the args so everything downstream
+     (balance, export, merge) sees one uniform shape *)
   let events_of_ring r =
     let cap = Array.length r.evs in
     let count = min r.total cap in
     let start = if r.total <= cap then 0 else r.next in
     List.init count (fun i ->
         let e = r.evs.((start + i) mod cap) in
-        (e.ph, e.ev_name, e.ts, e.dur, e.args))
+        let args =
+          e.args
+          @ (if e.trace_id = "" then [] else [ ("trace", e.trace_id) ])
+          @ if e.parent_id = "" then [] else [ ("parent", e.parent_id) ]
+        in
+        (e.ph, e.ev_name, e.ts, e.dur, args))
 
   (* guarantee balanced B/E per tid: orphan E events (their B was
      overwritten by a ring wrap) are dropped, unclosed B events get a
@@ -975,6 +1031,7 @@ module Trace = struct
         Float.infinity per_ring
     in
     let t0 = if Float.is_finite t0 then t0 else 0.0 in
+    let this_pid = Atomic.get pid in
     let ev_json tid (ph, name, ts, dur, args) =
       Json.Obj
         ([
@@ -982,7 +1039,7 @@ module Trace = struct
            ("cat", Json.String "topoguard");
            ("ph", Json.String (String.make 1 ph));
            ("ts", Json.Float ((ts -. t0) *. 1e6));
-           ("pid", Json.Int 1);
+           ("pid", Json.Int this_pid);
            ("tid", Json.Int tid);
          ]
         @ (if ph = 'X' then [ ("dur", Json.Float (dur *. 1e6)) ] else [])
@@ -1004,7 +1061,82 @@ module Trace = struct
       [
         ("traceEvents", Json.List events);
         ("displayTimeUnit", Json.String "ms");
+        (* absolute epoch microseconds of this file's ts = 0, so a merge
+           can put files from several processes on one timeline as long
+           as they shared a wall clock (they do: servers install
+           [Unix.gettimeofday] before enabling) *)
+        ("clockBaseUs", Json.Float (t0 *. 1e6));
       ]
 
   let write_file path = write_json_file path (export_json ())
+
+  (* ---- cross-process stitching ---- *)
+
+  (* Merge several per-process trace files (parsed JSON) into one
+     Chrome trace.  Each event's relative ts is re-based through its
+     file's [clockBaseUs] onto the global earliest instant, pids and
+     tids pass through untouched (distinct processes exported distinct
+     real pids, so B/E nesting per (pid, tid) row is preserved), and a
+     request's spans correlate across processes by their ["trace"]
+     arg. *)
+  let merge traces =
+    let num = function
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    let parse i t =
+      match Json.member "traceEvents" t with
+      | Some (Json.List evs) ->
+        let base =
+          Option.value ~default:0.0 (num (Json.member "clockBaseUs" t))
+        in
+        Ok (base, evs)
+      | _ -> Error (Printf.sprintf "input %d: no traceEvents list" i)
+    in
+    let rec parse_all i acc = function
+      | [] -> Ok (List.rev acc)
+      | t :: rest -> (
+        match parse i t with
+        | Ok p -> parse_all (i + 1) (p :: acc) rest
+        | Error _ as e -> e)
+    in
+    match parse_all 0 [] traces with
+    | Error _ as e -> e
+    | Ok files ->
+      let t0 =
+        List.fold_left
+          (fun acc (base, evs) ->
+            List.fold_left
+              (fun acc ev ->
+                match num (Json.member "ts" ev) with
+                | Some ts -> Float.min acc (base +. ts)
+                | None -> acc)
+              acc evs)
+          Float.infinity files
+      in
+      let t0 = if Float.is_finite t0 then t0 else 0.0 in
+      let rebase base ev =
+        match ev with
+        | Json.Obj fields ->
+          Json.Obj
+            (List.map
+               (fun (k, v) ->
+                 match (k, num (Some v)) with
+                 | "ts", Some ts -> (k, Json.Float (base +. ts -. t0))
+                 | _ -> (k, v))
+               fields)
+        | ev -> ev
+      in
+      let events =
+        List.concat_map
+          (fun (base, evs) -> List.map (rebase base) evs)
+          files
+      in
+      Ok
+        (Json.Obj
+           [
+             ("traceEvents", Json.List events);
+             ("displayTimeUnit", Json.String "ms");
+           ])
 end

@@ -260,6 +260,32 @@ module Trace : sig
   (** Events retained per domain ring (default 16384, min 16).  Affects
       rings created after the call — set it before enabling. *)
 
+  val set_pid : int -> unit
+  (** The process id stamped on exported events (default 1).  Binaries
+      that may contribute to a cross-process merge should install their
+      real [Unix.getpid ()] before enabling, so {!merge} keeps each
+      process's spans on distinct rows. *)
+
+  val new_trace_id : unit -> string
+  (** A fresh trace id ([t<pid>-<n>]), unique within this process and —
+      once {!set_pid} has run — across cooperating processes. *)
+
+  val new_span_id : unit -> string
+  (** A fresh span id ([s<pid>-<n>]), same uniqueness as trace ids. *)
+
+  val set_context : (string * string) option -> unit
+  (** Install [(trace id, parent span id)] as this domain's trace
+      context: every event recorded while it is installed carries the
+      pair as its ["trace"] / ["parent"] args (an empty string omits
+      that arg).  Domain-local; [None] clears it. *)
+
+  val get_context : unit -> (string * string) option
+
+  val with_context : (string * string) option -> (unit -> 'a) -> 'a
+  (** {!set_context} around the thunk, restoring the previous context
+      even on exceptions — the propagation primitive the serve/cluster
+      layers wrap around request handling and worker-job thunks. *)
+
   val begin_ : ?args:(string * string) list -> string -> unit
   (** Open a span on the current domain.  [args] become the Chrome event's
       [args] object (e.g. candidate index, threshold, equation tag). *)
@@ -283,11 +309,24 @@ module Trace : sig
   val dropped_events : unit -> int
 
   val export_json : unit -> Json.t
-  (** [{ "traceEvents": [...], "displayTimeUnit": "ms" }] with timestamps
-      in microseconds relative to the earliest recorded event, [pid] 1,
-      and [tid] the domain id.  Call when recording is quiescent (events
-      being written concurrently may be torn). *)
+  (** [{ "traceEvents": [...], "displayTimeUnit": "ms", "clockBaseUs": b }]
+      with timestamps in microseconds relative to the earliest recorded
+      event, [pid] from {!set_pid}, and [tid] the domain id.
+      [clockBaseUs] is that earliest instant in absolute {!Clock}
+      microseconds — what lets {!merge} put several processes' files on
+      one timeline.  Call when recording is quiescent (events being
+      written concurrently may be torn). *)
 
   val write_file : string -> unit
   (** {!export_json} serialised to a file. *)
+
+  val merge : Json.t list -> (Json.t, string) result
+  (** Stitch several per-process exports (parsed {!export_json} values)
+      into one Chrome trace: every event is re-based through its file's
+      [clockBaseUs] onto the globally earliest instant; pids, tids and
+      args (including the ["trace"] correlation ids) pass through
+      untouched.  Requires the processes to have shared a wall clock.
+      [Error] names the first input lacking a [traceEvents] list.  The
+      [tools/trace_merge.ml] CLI is a thin file-reading wrapper over
+      this. *)
 end

@@ -28,9 +28,11 @@ let rpc t json =
       | Ok j -> Ok j
       | Error e -> Error ("malformed response: " ^ e)))
 
-let request t req = rpc t (Protocol.json_of_request req)
-let submit t s = request t (Protocol.Submit s)
-let submit_batch t items = request t (Protocol.Submit_batch items)
+let request ?trace t req =
+  rpc t (Protocol.with_trace trace (Protocol.json_of_request req))
+
+let submit ?trace t s = request ?trace t (Protocol.Submit s)
+let submit_batch ?trace t items = request ?trace t (Protocol.Submit_batch items)
 
 (* jittered exponential backoff: the poll interval grows 1.6x per round
    with a uniform ±25% jitter (so a fleet of clients polling one server
@@ -40,6 +42,15 @@ let backoff_state = lazy (Random.State.make_self_init ())
 let jitter v =
   let st = Lazy.force backoff_state in
   v *. (0.75 +. Random.State.float st 0.5)
+
+(* every second a client spends voluntarily asleep between polls (or on
+   a queue-full retry) lands here, so a load report can split
+   client-side waiting from server latency *)
+let h_backoff = Obs.Histogram.make "client.await.backoff.seconds"
+
+let backoff_sleep seconds =
+  Obs.Histogram.observe h_backoff seconds;
+  Unix.sleepf seconds
 
 let retry_after_of resp =
   match J.member "retry_after" resp with
@@ -58,7 +69,7 @@ let await t ~id ?(poll_interval = 0.02) ?(max_interval = 0.5) ?(timeout = 600.)
       | Ok resp -> (
         match J.member "status" resp with
         | Some (J.String ("queued" | "running")) ->
-          Unix.sleepf (jitter (Float.min interval max_interval));
+          backoff_sleep (jitter (Float.min interval max_interval));
           loop (Float.min (interval *. 1.6) max_interval)
         | Some (J.String "done") -> (
           match request t (Protocol.Result id) with
@@ -74,10 +85,10 @@ let await t ~id ?(poll_interval = 0.02) ?(max_interval = 0.5) ?(timeout = 600.)
 
 (* a queue-full rejection carries ["retry_after"]: honour it (sleeping
    what the server asked, jittered) instead of hammering the socket *)
-let submit_retry t s ?(timeout = 60.) () =
+let submit_retry ?trace t s ?(timeout = 60.) () =
   let deadline = Unix.gettimeofday () +. timeout in
   let rec loop () =
-    match submit t s with
+    match submit ?trace t s with
     | Error _ as e -> e
     | Ok resp -> (
       match (J.member "ok" resp, retry_after_of resp) with
@@ -85,7 +96,7 @@ let submit_retry t s ?(timeout = 60.) () =
         if Unix.gettimeofday () +. after > deadline then
           Error "submit: queue full past the deadline"
         else begin
-          Unix.sleepf (jitter after);
+          backoff_sleep (jitter after);
           loop ()
         end
       | _ -> Ok resp)

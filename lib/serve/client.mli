@@ -23,16 +23,24 @@ val rpc : t -> Obs.Json.t -> (Obs.Json.t, string) result
     response); protocol errors come back as [Ok] responses with ["ok"]
     = false. *)
 
-val request : t -> Protocol.request -> (Obs.Json.t, string) result
+val request :
+  ?trace:string * string -> t -> Protocol.request -> (Obs.Json.t, string) result
+(** [?trace] attaches a [(trace id, parent span id)] context to the
+    request envelope ({!Protocol.with_trace}); the server records its
+    spans for this request under that trace id, and a coordinator
+    forwards it to the owning shard. *)
 
-val submit : t -> Protocol.submit -> (Obs.Json.t, string) result
+val submit :
+  ?trace:string * string -> t -> Protocol.submit -> (Obs.Json.t, string) result
 
 val submit_batch :
+  ?trace:string * string ->
   t -> Protocol.submit list -> (Obs.Json.t, string) result
 (** One [submit_batch] round trip; the response's ["results"] list
     carries a per-item submit response in submission order. *)
 
 val submit_retry :
+  ?trace:string * string ->
   t -> Protocol.submit -> ?timeout:float -> unit -> (Obs.Json.t, string) result
 (** {!submit}, but a queue-full rejection (["retry_after"] present) is
     retried after sleeping the server-requested interval (jittered)
@@ -53,7 +61,9 @@ val await :
     exponentially from [poll_interval] (default 20 ms, growing 1.6x per
     round with ±25% jitter) up to [max_interval] (default 0.5 s), so a
     fleet of waiting clients neither hammers the server nor
-    synchronises. *)
+    synchronises.  Every voluntary sleep (here and in {!submit_retry})
+    is recorded in the [client.await.backoff.seconds] histogram, so load
+    reports can split client-side waiting from server latency. *)
 
 val sync :
   t -> ranges:(int * int) list -> ((string * string) list, string) result

@@ -263,6 +263,40 @@ let request_of_json j =
 let request_id_of_json j =
   match J.member "request_id" j with Some (J.String s) -> Some s | _ -> None
 
+(* ---- trace context ----
+
+   An optional envelope-level ["trace"] object — {"id": trace-id,
+   "parent": span-id} — correlates the spans a request produces across
+   processes: the client (or the coordinator, for untagged requests)
+   mints the trace id, and each hop records its spans under it and
+   forwards the pair with its own span as the new parent.  Deliberately
+   envelope-only: it never enters {!job_params}/{!job_key}, so a traced
+   and an untraced submission of the same scenario share one cache
+   entry.  Absent or malformed = no context (v0 clients keep working). *)
+
+let trace_of_json j =
+  match J.member "trace" j with
+  | Some (J.Obj _ as t) -> (
+    match J.member "id" t with
+    | Some (J.String id) when id <> "" ->
+      let parent =
+        match J.member "parent" t with Some (J.String p) -> p | _ -> ""
+      in
+      Some (id, parent)
+    | _ -> None)
+  | _ -> None
+
+let with_trace trace j =
+  match (trace, j) with
+  | None, _ | _, (J.Null | J.Bool _ | J.Int _ | J.Float _ | J.String _ | J.List _) -> j
+  | Some (id, parent), J.Obj fields ->
+    let t =
+      J.Obj
+        (("id", J.String id)
+        :: (if parent = "" then [] else [ ("parent", J.String parent) ]))
+    in
+    J.Obj (("trace", t) :: List.remove_assoc "trace" fields)
+
 let job_params s =
   [
     ("mode", s.mode);

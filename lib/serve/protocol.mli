@@ -77,6 +77,23 @@ val request_id_of_json : Obs.Json.t -> string option
 (** The optional ["request_id"] a client attached to a request object;
     the server echoes it verbatim in the response (or generates one). *)
 
+val trace_of_json : Obs.Json.t -> (string * string) option
+(** The optional envelope-level ["trace"] object of a request —
+    [{"id": trace-id, "parent": span-id}] — as the [(trace id, parent
+    span id)] pair {!Obs.Trace.with_context} takes ([""] = no parent).
+    Absent or malformed yields [None], so v0 clients that never heard
+    of tracing keep working.  The pair is deliberately excluded from
+    {!job_key}: a traced and an untraced submission of the same
+    scenario share one cache entry. *)
+
+val with_trace :
+  (string * string) option -> Obs.Json.t -> Obs.Json.t
+(** Attach (or replace) the ["trace"] field on a request object —
+    [None] and non-object JSON pass through unchanged.  Each hop
+    forwards the incoming trace id with its own span id as the new
+    parent, which is what makes the merged Chrome trace nest
+    client → coordinator → shard → solver. *)
+
 val job_params : submit -> (string * string) list
 (** The key-relevant scenario parameters (mode, base, increase override,
     candidate bound, enumeration strategy, backend).  The timeout is

@@ -106,6 +106,9 @@ type job = {
   cancel : bool Atomic.t;
   deadline : float Atomic.t;
   mutable future : J.t Pool.Future.t option;
+  trace : (string * string) option;
+      (* the submitting request's trace context, re-installed around the
+         worker-domain run so solver spans carry the originating id *)
 }
 
 (* ---- translation to the impact pipeline ---- *)
@@ -366,6 +369,7 @@ let handle_submit t (s : Protocol.submit) =
             cancel = Atomic.make false;
             deadline = Atomic.make infinity;
             future = None;
+            trace = Obs.Trace.get_context ();
           }
         in
         Hashtbl.replace t.jobs_tbl id job;
@@ -401,6 +405,7 @@ let handle_submit t (s : Protocol.submit) =
               cancel = Atomic.make false;
               deadline = Atomic.make infinity;
               future = None;
+              trace = Obs.Trace.get_context ();
             }
           in
           Hashtbl.replace t.jobs_tbl id job;
@@ -567,17 +572,23 @@ let handle_request t (req : Protocol.request) =
 
 let handle_line t line =
   let t0 = now () in
-  let rid, verb, resp =
+  let rid, verb, ctx, resp =
     match J.of_string line with
-    | Error e -> (None, "invalid", err ("bad json: " ^ e))
+    | Error e -> (None, "invalid", None, err ("bad json: " ^ e))
     | Ok j -> (
       let rid = Protocol.request_id_of_json j in
+      (* the request's trace context is installed for the whole handling
+         (so the serve.request span, and the job record a submit
+         creates, both carry the originating trace id) *)
+      let ctx = Protocol.trace_of_json j in
       let verb =
         match J.member "op" j with Some (J.String s) -> s | _ -> "invalid"
       in
       match Protocol.request_of_json j with
-      | Error e -> (rid, verb, err e)
-      | Ok req -> (rid, verb, handle_request t req))
+      | Error e -> (rid, verb, ctx, err e)
+      | Ok req ->
+        (rid, verb, ctx,
+         Obs.Trace.with_context ctx (fun () -> handle_request t req)))
   in
   (* every response carries a request id: the client's, echoed verbatim,
      or a server-generated one — either way the access log and the
@@ -600,9 +611,10 @@ let handle_line t line =
   in
   let latency = now () -. t0 in
   Obs.Histogram.observe h_request latency;
-  Obs.Trace.complete
-    ~args:[ ("verb", verb); ("request_id", rid) ]
-    ~ts:t0 ~dur:latency "serve.request";
+  Obs.Trace.with_context ctx (fun () ->
+      Obs.Trace.complete
+        ~args:[ ("verb", verb); ("request_id", rid) ]
+        ~ts:t0 ~dur:latency "serve.request");
   let resp_field name =
     match resp with J.Obj fields -> List.assoc_opt name fields | _ -> None
   in
@@ -649,9 +661,13 @@ let start_ready_jobs t =
       job.future <-
         Some
           (Pool.async t.pool (fun () ->
-               Obs.Trace.with_span "serve.job.run"
-                 ~args:[ ("id", string_of_int job.id); ("key", job.key) ]
-                 (fun () -> execute ~store:t.store job)));
+               (* re-install the submitting request's trace context on
+                  the worker domain: the run span and every solver span
+                  under it (lp/smt minimize) inherit the originating id *)
+               Obs.Trace.with_context job.trace (fun () ->
+                   Obs.Trace.with_span "serve.job.run"
+                     ~args:[ ("id", string_of_int job.id); ("key", job.key) ]
+                     (fun () -> execute ~store:t.store job))));
       t.running <- id :: t.running;
       log t "job %d started (timeout %.3fs)" id job.timeout
     | _ -> () (* cancelled while queued: already accounted *)
@@ -762,7 +778,10 @@ let run cfg =
           Store.Cache.close store;
           Error e
         | Ok access_log ->
-        if cfg.trace <> None then Obs.Trace.set_enabled true;
+        if cfg.trace <> None then begin
+          Obs.Trace.set_pid (Unix.getpid ());
+          Obs.Trace.set_enabled true
+        end;
         let t =
           {
             cfg;

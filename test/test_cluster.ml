@@ -347,10 +347,219 @@ let server_tests =
             shutdown_server ca server_a));
   ]
 
+(* ---- distributed tracing ---- *)
+
+let trace_tests =
+  [
+    Alcotest.test_case "trace context rides the envelope, absent-tolerant"
+      `Quick (fun () ->
+        (* a v0 client sends no trace field: parse yields None and the
+           request itself is untouched *)
+        let plain = P.json_of_request P.Stats in
+        Alcotest.(check bool) "absent -> None" true (P.trace_of_json plain = None);
+        Alcotest.(check bool) "None is identity" true
+          (P.with_trace None plain = plain);
+        (* a tagged envelope round-trips both id and parent, and still
+           parses as the same request *)
+        let tagged = P.with_trace (Some ("t-1", "s-9")) plain in
+        Alcotest.(check bool) "id+parent round-trip" true
+          (P.trace_of_json tagged = Some ("t-1", "s-9"));
+        (match P.request_of_json tagged with
+        | Ok P.Stats -> ()
+        | _ -> Alcotest.fail "tagged envelope no longer parses");
+        (* an empty parent is elided on the wire and comes back empty *)
+        let root = P.with_trace (Some ("t-2", "")) plain in
+        Alcotest.(check bool) "rootless parent" true
+          (P.trace_of_json root = Some ("t-2", ""));
+        (* junk in the slot is ignored, not fatal *)
+        let junk = J.Obj [ ("op", J.String "stats"); ("trace", J.Int 42) ] in
+        Alcotest.(check bool) "junk -> None" true (P.trace_of_json junk = None);
+        (* the trace never enters the job identity: same key either way *)
+        let spec = Grid.Test_systems.case_study_1 () in
+        Alcotest.(check string) "job key is trace-blind"
+          (P.job_key spec (submit_of ()))
+          (P.job_key spec (submit_of ())));
+    Alcotest.test_case "merge re-bases clocks and keeps B/E balanced" `Quick
+      (fun () ->
+        let ev ?(ph = "X") ?(ts = 0.) ?(pid = 1) ?(tid = 1) name =
+          J.Obj
+            [
+              ("name", J.String name);
+              ("ph", J.String ph);
+              ("ts", J.Float ts);
+              ("pid", J.Int pid);
+              ("tid", J.Int tid);
+            ]
+        in
+        let export base events =
+          J.Obj
+            [
+              ("traceEvents", J.List events);
+              ("displayTimeUnit", J.String "ms");
+              ("clockBaseUs", J.Float base);
+            ]
+        in
+        (* two processes whose clocks started 1000us apart *)
+        let a =
+          export 5000.
+            [ ev ~ph:"B" ~ts:10. "outer"; ev ~ph:"E" ~ts:400. "outer" ]
+        in
+        let b =
+          export 6000.
+            [ ev ~ph:"B" ~ts:0. ~pid:2 "inner"; ev ~ph:"E" ~ts:90. ~pid:2 "inner" ]
+        in
+        let merged =
+          match Obs.Trace.merge [ a; b ] with
+          | Ok j -> j
+          | Error e -> Alcotest.failf "merge: %s" e
+        in
+        let events =
+          match J.member "traceEvents" merged with
+          | Some (J.List l) -> l
+          | _ -> Alcotest.fail "merged trace has no traceEvents"
+        in
+        Alcotest.(check int) "all events survive" 4 (List.length events);
+        let ts_of e =
+          match J.member "ts" e with
+          | Some (J.Float t) -> t
+          | Some (J.Int t) -> float_of_int t
+          | _ -> Alcotest.fail "event without ts"
+        in
+        (* global zero is a's first event (5000+10); b's events land
+           990us and 1080us after it, still in b's recorded order *)
+        let all_ts = List.map ts_of events in
+        Alcotest.(check (float 1e-6)) "earliest is zero" 0.
+          (List.fold_left min infinity all_ts);
+        let b_ts =
+          List.filter_map
+            (fun e ->
+              match J.member "pid" e with
+              | Some (J.Int 2) -> Some (ts_of e)
+              | _ -> None)
+            events
+        in
+        Alcotest.(check (list (float 1e-6))) "re-based across clocks"
+          [ 990.; 1080. ] b_ts;
+        (* every (pid, tid) lane opens exactly as many spans as it
+           closes: the invariant about:tracing needs *)
+        let lanes = Hashtbl.create 4 in
+        List.iter
+          (fun e ->
+            let key =
+              (J.member "pid" e, J.member "tid" e)
+            in
+            let opens, closes =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt lanes key)
+            in
+            match J.member "ph" e with
+            | Some (J.String "B") -> Hashtbl.replace lanes key (opens + 1, closes)
+            | Some (J.String "E") -> Hashtbl.replace lanes key (opens, closes + 1)
+            | _ -> ())
+          events;
+        Hashtbl.iter
+          (fun _ (opens, closes) ->
+            Alcotest.(check int) "B/E balanced per lane" opens closes)
+          lanes;
+        (* an input without traceEvents is a described error, not a blow-up *)
+        match Obs.Trace.merge [ J.Obj [ ("nope", J.Int 1) ] ] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "merged a non-trace input");
+    Alcotest.test_case "routed jobs keep the originating trace id" `Slow
+      (fun () ->
+        let pid = Unix.getpid () in
+        let sock_s0 = tmp (Printf.sprintf "tg-tr-s0-%d.sock" pid) in
+        let sock_s1 = tmp (Printf.sprintf "tg-tr-s1-%d.sock" pid) in
+        let sock_co = tmp (Printf.sprintf "tg-tr-co-%d.sock" pid) in
+        let files = [ sock_s0; sock_s1; sock_co ] in
+        List.iter (fun p -> if Sys.file_exists p then Sys.remove p) files;
+        Obs.Clock.set Unix.gettimeofday;
+        Obs.Trace.set_enabled true;
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Trace.set_enabled false;
+            List.iter (fun p -> if Sys.file_exists p then Sys.remove p) files)
+          (fun () ->
+            let shard sock =
+              Pool.detached (fun () ->
+                  Serve.Server.run
+                    (Serve.Server.default_config ~socket_path:sock))
+            in
+            let s0 = shard sock_s0 and s1 = shard sock_s1 in
+            let coordinator =
+              Pool.detached (fun () ->
+                  Cluster.Coordinator.run
+                    (Cluster.Coordinator.default_config
+                       ~listen:(Serve.Transport.Unix_sock sock_co)
+                       ~shards:
+                         [
+                           ("shard-0", Serve.Transport.Unix_sock sock_s0);
+                           ("shard-1", Serve.Transport.Unix_sock sock_s1);
+                         ]))
+            in
+            (* wait for the shards directly, then the front door *)
+            List.iter
+              (fun sock ->
+                Serve.Client.close
+                  (connect_retry (Serve.Transport.Unix_sock sock)))
+              [ sock_s0; sock_s1 ];
+            let c = connect_retry (Serve.Transport.Unix_sock sock_co) in
+            let trace = ("t-routed", "s-origin") in
+            let r =
+              expect_ok
+                (Serve.Client.submit ~trace c
+                   (submit_of ~increase:(Some "7") ()))
+            in
+            (match
+               Serve.Client.await c ~id:(int_field "id" r) ~timeout:60. ()
+             with
+            | Ok ("done", Some _) -> ()
+            | Ok (st, _) -> Alcotest.failf "status %s" st
+            | Error e -> Alcotest.failf "await: %s" e);
+            (* drain everything before reading the rings *)
+            ignore (expect_ok (Serve.Client.request c P.Shutdown));
+            Serve.Client.close c;
+            (match Pool.Future.await coordinator with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "coordinator exit: %s" e);
+            List.iter
+              (fun server ->
+                match Pool.Future.await server with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "shard exit: %s" e)
+              [ s0; s1 ];
+            (* everything ran in this process, so one export holds the
+               client-side, coordinator and shard spans *)
+            let events =
+              match J.member "traceEvents" (Obs.Trace.export_json ()) with
+              | Some (J.List l) -> l
+              | _ -> Alcotest.fail "export has no traceEvents"
+            in
+            let with_our_trace name =
+              List.exists
+                (fun e ->
+                  (match J.member "name" e with
+                  | Some (J.String n) -> n = name
+                  | _ -> false)
+                  &&
+                  match J.member "args" e with
+                  | Some args -> (
+                    match J.member "trace" args with
+                    | Some (J.String t) -> t = "t-routed"
+                    | _ -> false)
+                  | None -> false)
+                events
+            in
+            Alcotest.(check bool) "coordinator span tagged" true
+              (with_our_trace "cluster.request");
+            Alcotest.(check bool) "shard job span tagged" true
+              (with_our_trace "serve.job.run")));
+  ]
+
 let () =
   Alcotest.run "cluster"
     [
       ("ring", ring_tests);
       ("protocol", version_tests);
       ("server", server_tests);
+      ("trace", trace_tests);
     ]

@@ -1,0 +1,60 @@
+(* Stitch per-process --trace files into one Chrome trace.
+
+   Usage: trace_merge [-o OUT] FILE...
+
+   Each input is an Obs.Trace export ({traceEvents, clockBaseUs});
+   Obs.Trace.merge re-bases every event through its file's clock base
+   onto the globally earliest instant, so a request's client ->
+   coordinator -> shard -> solver spans line up on one timeline (and
+   correlate by their "trace" arg).  Output goes to OUT or stdout;
+   load the result in about:tracing or Perfetto. *)
+
+let usage () =
+  prerr_endline "usage: trace_merge [-o OUT] FILE...";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let out = ref None in
+  let inputs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "-o" :: path :: rest ->
+      out := Some path;
+      parse rest
+    | "-o" :: [] -> usage ()
+    | ("-h" | "--help") :: _ -> usage ()
+    | path :: rest ->
+      inputs := path :: !inputs;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let inputs = List.rev !inputs in
+  if inputs = [] then usage ();
+  let parsed =
+    List.map
+      (fun path ->
+        match Obs.Json.of_string (read_file path) with
+        | Ok j -> j
+        | Error e ->
+          Printf.eprintf "trace_merge: %s: %s\n" path e;
+          exit 1
+        | exception Sys_error e ->
+          Printf.eprintf "trace_merge: %s\n" e;
+          exit 1)
+      inputs
+  in
+  match Obs.Trace.merge parsed with
+  | Error e ->
+    Printf.eprintf "trace_merge: %s\n" e;
+    exit 1
+  | Ok merged -> (
+    match !out with
+    | Some path -> Obs.write_json_file path merged
+    | None -> print_endline (Obs.Json.to_string merged))
